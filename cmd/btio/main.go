@@ -1,0 +1,155 @@
+// Command btio reproduces the NAS BTIO benchmark of the paper's Section
+// 6.7 (class A, 4 processes): a block-tridiagonal solver stand-in whose
+// compute phases are virtual-time sleeps calibrated to the paper's 165.6 s
+// no-I/O runtime, dumping the 5-double-per-cell solution every few steps
+// through a chosen MPI-IO method and reading the full history back for
+// verification.
+//
+// Usage:
+//
+//	btio [-class A|W] [-method listio+ads] [-verify]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pvfsib"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/workload"
+)
+
+var methods = map[string]pvfsib.Method{
+	"multiple":    pvfsib.MultipleIO,
+	"datasieving": pvfsib.DataSieving,
+	"listio":      pvfsib.ListIO,
+	"listio+ads":  pvfsib.ListIOADS,
+	"collective":  pvfsib.Collective,
+}
+
+func main() {
+	var (
+		class  = flag.String("class", "A", "problem class: A (64^3) or W (32^3)")
+		method = flag.String("method", "all", "access method, 'all', or 'noio'")
+		verify = flag.Bool("verify", true, "check read-back bytes against what was written")
+	)
+	flag.Parse()
+
+	spec := workload.PaperBTIOSpec()
+	switch *class {
+	case "A":
+	case "W":
+		spec.Grid = 32
+		spec.StepCompute /= 8
+	default:
+		fmt.Fprintf(os.Stderr, "unknown class %q\n", *class)
+		os.Exit(2)
+	}
+	fmt.Printf("BTIO class %s: grid %d^3, %d ranks, %d steps, %d dumps, history %.0f MB\n\n",
+		*class, spec.Grid, spec.NProcs, spec.Steps, spec.Dumps,
+		float64(spec.FileBytes())/(1<<20))
+
+	var todo []string
+	switch *method {
+	case "all":
+		todo = []string{"noio", "multiple", "collective", "listio", "listio+ads", "datasieving"}
+	case "noio":
+		todo = []string{"noio"}
+	default:
+		if _, ok := methods[*method]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+			os.Exit(2)
+		}
+		todo = []string{*method}
+	}
+
+	fmt.Printf("%-12s  %-10s  %-16s\n", "method", "time (s)", "I/O overhead (s)")
+	var base float64
+	for _, name := range todo {
+		total, io := runBTIO(spec, name, *verify)
+		if name == "noio" {
+			base = total
+		}
+		over := io
+		if base > 0 && total-base > over {
+			over = total - base
+		}
+		fmt.Printf("%-12s  %-10.1f  %-16.1f\n", name, total, over)
+	}
+}
+
+func runBTIO(spec workload.BTIOSpec, methodName string, verify bool) (totalS, ioS float64) {
+	noIO := methodName == "noio"
+	m := methods[methodName]
+	c := pvfsib.NewCluster(pvfsib.Options{Servers: 4, ComputeNodes: spec.NProcs})
+	defer c.Close()
+	stepsPerDump := spec.Steps / spec.Dumps
+	var ioTime pvfsib.Duration
+	var failed bool
+
+	t0 := c.Now()
+	err := c.RunMPI(func(ctx *pvfsib.Ctx) {
+		f := pvfsib.OpenFile(ctx, "btio")
+		rank := ctx.Rank.ID()
+		segs, _ := ctx.Materialize(spec.Dump(rank, 0), func(i int64) byte {
+			return byte(int64(rank)*131 + i*7)
+		})
+		compute := pvfsib.Duration(spec.StepCompute * float64(time.Second))
+		dump := 0
+		for step := 1; step <= spec.Steps; step++ {
+			ctx.Proc.Sleep(compute)
+			if step%stepsPerDump == 0 && !noIO {
+				pat := spec.Dump(rank, dump)
+				s0 := ctx.Proc.Now()
+				if err := f.Write(ctx.Proc, m, segs, []pvfsib.OffLen(pat.File)); err != nil {
+					panic(err)
+				}
+				if rank == 0 {
+					ioTime += ctx.Proc.Now().Sub(s0)
+				}
+				dump++
+			}
+		}
+		if noIO {
+			return
+		}
+		// Verification read-back of the whole history.
+		total := spec.Dump(rank, 0).Bytes()
+		dst := ctx.Malloc(total)
+		for d := 0; d < spec.Dumps; d++ {
+			pat := spec.Dump(rank, d)
+			s0 := ctx.Proc.Now()
+			if err := f.Read(ctx.Proc, m, []pvfsib.SGE{{Addr: dst, Len: total}}, []pvfsib.OffLen(pat.File)); err != nil {
+				panic(err)
+			}
+			if rank == 0 {
+				ioTime += ctx.Proc.Now().Sub(s0)
+			}
+			if verify {
+				got, err := ctx.ReadMem(dst, total)
+				if err != nil {
+					panic(err)
+				}
+				want := make([]byte, total)
+				for i := range want {
+					want[i] = byte(int64(rank)*131 + int64(i)*7)
+				}
+				if !bytes.Equal(got, want) {
+					failed = true
+				}
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "VERIFICATION FAILED")
+		os.Exit(1)
+	}
+	elapsed := sim.Time(c.Now()).Sub(sim.Time(t0))
+	return elapsed.Seconds(), ioTime.Seconds()
+}

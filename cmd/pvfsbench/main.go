@@ -1,0 +1,65 @@
+// Command pvfsbench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	pvfsbench -list            list the available experiments
+//	pvfsbench -run fig6        run one experiment
+//	pvfsbench -run all         run everything (paper order, then ablations)
+//	pvfsbench -short -run all  smaller sweeps for a quick look
+//
+// Each experiment prints a plain-text table; the titles carry the paper's
+// reference values where the paper states them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pvfsib/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "experiment id to run, or 'all'")
+		short   = flag.Bool("short", false, "reduced sweeps (faster)")
+		timings = flag.Bool("timings", true, "print real (host) runtime per experiment")
+		format  = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	if *run == "all" {
+		todo = bench.Registry
+	} else {
+		e, err := bench.Lookup(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		t0 := time.Now()
+		tbl := e.Run(*short)
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+			continue
+		}
+		fmt.Println(tbl)
+		if *timings {
+			fmt.Printf("(%s took %.1fs host time)\n\n", e.ID, time.Since(t0).Seconds())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command tileio reproduces the mpi-tile-io benchmark of the paper's
+// Section 6.6: four renderers of a 2x2 tiled display (1024x768, 24-bit
+// pixels, a 9 MB frame) read and write their tiles through each of the
+// four MPI-IO access methods, with and without disk effects.
+//
+// Usage:
+//
+//	tileio [-tilesx 2] [-tilesy 2] [-px 1024] [-py 768] [-method all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pvfsib"
+	"pvfsib/internal/workload"
+)
+
+var methods = map[string]pvfsib.Method{
+	"multiple":    pvfsib.MultipleIO,
+	"datasieving": pvfsib.DataSieving,
+	"listio":      pvfsib.ListIO,
+	"listio+ads":  pvfsib.ListIOADS,
+	"collective":  pvfsib.Collective,
+}
+
+func main() {
+	var (
+		tilesX  = flag.Int("tilesx", 2, "tiles across")
+		tilesY  = flag.Int("tilesy", 2, "tiles down")
+		px      = flag.Int64("px", 1024, "tile width in pixels")
+		py      = flag.Int64("py", 768, "tile height in pixels")
+		method  = flag.String("method", "all", "access method or 'all'")
+		sync    = flag.Bool("sync", false, "include disk effects (sync writes, cold reads)")
+		overlap = flag.Int64("overlap", 0, "tile overlap in pixels (reads fetch neighbouring borders)")
+	)
+	flag.Parse()
+
+	spec := workload.TileSpec{
+		TilesX: *tilesX, TilesY: *tilesY,
+		PixelsX: *px, PixelsY: *py, Elem: 3,
+		Overlap: *overlap,
+	}
+	nranks := *tilesX * *tilesY
+	fmt.Printf("mpi-tile-io: %dx%d display of %dx%d 24-bit tiles, file %.1f MB, %d ranks\n\n",
+		*tilesX, *tilesY, *px, *py, float64(spec.FileBytes())/(1<<20), nranks)
+
+	var todo []string
+	if *method == "all" {
+		todo = []string{"multiple", "datasieving", "listio", "listio+ads", "collective"}
+	} else {
+		if _, ok := methods[*method]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+			os.Exit(2)
+		}
+		todo = []string{*method}
+	}
+
+	fmt.Printf("%-12s  %-14s  %-14s\n", "method", "write (MB/s)", "read (MB/s)")
+	for _, name := range todo {
+		m := methods[name]
+		w := runTile(spec, nranks, m, true, *sync)
+		r := runTile(spec, nranks, m, false, *sync)
+		fmt.Printf("%-12s  %-14.1f  %-14.1f\n", name, w, r)
+	}
+}
+
+// runTile measures aggregate bandwidth for one method and direction.
+func runTile(spec workload.TileSpec, nranks int, m pvfsib.Method, write, diskEffects bool) float64 {
+	c := pvfsib.NewCluster(pvfsib.Options{Servers: 4, ComputeNodes: nranks})
+	defer c.Close()
+	// Populate for reads (and to give writes an existing file).
+	err := c.RunMPI(func(ctx *pvfsib.Ctx) {
+		f := pvfsib.OpenFile(ctx, "frame")
+		segs, regions := ctx.Materialize(spec.Tile(ctx.Rank.ID()), func(i int64) byte { return byte(i) })
+		if err := f.Write(ctx.Proc, pvfsib.ListIO, segs, regions); err != nil {
+			panic(err)
+		}
+		if diskEffects {
+			f.Sync(ctx.Proc)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	if diskEffects && !write {
+		if err := c.Run(func(p *pvfsib.Proc, cl *pvfsib.Client) {
+			for _, s := range c.Inner().Servers {
+				s.FS().DropCaches(p)
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	t0 := c.Now()
+	err = c.RunMPI(func(ctx *pvfsib.Ctx) {
+		f := pvfsib.OpenFile(ctx, "frame")
+		pat := spec.Tile(ctx.Rank.ID())
+		if !write {
+			// Reads include the overlap border, as mpi-tile-io does.
+			pat = spec.TileWithOverlap(ctx.Rank.ID())
+		}
+		segs, regions := ctx.Materialize(pat, func(i int64) byte { return byte(i + 1) })
+		ctx.Rank.Barrier(ctx.Proc)
+		if write {
+			if err := f.Write(ctx.Proc, m, segs, regions); err != nil {
+				panic(err)
+			}
+			if diskEffects {
+				f.Sync(ctx.Proc)
+			}
+		} else {
+			if err := f.Read(ctx.Proc, m, segs, regions); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	elapsed := c.Now().Sub(t0)
+	return float64(spec.FileBytes()) / elapsed.Seconds() / (1 << 20)
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a simulated 4-server/4-client PVFS-over-InfiniBand
+// cluster, write a striped file with noncontiguous list I/O, read it back,
+// and print what the cluster did.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"pvfsib"
+)
+
+func main() {
+	// A cluster like the paper's testbed: 4 I/O servers (the first also
+	// runs the metadata manager) and 4 compute nodes, 64 kB stripes,
+	// hybrid pack/gather transfers, Active Data Sieving on the servers.
+	cluster := pvfsib.NewCluster(pvfsib.Options{Servers: 4, ComputeNodes: 4})
+
+	err := cluster.RunMPI(func(ctx *pvfsib.Ctx) {
+		rank := ctx.Rank.ID()
+		f := pvfsib.OpenFile(ctx, "quickstart.dat")
+
+		// Every rank writes 64 strided records: noncontiguous in the
+		// file (stride leaves room for the other ranks) and contiguous
+		// in memory.
+		const recSize, nrec = 1024, 64
+		buf := ctx.Malloc(recSize * nrec)
+		payload := bytes.Repeat([]byte{byte('A' + rank)}, recSize*nrec)
+		if err := ctx.WriteMem(buf, payload); err != nil {
+			log.Fatal(err)
+		}
+		segs := []pvfsib.SGE{{Addr: buf, Len: recSize * nrec}}
+		var regions []pvfsib.OffLen
+		for i := int64(0); i < nrec; i++ {
+			regions = append(regions, pvfsib.OffLen{
+				Off: (i*4 + int64(rank)) * recSize,
+				Len: recSize,
+			})
+		}
+
+		// One list-I/O call ships all 64 records; the servers decide via
+		// the ADS cost model whether to sieve.
+		if err := f.Write(ctx.Proc, pvfsib.ListIOADS, segs, regions); err != nil {
+			log.Fatal(err)
+		}
+		f.Sync(ctx.Proc)
+		ctx.Rank.Barrier(ctx.Proc)
+
+		// Read the neighbour's records back and check them.
+		peer := (rank + 1) % 4
+		dst := ctx.Malloc(recSize * nrec)
+		var peerRegions []pvfsib.OffLen
+		for i := int64(0); i < nrec; i++ {
+			peerRegions = append(peerRegions, pvfsib.OffLen{
+				Off: (i*4 + int64(peer)) * recSize,
+				Len: recSize,
+			})
+		}
+		if err := f.Read(ctx.Proc, pvfsib.ListIOADS,
+			[]pvfsib.SGE{{Addr: dst, Len: recSize * nrec}}, peerRegions); err != nil {
+			log.Fatal(err)
+		}
+		got, _ := ctx.ReadMem(dst, recSize*nrec)
+		want := bytes.Repeat([]byte{byte('A' + peer)}, recSize*nrec)
+		if !bytes.Equal(got, want) {
+			log.Fatalf("rank %d: data mismatch reading rank %d's records", rank, peer)
+		}
+		fmt.Printf("rank %d: wrote %d records, verified rank %d's records at t=%v\n",
+			rank, nrec, peer, ctx.Proc.Now())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap := cluster.Snapshot()
+	fmt.Printf("\ncluster activity: %v\n", snap)
+	fmt.Printf("virtual time elapsed: %v\n", cluster.Now())
+}

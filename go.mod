@@ -1,0 +1,3 @@
+module pvfsib
+
+go 1.22

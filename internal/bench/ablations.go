@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/mpiio"
+	"pvfsib/internal/ogr"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+	"pvfsib/internal/workload"
+)
+
+// AblationSGELimit studies the sensitivity of the RDMA Gather/Scatter
+// scheme to the per-work-request scatter/gather limit (InfiniBand's is 64).
+// It reruns the Figure 3 gather,one-reg measurement with different limits.
+func AblationSGELimit(short bool) *Table {
+	t := &Table{
+		ID:     "ablation-sge",
+		Title:  "Gather/scatter bandwidth vs. SGE limit (2048x2048 array)",
+		Header: []string{"max_sge", "gather_onereg_MB_s"},
+	}
+	n := int64(2048)
+	if short {
+		n = 1024
+	}
+	for _, lim := range []int{4, 16, 64, 256} {
+		params := ib.DefaultParams()
+		params.MaxSGE = lim
+		r := fig3Row(n, params)
+		t.Add(lim, r["gatherone"])
+	}
+	t.Note("smaller limits split the transfer into more work requests, each paying its own overhead")
+	return t
+}
+
+// AblationHybridThreshold sweeps the pack/gather crossover threshold of the
+// hybrid transfer policy for small and large list operations.
+func AblationHybridThreshold(short bool) *Table {
+	t := &Table{
+		ID:     "ablation-hybrid",
+		Title:  "Hybrid crossover threshold sweep, 128-segment write bandwidth (MB/s)",
+		Header: []string{"threshold_kB", "segs_512B", "segs_8kB"},
+	}
+	thresholds := []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+	if short {
+		thresholds = []int64{16 << 10, 64 << 10, 256 << 10}
+	}
+	for _, th := range thresholds {
+		small := hybridThresholdCell(512, th)
+		large := hybridThresholdCell(8192, th)
+		t.Add(th>>10, small, large)
+	}
+	t.Note("the paper picks the 64 kB stripe size; small ops prefer pack, large ops gather")
+	return t
+}
+
+func hybridThresholdCell(segSize, threshold int64) float64 {
+	const nseg = 128
+	const ranks = 4
+	cfg := pvfs.DefaultConfig()
+	cfg.FastBufSize = threshold
+	f := newFixture(cfg, 4, ranks)
+	defer f.close()
+	total := int64(ranks) * nseg * segSize
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "hyb")
+		segs := stridedSegs(cl, nseg, segSize, byte(rank.ID()))
+		var accs []pvfs.OffLen
+		for j := int64(0); j < nseg; j++ {
+			accs = append(accs, pvfs.OffLen{Off: (j*ranks + int64(rank.ID())) * segSize, Len: segSize})
+		}
+		rank.Barrier(p)
+		if err := fh.WriteList(p, segs, accs, pvfs.OpOptions{Reg: pvfs.RegOGR}); err != nil {
+			panic(err)
+		}
+	})
+	return bw(total, elapsed)
+}
+
+// AblationADSModel compares the ADS cost-model decision against sieving
+// forced always-on and always-off, for a dense small-access pattern (where
+// sieving wins) and a sparse large-access pattern (where it loses).
+func AblationADSModel(short bool) *Table {
+	t := &Table{
+		ID:     "ablation-adsmodel",
+		Title:  "ADS decision quality: block-column write bandwidth (MB/s)",
+		Header: []string{"array", "never", "always", "model(auto)"},
+	}
+	sizes := []int64{512, 4096}
+	if short {
+		sizes = []int64{512}
+	}
+	for _, n := range sizes {
+		never := blockColumnWrite(n, mpiio.ListIO, true)
+		always := blockColumnWriteForced(n, sieve.Always)
+		auto := blockColumnWrite(n, mpiio.ListIOADS, true)
+		t.Add(fmt.Sprintf("%d", n), never, always, auto)
+	}
+	t.Note("the model should track the better of always/never in each regime")
+	return t
+}
+
+// blockColumnWriteForced runs the block-column write with a forced sieve
+// mode.
+func blockColumnWriteForced(n int64, mode sieve.Mode) float64 {
+	const ranks = 4
+	f := newFixture(pvfs.DefaultConfig(), 4, ranks)
+	defer f.close()
+	total := n * n * 4
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "bc")
+		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
+		rank.Barrier(p)
+		opts := pvfs.OpOptions{Sieve: mode}
+		if err := fh.WriteList(p, buf.Segs, buf.Accs, opts); err != nil {
+			panic(err)
+		}
+		fh.Sync(p)
+	})
+	return bw(total, elapsed)
+}
+
+// AblationOGRGrouping compares the registration strategies on the raw
+// registration path: per-buffer, whole-span, and the cost-model grouping,
+// over a single-array layout and a multi-array layout with allocated gaps.
+func AblationOGRGrouping(short bool) *Table {
+	t := &Table{
+		ID:     "ablation-ogrgroup",
+		Title:  "OGR grouping strategies: registration time (µs) for 1024 x 4kB buffers",
+		Header: []string{"layout", "individual", "whole_span", "cost_model"},
+	}
+	nseg := 1024
+	if short {
+		nseg = 256
+	}
+	layouts := []struct {
+		name string
+		gap  int64 // allocated pages between buffer groups
+	}{
+		{"one array", 0},
+		{"8 arrays, big gaps", 64},
+	}
+	for _, layout := range layouts {
+		var cells []any
+		cells = append(cells, layout.name)
+		for _, strat := range []string{"indiv", "span", "model"} {
+			cells = append(cells, ogrStrategyTime(nseg, layout.gap, strat))
+		}
+		t.Add(cells...)
+	}
+	t.Note("whole-span registers gap pages too; the cost model splits only when the gap outweighs an extra operation")
+	return t
+}
+
+func ogrStrategyTime(nseg int, gapPages int64, strat string) float64 {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	h := ib.NewHCA(net.AddNode("n"), mem.NewAddrSpace("n"), ib.DefaultParams())
+	var exts []mem.Extent
+	perArray := nseg / 8
+	for i := 0; i < nseg; i++ {
+		if gapPages > 0 && i > 0 && i%perArray == 0 {
+			h.Space().Malloc(gapPages * mem.PageSize) // allocated spacer
+		}
+		addr := h.Space().Malloc(4096)
+		exts = append(exts, mem.Extent{Addr: addr, Len: 4096})
+	}
+	cfg := ogr.DefaultConfig()
+	switch strat {
+	case "indiv":
+		cfg.DisableGrouping = true
+	case "span":
+		cfg.WholeSpan = true
+	}
+	var elapsed sim.Duration
+	eng.Go("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		res, err := ogr.RegisterBuffers(p, ogr.Direct{HCA: h}, h.Space(), exts, cfg)
+		if err != nil {
+			panic(err)
+		}
+		ogr.Release(p, ogr.Direct{HCA: h}, res)
+		elapsed = p.Now().Sub(t0)
+	})
+	runTolerant(eng)
+	return float64(elapsed.Nanoseconds()) / 1000
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// AblationNetwork reproduces the paper's Section 1 motivation: the choice
+// of noncontiguous transmission scheme matters on a fast (InfiniBand)
+// network but barely registers on a conventional one, where the wire
+// itself is the bottleneck. It reruns the Figure 3 subarray transfer (one
+// 1024x1024-int subarray, i.e. 512 rows) on both fabrics and reports the
+// spread between the best and worst scheme, and additionally compares the
+// full PVFS stacks (verbs + hybrid vs. stream sockets).
+func AblationNetwork(short bool) *Table {
+	t := &Table{
+		ID:     "ablation-network",
+		Title:  "Transmission schemes vs. network generation (MB/s)",
+		Header: []string{"network", "multiple", "pack", "gather_onereg", "best/worst"},
+	}
+	n := int64(1024)
+	if short {
+		n = 512
+	}
+	fabrics := []struct {
+		name string
+		net  simnet.Params
+	}{
+		{"InfiniBand (827MB/s)", simnet.DefaultParams()},
+		{"conventional (80MB/s)", pvfs.ConventionalConfig().Net},
+	}
+	for _, fab := range fabrics {
+		r := fig3RowOn(n, ib.DefaultParams(), fab.net)
+		lo, hi := r["multiple"], r["multiple"]
+		for _, k := range []string{"packnoreg", "gatherone"} {
+			if r[k] < lo {
+				lo = r[k]
+			}
+			if r[k] > hi {
+				hi = r[k]
+			}
+		}
+		t.Add(fab.name, r["multiple"], r["packnoreg"], r["gatherone"],
+			fmt.Sprintf("%.2f", hi/lo))
+	}
+	// Full-stack comparison: the paper's design vs. the TCP-era PVFS.
+	ibBW := networkCell(pvfs.DefaultConfig(), 8192)
+	tcpBW := networkCell(pvfs.ConventionalConfig(), 8192)
+	t.Add("PVFS verbs+hybrid", "", "", fmt.Sprintf("%.1f", ibBW), "")
+	t.Add("PVFS stream sockets", "", "", fmt.Sprintf("%.1f", tcpBW), "")
+	t.Note("scheme spread is large on InfiniBand and shrinks toward 1 on the conventional wire")
+	return t
+}
+
+// networkCell measures the full PVFS list-I/O stack: 4 ranks each writing
+// 128 x segSize noncontiguous segments, steady state.
+func networkCell(cfg pvfs.Config, segSize int64) float64 {
+	const nseg = 128
+	const ranks = 4
+	f := newFixture(cfg, 4, ranks)
+	defer f.close()
+	total := int64(ranks) * nseg * segSize
+	opts := pvfs.OpOptions{Reg: pvfs.RegCached, Sieve: sieve.Never}
+	const iters = 3
+
+	segsOf := make([][]ib.SGE, ranks)
+	for i := 0; i < ranks; i++ {
+		segsOf[i] = stridedSegs(f.c.Clients[i], nseg, segSize, byte(i))
+	}
+	accsOf := func(rank int) []pvfs.OffLen {
+		var accs []pvfs.OffLen
+		for j := int64(0); j < nseg; j++ {
+			accs = append(accs, pvfs.OffLen{Off: (j*ranks + int64(rank)) * segSize, Len: segSize})
+		}
+		return accs
+	}
+	// Warm-up pass, then measured iterations.
+	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "net")
+		if err := fh.WriteList(p, segsOf[rank.ID()], accsOf(rank.ID()), opts); err != nil {
+			panic(err)
+		}
+	})
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "net")
+		accs := accsOf(rank.ID())
+		rank.Barrier(p)
+		for i := 0; i < iters; i++ {
+			if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return bw(total*iters, elapsed)
+}
+
+// AblationRegThrash demonstrates registration thrashing (Section 4.2: "the
+// total number of buffers registered is limited ... some registered buffers
+// must be deregistered, [which] may lead to registration thrashing"): with
+// a small pinned-memory budget, per-buffer registration through the cache
+// thrashes while OGR's single grouped region still fits.
+func AblationRegThrash(short bool) *Table {
+	t := &Table{
+		ID:     "ablation-regthrash",
+		Title:  "Registration thrashing under a pinned-memory limit (write bandwidth, MB/s)",
+		Header: []string{"cache_entries", "individual+cache", "ogr+cache", "ogr_hits", "indiv_hits"},
+	}
+	entries := []int{8, 64, 2048}
+	if short {
+		entries = []int{8, 2048}
+	}
+	for _, e := range entries {
+		indivBW, indivHits := thrashCell(e, true)
+		ogrBW, ogrHits := thrashCell(e, false)
+		t.Add(e, indivBW, ogrBW, ogrHits, indivHits)
+	}
+	t.Note("1024 buffers per op: per-buffer caching needs 1024 entries to ever hit; OGR needs one")
+	return t
+}
+
+// thrashCell writes a 1024-row subarray twice through a bounded pin-down
+// cache and reports the second pass's bandwidth and total cache hits.
+func thrashCell(cacheEntries int, individual bool) (float64, int64) {
+	cfg := pvfs.DefaultConfig()
+	cfg.RegCacheEntries = cacheEntries
+	f := newFixture(cfg, 4, 1)
+	defer f.close()
+	cl := f.c.Clients[0]
+
+	const rows = 1024
+	const rowLen = 4096
+	segs := stridedSegs(cl, rows, rowLen, 7)
+	exts := make([]ib.SGE, len(segs))
+	copy(exts, segs)
+
+	opts := pvfs.OpOptions{Transfer: pvfs.ForceGather, Reg: pvfs.RegCached, Sieve: sieve.Never}
+	ogrCfg := cfg.OGR
+	ogrCfg.DisableGrouping = individual
+	f.c.Cfg.OGR = ogrCfg
+
+	total := int64(rows * rowLen)
+	accs := []pvfs.OffLen{{Off: 0, Len: total}}
+	// Warm pass, then the measured pass: a thrashing cache re-registers
+	// everything; a fitting one hits.
+	f.runOne(func(p *sim.Proc, cl *pvfs.Client) {
+		fh := cl.Open(p, "thrash")
+		if err := fh.WriteList(p, segs, accs, opts); err != nil {
+			panic(err)
+		}
+	})
+	elapsed := f.runOne(func(p *sim.Proc, cl *pvfs.Client) {
+		fh := cl.Open(p, "thrash")
+		if err := fh.WriteList(p, segs, accs, opts); err != nil {
+			panic(err)
+		}
+	})
+	return bw(total, elapsed), cl.HCA().Counters.RegCacheHits
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+)
+
+// Fig4 reproduces the paper's Figure 4: PVFS list I/O bandwidth with the
+// Pack/Unpack scheme, the RDMA Gather/Scatter scheme, and the hybrid used
+// in the final design. Four clients and four servers; each operation moves
+// 128 noncontiguous segments whose size sweeps 128 B .. 8 kB. Cache effects
+// are left in (the paper's first experiment set stresses the network).
+func Fig4(short bool) *Table {
+	t := &Table{
+		ID:    "fig4",
+		Title: "List I/O transfer schemes, 128 segments, aggregate bandwidth (MB/s)",
+		Header: []string{"seg_bytes", "op",
+			"pack", "gather", "hybrid"},
+	}
+	sizes := []int64{128, 256, 512, 1024, 2048, 4096, 8192}
+	if short {
+		sizes = []int64{128, 2048, 8192}
+	}
+	for _, s := range sizes {
+		w := map[pvfs.Transfer]float64{}
+		r := map[pvfs.Transfer]float64{}
+		for _, tr := range []pvfs.Transfer{pvfs.ForcePack, pvfs.ForceGather, pvfs.Hybrid} {
+			w[tr], r[tr] = fig4Cell(s, tr)
+		}
+		t.Add(s, "write", w[pvfs.ForcePack], w[pvfs.ForceGather], w[pvfs.Hybrid])
+		t.Add(s, "read", r[pvfs.ForcePack], r[pvfs.ForceGather], r[pvfs.Hybrid])
+	}
+	t.Note("paper shape: pack wins small totals, gather wins large, hybrid tracks the winner (crossover at the 64kB stripe size)")
+	return t
+}
+
+// fig4Cell measures one (segment size, scheme) cell and returns write and
+// read aggregate bandwidth.
+func fig4Cell(segSize int64, tr pvfs.Transfer) (wBW, rBW float64) {
+	const nseg = 128
+	const ranks = 4
+	f := newFixture(pvfs.DefaultConfig(), 4, ranks)
+	defer f.close()
+	perRank := nseg * segSize
+	total := int64(ranks) * perRank
+
+	// Each rank's segments interleave in the file so every server sees
+	// noncontiguous pieces from every client.
+	buildAccs := func(rank int) []pvfs.OffLen {
+		var accs []pvfs.OffLen
+		for j := int64(0); j < nseg; j++ {
+			accs = append(accs, pvfs.OffLen{Off: (j*ranks + int64(rank)) * segSize, Len: segSize})
+		}
+		return accs
+	}
+	// Steady state, as a looped benchmark measures it: registration goes
+	// through the pin-down cache, one unmeasured warm-up iteration, then
+	// several measured iterations.
+	opts := pvfs.OpOptions{Transfer: tr, Reg: pvfs.RegCached, Sieve: sieve.Never}
+	const iters = 3
+
+	segsOf := make([][]ib.SGE, ranks)
+	for i := 0; i < ranks; i++ {
+		segsOf[i] = stridedSegs(f.c.Clients[i], nseg, segSize, byte(i))
+	}
+	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "fig4")
+		if err := fh.WriteList(p, segsOf[rank.ID()], buildAccs(rank.ID()), opts); err != nil {
+			panic(err)
+		}
+	})
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "fig4")
+		accs := buildAccs(rank.ID())
+		rank.Barrier(p)
+		for i := 0; i < iters; i++ {
+			if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	wBW = bw(total*iters, elapsed)
+
+	elapsed = f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "fig4")
+		accs := buildAccs(rank.ID())
+		rank.Barrier(p)
+		for i := 0; i < iters; i++ {
+			if err := fh.ReadList(p, segsOf[rank.ID()], accs, opts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rBW = bw(total*iters, elapsed)
+	return
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/mpiio"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/workload"
+)
+
+// Fig6 reproduces the paper's Figure 6: writes in the one-dimensional
+// block-column file view (each of 4 processes accesses 1 unit out of every
+// 4), for array sizes 512..8192, with the four access methods, with and
+// without sync. ROMIO Data Sieving degenerates to Multiple I/O for writes.
+func Fig6(short bool) *Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Block-column WRITE bandwidth (MB/s)",
+		Header: []string{"array", "sync", "multiple", "datasieving", "listio", "listio+ads"},
+	}
+	for _, n := range blockColumnSizes(short) {
+		for _, withSync := range []bool{false, true} {
+			row := []any{fmt.Sprintf("%d", n), label(withSync, "sync", "nosync")}
+			for _, m := range methodList {
+				row = append(row, blockColumnWrite(n, m, withSync))
+			}
+			t.Add(row...)
+		}
+	}
+	t.Note("paper shape: list I/O beats ROMIO DS by 3.5-12x; ADS helps small arrays and merges with plain list I/O at 2048+")
+	return t
+}
+
+// Fig7 reproduces Figure 7: block-column reads, cached and uncached.
+func Fig7(short bool) *Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Block-column READ bandwidth (MB/s)",
+		Header: []string{"array", "cache", "multiple", "datasieving", "listio", "listio+ads"},
+	}
+	for _, n := range blockColumnSizes(short) {
+		for _, cached := range []bool{true, false} {
+			row := []any{fmt.Sprintf("%d", n), label(cached, "cached", "uncached")}
+			for _, m := range methodList {
+				row = append(row, blockColumnRead(n, m, cached))
+			}
+			t.Add(row...)
+		}
+	}
+	t.Note("paper shape: cached, ADS wins small arrays; uncached, DS is competitive until transfer overheads catch up at large sizes")
+	return t
+}
+
+func blockColumnSizes(short bool) []int64 {
+	if short {
+		return []int64{512, 1024}
+	}
+	return []int64{512, 1024, 2048, 4096, 8192}
+}
+
+func label(b bool, yes, no string) string {
+	if b {
+		return yes
+	}
+	return no
+}
+
+// blockColumnWrite measures aggregate write bandwidth for one cell.
+func blockColumnWrite(n int64, m mpiio.Method, withSync bool) float64 {
+	const ranks = 4
+	f := newFixture(pvfs.DefaultConfig(), 4, ranks)
+	defer f.close()
+	total := n * n * 4
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		file := mpiio.Open(p, cl, rank, "bc")
+		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
+		rank.Barrier(p)
+		if err := file.Write(p, m, buf.Segs, buf.Accs); err != nil {
+			panic(err)
+		}
+		if withSync {
+			file.Sync(p)
+		}
+	})
+	return bw(total, elapsed)
+}
+
+// blockColumnRead measures aggregate read bandwidth for one cell. The file
+// is produced with plain list I/O first; for the uncached case every
+// server's page cache is dropped before the measured read.
+func blockColumnRead(n int64, m mpiio.Method, cached bool) float64 {
+	const ranks = 4
+	f := newFixture(pvfs.DefaultConfig(), 4, ranks)
+	defer f.close()
+	total := n * n * 4
+
+	// Populate the file (unmeasured).
+	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		file := mpiio.Open(p, cl, rank, "bc")
+		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
+		if err := file.Write(p, mpiio.ListIO, buf.Segs, buf.Accs); err != nil {
+			panic(err)
+		}
+		if !cached {
+			file.Sync(p)
+		}
+	})
+	if !cached {
+		f.c.Eng.Go("drop", func(p *sim.Proc) { dropAllCaches(p, f.c) })
+		if err := f.c.Run(); err != nil {
+			panic(err)
+		}
+	}
+
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		file := mpiio.Open(p, cl, rank, "bc")
+		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()+50))
+		rank.Barrier(p)
+		if err := file.Read(p, m, buf.Segs, buf.Accs); err != nil {
+			panic(err)
+		}
+	})
+	return bw(total, elapsed)
+}

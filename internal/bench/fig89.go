@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/mpiio"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/workload"
+)
+
+// Fig8 reproduces the paper's Figure 8: mpi-tile-io (2x2 display of
+// 1024x768 24-bit tiles, a 9 MB file) without disk effects — writes are not
+// synced and reads come from the servers' file caches.
+func Fig8(short bool) *Table {
+	t := tileTable("fig8", "Tiled I/O without disk effects, bandwidth (MB/s)")
+	tileRows(t, false)
+	t.Note("paper shape: List+ADS ~5.7x Multiple for write, ~8.8x for read; 8.4%%/45%% over plain List I/O")
+	return t
+}
+
+// Fig9 reproduces Figure 9: the same accesses with disk effects — writes
+// synced to disk, reads from dropped caches.
+func Fig9(short bool) *Table {
+	t := tileTable("fig9", "Tiled I/O with disk effects, bandwidth (MB/s)")
+	tileRows(t, true)
+	t.Note("paper shape: ADS still wins writes; for reads ROMIO DS overtakes when the disk dominates")
+	return t
+}
+
+func tileTable(id, title string) *Table {
+	return &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"op", "multiple", "datasieving", "listio", "listio+ads"},
+	}
+}
+
+func tileRows(t *Table, diskEffects bool) {
+	wRow := []any{"write"}
+	rRow := []any{"read"}
+	for _, m := range methodList {
+		wRow = append(wRow, tileWrite(m, diskEffects))
+	}
+	for _, m := range methodList {
+		rRow = append(rRow, tileRead(m, !diskEffects))
+	}
+	t.Rows = nil
+	t.Add(wRow...)
+	t.Add(rRow...)
+}
+
+func tileWrite(m mpiio.Method, withSync bool) float64 {
+	spec := workload.PaperTileSpec()
+	f := newFixture(pvfs.DefaultConfig(), 4, 4)
+	defer f.close()
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		file := mpiio.Open(p, cl, rank, "tiles")
+		buf := materialize(cl, spec.Tile(rank.ID()), byte(rank.ID()))
+		rank.Barrier(p)
+		if err := file.Write(p, m, buf.Segs, buf.Accs); err != nil {
+			panic(err)
+		}
+		if withSync {
+			file.Sync(p)
+		}
+	})
+	return bw(spec.FileBytes(), elapsed)
+}
+
+func tileRead(m mpiio.Method, cached bool) float64 {
+	spec := workload.PaperTileSpec()
+	f := newFixture(pvfs.DefaultConfig(), 4, 4)
+	defer f.close()
+	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		file := mpiio.Open(p, cl, rank, "tiles")
+		buf := materialize(cl, spec.Tile(rank.ID()), byte(rank.ID()))
+		if err := file.Write(p, mpiio.ListIO, buf.Segs, buf.Accs); err != nil {
+			panic(err)
+		}
+		if !cached {
+			file.Sync(p)
+		}
+	})
+	if !cached {
+		f.c.Eng.Go("drop", func(p *sim.Proc) { dropAllCaches(p, f.c) })
+		if err := f.c.Run(); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		file := mpiio.Open(p, cl, rank, "tiles")
+		buf := materialize(cl, spec.Tile(rank.ID()), byte(rank.ID()+9))
+		rank.Barrier(p)
+		if err := file.Read(p, m, buf.Segs, buf.Accs); err != nil {
+			panic(err)
+		}
+	})
+	return bw(spec.FileBytes(), elapsed)
+}

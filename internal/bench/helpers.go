@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/mpiio"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+	"pvfsib/internal/workload"
+)
+
+// MB is the paper's megabyte, 2^20 bytes.
+const MB = simnet.MB
+
+// fixture is a cluster plus an MPI world with rank i on client i.
+type fixture struct {
+	c *pvfs.Cluster
+	w *mpi.World
+}
+
+// close terminates the fixture's service processes so the whole simulated
+// cluster becomes garbage-collectable; sweeps build many clusters and would
+// otherwise exhaust host memory.
+func (f *fixture) close() { f.c.Eng.Shutdown() }
+
+func newFixture(cfg pvfs.Config, nServers, nRanks int) *fixture {
+	c := pvfs.NewCluster(sim.NewEngine(), cfg, nServers, nRanks)
+	var hcas []*ib.HCA
+	for _, cl := range c.Clients {
+		hcas = append(hcas, cl.HCA())
+	}
+	w := mpi.NewWorld(c.Eng, hcas, func(n int64) { c.Acct.BytesClientClient += n })
+	return &fixture{c: c, w: w}
+}
+
+// runRanks runs fn on every rank and drives the simulation; it returns the
+// wall-clock (virtual) time from the earliest start to the latest finish.
+func (f *fixture) runRanks(fn func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client)) sim.Duration {
+	start := f.c.Eng.Now()
+	var end sim.Time
+	for i := 0; i < f.w.Size(); i++ {
+		r, cl := f.w.Rank(i), f.c.Clients[i]
+		f.c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			fn(p, r, cl)
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	if err := f.c.Run(); err != nil {
+		panic(fmt.Sprintf("bench: simulation failed: %v", err))
+	}
+	return end.Sub(start)
+}
+
+// runOne runs fn as a single application process and returns its elapsed
+// virtual time.
+func (f *fixture) runOne(fn func(p *sim.Proc, cl *pvfs.Client)) sim.Duration {
+	start := f.c.Eng.Now()
+	var end sim.Time
+	f.c.Eng.Go("app", func(p *sim.Proc) {
+		fn(p, f.c.Clients[0])
+		end = p.Now()
+	})
+	if err := f.c.Run(); err != nil {
+		panic(fmt.Sprintf("bench: simulation failed: %v", err))
+	}
+	return end.Sub(start)
+}
+
+// buffer is a materialized workload pattern in a client's address space.
+type buffer struct {
+	Base mem.Addr
+	Segs []ib.SGE
+	Accs []pvfs.OffLen
+}
+
+// materialize allocates pattern memory in the client's space, fills it with
+// a seed-derived byte pattern, and returns the SGE/region lists.
+func materialize(cl *pvfs.Client, pat workload.Pattern, seed byte) buffer {
+	base := cl.Space().Malloc(maxI64(pat.MemSpan(), 1))
+	var segs []ib.SGE
+	for _, r := range pat.Mem {
+		segs = append(segs, ib.SGE{Addr: base + mem.Addr(r.Off), Len: r.Len})
+	}
+	for i, s := range segs {
+		data := make([]byte, s.Len)
+		for j := range data {
+			data[j] = byte(int(seed) + i*31 + j)
+		}
+		if err := cl.Space().Write(s.Addr, data); err != nil {
+			panic(err)
+		}
+	}
+	return buffer{Base: base, Segs: segs, Accs: []pvfs.OffLen(pat.File)}
+}
+
+// bw returns bandwidth in the paper's MB/s for bytes moved in d.
+func bw(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / MB
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dropAllCaches flushes and empties every server's page cache.
+func dropAllCaches(p *sim.Proc, c *pvfs.Cluster) {
+	for _, s := range c.Servers {
+		s.FS().DropCaches(p)
+	}
+}
+
+// methodList is the paper's four noncontiguous access methods in figure
+// order.
+var methodList = []mpiio.Method{mpiio.MultipleIO, mpiio.DataSieving, mpiio.ListIO, mpiio.ListIOADS}
+
+// stridedSegs allocates nseg noncontiguous segments of segSize bytes (one
+// allocation, segments two sizes apart, at least 512 bytes of stride) in
+// the client's space, filled with a seed-derived pattern.
+func stridedSegs(cl *pvfs.Client, nseg, segSize int64, seed byte) []ib.SGE {
+	stride := segSize * 2
+	if stride < 512 {
+		stride = 512
+	}
+	base := cl.Space().Malloc(nseg * stride)
+	segs := make([]ib.SGE, nseg)
+	for i := int64(0); i < nseg; i++ {
+		segs[i] = ib.SGE{Addr: base + mem.Addr(i*stride), Len: segSize}
+		data := make([]byte, segSize)
+		for j := range data {
+			data[j] = byte(int64(seed) + i + int64(j)*3)
+		}
+		if err := cl.Space().Write(segs[i].Addr, data); err != nil {
+			panic(err)
+		}
+	}
+	return segs
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(short bool) *Table
+}
+
+// Registry lists every experiment in paper order, then the ablations.
+var Registry = []Experiment{
+	{"table2", "Network performance (Table 2)", Table2},
+	{"table3", "Local file system performance (Table 3)", Table3},
+	{"fig3", "Noncontiguous transfer schemes (Figure 3)", Fig3},
+	{"fig4", "List I/O transfer schemes (Figure 4)", Fig4},
+	{"table4", "Optimistic Group Registration impact (Table 4)", Table4},
+	{"fig6", "Block-column writes (Figure 6)", Fig6},
+	{"fig7", "Block-column reads (Figure 7)", Fig7},
+	{"fig8", "Tiled I/O without disk effects (Figure 8)", Fig8},
+	{"fig9", "Tiled I/O with disk effects (Figure 9)", Fig9},
+	{"table5", "NAS BTIO class A (Table 5)", Table5},
+	{"table6", "BTIO characteristics (Table 6)", Table6},
+	{"ablation-sge", "SGE limit sensitivity", AblationSGELimit},
+	{"ablation-hybrid", "Hybrid threshold sweep", AblationHybridThreshold},
+	{"ablation-adsmodel", "ADS cost-model decision quality", AblationADSModel},
+	{"ablation-ogrgroup", "OGR grouping strategies", AblationOGRGrouping},
+	{"ablation-network", "Transmission schemes vs. network generation", AblationNetwork},
+	{"ablation-regthrash", "Registration thrashing under pin limits", AblationRegThrash},
+	{"extra-noncontig", "ROMIO noncontig benchmark (paper ref [15])", ExtraNoncontig},
+	{"extra-diskspeed", "ADS decisions adapt to disk speed", ExtraDiskSpeed},
+	{"extra-scaling", "Bandwidth scaling with server count", ExtraScaling},
+	{"extra-appaware", "App-aware registration alternatives (Section 4.2.1)", ExtraAppAware},
+	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethod},
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"pvfsib/internal/disk"
+	"pvfsib/internal/localfs"
+	"pvfsib/internal/sim"
+)
+
+// Table3 reproduces the paper's Table 3: local ext3 file-system sequential
+// read and write bandwidth with and without cache effects (the paper used
+// the bonnie benchmark).
+func Table3(short bool) *Table {
+	t := &Table{
+		ID:     "table3",
+		Title:  "File system performance (paper: write 25/303 MB/s, read 20/1391 MB/s)",
+		Header: []string{"case", "write_MB_s", "read_MB_s"},
+	}
+	total := int64(64 * MB)
+	if short {
+		total = 16 * MB
+	}
+	const chunk = 1 << 20
+
+	eng := sim.NewEngine()
+	d := disk.New(eng, "disk", disk.DefaultParams())
+	fs := localfs.New(eng, d, localfs.DefaultParams())
+
+	var wCold, rCold, wWarm, rWarm float64
+	eng.Go("bonnie", func(p *sim.Proc) {
+		f := fs.Open(p, "bonnie")
+		buf := make([]byte, chunk)
+
+		// Without cache: write the file and force it to the media.
+		t0 := p.Now()
+		for off := int64(0); off < total; off += chunk {
+			f.WriteAt(p, off, buf)
+		}
+		f.Sync(p)
+		wCold = bw(total, p.Now().Sub(t0))
+
+		// Without cache: drop caches, then read sequentially.
+		fs.DropCaches(p)
+		t0 = p.Now()
+		for off := int64(0); off < total; off += chunk {
+			f.ReadAt(p, off, chunk)
+		}
+		rCold = bw(total, p.Now().Sub(t0))
+
+		// With cache: rewrite while everything is resident (no sync) and
+		// reread the cached file.
+		t0 = p.Now()
+		for off := int64(0); off < total; off += chunk {
+			f.WriteAt(p, off, buf)
+		}
+		wWarm = bw(total, p.Now().Sub(t0))
+		t0 = p.Now()
+		for off := int64(0); off < total; off += chunk {
+			f.ReadAt(p, off, chunk)
+		}
+		rWarm = bw(total, p.Now().Sub(t0))
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	t.Add("without cache", wCold, rCold)
+	t.Add("with cache", wWarm, rWarm)
+	return t
+}

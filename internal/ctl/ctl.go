@@ -1,0 +1,483 @@
+// Package ctl interprets a small line-oriented command language against a
+// simulated PVFS cluster, for interactive exploration and scripted
+// experiments without writing Go:
+//
+//	cluster servers=4 clients=2
+//	open data stripe=16384
+//	writelist data count=64 size=512 fstride=2048 seed=7
+//	readlist data count=64 size=512 fstride=2048 verify=7
+//	stat data
+//	stats
+//	time
+//
+// Commands run sequentially, each as one application process in virtual
+// time. Lines starting with '#' and blank lines are ignored.
+package ctl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
+)
+
+// Interp is one interpreter session.
+type Interp struct {
+	out     io.Writer
+	cluster *pvfs.Cluster
+	rec     *trace.Recorder
+	files   map[string]map[int]*pvfs.FileHandle // name -> client -> handle
+	bufs    map[string]mem.Addr                 // named buffers (reserved)
+	line    int
+}
+
+// New creates an interpreter writing results to out.
+func New(out io.Writer) *Interp {
+	return &Interp{out: out, files: make(map[string]map[int]*pvfs.FileHandle), bufs: map[string]mem.Addr{}}
+}
+
+// Run executes every command from src, stopping at the first error.
+func (in *Interp) Run(src io.Reader) error {
+	sc := bufio.NewScanner(src)
+	for sc.Scan() {
+		in.line++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := in.exec(line); err != nil {
+			return fmt.Errorf("line %d (%q): %w", in.line, line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// args holds a command's positional name and key=value options.
+type args struct {
+	name string
+	kv   map[string]string
+}
+
+func parseArgs(fields []string) args {
+	a := args{kv: map[string]string{}}
+	for _, f := range fields {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			a.kv[k] = v
+		} else if a.name == "" {
+			a.name = f
+		}
+	}
+	return a
+}
+
+func (a args) str(key, def string) string {
+	if v, ok := a.kv[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (a args) num(key string, def int64) (int64, error) {
+	v, ok := a.kv[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+func (in *Interp) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, rest := fields[0], parseArgs(fields[1:])
+	switch cmd {
+	case "cluster":
+		return in.cmdCluster(rest)
+	case "open":
+		return in.cmdOpen(rest)
+	case "write", "read":
+		return in.cmdContig(cmd, rest)
+	case "writelist", "readlist":
+		return in.cmdList(cmd, rest)
+	case "sync":
+		return in.withFile(rest, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+			fh.Sync(p)
+			return nil
+		})
+	case "stat":
+		return in.withFile(rest, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+			fmt.Fprintf(in.out, "%s: %d bytes\n", fh.Name(), fh.Stat(p))
+			return nil
+		})
+	case "remove":
+		return in.withClient(rest, func(p *sim.Proc, cl *pvfs.Client) error {
+			cl.Remove(p, rest.name)
+			delete(in.files, rest.name)
+			return nil
+		})
+	case "drop":
+		return in.withClient(rest, func(p *sim.Proc, cl *pvfs.Client) error {
+			for _, s := range in.cluster.Servers {
+				s.FS().DropCaches(p)
+			}
+			return nil
+		})
+	case "stats":
+		if in.cluster == nil {
+			return fmt.Errorf("no cluster")
+		}
+		fmt.Fprintf(in.out, "%v\n", in.cluster.Snapshot())
+		return nil
+	case "time":
+		if in.cluster == nil {
+			return fmt.Errorf("no cluster")
+		}
+		fmt.Fprintf(in.out, "t=%v\n", in.cluster.Eng.Now())
+		return nil
+	case "trace":
+		return in.cmdTrace(rest)
+	case "echo":
+		fmt.Fprintln(in.out, strings.TrimSpace(strings.TrimPrefix(line, "echo")))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func (in *Interp) cmdCluster(a args) error {
+	if in.cluster != nil {
+		return fmt.Errorf("cluster already created")
+	}
+	servers, err := a.num("servers", 4)
+	if err != nil {
+		return err
+	}
+	clients, err := a.num("clients", 1)
+	if err != nil {
+		return err
+	}
+	stripe, err := a.num("stripe", 0)
+	if err != nil {
+		return err
+	}
+	cfg := pvfs.DefaultConfig()
+	if a.str("wire", "") == "stream" {
+		cfg = pvfs.ConventionalConfig()
+	}
+	if stripe > 0 {
+		cfg.StripeSize = stripe
+	}
+	in.cluster = pvfs.NewCluster(sim.NewEngine(), cfg, int(servers), int(clients))
+	fmt.Fprintf(in.out, "cluster: %d servers, %d clients, stripe %d, wire %v\n",
+		servers, clients, cfg.StripeSize, cfg.Wire)
+	return nil
+}
+
+// app runs fn as one application process and drives the cluster.
+func (in *Interp) app(fn func(p *sim.Proc) error) error {
+	if in.cluster == nil {
+		return fmt.Errorf("no cluster (run 'cluster' first)")
+	}
+	var ferr error
+	in.cluster.Eng.Go("ctl", func(p *sim.Proc) { ferr = fn(p) })
+	if err := in.cluster.Run(); err != nil {
+		return err
+	}
+	return ferr
+}
+
+func (in *Interp) client(a args) (*pvfs.Client, error) {
+	idx, err := a.num("client", 0)
+	if err != nil {
+		return nil, err
+	}
+	if in.cluster == nil {
+		return nil, fmt.Errorf("no cluster")
+	}
+	if idx < 0 || int(idx) >= len(in.cluster.Clients) {
+		return nil, fmt.Errorf("client %d out of range", idx)
+	}
+	return in.cluster.Clients[idx], nil
+}
+
+func (in *Interp) withClient(a args, fn func(p *sim.Proc, cl *pvfs.Client) error) error {
+	cl, err := in.client(a)
+	if err != nil {
+		return err
+	}
+	return in.app(func(p *sim.Proc) error { return fn(p, cl) })
+}
+
+func (in *Interp) withFile(a args, fn func(p *sim.Proc, fh *pvfs.FileHandle) error) error {
+	if a.name == "" {
+		return fmt.Errorf("missing file name")
+	}
+	cl, err := in.client(a)
+	if err != nil {
+		return err
+	}
+	return in.app(func(p *sim.Proc) error {
+		fh, err := in.handle(p, cl, a)
+		if err != nil {
+			return err
+		}
+		return fn(p, fh)
+	})
+}
+
+// handle opens (and caches) the named file for the client.
+func (in *Interp) handle(p *sim.Proc, cl *pvfs.Client, a args) (*pvfs.FileHandle, error) {
+	idx := 0
+	for i, c := range in.cluster.Clients {
+		if c == cl {
+			idx = i
+		}
+	}
+	byClient, ok := in.files[a.name]
+	if !ok {
+		byClient = map[int]*pvfs.FileHandle{}
+		in.files[a.name] = byClient
+	}
+	if fh, ok := byClient[idx]; ok {
+		return fh, nil
+	}
+	stripe, err := a.num("stripe", 0)
+	if err != nil {
+		return nil, err
+	}
+	fh := cl.OpenStriped(p, a.name, stripe)
+	byClient[idx] = fh
+	return fh, nil
+}
+
+func (in *Interp) cmdOpen(a args) error {
+	return in.withFile(a, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+		fmt.Fprintf(in.out, "opened %s (stripe %d)\n", fh.Name(), fh.StripeSize())
+		return nil
+	})
+}
+
+// opOptions parses method/sieve options.
+func opOptions(a args) (pvfs.OpOptions, error) {
+	var opts pvfs.OpOptions
+	switch m := a.str("method", "hybrid"); m {
+	case "hybrid":
+	case "pack":
+		opts.Transfer = pvfs.ForcePack
+	case "gather":
+		opts.Transfer = pvfs.ForceGather
+	default:
+		return opts, fmt.Errorf("unknown method %q", m)
+	}
+	switch s := a.str("sieve", "auto"); s {
+	case "auto":
+		opts.Sieve = sieve.Auto
+	case "always":
+		opts.Sieve = sieve.Always
+	case "never":
+		opts.Sieve = sieve.Never
+	default:
+		return opts, fmt.Errorf("unknown sieve mode %q", s)
+	}
+	return opts, nil
+}
+
+// pattern fills n bytes derived from seed.
+func pattern(n int64, seed int64) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seed + int64(i)*7)
+	}
+	return b
+}
+
+func (in *Interp) cmdContig(cmd string, a args) error {
+	length, err := a.num("len", 4096)
+	if err != nil {
+		return err
+	}
+	off, err := a.num("off", 0)
+	if err != nil {
+		return err
+	}
+	seed, err := a.num("seed", 0)
+	if err != nil {
+		return err
+	}
+	opts, err := opOptions(a)
+	if err != nil {
+		return err
+	}
+	verify, hasVerify := a.kv["verify"]
+	return in.withFile(a, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+		cl, _ := in.client(a)
+		addr := cl.Space().Malloc(length)
+		t0 := p.Now()
+		if cmd == "write" {
+			if err := cl.Space().Write(addr, pattern(length, seed)); err != nil {
+				return err
+			}
+			if err := fh.Write(p, addr, length, off, opts); err != nil {
+				return err
+			}
+		} else {
+			if err := fh.Read(p, addr, length, off, opts); err != nil {
+				return err
+			}
+			if hasVerify {
+				vseed, err := strconv.ParseInt(verify, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad verify=%q", verify)
+				}
+				got, _ := cl.Space().Read(addr, length)
+				if !bytesEqual(got, pattern(length, vseed)) {
+					return fmt.Errorf("verification failed")
+				}
+			}
+		}
+		fmt.Fprintf(in.out, "%s %s: %d bytes in %v (%.1f MB/s)\n",
+			cmd, fh.Name(), length, p.Now().Sub(t0), mbps(length, p.Now().Sub(t0)))
+		return nil
+	})
+}
+
+func (in *Interp) cmdList(cmd string, a args) error {
+	count, err := a.num("count", 16)
+	if err != nil {
+		return err
+	}
+	size, err := a.num("size", 512)
+	if err != nil {
+		return err
+	}
+	fstride, err := a.num("fstride", size*2)
+	if err != nil {
+		return err
+	}
+	foff, err := a.num("foff", 0)
+	if err != nil {
+		return err
+	}
+	mstride, err := a.num("mstride", size)
+	if err != nil {
+		return err
+	}
+	if mstride < size {
+		mstride = size
+	}
+	seed, err := a.num("seed", 0)
+	if err != nil {
+		return err
+	}
+	opts, err := opOptions(a)
+	if err != nil {
+		return err
+	}
+	verify, hasVerify := a.kv["verify"]
+	return in.withFile(a, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+		cl, _ := in.client(a)
+		base := cl.Space().Malloc(count * mstride)
+		var segs []ib.SGE
+		var accs []pvfs.OffLen
+		for i := int64(0); i < count; i++ {
+			segs = append(segs, ib.SGE{Addr: base + mem.Addr(i*mstride), Len: size})
+			accs = append(accs, pvfs.OffLen{Off: foff + i*fstride, Len: size})
+		}
+		total := count * size
+		t0 := p.Now()
+		if cmd == "writelist" {
+			data := pattern(total, seed)
+			for i, s := range segs {
+				if err := cl.Space().Write(s.Addr, data[int64(i)*size:int64(i+1)*size]); err != nil {
+					return err
+				}
+			}
+			if err := fh.WriteList(p, segs, accs, opts); err != nil {
+				return err
+			}
+		} else {
+			if err := fh.ReadList(p, segs, accs, opts); err != nil {
+				return err
+			}
+			if hasVerify {
+				vseed, err := strconv.ParseInt(verify, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad verify=%q", verify)
+				}
+				want := pattern(total, vseed)
+				for i, s := range segs {
+					got, _ := cl.Space().Read(s.Addr, size)
+					if !bytesEqual(got, want[int64(i)*size:int64(i+1)*size]) {
+						return fmt.Errorf("verification failed at piece %d", i)
+					}
+				}
+			}
+		}
+		fmt.Fprintf(in.out, "%s %s: %d x %dB in %v (%.1f MB/s)\n",
+			cmd, fh.Name(), count, size, p.Now().Sub(t0), mbps(total, p.Now().Sub(t0)))
+		return nil
+	})
+}
+
+func (in *Interp) cmdTrace(a args) error {
+	if in.cluster == nil {
+		return fmt.Errorf("no cluster")
+	}
+	switch a.name {
+	case "on":
+		n, err := a.num("cap", 1024)
+		if err != nil {
+			return err
+		}
+		in.rec = in.cluster.EnableTracing(int(n))
+		return nil
+	case "dump":
+		if in.rec == nil {
+			return fmt.Errorf("tracing not enabled")
+		}
+		n, err := a.num("last", 10)
+		if err != nil {
+			return err
+		}
+		evs := in.rec.Events()
+		if int64(len(evs)) > n {
+			evs = evs[int64(len(evs))-n:]
+		}
+		for _, ev := range evs {
+			fmt.Fprintf(in.out, "%12.1fus %-6s %-14s %8dB %s\n",
+				float64(ev.T)/1000, ev.Node, ev.Kind, ev.Bytes, ev.Detail)
+		}
+		return nil
+	default:
+		return fmt.Errorf("trace wants 'on' or 'dump'")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mbps(n int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds() / (1 << 20)
+}

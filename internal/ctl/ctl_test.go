@@ -1,0 +1,147 @@
+package ctl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// run executes a script and returns the output.
+func run(t *testing.T, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := New(&out).Run(strings.NewReader(script)); err != nil {
+		t.Fatalf("script failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// runErr executes a script expecting failure.
+func runErr(t *testing.T, script string) error {
+	t.Helper()
+	var out bytes.Buffer
+	err := New(&out).Run(strings.NewReader(script))
+	if err == nil {
+		t.Fatalf("script succeeded, expected error:\n%s", out.String())
+	}
+	return err
+}
+
+func TestScriptWriteReadVerify(t *testing.T) {
+	out := run(t, `
+# basic round trip with verification
+cluster servers=4 clients=2
+open data
+writelist data count=64 size=512 fstride=2048 seed=7
+readlist data count=64 size=512 fstride=2048 verify=7 client=1
+stat data
+stats
+time
+`)
+	for _, want := range []string{
+		"cluster: 4 servers, 2 clients",
+		"writelist data: 64 x 512B",
+		"readlist data: 64 x 512B",
+		"data: ", // stat output
+		"req#=",
+		"t=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptVerifyFailure(t *testing.T) {
+	err := runErr(t, `
+cluster servers=2 clients=1
+write data len=1024 seed=3
+read data len=1024 verify=4
+`)
+	if !strings.Contains(err.Error(), "verification failed") {
+		t.Errorf("err = %v, want verification failure", err)
+	}
+}
+
+func TestScriptContigAndRemove(t *testing.T) {
+	out := run(t, `
+cluster servers=2 clients=1 stripe=16384
+open f stripe=4096
+write f len=65536 off=0 seed=1
+sync f
+stat f
+remove f
+open f
+stat f
+`)
+	if !strings.Contains(out, "opened f (stripe 4096)") {
+		t.Errorf("per-file stripe missing:\n%s", out)
+	}
+	if !strings.Contains(out, "f: 65536 bytes") {
+		t.Errorf("stat before remove wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "f: 0 bytes") {
+		t.Errorf("stat after remove should be 0:\n%s", out)
+	}
+}
+
+func TestScriptTrace(t *testing.T) {
+	out := run(t, `
+cluster servers=2 clients=1
+trace on cap=128
+writelist data count=32 size=256 fstride=1024
+trace dump last=3
+`)
+	if !strings.Contains(out, "write-req") && !strings.Contains(out, "sieve-write") {
+		t.Errorf("trace dump missing events:\n%s", out)
+	}
+}
+
+func TestScriptStreamWire(t *testing.T) {
+	out := run(t, `
+cluster servers=2 clients=1 wire=stream
+write data len=262144 seed=9
+read data len=262144 verify=9
+`)
+	if !strings.Contains(out, "wire stream") {
+		t.Errorf("stream wire not reported:\n%s", out)
+	}
+}
+
+func TestScriptMethodsAndSieve(t *testing.T) {
+	run(t, `
+cluster servers=2 clients=1
+writelist data count=16 size=4096 fstride=8192 method=gather sieve=never seed=2
+readlist data count=16 size=4096 fstride=8192 method=pack sieve=always verify=2
+`)
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []string{
+		"open f",                                     // no cluster
+		"cluster servers=2\ncluster",                 // duplicate cluster
+		"cluster servers=2\nbogus",                   // unknown command
+		"cluster servers=2\nstat",                    // missing file name
+		"cluster servers=2\nwrite f len=abc",         // bad number
+		"cluster servers=2\nwrite f client=9",        // client range
+		"cluster servers=2\ntrace dump",              // trace before on
+		"cluster servers=2\nwritelist f method=warp", // bad method
+	}
+	for _, script := range cases {
+		if err := runErr(t, script); err == nil {
+			t.Errorf("script %q should fail", script)
+		}
+	}
+}
+
+func TestScriptEchoAndComments(t *testing.T) {
+	out := run(t, `
+# comment
+echo hello world
+
+cluster servers=1 clients=1
+`)
+	if !strings.Contains(out, "hello world") {
+		t.Errorf("echo missing:\n%s", out)
+	}
+}

@@ -1,0 +1,147 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+func TestBandwidthCurve(t *testing.T) {
+	p := DefaultParams()
+	if p.ReadBW(1<<30) < 0.95*p.MaxReadBW {
+		t.Error("huge reads should approach max bandwidth")
+	}
+	if p.ReadBW(p.HalfSize) != p.MaxReadBW/2 {
+		t.Error("half-size request should see half bandwidth")
+	}
+	if p.WriteBW(512) >= p.WriteBW(1<<20) {
+		t.Error("small writes must be slower than large ones")
+	}
+}
+
+func TestSequentialAccessSkipsSeek(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d", DefaultParams())
+	eng.Go("t", func(p *sim.Proc) {
+		d.Read(p, 0, 4096)
+		d.Read(p, 4096, 4096) // sequential: no seek
+		d.Read(p, 1<<20, 4096)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters.Seeks != 2 { // first op (head at -1) and the jump
+		t.Errorf("Seeks = %d, want 2", d.Counters.Seeks)
+	}
+	if d.Counters.ReadOps != 3 {
+		t.Errorf("ReadOps = %d", d.Counters.ReadOps)
+	}
+}
+
+func TestManySmallVsOneLarge(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d", DefaultParams())
+	var tSmall, tLarge sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		for i := 0; i < 64; i++ {
+			d.Read(p, int64(i)*32768, 4096) // strided small reads
+		}
+		tSmall = p.Now().Sub(t0)
+		t0 = p.Now()
+		d.Read(p, 1<<30, 64*4096)
+		tLarge = p.Now().Sub(t0)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tSmall < 5*tLarge {
+		t.Errorf("64 strided reads (%v) should dwarf one large read (%v)", tSmall, tLarge)
+	}
+}
+
+func TestDiskSerializesConcurrentRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d", DefaultParams())
+	var last sim.Time
+	for i := 0; i < 3; i++ {
+		off := int64(i) * (7 << 20) // far apart: every request seeks
+		eng.Go("u", func(p *sim.Proc) {
+			d.Read(p, off, 1<<20)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := DefaultParams().ReadTime(true, 1<<20)
+	if last < sim.Time(3*per)-sim.Time(time.Microsecond) {
+		t.Errorf("3 concurrent reads finished at %v, want ≥ %v (serialized)", last, 3*per)
+	}
+}
+
+func TestZeroSizeIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d", DefaultParams())
+	eng.Go("t", func(p *sim.Proc) {
+		d.Read(p, 0, 0)
+		d.Write(p, 0, -1)
+		if p.Now() != 0 {
+			t.Error("zero-size transfer consumed time")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters.ReadOps != 0 || d.Counters.WriteOps != 0 {
+		t.Error("zero-size transfers counted")
+	}
+}
+
+func TestSequentialReadApproachesTable3(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d", DefaultParams())
+	const total = 64 * simnet.MB
+	const chunk = 256 << 10
+	var elapsed sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		for off := int64(0); off < total; off += chunk {
+			d.Read(p, off, chunk)
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(total) / elapsed.Seconds() / simnet.MB
+	if bw < 17 || bw > 23 {
+		t.Errorf("sequential read bandwidth %.1f MB/s, want ≈20 (Table 3)", bw)
+	}
+}
+
+func TestSequentialWriteApproachesTable3(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d", DefaultParams())
+	const total = 64 * simnet.MB
+	const chunk = 256 << 10
+	var elapsed sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		for off := int64(0); off < total; off += chunk {
+			d.Write(p, off, chunk)
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(total) / elapsed.Seconds() / simnet.MB
+	if bw < 22 || bw > 28 {
+		t.Errorf("sequential write bandwidth %.1f MB/s, want ≈25 (Table 3)", bw)
+	}
+}

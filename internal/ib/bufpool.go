@@ -1,0 +1,66 @@
+package ib
+
+import (
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+)
+
+// Buffer is one pre-registered staging buffer from a BufPool.
+type Buffer struct {
+	Addr mem.Addr
+	Size int64
+	MR   *MR
+	pool *BufPool
+}
+
+// SGE returns a gather entry for the first n bytes of the buffer.
+func (b *Buffer) SGE(n int64) SGE {
+	if n > b.Size {
+		panic("ib: buffer SGE larger than buffer")
+	}
+	return SGE{Addr: b.Addr, Len: n}
+}
+
+// BufPool is a set of equally-sized, permanently registered buffers, such as
+// the Fast RDMA buffers of the paper's PVFS-over-InfiniBand transport and
+// the I/O servers' staging buffers. Registration happens once at setup, so
+// per-operation transfers through the pool pay no registration cost — the
+// defining property of the Pack/Unpack ("pack, no reg") scheme.
+type BufPool struct {
+	hca  *HCA
+	size int64
+	free []*Buffer
+	cond *sim.Cond
+}
+
+// NewBufPool allocates and statically registers count buffers of size bytes
+// each in the HCA's host memory. Pools are built once at system setup, so
+// registration is free in virtual time.
+func NewBufPool(h *HCA, count int, size int64) *BufPool {
+	pool := &BufPool{hca: h, size: size, cond: h.engine().NewCond()}
+	for i := 0; i < count; i++ {
+		addr := h.space.Malloc(size)
+		mr := h.RegisterStatic(mem.Extent{Addr: addr, Len: size})
+		pool.free = append(pool.free, &Buffer{Addr: addr, Size: size, MR: mr, pool: pool})
+	}
+	return pool
+}
+
+// BufSize returns the size of each buffer.
+func (pool *BufPool) BufSize() int64 { return pool.size }
+
+// Get returns a free buffer, blocking until one is available.
+func (pool *BufPool) Get(p *sim.Proc) *Buffer {
+	for len(pool.free) == 0 {
+		pool.cond.Wait(p)
+	}
+	b := pool.free[len(pool.free)-1]
+	pool.free = pool.free[:len(pool.free)-1]
+	return b
+}
+
+// Put returns a buffer to the pool and wakes one waiter.
+func (b *Buffer) Put() {
+	b.pool.free = append(b.pool.free, b)
+	b.pool.cond.Signal()
+}

@@ -1,0 +1,132 @@
+package ib
+
+import (
+	"container/list"
+
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+)
+
+// RegCache is a pin-down cache (Tezuka et al.): deregistration is deferred
+// so that a later transfer reusing the same buffer finds it already pinned.
+// Lookups succeed when a cached region fully covers the requested extent.
+//
+// Entries carry a reference count; unreferenced entries stay cached until
+// capacity pressure evicts them (LRU), at which point they are actually
+// deregistered and the deregistration cost is charged to the process that
+// caused the eviction.
+type RegCache struct {
+	hca        *HCA
+	maxBytes   int64
+	maxEntries int
+
+	entries map[Key]*cacheEntry
+	lru     *list.List // front = most recent; only refs==0 entries are evictable
+	bytes   int64
+}
+
+type cacheEntry struct {
+	mr   *MR
+	refs int
+	elem *list.Element // non-nil while on the LRU (refs == 0)
+}
+
+// NewRegCache creates a pin-down cache over the HCA's registrations.
+// maxBytes bounds the total pinned bytes held by the cache; maxEntries
+// bounds the number of cached regions.
+func NewRegCache(h *HCA, maxBytes int64, maxEntries int) *RegCache {
+	return &RegCache{
+		hca:        h,
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+		entries:    make(map[Key]*cacheEntry),
+		lru:        list.New(),
+	}
+}
+
+// Get returns a registered region covering e, registering it if no cached
+// region covers it. The returned MR is referenced and must be released with
+// Put. A cache hit costs no virtual time.
+func (c *RegCache) Get(p *sim.Proc, e mem.Extent) (*MR, error) {
+	for _, ent := range c.entries {
+		if ent.mr.Covers(e) {
+			c.hca.Counters.RegCacheHits++
+			c.ref(ent)
+			return ent.mr, nil
+		}
+	}
+	c.hca.Counters.RegCacheMisses++
+	// Evict until the new region fits.
+	need := e.Pages() * mem.PageSize
+	for c.bytes+need > c.maxBytes || len(c.entries) >= c.maxEntries {
+		if !c.evictOne(p) {
+			break // nothing evictable; let Register enforce HCA limits
+		}
+	}
+	mr, err := c.hca.Register(p, e)
+	if err != nil {
+		return nil, err
+	}
+	ent := &cacheEntry{mr: mr, refs: 1}
+	c.entries[mr.Key] = ent
+	c.bytes += need
+	return mr, nil
+}
+
+// Put releases a reference obtained from Get. The region remains registered
+// and cached for future hits — unless the cache is over capacity (Get never
+// evicts referenced entries, so a burst of simultaneously-pinned buffers can
+// overshoot), in which case the least-recently-used unreferenced entries are
+// deregistered now, their cost charged to p. This is what produces
+// registration thrashing when the pinnable budget is smaller than an
+// operation's working set (Section 4.2).
+func (c *RegCache) Put(p *sim.Proc, mr *MR) {
+	ent, ok := c.entries[mr.Key]
+	if !ok {
+		panic("ib: RegCache.Put of unknown MR")
+	}
+	if ent.refs <= 0 {
+		panic("ib: RegCache.Put without matching Get")
+	}
+	ent.refs--
+	if ent.refs == 0 {
+		ent.elem = c.lru.PushFront(ent)
+	}
+	for (c.bytes > c.maxBytes || len(c.entries) > c.maxEntries) && c.evictOne(p) {
+	}
+}
+
+func (c *RegCache) ref(ent *cacheEntry) {
+	if ent.refs == 0 && ent.elem != nil {
+		c.lru.Remove(ent.elem)
+		ent.elem = nil
+	}
+	ent.refs++
+}
+
+// evictOne deregisters the least-recently-used unreferenced entry.
+func (c *RegCache) evictOne(p *sim.Proc) bool {
+	back := c.lru.Back()
+	if back == nil {
+		return false
+	}
+	ent := back.Value.(*cacheEntry)
+	c.lru.Remove(back)
+	ent.elem = nil
+	delete(c.entries, ent.mr.Key)
+	c.bytes -= ent.mr.Extent.Pages() * mem.PageSize
+	c.hca.Deregister(p, ent.mr)
+	return true
+}
+
+// Flush deregisters every unreferenced cached entry.
+func (c *RegCache) Flush(p *sim.Proc) {
+	for c.evictOne(p) {
+	}
+}
+
+// Len reports the number of cached regions (referenced or not).
+func (c *RegCache) Len() int { return len(c.entries) }
+
+// Bytes reports the total pinned bytes held by the cache.
+func (c *RegCache) Bytes() int64 { return c.bytes }

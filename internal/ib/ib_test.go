@@ -1,0 +1,488 @@
+package ib
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// pair builds two HCA-equipped nodes on one fabric.
+func pair(t *testing.T) (*sim.Engine, *HCA, *HCA) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	a := NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), DefaultParams())
+	b := NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), DefaultParams())
+	return eng, a, b
+}
+
+// run tolerates the forever-parked infrastructure processes.
+func run(t *testing.T, eng *sim.Engine) {
+	t.Helper()
+	if err := eng.Run(); err != nil {
+		if _, ok := err.(*sim.DeadlockError); !ok {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegisterChargesCostModel(t *testing.T) {
+	eng, a, _ := pair(t)
+	addr := a.Space().Malloc(10 * mem.PageSize)
+	var regTime, deregTime sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		mr, err := a.Register(p, mem.Extent{Addr: addr, Len: 10 * mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regTime = p.Now().Sub(t0)
+		t0 = p.Now()
+		a.Deregister(p, mr)
+		deregTime = p.Now().Sub(t0)
+	})
+	run(t, eng)
+	// T = 0.77µs * 10 + 7.42µs = 15.12µs
+	if want := 15120 * time.Nanosecond; regTime != want {
+		t.Errorf("registration of 10 pages took %v, want %v", regTime, want)
+	}
+	// T = 0.23µs * 10 + 1.1µs = 3.4µs
+	if want := 3400 * time.Nanosecond; deregTime != want {
+		t.Errorf("deregistration of 10 pages took %v, want %v", deregTime, want)
+	}
+	if a.Counters.Registrations != 1 || a.Counters.Deregistrations != 1 {
+		t.Errorf("counters = %+v", a.Counters)
+	}
+}
+
+func TestRegisterUnallocatedFails(t *testing.T) {
+	eng, a, _ := pair(t)
+	addr := a.Space().Malloc(mem.PageSize)
+	a.Space().Reserve(2)
+	a.Space().Malloc(mem.PageSize)
+	eng.Go("t", func(p *sim.Proc) {
+		_, err := a.Register(p, mem.Extent{Addr: addr, Len: 4 * mem.PageSize})
+		if err != ErrNotAllocated {
+			t.Errorf("err = %v, want ErrNotAllocated", err)
+		}
+		if p.Now() == 0 {
+			t.Error("failed registration must still cost time")
+		}
+	})
+	run(t, eng)
+	if a.Counters.RegFailures != 1 {
+		t.Errorf("RegFailures = %d, want 1", a.Counters.RegFailures)
+	}
+}
+
+func TestRegisterPinLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	params := DefaultParams()
+	params.MaxPinnedBytes = 4 * mem.PageSize
+	a := NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), params)
+	addr := a.Space().Malloc(8 * mem.PageSize)
+	eng.Go("t", func(p *sim.Proc) {
+		mr, err := a.Register(p, mem.Extent{Addr: addr, Len: 3 * mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Register(p, mem.Extent{Addr: addr + 4*mem.PageSize, Len: 2 * mem.PageSize}); err != ErrPinLimit {
+			t.Errorf("err = %v, want ErrPinLimit", err)
+		}
+		a.Deregister(p, mr)
+		if _, err := a.Register(p, mem.Extent{Addr: addr + 4*mem.PageSize, Len: 2 * mem.PageSize}); err != nil {
+			t.Errorf("after dereg, err = %v", err)
+		}
+	})
+	run(t, eng)
+}
+
+func TestSendRecv(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, qb := Connect(a, b)
+	var got string
+	eng.Go("recv", func(p *sim.Proc) {
+		size, payload := qb.Recv(p)
+		if size != 100 {
+			t.Errorf("size = %d", size)
+		}
+		got = payload.(string)
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		qa.Send(p, 100, "request")
+	})
+	run(t, eng)
+	if got != "request" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestRDMAWriteGatherDataIntegrity(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+
+	// Three discontiguous client segments gathered into one server buffer.
+	src := a.Space().Malloc(8 * mem.PageSize)
+	segs := []SGE{
+		{Addr: src + 100, Len: 300},
+		{Addr: src + 5000, Len: 123},
+		{Addr: src + 20000, Len: 777},
+	}
+	var want []byte
+	for i, s := range segs {
+		data := bytes.Repeat([]byte{byte('A' + i)}, int(s.Len))
+		if err := a.Space().Write(s.Addr, data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, data...)
+	}
+	dst := b.Space().Malloc(mem.PageSize)
+
+	eng.Go("xfer", func(p *sim.Proc) {
+		mrA, err := a.Register(p, mem.Extent{Addr: src, Len: 8 * mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrB, err := b.Register(p, mem.Extent{Addr: dst, Len: mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qa.RDMAWrite(p, segs, dst, mrB.Key)
+		p.Sleep(time.Millisecond) // let the wire drain
+		got, err := b.Space().Read(dst, TotalLen(segs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("gathered data mismatch at server")
+		}
+		a.Deregister(p, mrA)
+	})
+	run(t, eng)
+	if a.Counters.RDMAWrites != 1 {
+		t.Errorf("RDMAWrites = %d, want 1 (3 SGEs fit one WR)", a.Counters.RDMAWrites)
+	}
+}
+
+func TestRDMAReadScatterDataIntegrity(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+
+	src := b.Space().Malloc(mem.PageSize)
+	want := make([]byte, 1200)
+	for i := range want {
+		want[i] = byte(i * 3)
+	}
+	if err := b.Space().Write(src, want); err != nil {
+		t.Fatal(err)
+	}
+	dst := a.Space().Malloc(4 * mem.PageSize)
+	segs := []SGE{
+		{Addr: dst + 64, Len: 400},
+		{Addr: dst + 4096, Len: 800},
+	}
+	eng.Go("xfer", func(p *sim.Proc) {
+		mrA, err := a.Register(p, mem.Extent{Addr: dst, Len: 4 * mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrB, err := b.Register(p, mem.Extent{Addr: src, Len: mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qa.RDMARead(p, segs, src, mrB.Key)
+		var got []byte
+		for _, s := range segs {
+			b, err := a.Space().Read(s.Addr, s.Len)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b...)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("scattered data mismatch at client")
+		}
+		_ = mrA
+	})
+	run(t, eng)
+}
+
+func TestRDMAWriteLatencyMatchesTable2(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	src := a.Space().Malloc(mem.PageSize)
+	dst := b.Space().Malloc(mem.PageSize)
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: mem.PageSize})
+		a.Register(p, mem.Extent{Addr: src, Len: mem.PageSize})
+		start := p.Now()
+		qa.RDMAWrite(p, []SGE{{Addr: src, Len: 4}}, dst, mrB.Key)
+		// Local completion includes the WR overhead; one-way data
+		// latency is the wire latency (~6µs, Table 2).
+		elapsed := p.Now().Sub(start)
+		if elapsed > 10*time.Microsecond {
+			t.Errorf("4-byte RDMA write completion %v, want a few µs", elapsed)
+		}
+	})
+	run(t, eng)
+}
+
+func TestRDMAReadLatencyMatchesTable2(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	src := b.Space().Malloc(mem.PageSize)
+	dst := a.Space().Malloc(mem.PageSize)
+	var elapsed sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: src, Len: mem.PageSize})
+		a.Register(p, mem.Extent{Addr: dst, Len: mem.PageSize})
+		start := p.Now()
+		qa.RDMARead(p, []SGE{{Addr: dst, Len: 4}}, src, mrB.Key)
+		elapsed = p.Now().Sub(start)
+	})
+	run(t, eng)
+	// Paper: 12.4µs. Two wire latencies plus turnaround ≈ 12.3-13µs.
+	if elapsed < 11*time.Microsecond || elapsed > 15*time.Microsecond {
+		t.Errorf("4-byte RDMA read latency %v, want ≈12.4µs", elapsed)
+	}
+}
+
+func TestRDMAWriteSplitsAtMaxSGE(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	const nseg = 200 // > 3 * 64
+	src := a.Space().Malloc(int64(nseg) * 256)
+	dst := b.Space().Malloc(int64(nseg) * 64)
+	var segs []SGE
+	for i := 0; i < nseg; i++ {
+		segs = append(segs, SGE{Addr: src + mem.Addr(i*256), Len: 64})
+	}
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: int64(nseg) * 64})
+		a.Register(p, mem.Extent{Addr: src, Len: int64(nseg) * 256})
+		qa.RDMAWrite(p, segs, dst, mrB.Key)
+	})
+	run(t, eng)
+	// ceil(200/64) = 4 work requests.
+	if a.Counters.RDMAWrites != 4 {
+		t.Errorf("RDMAWrites = %d, want 4", a.Counters.RDMAWrites)
+	}
+}
+
+func TestRDMAWriteUnregisteredLocalPanics(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	src := a.Space().Malloc(mem.PageSize)
+	dst := b.Space().Malloc(mem.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unregistered local segment")
+		}
+	}()
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: mem.PageSize})
+		qa.RDMAWrite(p, []SGE{{Addr: src, Len: 16}}, dst, mrB.Key)
+	})
+	run(t, eng)
+}
+
+func TestRDMAWriteOutsideRemoteRegionPanics(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	src := a.Space().Malloc(mem.PageSize)
+	dst := b.Space().Malloc(mem.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-region remote write")
+		}
+	}()
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: 64})
+		a.Register(p, mem.Extent{Addr: src, Len: mem.PageSize})
+		qa.RDMAWrite(p, []SGE{{Addr: src, Len: 128}}, dst, mrB.Key)
+		p.Sleep(time.Millisecond)
+	})
+	run(t, eng)
+}
+
+func TestLargeTransferBandwidth(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	const size = 16 * simnet.MB
+	src := a.Space().Malloc(size)
+	dst := b.Space().Malloc(size)
+	var elapsed sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: size})
+		a.Register(p, mem.Extent{Addr: src, Len: size})
+		start := p.Now()
+		qa.RDMAWrite(p, []SGE{{Addr: src, Len: size}}, dst, mrB.Key)
+		elapsed = p.Now().Sub(start)
+	})
+	run(t, eng)
+	bw := float64(size) / elapsed.Seconds() / simnet.MB
+	if bw < 800 || bw > 830 {
+		t.Errorf("large-write bandwidth = %.0f MB/s, want ≈827", bw)
+	}
+}
+
+func TestRegCacheHitIsFreeAndCounted(t *testing.T) {
+	eng, a, _ := pair(t)
+	cache := NewRegCache(a, 64*mem.PageSize, 16)
+	addr := a.Space().Malloc(8 * mem.PageSize)
+	eng.Go("t", func(p *sim.Proc) {
+		mr1, err := cache.Get(p, mem.Extent{Addr: addr, Len: 8 * mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache.Put(p, mr1)
+		t0 := p.Now()
+		// Covered sub-extent: must hit.
+		mr2, err := cache.Get(p, mem.Extent{Addr: addr + 100, Len: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Now() != t0 {
+			t.Error("cache hit consumed virtual time")
+		}
+		if mr2 != mr1 {
+			t.Error("hit returned a different MR")
+		}
+		cache.Put(p, mr2)
+	})
+	run(t, eng)
+	if a.Counters.RegCacheHits != 1 || a.Counters.RegCacheMisses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", a.Counters.RegCacheHits, a.Counters.RegCacheMisses)
+	}
+}
+
+func TestRegCacheEvictsLRU(t *testing.T) {
+	eng, a, _ := pair(t)
+	cache := NewRegCache(a, 2*mem.PageSize, 100)
+	addr1 := a.Space().Malloc(mem.PageSize)
+	addr2 := a.Space().Malloc(mem.PageSize)
+	addr3 := a.Space().Malloc(mem.PageSize)
+	eng.Go("t", func(p *sim.Proc) {
+		m1, _ := cache.Get(p, mem.Extent{Addr: addr1, Len: mem.PageSize})
+		cache.Put(p, m1)
+		m2, _ := cache.Get(p, mem.Extent{Addr: addr2, Len: mem.PageSize})
+		cache.Put(p, m2)
+		// Third region exceeds 2-page capacity: addr1 (LRU) must go.
+		m3, _ := cache.Get(p, mem.Extent{Addr: addr3, Len: mem.PageSize})
+		cache.Put(p, m3)
+		if cache.Len() != 2 {
+			t.Errorf("cache len = %d, want 2", cache.Len())
+		}
+		// addr1 must now miss (re-register), addr2 must still hit.
+		hits0 := a.Counters.RegCacheHits
+		m2b, _ := cache.Get(p, mem.Extent{Addr: addr2, Len: mem.PageSize})
+		cache.Put(p, m2b)
+		if a.Counters.RegCacheHits != hits0+1 {
+			t.Error("addr2 should still be cached")
+		}
+	})
+	run(t, eng)
+	if a.Counters.Deregistrations == 0 {
+		t.Error("eviction should deregister")
+	}
+}
+
+func TestRegCacheReferencedEntriesNotEvicted(t *testing.T) {
+	eng, a, _ := pair(t)
+	cache := NewRegCache(a, mem.PageSize, 100)
+	addr1 := a.Space().Malloc(mem.PageSize)
+	addr2 := a.Space().Malloc(mem.PageSize)
+	eng.Go("t", func(p *sim.Proc) {
+		m1, _ := cache.Get(p, mem.Extent{Addr: addr1, Len: mem.PageSize})
+		// m1 still referenced: the next Get cannot evict it, but can
+		// still register (HCA limit permits).
+		m2, err := cache.Get(p, mem.Extent{Addr: addr2, Len: mem.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m1.Valid() {
+			t.Error("referenced MR was evicted")
+		}
+		cache.Put(p, m1)
+		cache.Put(p, m2)
+	})
+	run(t, eng)
+}
+
+func TestBufPoolBlocksWhenEmpty(t *testing.T) {
+	eng, a, _ := pair(t)
+	var pool *BufPool
+	var gotAt sim.Time
+	eng.Go("setup", func(p *sim.Proc) {
+		pool = NewBufPool(a, 1, 64<<10)
+		b1 := pool.Get(p)
+		eng.Go("waiter", func(q *sim.Proc) {
+			b2 := pool.Get(q)
+			gotAt = q.Now()
+			b2.Put()
+		})
+		p.Sleep(50 * time.Microsecond)
+		b1.Put()
+	})
+	run(t, eng)
+	if gotAt < sim.Time(50*time.Microsecond) {
+		t.Errorf("second Get returned at %v, want after the Put at 50µs", gotAt)
+	}
+}
+
+func TestBufPoolPreRegistered(t *testing.T) {
+	eng, a, _ := pair(t)
+	eng.Go("t", func(p *sim.Proc) {
+		pool := NewBufPool(a, 4, 64<<10)
+		regs := a.Counters.Registrations
+		b := pool.Get(p)
+		b.Put()
+		if a.Counters.Registrations != regs {
+			t.Error("Get/Put must not register")
+		}
+		if !b.MR.Valid() {
+			t.Error("pool buffer must stay registered")
+		}
+		if b.SGE(100).Len != 100 {
+			t.Error("SGE helper")
+		}
+	})
+	run(t, eng)
+}
+
+func TestUnalignedSegmentsCostMore(t *testing.T) {
+	eng, a, b := pair(t)
+	qa, _ := Connect(a, b)
+	src := a.Space().Malloc(4 * mem.PageSize)
+	dst := b.Space().Malloc(mem.PageSize)
+	var tAligned, tUnaligned sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: mem.PageSize})
+		a.Register(p, mem.Extent{Addr: src, Len: 4 * mem.PageSize})
+		t0 := p.Now()
+		qa.RDMAWrite(p, []SGE{{Addr: src, Len: 128}}, dst, mrB.Key)
+		tAligned = p.Now().Sub(t0)
+		t0 = p.Now()
+		qa.RDMAWrite(p, []SGE{{Addr: src + 7, Len: 128}}, dst, mrB.Key)
+		tUnaligned = p.Now().Sub(t0)
+	})
+	run(t, eng)
+	if tUnaligned <= tAligned {
+		t.Errorf("unaligned (%v) should cost more than aligned (%v)", tUnaligned, tAligned)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var c, d Counters
+	c.Registrations, c.BytesOut = 2, 100
+	d.Registrations, d.BytesOut = 3, 50
+	c.Add(d)
+	if c.Registrations != 5 || c.BytesOut != 150 {
+		t.Errorf("Add: %+v", c)
+	}
+}

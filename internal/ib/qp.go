@@ -1,0 +1,300 @@
+package ib
+
+import (
+	"fmt"
+
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// SGE is one scatter/gather entry: a contiguous segment of local memory.
+type SGE struct {
+	Addr mem.Addr
+	Len  int64
+}
+
+// Extent returns the segment as a memory extent.
+func (s SGE) Extent() mem.Extent { return mem.Extent{Addr: s.Addr, Len: s.Len} }
+
+// TotalLen sums the lengths of a scatter/gather list.
+func TotalLen(sges []SGE) int64 {
+	var n int64
+	for _, s := range sges {
+		n += s.Len
+	}
+	return n
+}
+
+// HCA is one node's host channel adapter.
+type HCA struct {
+	node   *simnet.Node
+	space  *mem.AddrSpace
+	params Params
+
+	mrs         map[Key]*MR
+	nextKey     Key
+	pinnedBytes int64
+
+	qps        map[uint32]*QP
+	nextQPNum  uint32
+	nextReadID uint64
+	reads      map[uint64]*sim.Mailbox
+
+	// Counters accumulates operation counts for this HCA.
+	Counters Counters
+
+	// OnRDMAWriteApplied, if set, is called (in virtual time, at the
+	// instant the payload lands in host memory) for every inbound RDMA
+	// write — a measurement hook for latency experiments.
+	OnRDMAWriteApplied func(raddr mem.Addr, n int64)
+}
+
+// NewHCA attaches an HCA to a fabric node and its host address space, and
+// starts the adapter's inbound processing engine.
+func NewHCA(node *simnet.Node, space *mem.AddrSpace, params Params) *HCA {
+	h := &HCA{
+		node:   node,
+		space:  space,
+		params: params,
+		mrs:    make(map[Key]*MR),
+		qps:    make(map[uint32]*QP),
+		reads:  make(map[uint64]*sim.Mailbox),
+	}
+	h.engine().Go(fmt.Sprintf("hca[%s]", node.Name), h.dispatch)
+	return h
+}
+
+func (h *HCA) engine() *sim.Engine { return h.node.Engine() }
+
+// Node returns the fabric node.
+func (h *HCA) Node() *simnet.Node { return h.node }
+
+// NodeID returns the fabric node id.
+func (h *HCA) NodeID() simnet.NodeID { return h.node.ID }
+
+// Space returns the host address space.
+func (h *HCA) Space() *mem.AddrSpace { return h.space }
+
+// Params returns the timing model.
+func (h *HCA) Params() Params { return h.params }
+
+// QP is one endpoint of a connected (reliable) queue pair.
+type QP struct {
+	hca       *HCA
+	num       uint32
+	remote    simnet.NodeID
+	remoteNum uint32
+	inbox     *sim.Mailbox // received channel-semantics messages
+}
+
+// Connect creates a queue pair between two HCAs and returns both endpoints.
+func Connect(a, b *HCA) (*QP, *QP) {
+	qa := a.newQP()
+	qb := b.newQP()
+	qa.remote, qa.remoteNum = b.node.ID, qb.num
+	qb.remote, qb.remoteNum = a.node.ID, qa.num
+	return qa, qb
+}
+
+func (h *HCA) newQP() *QP {
+	h.nextQPNum++
+	q := &QP{
+		hca:   h,
+		num:   h.nextQPNum,
+		inbox: h.engine().NewMailbox(fmt.Sprintf("qp[%s.%d]", h.node.Name, h.nextQPNum)),
+	}
+	h.qps[q.num] = q
+	return q
+}
+
+// HCA returns the adapter owning this endpoint.
+func (q *QP) HCA() *HCA { return q.hca }
+
+// Wire message formats. Sizes on the wire are payload plus a small header.
+const wireHeader = 32
+
+type wireSend struct {
+	dstQP   uint32
+	size    int
+	payload any
+}
+
+type wireRDMAWrite struct {
+	raddr mem.Addr
+	rkey  Key
+	data  []byte
+}
+
+type wireRDMAReadReq struct {
+	id        uint64
+	initiator simnet.NodeID
+	raddr     mem.Addr
+	rkey      Key
+	size      int64
+}
+
+type wireRDMAReadResp struct {
+	id   uint64
+	data []byte
+}
+
+// dispatch is the adapter's inbound engine: it demultiplexes wire messages
+// to queue pairs, applies RDMA writes to host memory, and serves RDMA reads.
+func (h *HCA) dispatch(p *sim.Proc) {
+	for {
+		m := h.node.Inbox.Recv(p).(*simnet.Message)
+		switch w := m.Payload.(type) {
+		case *wireSend:
+			q, ok := h.qps[w.dstQP]
+			if !ok {
+				panic(fmt.Sprintf("ib: %s: send to unknown QP %d", h.node.Name, w.dstQP))
+			}
+			q.inbox.Send(w)
+		case *wireRDMAWrite:
+			mr := h.lookup(w.rkey)
+			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
+				panic(fmt.Sprintf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey))
+			}
+			if err := h.space.Write(w.raddr, w.data); err != nil {
+				panic(fmt.Sprintf("ib: %s: RDMA write fault: %v", h.node.Name, err))
+			}
+			if h.OnRDMAWriteApplied != nil {
+				h.OnRDMAWriteApplied(w.raddr, int64(len(w.data)))
+			}
+		case *wireRDMAReadReq:
+			mr := h.lookup(w.rkey)
+			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
+				panic(fmt.Sprintf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey))
+			}
+			data, err := h.space.Read(w.raddr, w.size)
+			if err != nil {
+				panic(fmt.Sprintf("ib: %s: RDMA read fault: %v", h.node.Name, err))
+			}
+			p.Sleep(h.params.ReadTurnaround)
+			h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data})
+		case *wireRDMAReadResp:
+			mb, ok := h.reads[w.id]
+			if !ok {
+				panic(fmt.Sprintf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id))
+			}
+			delete(h.reads, w.id)
+			mb.Send(w.data)
+		default:
+			panic(fmt.Sprintf("ib: %s: unknown wire message %T", h.node.Name, m.Payload))
+		}
+	}
+}
+
+// Send transmits a channel-semantics message of the given payload size to the
+// remote endpoint, where it is delivered to a matching Recv. The caller
+// blocks for wire serialization plus the work-request overhead.
+func (q *QP) Send(p *sim.Proc, size int, payload any) {
+	h := q.hca
+	h.Counters.SendMsgs++
+	h.Counters.BytesOut += int64(size)
+	h.node.Send(p, q.remote, size+wireHeader, &wireSend{dstQP: q.remoteNum, size: size, payload: payload})
+	p.Sleep(h.params.WROverhead)
+}
+
+// Recv blocks until a message arrives on this endpoint and returns its
+// payload and the sender-declared size.
+func (q *QP) Recv(p *sim.Proc) (int, any) {
+	w := q.inbox.Recv(p).(*wireSend)
+	return w.size, w.payload
+}
+
+// sgeCost returns the initiator-side DMA setup time for a gather list.
+func (h *HCA) sgeCost(sges []SGE) sim.Duration {
+	var d sim.Duration
+	for _, s := range sges {
+		d += h.params.PerSGE
+		if uint64(s.Addr)%64 != 0 {
+			d += h.params.UnalignedPenalty
+		}
+	}
+	return d
+}
+
+// checkLocal panics unless every SGE is covered by a registered local MR.
+func (h *HCA) checkLocal(op string, sges []SGE) {
+	for _, s := range sges {
+		if s.Len <= 0 {
+			panic(fmt.Sprintf("ib: %s: empty SGE %v", op, s))
+		}
+		if !h.coveredLocally(s.Extent()) {
+			panic(fmt.Sprintf("ib: %s: %s: local segment %v not registered", h.node.Name, op, s.Extent()))
+		}
+	}
+}
+
+// RDMAWrite gathers the local segments and writes them contiguously into the
+// remote region at raddr. Lists longer than MaxSGE are split into multiple
+// work requests, each paying its own overhead. The caller blocks until the
+// last work request's local completion; remote memory is updated when the
+// data arrives on the wire (before any message the caller sends afterwards).
+func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
+	h := q.hca
+	h.checkLocal("RDMA write", sges)
+	offset := int64(0)
+	for len(sges) > 0 {
+		n := len(sges)
+		if n > h.params.MaxSGE {
+			n = h.params.MaxSGE
+		}
+		wr := sges[:n]
+		sges = sges[n:]
+		size := TotalLen(wr)
+		data := make([]byte, 0, size)
+		for _, s := range wr {
+			b, err := h.space.Read(s.Addr, s.Len)
+			if err != nil {
+				panic(fmt.Sprintf("ib: %s: RDMA write gather fault: %v", h.node.Name, err))
+			}
+			data = append(data, b...)
+		}
+		p.Sleep(h.sgeCost(wr))
+		h.Counters.RDMAWrites++
+		h.Counters.BytesOut += size
+		h.node.Send(p, q.remote, int(size)+wireHeader,
+			&wireRDMAWrite{raddr: raddr + mem.Addr(offset), rkey: rkey, data: data})
+		p.Sleep(h.params.WROverhead)
+		offset += size
+	}
+}
+
+// RDMARead reads a contiguous remote region and scatters it into the local
+// segments (the verbs shape: remote side contiguous, local side scattered).
+// Lists longer than MaxSGE split into multiple work requests. The caller
+// blocks until all data has arrived and been scattered.
+func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
+	h := q.hca
+	h.checkLocal("RDMA read", sges)
+	offset := int64(0)
+	for len(sges) > 0 {
+		n := len(sges)
+		if n > h.params.MaxSGE {
+			n = h.params.MaxSGE
+		}
+		wr := sges[:n]
+		sges = sges[n:]
+		size := TotalLen(wr)
+		h.nextReadID++
+		id := h.nextReadID
+		mb := h.engine().NewMailbox(fmt.Sprintf("read[%s.%d]", h.node.Name, id))
+		h.reads[id] = mb
+		p.Sleep(h.sgeCost(wr))
+		h.Counters.RDMAReads++
+		h.node.Send(p, q.remote, wireHeader, &wireRDMAReadReq{
+			id: id, initiator: h.node.ID, raddr: raddr + mem.Addr(offset), rkey: rkey, size: size,
+		})
+		data := mb.Recv(p).([]byte)
+		for _, s := range wr {
+			if err := h.space.Write(s.Addr, data[:s.Len]); err != nil {
+				panic(fmt.Sprintf("ib: %s: RDMA read scatter fault: %v", h.node.Name, err))
+			}
+			data = data[s.Len:]
+		}
+		offset += size
+	}
+}

@@ -1,0 +1,519 @@
+// Package localfs models the I/O server's local file system (the testbed's
+// ext3) on top of a simulated disk: sparse block-addressed files, a unified
+// LRU page cache with read-ahead and write-back, fsync, and byte-range
+// locks.
+//
+// Timing follows Table 3 of the paper: cache-hit reads stream at 1391 MB/s
+// and buffered writes at 303 MB/s, while cache misses and syncs pay the
+// disk model's seek/overhead/bandwidth costs (≈20-25 MB/s sequential).
+// Every read and write call also pays a fixed per-call overhead — the
+// "many small system calls are extremely expensive" effect that motivates
+// data sieving.
+//
+// File bytes are really stored, so higher layers can verify data integrity
+// end-to-end.
+package localfs
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"time"
+
+	"pvfsib/internal/disk"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// Params is the file-system timing model.
+type Params struct {
+	// BlockSize is the page-cache block size.
+	BlockSize int64
+	// CacheBytes bounds the page cache.
+	CacheBytes int64
+	// ReadAhead is the minimum media read issued on a cache miss.
+	ReadAhead int64
+	// CallOverhead is the per-read/write-call cost (syscall + VFS + ext3),
+	// the model's O_r / O_w combined with the implicit lseek.
+	CallOverhead sim.Duration
+	// OpenOverhead is charged per Open.
+	OpenOverhead sim.Duration
+	// LockOverhead is charged per lock or unlock operation.
+	LockOverhead sim.Duration
+	// CachedReadBW is the copy-out bandwidth for cache hits (bytes/s).
+	CachedReadBW float64
+	// CachedWriteBW is the copy-in bandwidth for buffered writes.
+	CachedWriteBW float64
+	// FileRegion is the media span reserved per file, so different files
+	// live in different disk regions and cross-file access seeks.
+	FileRegion int64
+}
+
+// DefaultParams matches the paper's Table 3 measurements.
+func DefaultParams() Params {
+	return Params{
+		BlockSize:     4096,
+		CacheBytes:    512 * simnet.MB,
+		ReadAhead:     256 << 10,
+		CallOverhead:  15 * time.Microsecond,
+		OpenOverhead:  30 * time.Microsecond,
+		LockOverhead:  3 * time.Microsecond,
+		CachedReadBW:  1391 * simnet.MB,
+		CachedWriteBW: 303 * simnet.MB,
+		FileRegion:    1 << 34, // 16 GiB apart on the media
+	}
+}
+
+// Counters accumulates file-system call activity (the paper's "disk access
+// characteristics" in Table 6 count these calls, not device operations).
+type Counters struct {
+	OpenCalls  int64
+	ReadCalls  int64
+	WriteCalls int64
+	SyncCalls  int64
+	LockOps    int64
+	BytesRead  int64
+	BytesWrote int64
+}
+
+// FS is one server's local file system.
+type FS struct {
+	eng    *sim.Engine
+	dsk    *disk.Disk
+	params Params
+
+	files  map[string]*File
+	nextID int64
+	cache  *pageCache
+
+	// Counters accumulates call counts.
+	Counters Counters
+}
+
+// New creates a file system over the given disk.
+func New(eng *sim.Engine, dsk *disk.Disk, params Params) *FS {
+	fs := &FS{eng: eng, dsk: dsk, params: params, files: make(map[string]*File)}
+	fs.cache = newPageCache(fs)
+	return fs
+}
+
+// Disk returns the underlying device.
+func (fs *FS) Disk() *disk.Disk { return fs.dsk }
+
+// Params returns the timing model.
+func (fs *FS) Params() Params { return fs.params }
+
+// File is one sparse file.
+type File struct {
+	fs   *FS
+	name string
+	id   int64
+	size int64
+	data map[int64][]byte // block index -> BlockSize bytes; presence = ever written
+
+	locks *lockTable
+}
+
+// Open returns the named file, creating it if needed.
+func (fs *FS) Open(p *sim.Proc, name string) *File {
+	fs.Counters.OpenCalls++
+	p.Sleep(fs.params.OpenOverhead)
+	if f, ok := fs.files[name]; ok {
+		return f
+	}
+	f := &File{
+		fs:    fs,
+		name:  name,
+		id:    fs.nextID,
+		data:  make(map[int64][]byte),
+		locks: newLockTable(fs.eng),
+	}
+	fs.nextID++
+	fs.files[name] = f
+	return f
+}
+
+// Remove deletes the named file like unlink(2): its bytes vanish and its
+// cached blocks (dirty or not) are discarded. It reports whether the file
+// existed.
+func (fs *FS) Remove(p *sim.Proc, name string) bool {
+	p.Sleep(fs.params.OpenOverhead)
+	f, ok := fs.files[name]
+	if !ok {
+		return false
+	}
+	delete(fs.files, name)
+	fs.cache.purgeFile(f)
+	return true
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file size.
+func (f *File) Size() int64 { return f.size }
+
+// mediaOffset maps a file offset to a media offset.
+func (f *File) mediaOffset(off int64) int64 { return f.id*f.fs.params.FileRegion + off }
+
+func (f *File) blockRange(off, size int64) (first, last int64) {
+	bs := f.fs.params.BlockSize
+	return off / bs, (off + size - 1) / bs
+}
+
+// ReadAt reads up to size bytes at offset off, returning fewer (or none)
+// at end of file, like pread(2). Cache misses on written blocks go to the
+// disk with read-ahead; holes read as zeros without media access.
+func (f *File) ReadAt(p *sim.Proc, off, size int64) []byte {
+	fs := f.fs
+	fs.Counters.ReadCalls++
+	p.Sleep(fs.params.CallOverhead)
+	if off >= f.size {
+		return nil
+	}
+	if off+size > f.size {
+		size = f.size - off
+	}
+	if size <= 0 {
+		return nil
+	}
+	bs := fs.params.BlockSize
+	first, last := f.blockRange(off, size)
+
+	// Find runs of blocks that must come from the media: written blocks
+	// not present in the cache.
+	for blk := first; blk <= last; {
+		if fs.cache.present(f, blk) || !f.written(blk) {
+			if fs.cache.present(f, blk) {
+				fs.cache.touch(p, f, blk, false)
+			}
+			blk++
+			continue
+		}
+		// Start of a miss run; extend through contiguous written,
+		// uncached blocks, then apply read-ahead.
+		start := blk
+		for blk <= last && !fs.cache.present(f, blk) && f.written(blk) {
+			blk++
+		}
+		end := blk // exclusive
+		ahead := start + (fs.params.ReadAhead+bs-1)/bs
+		maxBlk := (f.size + bs - 1) / bs
+		for end < ahead && end < maxBlk && f.written(end) && !fs.cache.present(f, end) {
+			end++
+		}
+		fs.dsk.Read(p, f.mediaOffset(start*bs), (end-start)*bs)
+		for b := start; b < end; b++ {
+			fs.cache.insert(p, f, b, false)
+		}
+	}
+
+	// Copy out at cached-read bandwidth.
+	p.Sleep(sim.Duration(float64(size) / fs.params.CachedReadBW * 1e9))
+	fs.Counters.BytesRead += size
+
+	out := make([]byte, size)
+	f.copyOut(off, out)
+	return out
+}
+
+// WriteAt writes data at offset off, extending the file as needed. Writes
+// land in the page cache (write-back); call Sync to force them to media.
+func (f *File) WriteAt(p *sim.Proc, off int64, data []byte) {
+	fs := f.fs
+	fs.Counters.WriteCalls++
+	size := int64(len(data))
+	p.Sleep(fs.params.CallOverhead)
+	if size == 0 {
+		return
+	}
+	p.Sleep(sim.Duration(float64(size) / fs.params.CachedWriteBW * 1e9))
+	fs.Counters.BytesWrote += size
+	bs := fs.params.BlockSize
+	first, last := f.blockRange(off, size)
+
+	// Partially-covered edge blocks that exist on media but are not
+	// cached must be read first (block-granular read-modify-write).
+	for _, blk := range []int64{first, last} {
+		bStart, bEnd := blk*bs, (blk+1)*bs
+		fullyCovered := off <= bStart && off+size >= bEnd
+		if !fullyCovered && f.written(blk) && !fs.cache.present(f, blk) {
+			fs.dsk.Read(p, f.mediaOffset(bStart), bs)
+			fs.cache.insert(p, f, blk, false)
+		}
+	}
+
+	f.copyIn(off, data)
+	for blk := first; blk <= last; blk++ {
+		if fs.cache.present(f, blk) {
+			fs.cache.touch(p, f, blk, true)
+		} else {
+			fs.cache.insert(p, f, blk, true)
+		}
+	}
+	if off+size > f.size {
+		f.size = off + size
+	}
+}
+
+// Sync flushes the file's dirty blocks to media in offset order, coalescing
+// adjacent blocks into single device writes, like fsync(2).
+func (f *File) Sync(p *sim.Proc) {
+	f.fs.Counters.SyncCalls++
+	f.fs.cache.flushFile(p, f)
+}
+
+// SyncAll flushes every file.
+func (fs *FS) SyncAll(p *sim.Proc) {
+	for _, f := range fs.sortedFiles() {
+		f.Sync(p)
+	}
+}
+
+// DropCaches flushes all dirty data and then empties the page cache, like
+// writing to /proc/sys/vm/drop_caches. Benchmarks use it to measure
+// uncached performance.
+func (fs *FS) DropCaches(p *sim.Proc) {
+	fs.SyncAll(p)
+	fs.cache.clear()
+}
+
+func (fs *FS) sortedFiles() []*File {
+	out := make([]*File, 0, len(fs.files))
+	for _, f := range fs.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// CacheBytesUsed reports current page-cache occupancy.
+func (fs *FS) CacheBytesUsed() int64 { return fs.cache.bytes }
+
+// Lock acquires a byte-range lock on the file, blocking while any
+// overlapping range is held. The paper's O_lock is charged.
+func (f *File) Lock(p *sim.Proc, off, size int64) {
+	f.fs.Counters.LockOps++
+	p.Sleep(f.fs.params.LockOverhead)
+	f.locks.lock(p, off, size)
+}
+
+// Unlock releases a byte-range lock (O_unlock charged).
+func (f *File) Unlock(p *sim.Proc, off, size int64) {
+	f.fs.Counters.LockOps++
+	p.Sleep(f.fs.params.LockOverhead)
+	f.locks.unlock(off, size)
+}
+
+// written reports whether the block has ever been written.
+func (f *File) written(blk int64) bool {
+	_, ok := f.data[blk]
+	return ok
+}
+
+func (f *File) block(blk int64) []byte {
+	b, ok := f.data[blk]
+	if !ok {
+		b = make([]byte, f.fs.params.BlockSize)
+		f.data[blk] = b
+	}
+	return b
+}
+
+func (f *File) copyIn(off int64, data []byte) {
+	bs := f.fs.params.BlockSize
+	for len(data) > 0 {
+		blk := off / bs
+		bo := off % bs
+		n := copy(f.block(blk)[bo:], data)
+		data = data[n:]
+		off += int64(n)
+	}
+}
+
+func (f *File) copyOut(off int64, dst []byte) {
+	bs := f.fs.params.BlockSize
+	for len(dst) > 0 {
+		blk := off / bs
+		bo := off % bs
+		var n int
+		if b, ok := f.data[blk]; ok {
+			n = copy(dst, b[bo:])
+		} else {
+			// Hole: zeros.
+			n = int(bs - bo)
+			if n > len(dst) {
+				n = len(dst)
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		off += int64(n)
+	}
+}
+
+// pageCache is a global LRU over (file, block) with write-back.
+type pageCache struct {
+	fs      *FS
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = most recent
+	bytes   int64
+}
+
+type cacheKey struct {
+	file *File
+	blk  int64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	dirty bool
+}
+
+func newPageCache(fs *FS) *pageCache {
+	return &pageCache{fs: fs, entries: make(map[cacheKey]*list.Element), lru: list.New()}
+}
+
+func (c *pageCache) present(f *File, blk int64) bool {
+	_, ok := c.entries[cacheKey{f, blk}]
+	return ok
+}
+
+// touch promotes an existing entry, optionally marking it dirty.
+func (c *pageCache) touch(p *sim.Proc, f *File, blk int64, dirty bool) {
+	el, ok := c.entries[cacheKey{f, blk}]
+	if !ok {
+		panic(fmt.Sprintf("localfs: touch of uncached block %d of %s", blk, f.name))
+	}
+	c.lru.MoveToFront(el)
+	if dirty {
+		el.Value.(*cacheEntry).dirty = true
+	}
+}
+
+// insert adds a block, evicting LRU entries as needed.
+func (c *pageCache) insert(p *sim.Proc, f *File, blk int64, dirty bool) {
+	key := cacheKey{f, blk}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		if dirty {
+			el.Value.(*cacheEntry).dirty = true
+		}
+		return
+	}
+	bs := c.fs.params.BlockSize
+	for c.bytes+bs > c.fs.params.CacheBytes && c.lru.Len() > 0 {
+		c.evictOne(p)
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, dirty: dirty})
+	c.bytes += bs
+}
+
+func (c *pageCache) evictOne(p *sim.Proc) {
+	el := c.lru.Back()
+	ent := el.Value.(*cacheEntry)
+	if ent.dirty {
+		bs := c.fs.params.BlockSize
+		c.fs.dsk.Write(p, ent.key.file.mediaOffset(ent.key.blk*bs), bs)
+		ent.dirty = false
+	}
+	c.lru.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= c.fs.params.BlockSize
+}
+
+// flushFile writes the file's dirty blocks in offset order, coalescing
+// adjacent blocks into single media writes.
+func (c *pageCache) flushFile(p *sim.Proc, f *File) {
+	var dirty []int64
+	for key, el := range c.entries {
+		if key.file == f && el.Value.(*cacheEntry).dirty {
+			dirty = append(dirty, key.blk)
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	sortInt64s(dirty)
+	bs := c.fs.params.BlockSize
+	runStart := dirty[0]
+	prev := dirty[0]
+	flush := func(start, end int64) { // blocks [start, end]
+		c.fs.dsk.Write(p, f.mediaOffset(start*bs), (end-start+1)*bs)
+	}
+	for _, blk := range dirty[1:] {
+		if blk != prev+1 {
+			flush(runStart, prev)
+			runStart = blk
+		}
+		prev = blk
+	}
+	flush(runStart, prev)
+	for _, blk := range dirty {
+		c.entries[cacheKey{f, blk}].Value.(*cacheEntry).dirty = false
+	}
+}
+
+// purgeFile drops every cached block of f without writing dirty data back.
+func (c *pageCache) purgeFile(f *File) {
+	for key, el := range c.entries {
+		if key.file != f {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.bytes -= c.fs.params.BlockSize
+	}
+}
+
+func (c *pageCache) clear() {
+	c.entries = make(map[cacheKey]*list.Element)
+	c.lru.Init()
+	c.bytes = 0
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// lockTable is a simple byte-range lock manager.
+type lockTable struct {
+	eng  *sim.Engine
+	held []lockRange
+	cond *sim.Cond
+}
+
+type lockRange struct{ off, size int64 }
+
+func newLockTable(eng *sim.Engine) *lockTable {
+	return &lockTable{eng: eng, cond: eng.NewCond()}
+}
+
+func (lt *lockTable) lock(p *sim.Proc, off, size int64) {
+	for lt.conflicts(off, size) {
+		lt.cond.Wait(p)
+	}
+	lt.held = append(lt.held, lockRange{off, size})
+}
+
+func (lt *lockTable) unlock(off, size int64) {
+	for i, r := range lt.held {
+		if r.off == off && r.size == size {
+			lt.held = append(lt.held[:i], lt.held[i+1:]...)
+			lt.cond.Broadcast()
+			return
+		}
+	}
+	panic("localfs: unlock of range not held")
+}
+
+func (lt *lockTable) conflicts(off, size int64) bool {
+	for _, r := range lt.held {
+		if off < r.off+r.size && r.off < off+size {
+			return true
+		}
+	}
+	return false
+}

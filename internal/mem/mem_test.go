@@ -1,0 +1,284 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pvfsib/internal/sim"
+)
+
+func TestMallocAlignmentAndAdjacency(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(100)
+	b := s.Malloc(PageSize + 1)
+	if uint64(a)%PageSize != 0 || uint64(b)%PageSize != 0 {
+		t.Error("Malloc results must be page-aligned")
+	}
+	if b != a+PageSize {
+		t.Errorf("second Malloc at %#x, want adjacent %#x", uint64(b), uint64(a+PageSize))
+	}
+	c := s.Malloc(1)
+	if c != b+2*PageSize {
+		t.Errorf("third Malloc at %#x, want %#x (size rounded to 2 pages)", uint64(c), uint64(b+2*PageSize))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(3 * PageSize)
+	data := make([]byte, 2*PageSize+123)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Unaligned start, spanning page boundaries.
+	addr := a + 517
+	if err := s.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(addr, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadIntoMatchesRead(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(PageSize)
+	want := []byte("hello noncontiguous world")
+	if err := s.Write(a+11, want); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(want))
+	if err := s.ReadInto(a+11, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Error("ReadInto mismatch")
+	}
+}
+
+func TestAccessUnallocatedFails(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(PageSize)
+	s.Reserve(1)
+	b := s.Malloc(PageSize)
+	// Spanning the hole between a and b must fail.
+	if err := s.Write(a, make([]byte, 2*PageSize+1)); err == nil {
+		t.Error("write across hole succeeded")
+	}
+	if _, err := s.Read(a+PageSize, 10); err == nil {
+		t.Error("read in hole succeeded")
+	}
+	if err := s.Write(b, []byte("x")); err != nil {
+		t.Errorf("write to second allocation failed: %v", err)
+	}
+}
+
+func TestWriteSpansAdjacentAllocations(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(PageSize)
+	s.Malloc(PageSize)             // adjacent
+	data := make([]byte, PageSize) // spans the boundary between the two
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := s.Write(a+PageSize-50, data); err != nil {
+		t.Fatalf("write across adjacent allocations failed: %v", err)
+	}
+	got, err := s.Read(a+PageSize-50, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-allocation data mismatch")
+	}
+}
+
+func TestAllocatedAndHoles(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(2 * PageSize)
+	s.Reserve(3)
+	b := s.Malloc(PageSize)
+	span := Extent{Addr: a, Len: int64(b) - int64(a) + PageSize}
+	if s.Allocated(span) {
+		t.Error("span with hole reported allocated")
+	}
+	holes := s.Holes(span)
+	if len(holes) != 1 {
+		t.Fatalf("holes = %v, want 1 hole", holes)
+	}
+	if holes[0].Addr != a+2*PageSize || holes[0].Len != 3*PageSize {
+		t.Errorf("hole = %v, want [a+2p, +3p)", holes[0])
+	}
+	if !s.Allocated(Extent{Addr: a, Len: 2 * PageSize}) {
+		t.Error("fully allocated extent reported unallocated")
+	}
+	if len(s.Holes(Extent{Addr: a, Len: 2 * PageSize})) != 0 {
+		t.Error("found holes in allocated extent")
+	}
+}
+
+func TestHolesCoalesceAndMultiple(t *testing.T) {
+	s := NewAddrSpace("t")
+	start := s.Malloc(PageSize)
+	var end Addr
+	for i := 0; i < 4; i++ {
+		s.Reserve(2)
+		end = s.Malloc(PageSize)
+	}
+	span := Extent{Addr: start, Len: int64(end) - int64(start) + PageSize}
+	holes := s.Holes(span)
+	if len(holes) != 4 {
+		t.Fatalf("got %d holes, want 4", len(holes))
+	}
+	for _, h := range holes {
+		if h.Len != 2*PageSize {
+			t.Errorf("hole %v, want len 2 pages", h)
+		}
+	}
+}
+
+func TestFree(t *testing.T) {
+	s := NewAddrSpace("t")
+	a := s.Malloc(4 * PageSize)
+	s.Free(Extent{Addr: a + PageSize, Len: 2 * PageSize})
+	if s.Allocated(Extent{Addr: a, Len: 4 * PageSize}) {
+		t.Error("freed range still allocated")
+	}
+	if !s.Allocated(Extent{Addr: a, Len: PageSize}) {
+		t.Error("first page should remain")
+	}
+	if !s.Allocated(Extent{Addr: a + 3*PageSize, Len: PageSize}) {
+		t.Error("last page should remain")
+	}
+}
+
+func TestQueryHolesChargesTime(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewAddrSpace("t")
+	a := s.Malloc(PageSize)
+	s.Reserve(1)
+	b := s.Malloc(PageSize)
+	span := Extent{Addr: a, Len: int64(b) - int64(a) + PageSize}
+
+	var tSyscall, tProc sim.Time
+	eng.Go("q", func(p *sim.Proc) {
+		t0 := p.Now()
+		holes := s.QueryHoles(p, span, QuerySyscall)
+		tSyscall = p.Now() - t0
+		if len(holes) != 1 {
+			t.Errorf("syscall query found %d holes, want 1", len(holes))
+		}
+		t0 = p.Now()
+		s.QueryHoles(p, span, QueryProcMaps)
+		tProc = p.Now() - t0
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tSyscall <= 0 || tProc <= 0 {
+		t.Fatal("queries must cost time")
+	}
+	if tProc <= tSyscall {
+		t.Errorf("/proc query (%v) should be slower than syscall (%v)", tProc, tSyscall)
+	}
+}
+
+func TestQueryMincoreScalesWithPages(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewAddrSpace("t")
+	a := s.Malloc(100 * PageSize)
+	var small, large sim.Time
+	eng.Go("q", func(p *sim.Proc) {
+		t0 := p.Now()
+		s.QueryHoles(p, Extent{Addr: a, Len: 2 * PageSize}, QueryMincore)
+		small = p.Now() - t0
+		t0 = p.Now()
+		s.QueryHoles(p, Extent{Addr: a, Len: 100 * PageSize}, QueryMincore)
+		large = p.Now() - t0
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Errorf("mincore over 100 pages (%v) should cost more than 2 pages (%v)", large, small)
+	}
+}
+
+func TestExtentHelpers(t *testing.T) {
+	e := Extent{Addr: PageSize - 1, Len: 2}
+	if e.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2 (straddles a boundary)", e.Pages())
+	}
+	if (Extent{Addr: 0, Len: PageSize}).Pages() != 1 {
+		t.Error("exactly one page")
+	}
+	if (Extent{Len: 0}).Pages() != 0 {
+		t.Error("empty extent has pages")
+	}
+	if e.End() != PageSize+1 {
+		t.Errorf("End = %d", e.End())
+	}
+}
+
+func TestPropertyWriteReadAnywhere(t *testing.T) {
+	s := NewAddrSpace("prop")
+	base := s.Malloc(64 * PageSize)
+	f := func(off uint16, val byte, n uint8) bool {
+		length := int64(n)%512 + 1
+		addr := base + Addr(uint64(off)%(62*PageSize))
+		data := bytes.Repeat([]byte{val}, int(length))
+		if err := s.Write(addr, data); err != nil {
+			return false
+		}
+		got, err := s.Read(addr, length)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHolesPartitionSpan(t *testing.T) {
+	// For any allocation pattern, holes + allocated pages tile the span.
+	f := func(pattern []bool) bool {
+		if len(pattern) == 0 || len(pattern) > 64 {
+			return true
+		}
+		s := NewAddrSpace("prop")
+		start := s.Malloc(PageSize) // anchor
+		for _, alloc := range pattern {
+			if alloc {
+				s.Malloc(PageSize)
+			} else {
+				s.Reserve(1)
+			}
+		}
+		end := s.Malloc(PageSize) // anchor
+		span := Extent{Addr: start, Len: int64(end) - int64(start) + PageSize}
+		var holeBytes int64
+		for _, h := range s.Holes(span) {
+			holeBytes += h.Len
+			if s.Allocated(Extent{Addr: h.Addr, Len: 1}) {
+				return false // hole overlaps an allocation
+			}
+		}
+		var wantHoles int64
+		for _, alloc := range pattern {
+			if !alloc {
+				wantHoles += PageSize
+			}
+		}
+		return holeBytes == wantHoles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,286 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+)
+
+// Method selects one of ROMIO's ways to service a noncontiguous access.
+type Method int
+
+const (
+	// MultipleIO performs one contiguous PVFS operation per contiguous
+	// piece.
+	MultipleIO Method = iota
+	// DataSieving is ROMIO's client-side sieving. Reads fetch the whole
+	// extent in windows and extract the wanted pieces; writes fall back
+	// to MultipleIO because PVFS provides no client file locking
+	// (Section 5.2).
+	DataSieving
+	// ListIO uses pvfs_read_list/pvfs_write_list with server-side
+	// sieving disabled.
+	ListIO
+	// ListIOADS is ListIO with Active Data Sieving on the servers.
+	ListIOADS
+	// Collective is two-phase collective I/O; every rank of the file's
+	// world must call the operation.
+	Collective
+)
+
+func (m Method) String() string {
+	switch m {
+	case MultipleIO:
+		return "multiple"
+	case DataSieving:
+		return "datasieving"
+	case ListIO:
+		return "listio"
+	case ListIOADS:
+		return "listio+ads"
+	case Collective:
+		return "collective"
+	}
+	return "unknown"
+}
+
+// DefaultDSBufferSize matches ROMIO's ind_rd_buffer_size default window.
+const DefaultDSBufferSize = 4 << 20
+
+// File is an open MPI-IO file on one rank.
+type File struct {
+	client *pvfs.Client
+	fh     *pvfs.FileHandle
+	rank   *mpi.Rank // nil when opened without a world (independent only)
+
+	view    View
+	hasView bool
+	ptr     int64 // individual file pointer, in view bytes
+
+	dsBuf     mem.Addr
+	dsBufSize int64
+
+	// tpBuf is the two-phase collective assembly buffer, grown on demand.
+	tpBuf     mem.Addr
+	tpBufSize int64
+	// cbWindow overrides the per-rank collective buffering window
+	// (ROMIO's cb_buffer_size); zero means the default.
+	cbWindow int64
+}
+
+// SetCollectiveBuffer overrides the per-rank two-phase window size, like
+// setting ROMIO's cb_buffer_size hint. Zero restores the default.
+func (f *File) SetCollectiveBuffer(n int64) { f.cbWindow = n }
+
+// Open opens (creating if necessary) the named PVFS file for the client.
+// rank may be nil if collective operations will not be used.
+func Open(p *sim.Proc, client *pvfs.Client, rank *mpi.Rank, name string) *File {
+	f := &File{
+		client:    client,
+		fh:        client.Open(p, name),
+		rank:      rank,
+		dsBufSize: DefaultDSBufferSize,
+	}
+	f.dsBuf = client.Space().Malloc(f.dsBufSize)
+	return f
+}
+
+// Handle returns the underlying PVFS file handle.
+func (f *File) Handle() *pvfs.FileHandle { return f.fh }
+
+// SetView installs an MPI-IO file view and resets the individual file
+// pointer, as MPI_File_set_view does.
+func (f *File) SetView(v View) {
+	f.view = v
+	f.hasView = true
+	f.ptr = 0
+}
+
+// ViewRegions maps [viewOff, viewOff+n) of the current view to absolute
+// file regions; without a view the mapping is the identity.
+func (f *File) ViewRegions(viewOff, n int64) []pvfs.OffLen {
+	if !f.hasView {
+		return []pvfs.OffLen{{Off: viewOff, Len: n}}
+	}
+	return f.view.Map(viewOff, n)
+}
+
+// WriteView writes n bytes from the memory segments through the view at
+// view offset viewOff using the given method.
+func (f *File) WriteView(p *sim.Proc, method Method, memSegs []ib.SGE, viewOff, n int64) error {
+	return f.Write(p, method, memSegs, f.ViewRegions(viewOff, n))
+}
+
+// ReadView reads n bytes through the view into the memory segments.
+func (f *File) ReadView(p *sim.Proc, method Method, memSegs []ib.SGE, viewOff, n int64) error {
+	return f.Read(p, method, memSegs, f.ViewRegions(viewOff, n))
+}
+
+// Sync flushes the file on all servers.
+func (f *File) Sync(p *sim.Proc) { f.fh.Sync(p) }
+
+// Write performs a noncontiguous write with the given method. memSegs and
+// fileAccs are flattened streams describing the same bytes in order.
+func (f *File) Write(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
+	switch method {
+	case MultipleIO, DataSieving:
+		// ROMIO data sieving cannot write-sieve over PVFS (no client
+		// locking): identical to Multiple I/O, as the paper notes.
+		return f.multiple(p, memSegs, fileAccs, true)
+	case ListIO:
+		return f.fh.WriteList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Never})
+	case ListIOADS:
+		return f.fh.WriteList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Auto})
+	case Collective:
+		return f.collectiveWrite(p, memSegs, fileAccs)
+	}
+	return fmt.Errorf("mpiio: unknown method %d", method)
+}
+
+// Read performs a noncontiguous read with the given method.
+func (f *File) Read(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
+	switch method {
+	case MultipleIO:
+		return f.multiple(p, memSegs, fileAccs, false)
+	case DataSieving:
+		return f.dsRead(p, memSegs, fileAccs)
+	case ListIO:
+		return f.fh.ReadList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Never})
+	case ListIOADS:
+		return f.fh.ReadList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Auto})
+	case Collective:
+		return f.collectiveRead(p, memSegs, fileAccs)
+	}
+	return fmt.Errorf("mpiio: unknown method %d", method)
+}
+
+// forEachPiece walks the two aligned streams and yields, for every file
+// region, the memory fragments carrying its bytes.
+func forEachPiece(memSegs []ib.SGE, fileAccs []pvfs.OffLen, fn func(acc pvfs.OffLen, segs []ib.SGE) error) error {
+	if ib.TotalLen(memSegs) != pvfs.TotalOffLen(fileAccs) {
+		return fmt.Errorf("mpiio: memory bytes (%d) != file bytes (%d)",
+			ib.TotalLen(memSegs), pvfs.TotalOffLen(fileAccs))
+	}
+	si := 0
+	var so int64
+	for _, acc := range fileAccs {
+		var frag []ib.SGE
+		need := acc.Len
+		for need > 0 {
+			seg := memSegs[si]
+			take := seg.Len - so
+			if take > need {
+				take = need
+			}
+			frag = append(frag, ib.SGE{Addr: seg.Addr + mem.Addr(so), Len: take})
+			so += take
+			if so == seg.Len {
+				si, so = si+1, 0
+			}
+			need -= take
+		}
+		if err := fn(acc, frag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiple issues one contiguous PVFS operation per file region.
+func (f *File) multiple(p *sim.Proc, memSegs []ib.SGE, fileAccs []pvfs.OffLen, write bool) error {
+	return forEachPiece(memSegs, fileAccs, func(acc pvfs.OffLen, segs []ib.SGE) error {
+		opts := pvfs.OpOptions{Sieve: sieve.Never}
+		if write {
+			return f.fh.WriteList(p, segs, []pvfs.OffLen{acc}, opts)
+		}
+		return f.fh.ReadList(p, segs, []pvfs.OffLen{acc}, opts)
+	})
+}
+
+// dsRead is ROMIO client-side data sieving: read the full extent in windows
+// through ordinary contiguous PVFS reads, then extract the wanted pieces.
+func (f *File) dsRead(p *sim.Proc, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
+	if len(fileAccs) == 0 {
+		return nil
+	}
+	if ib.TotalLen(memSegs) != pvfs.TotalOffLen(fileAccs) {
+		return fmt.Errorf("mpiio: memory bytes != file bytes")
+	}
+	lo, hi := extentOf(fileAccs)
+	cfgIB := f.client.Cluster().Cfg.IB
+	for winLo := lo; winLo < hi; winLo += f.dsBufSize {
+		winHi := winLo + f.dsBufSize
+		if winHi > hi {
+			winHi = hi
+		}
+		if err := f.fh.Read(p, f.dsBuf, winHi-winLo, winLo, pvfs.OpOptions{Sieve: sieve.Never}); err != nil {
+			return err
+		}
+		// Extract every piece that overlaps this window.
+		err := forEachPiece(memSegs, fileAccs, func(acc pvfs.OffLen, segs []ib.SGE) error {
+			aLo, aHi := acc.Off, acc.End()
+			if aHi <= winLo || aLo >= winHi {
+				return nil
+			}
+			cut := func(x int64) int64 { // clamp into window
+				if x < winLo {
+					return winLo
+				}
+				if x > winHi {
+					return winHi
+				}
+				return x
+			}
+			pLo, pHi := cut(aLo), cut(aHi)
+			data, err := f.client.Space().Read(f.dsBuf+mem.Addr(pLo-winLo), pHi-pLo)
+			if err != nil {
+				return err
+			}
+			p.Sleep(cfgIB.MemcpyTime(pHi - pLo))
+			// Walk this access's memory fragments, skipping bytes
+			// before pLo.
+			skip := pLo - aLo
+			for _, s := range segs {
+				if len(data) == 0 {
+					break
+				}
+				if skip >= s.Len {
+					skip -= s.Len
+					continue
+				}
+				n := s.Len - skip
+				if n > int64(len(data)) {
+					n = int64(len(data))
+				}
+				if err := f.client.Space().Write(s.Addr+mem.Addr(skip), data[:n]); err != nil {
+					return err
+				}
+				data = data[n:]
+				skip = 0
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func extentOf(accs []pvfs.OffLen) (lo, hi int64) {
+	lo, hi = accs[0].Off, accs[0].End()
+	for _, a := range accs[1:] {
+		if a.Off < lo {
+			lo = a.Off
+		}
+		if a.End() > hi {
+			hi = a.End()
+		}
+	}
+	return
+}

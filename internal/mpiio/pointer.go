@@ -1,0 +1,97 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sim"
+)
+
+// Whence values for Seek, mirroring MPI_SEEK_SET/CUR/END.
+const (
+	SeekSet = iota
+	SeekCur
+	SeekEnd
+)
+
+// Seek positions the individual file pointer, in view coordinates (bytes of
+// the view's selected data, like MPI_File_seek with an etype of MPI_BYTE).
+// SeekEnd is relative to the file's logical size mapped into the view.
+func (f *File) Seek(p *sim.Proc, offset int64, whence int) (int64, error) {
+	switch whence {
+	case SeekSet:
+		f.ptr = offset
+	case SeekCur:
+		f.ptr += offset
+	case SeekEnd:
+		f.ptr = f.viewSize(p) + offset
+	default:
+		return 0, fmt.Errorf("mpiio: bad whence %d", whence)
+	}
+	if f.ptr < 0 {
+		f.ptr = 0
+	}
+	return f.ptr, nil
+}
+
+// Tell returns the individual file pointer.
+func (f *File) Tell() int64 { return f.ptr }
+
+// viewSize maps the file's logical size into view coordinates: the number
+// of view-selected bytes before EOF.
+func (f *File) viewSize(p *sim.Proc) int64 {
+	size := f.fh.Stat(p)
+	if !f.hasView {
+		return size
+	}
+	v := f.view
+	if size <= v.Disp {
+		return 0
+	}
+	span := size - v.Disp
+	per := v.Pattern.Total()
+	tiles := span / v.Extent
+	n := tiles * per
+	// Partial last tile: count selected bytes before the boundary.
+	rem := span % v.Extent
+	for _, r := range v.Pattern {
+		if r.Off >= rem {
+			break
+		}
+		take := r.Len
+		if r.Off+take > rem {
+			take = rem - r.Off
+		}
+		n += take
+	}
+	return n
+}
+
+// GetSize returns the file's logical size in bytes (MPI_File_get_size).
+func (f *File) GetSize(p *sim.Proc) int64 { return f.fh.Stat(p) }
+
+// ReadNext reads n view bytes at the individual file pointer and advances
+// it (MPI_File_read with the individual pointer).
+func (f *File) ReadNext(p *sim.Proc, method Method, memSegs []ib.SGE, n int64) error {
+	if err := f.ReadView(p, method, memSegs, f.ptr, n); err != nil {
+		return err
+	}
+	f.ptr += n
+	return nil
+}
+
+// WriteNext writes n view bytes at the individual file pointer and advances
+// it (MPI_File_write with the individual pointer).
+func (f *File) WriteNext(p *sim.Proc, method Method, memSegs []ib.SGE, n int64) error {
+	if err := f.WriteView(p, method, memSegs, f.ptr, n); err != nil {
+		return err
+	}
+	f.ptr += n
+	return nil
+}
+
+// Delete removes the named file cluster-wide (MPI_File_delete).
+func Delete(p *sim.Proc, client *pvfs.Client, name string) {
+	client.Remove(p, name)
+}

@@ -1,0 +1,514 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/ogr"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// Client is the PVFS library on one compute node.
+type Client struct {
+	cluster *Cluster
+	idx     int
+	node    *simnet.Node
+	space   *mem.AddrSpace
+	hca     *ib.HCA
+	cache   *ib.RegCache
+	conns   []*clientConn // one per server
+	mgr     *clientConn   // connection to the metadata manager
+	// cpu serializes host-memory copies (pack/unpack): the per-server
+	// transfer legs of one operation run concurrently on the wire, but
+	// their staging copies share one processor.
+	cpu *sim.Resource
+}
+
+// clientConn is the client side of one connection.
+type clientConn struct {
+	srv int
+	qp  *ib.QP
+	mu  *sim.Resource // one outstanding operation per connection
+	// fastBuf is this connection's Fast-RDMA buffer: pack-scheme writes
+	// are packed into it, pack-scheme reads are delivered into it.
+	fastBuf *ib.Buffer
+	// srvAddr/srvKey is the server-side receive buffer for pack writes.
+	srvAddr mem.Addr
+	srvKey  ib.Key
+}
+
+// Space returns the client's simulated address space; applications allocate
+// their I/O buffers from it.
+func (c *Client) Space() *mem.AddrSpace { return c.space }
+
+// HCA returns the client's adapter.
+func (c *Client) HCA() *ib.HCA { return c.hca }
+
+// Node returns the client's fabric node.
+func (c *Client) Node() *simnet.Node { return c.node }
+
+// RegCache returns the client's pin-down cache.
+func (c *Client) RegCache() *ib.RegCache { return c.cache }
+
+// Cluster returns the cluster this client belongs to.
+func (c *Client) Cluster() *Cluster { return c.cluster }
+
+func newClient(cl *Cluster, idx int) *Client {
+	node := cl.Net.AddNode(fmt.Sprintf("cn%d", idx))
+	space := mem.NewAddrSpace(node.Name)
+	c := &Client{
+		cluster: cl,
+		idx:     idx,
+		node:    node,
+		space:   space,
+		hca:     ib.NewHCA(node, space, cl.Cfg.IB),
+	}
+	c.cache = ib.NewRegCache(c.hca, cl.Cfg.RegCacheBytes, cl.Cfg.RegCacheEntries)
+	c.cpu = cl.Eng.NewResource(fmt.Sprintf("cn%d.cpu", idx), 1)
+	return c
+}
+
+// connect wires the client to every server and to the manager.
+func (c *Client) connect() {
+	cl := c.cluster
+	for _, s := range cl.Servers {
+		cq, sq := ib.Connect(c.hca, s.hca)
+		// Client-side Fast-RDMA buffer.
+		fastAddr := c.space.Malloc(cl.Cfg.FastBufSize)
+		fastMR := c.hca.RegisterStatic(mem.Extent{Addr: fastAddr, Len: cl.Cfg.FastBufSize})
+		// Server-side receive buffer for pack writes.
+		recvAddr := s.space.Malloc(cl.Cfg.FastBufSize)
+		recvMR := s.hca.RegisterStatic(mem.Extent{Addr: recvAddr, Len: cl.Cfg.FastBufSize})
+
+		conn := &clientConn{
+			srv:     s.idx,
+			qp:      cq,
+			mu:      cl.Eng.NewResource(fmt.Sprintf("conn[cn%d-io%d]", c.idx, s.idx), 1),
+			fastBuf: &ib.Buffer{Addr: fastAddr, Size: cl.Cfg.FastBufSize, MR: fastMR},
+			srvAddr: recvAddr,
+			srvKey:  recvMR.Key,
+		}
+		c.conns = append(c.conns, conn)
+
+		sconn := &serverConn{
+			srv:     s,
+			qp:      sq,
+			recvBuf: &ib.Buffer{Addr: recvAddr, Size: cl.Cfg.FastBufSize, MR: recvMR},
+			cliAddr: fastAddr,
+			cliKey:  fastMR.Key,
+		}
+		cl.Eng.Go(fmt.Sprintf("iod[io%d<-cn%d]", s.idx, c.idx), sconn.serve)
+	}
+	cq, mq := ib.Connect(c.hca, cl.Manager.hca)
+	c.mgr = &clientConn{qp: cq, mu: cl.Eng.NewResource(fmt.Sprintf("mgrconn[cn%d]", c.idx), 1)}
+	cl.Eng.Go(fmt.Sprintf("mgr[<-cn%d]", c.idx), func(p *sim.Proc) { cl.Manager.serve(p, mq) })
+}
+
+// FileHandle is an open PVFS file.
+type FileHandle struct {
+	client     *Client
+	id         int64
+	name       string
+	stripeSize int64
+}
+
+// Name returns the file's cluster-wide name.
+func (fh *FileHandle) Name() string { return fh.name }
+
+// StripeSize returns the file's striping unit.
+func (fh *FileHandle) StripeSize() int64 { return fh.stripeSize }
+
+// Open contacts the metadata manager and returns a handle, creating the
+// file (with the cluster's default striping) on first open. The manager
+// does not participate in data transfers.
+func (c *Client) Open(p *sim.Proc, name string) *FileHandle {
+	return c.OpenStriped(p, name, 0)
+}
+
+// OpenStriped is Open with an explicit striping unit for newly created
+// files; stripeSize <= 0 means the cluster default. Striping is immutable
+// after creation — opening an existing file returns its original striping.
+func (c *Client) OpenStriped(p *sim.Proc, name string, stripeSize int64) *FileHandle {
+	c.mgr.mu.Acquire(p)
+	defer c.mgr.mu.Release()
+	c.cluster.Acct.OpenReqs++
+	c.mgr.qp.Send(p, reqSize(0), &reqOpen{Name: name, StripeSize: stripeSize})
+	_, resp := c.mgr.qp.Recv(p)
+	r := resp.(*respOpen)
+	return &FileHandle{client: c, id: r.FileID, name: name, stripeSize: r.StripeSize}
+}
+
+// OpOptions tunes one list-I/O operation. The zero value is the production
+// configuration: hybrid transfer, cached OGR registration, server-side
+// cost-model sieving.
+type OpOptions struct {
+	Transfer Transfer
+	Reg      RegPolicy
+	Sieve    sieve.Mode
+	// Allocation is the enclosing application allocation, required by
+	// RegDeclared and ignored otherwise.
+	Allocation mem.Extent
+}
+
+// RegisterRegion pins an application region for use with RegExplicit
+// operations (the paper's Section 4.2.1 first scheme). The caller owns the
+// region and must ReleaseRegion it.
+func (c *Client) RegisterRegion(p *sim.Proc, e mem.Extent) (*ib.MR, error) {
+	return c.hca.Register(p, e)
+}
+
+// ReleaseRegion unpins a region obtained from RegisterRegion.
+func (c *Client) ReleaseRegion(p *sim.Proc, mr *ib.MR) {
+	c.hca.Deregister(p, mr)
+}
+
+// WriteList writes the bytes described by memSegs (client memory, in order)
+// to the file regions fileAccs (in order); total lengths must match. This is
+// pvfs_write_list: any number of regions, one logical operation.
+func (fh *FileHandle) WriteList(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, opts OpOptions) error {
+	return fh.listOp(p, memSegs, fileAccs, opts, true)
+}
+
+// ReadList reads the file regions fileAccs into the memory segments memSegs.
+// Regions beyond end-of-file read as zeros.
+func (fh *FileHandle) ReadList(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, opts OpOptions) error {
+	return fh.listOp(p, memSegs, fileAccs, opts, false)
+}
+
+// Write is the contiguous special case of WriteList.
+func (fh *FileHandle) Write(p *sim.Proc, addr mem.Addr, n int64, off int64, opts OpOptions) error {
+	return fh.WriteList(p, []ib.SGE{{Addr: addr, Len: n}}, []OffLen{{Off: off, Len: n}}, opts)
+}
+
+// Read is the contiguous special case of ReadList.
+func (fh *FileHandle) Read(p *sim.Proc, addr mem.Addr, n int64, off int64, opts OpOptions) error {
+	return fh.ReadList(p, []ib.SGE{{Addr: addr, Len: n}}, []OffLen{{Off: off, Len: n}}, opts)
+}
+
+// Stat returns the file's logical size: the end of the farthest-out byte
+// across all stripes. Like PVFS, the metadata manager stores no sizes; the
+// client queries every I/O server's local stripe file and maps the local
+// ends back to logical offsets.
+func (fh *FileHandle) Stat(p *sim.Proc) int64 {
+	c := fh.client
+	n := len(c.conns)
+	sizes := make([]int64, n)
+	wg := c.cluster.Eng.NewWaitGroup()
+	for i := range c.conns {
+		i := i
+		conn := c.conns[i]
+		wg.Add(1)
+		c.cluster.Eng.Go(fmt.Sprintf("stat[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
+			defer wg.Done()
+			conn.mu.Acquire(q)
+			defer conn.mu.Release()
+			conn.qp.Send(q, reqSize(0), &reqStat{FileID: fh.id})
+			_, resp := conn.qp.Recv(q)
+			sizes[i] = resp.(*respStat).LocalSize
+		})
+	}
+	wg.Wait(p)
+	var eof int64
+	for srv, local := range sizes {
+		if local == 0 {
+			continue
+		}
+		// The last local byte is at local-1: map it back to its logical
+		// offset (inverse of locate).
+		stripeWithin := (local - 1) / fh.stripeSize
+		globalStripe := stripeWithin*int64(n) + int64(srv)
+		end := globalStripe*fh.stripeSize + (local-1)%fh.stripeSize + 1
+		if end > eof {
+			eof = end
+		}
+	}
+	return eof
+}
+
+// Remove unlinks the file from the manager's name space and deletes every
+// server's stripe file. Removing a nonexistent name is a no-op.
+func (c *Client) Remove(p *sim.Proc, name string) {
+	c.mgr.mu.Acquire(p)
+	c.mgr.qp.Send(p, reqSize(0), &reqUnlink{Name: name})
+	_, resp := c.mgr.qp.Recv(p)
+	c.mgr.mu.Release()
+	un := resp.(*respUnlink)
+	if !un.Found {
+		return
+	}
+	wg := c.cluster.Eng.NewWaitGroup()
+	for i := range c.conns {
+		conn := c.conns[i]
+		wg.Add(1)
+		c.cluster.Eng.Go(fmt.Sprintf("rm[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
+			defer wg.Done()
+			conn.mu.Acquire(q)
+			defer conn.mu.Release()
+			conn.qp.Send(q, reqSize(0), &reqRemove{FileID: un.FileID})
+			conn.qp.Recv(q)
+		})
+	}
+	wg.Wait(p)
+}
+
+// Sync flushes the file on every I/O server, like fsync.
+func (fh *FileHandle) Sync(p *sim.Proc) {
+	c := fh.client
+	wg := c.cluster.Eng.NewWaitGroup()
+	for i := range c.conns {
+		conn := c.conns[i]
+		wg.Add(1)
+		c.cluster.Eng.Go(fmt.Sprintf("sync[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
+			defer wg.Done()
+			conn.mu.Acquire(q)
+			defer conn.mu.Release()
+			c.cluster.Acct.SyncReqs++
+			conn.qp.Send(q, reqSize(0), &reqSync{FileID: fh.id})
+			conn.qp.Recv(q)
+		})
+	}
+	wg.Wait(p)
+}
+
+// listOp fans a list operation out across the servers, running the
+// per-server chunks in parallel.
+//
+// The transfer scheme is chosen once per operation (Section 4.3's hybrid
+// rule: Pack/Unpack when the total size is at most the stripe size, RDMA
+// Gather/Scatter above), and for gather operations all the list-I/O buffers
+// are registered once, up front, via the configured registration policy —
+// matching the paper's design, where e.g. Table 4's OGR case performs a
+// single registration for a whole subarray write.
+func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, opts OpOptions, write bool) error {
+	c := fh.client
+	cfg := c.cluster.Cfg
+	parts, err := splitOp(memSegs, fileAccs, fh.stripeSize, len(c.conns))
+	if err != nil {
+		return err
+	}
+	total := ib.TotalLen(memSegs)
+	pack := false
+	switch opts.Transfer {
+	case Hybrid:
+		pack = total <= cfg.FastBufSize
+	case ForcePack:
+		pack = true
+	}
+	var reg ogr.Registrar
+	var regRes *ogr.Result
+	if cfg.Wire == WireStream {
+		// Stream sockets: no RDMA, no registration; the chunk functions
+		// take the stream path regardless of the pack decision.
+		pack = true
+	} else if !pack {
+		switch opts.Reg {
+		case RegExplicit:
+			// Application pre-registered everything; nothing to do (the
+			// HCA faults on any uncovered segment).
+		case RegDeclared:
+			// Register the declared enclosing allocation, once, through
+			// the cache.
+			if opts.Allocation.Len <= 0 {
+				return fmt.Errorf("pvfs: RegDeclared requires OpOptions.Allocation")
+			}
+			mr, err := c.cache.Get(p, opts.Allocation)
+			if err != nil {
+				return fmt.Errorf("pvfs: declared allocation registration: %w", err)
+			}
+			defer c.cache.Put(p, mr)
+		default:
+			var ogrCfg ogr.Config
+			reg, ogrCfg = c.registrar(opts.Reg)
+			regRes, err = ogr.RegisterBuffers(p, reg, c.space, segExtents(memSegs), ogrCfg)
+			if err != nil {
+				return fmt.Errorf("pvfs: list buffer registration: %w", err)
+			}
+		}
+	}
+	var firstErr error
+	wg := c.cluster.Eng.NewWaitGroup()
+	for _, part := range parts {
+		part := part
+		wg.Add(1)
+		c.cluster.Eng.Go(fmt.Sprintf("op[cn%d-io%d]", c.idx, part.srv), func(q *sim.Proc) {
+			defer wg.Done()
+			if err := c.runPart(q, fh.id, part, pack, opts, write); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	wg.Wait(p)
+	if regRes != nil {
+		ogr.Release(p, reg, regRes)
+	}
+	return firstErr
+}
+
+// runPart executes one server's share of a list operation, chunk by chunk.
+func (c *Client) runPart(p *sim.Proc, fileID int64, part *serverPart, pack bool, opts OpOptions, write bool) error {
+	cfg := c.cluster.Cfg
+	maxBytes := cfg.MaxRequestBytes
+	if pack && cfg.Wire == WireVerbs {
+		// Pack chunks must fit the Fast-RDMA buffers; streams have no
+		// such bound.
+		maxBytes = cfg.FastBufSize
+	}
+	conn := c.conns[part.srv]
+	for _, ch := range chunkPart(part, cfg.MaxListCount, maxBytes) {
+		conn.mu.Acquire(p)
+		var err error
+		if write {
+			err = c.writeChunk(p, conn, fileID, ch, pack, opts)
+		} else {
+			err = c.readChunk(p, conn, fileID, ch, pack, opts)
+		}
+		conn.mu.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registrar returns the registration strategy and OGR config for the policy.
+func (c *Client) registrar(policy RegPolicy) (ogr.Registrar, ogr.Config) {
+	cfg := c.cluster.Cfg.OGR
+	cfg.Params = c.cluster.Cfg.IB
+	switch policy {
+	case RegCached:
+		return ogr.Cached{Cache: c.cache}, cfg
+	case RegIndividual:
+		cfg.DisableGrouping = true
+		return ogr.Direct{HCA: c.hca}, cfg
+	default:
+		return ogr.Direct{HCA: c.hca}, cfg
+	}
+}
+
+func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk, pack bool, opts OpOptions) error {
+	cl := c.cluster
+	cl.Acct.WriteReqs++
+	cl.Acct.BytesClientServer += ch.total
+	cl.Trace.Recordf(p.Now(), c.node.Name, "write-req", ch.total,
+		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
+	req := &reqWrite{FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
+	if cl.Cfg.Wire == WireStream {
+		// Stream sockets: the payload rides in the request. The gather
+		// into the socket is one user-to-kernel copy.
+		data := make([]byte, 0, ch.total)
+		for _, s := range ch.segs {
+			b, err := c.space.Read(s.Addr, s.Len)
+			if err != nil {
+				return fmt.Errorf("pvfs: stream gather: %w", err)
+			}
+			data = append(data, b...)
+		}
+		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
+		req.Stream = true
+		req.Data = data
+		conn.qp.Send(p, reqSize(len(ch.accs))+int(ch.total), req)
+		conn.qp.Recv(p) // respWrite
+		p.Sleep(cl.Cfg.StreamOverhead)
+		return nil
+	}
+	if pack {
+		// Pack the user segments into the Fast-RDMA buffer (one copy),
+		// push it, then send the request.
+		packed := make([]byte, 0, ch.total)
+		for _, s := range ch.segs {
+			b, err := c.space.Read(s.Addr, s.Len)
+			if err != nil {
+				return fmt.Errorf("pvfs: pack gather: %w", err)
+			}
+			packed = append(packed, b...)
+		}
+		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total))
+		if err := c.space.Write(conn.fastBuf.Addr, packed); err != nil {
+			return err
+		}
+		conn.qp.RDMAWrite(p, []ib.SGE{{Addr: conn.fastBuf.Addr, Len: ch.total}}, conn.srvAddr, conn.srvKey)
+		conn.qp.Send(p, reqSize(len(ch.accs)), req)
+		conn.qp.Recv(p) // respWrite
+		return nil
+	}
+	// Gather: buffers were registered at operation start; rendezvous,
+	// then RDMA-gather-write straight from user memory.
+	conn.qp.Send(p, reqSize(len(ch.accs)), req)
+	_, ready := conn.qp.Recv(p)
+	r, ok := ready.(*respWriteReady)
+	if !ok {
+		return fmt.Errorf("pvfs: expected WriteReady, got %T", ready)
+	}
+	conn.qp.RDMAWrite(p, ch.segs, r.Addr, r.Key)
+	conn.qp.Send(p, reqSize(0), &reqWriteDone{})
+	conn.qp.Recv(p) // respWrite
+	return nil
+}
+
+func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk, pack bool, opts OpOptions) error {
+	cl := c.cluster
+	cl.Acct.ReadReqs++
+	cl.Acct.BytesClientServer += ch.total
+	cl.Trace.Recordf(p.Now(), c.node.Name, "read-req", ch.total,
+		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
+	req := &reqRead{FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
+	if cl.Cfg.Wire == WireStream {
+		req.Stream = true
+		p.Sleep(cl.Cfg.StreamOverhead)
+		conn.qp.Send(p, reqSize(len(ch.accs)), req)
+		_, resp := conn.qp.Recv(p)
+		r, ok := resp.(*respRead)
+		if !ok {
+			return fmt.Errorf("pvfs: expected stream ReadResp, got %T", resp)
+		}
+		// Kernel-to-user copy plus the scatter into the segments.
+		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
+		data := r.Data
+		for _, s := range ch.segs {
+			if err := c.space.Write(s.Addr, data[:s.Len]); err != nil {
+				return fmt.Errorf("pvfs: stream scatter: %w", err)
+			}
+			data = data[s.Len:]
+		}
+		return nil
+	}
+	if pack {
+		conn.qp.Send(p, reqSize(len(ch.accs)), req)
+		conn.qp.Recv(p) // respRead: data already in fastBuf
+		// Unpack into the user segments (one copy).
+		data, err := c.space.Read(conn.fastBuf.Addr, ch.total)
+		if err != nil {
+			return err
+		}
+		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total))
+		for _, s := range ch.segs {
+			if err := c.space.Write(s.Addr, data[:s.Len]); err != nil {
+				return fmt.Errorf("pvfs: unpack scatter: %w", err)
+			}
+			data = data[s.Len:]
+		}
+		return nil
+	}
+	// Gather/scatter: buffers were registered at operation start;
+	// RDMA-read the staged bytes directly into user memory.
+	conn.qp.Send(p, reqSize(len(ch.accs)), req)
+	_, ready := conn.qp.Recv(p)
+	r, ok := ready.(*respRead)
+	if !ok {
+		return fmt.Errorf("pvfs: expected ReadResp, got %T", ready)
+	}
+	conn.qp.RDMARead(p, ch.segs, r.Addr, r.Key)
+	conn.qp.Send(p, reqSize(0), &reqReadDone{})
+	return nil
+}
+
+func segExtents(segs []ib.SGE) []mem.Extent {
+	out := make([]mem.Extent, len(segs))
+	for i, s := range segs {
+		out[i] = s.Extent()
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package pvfs
+
+import (
+	"strings"
+
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+	"pvfsib/internal/stats"
+	"pvfsib/internal/trace"
+)
+
+// Acct accumulates protocol-level counters maintained by the client library
+// (request counts and payload byte totals by traffic class). Higher layers
+// (MPI) add client-to-client bytes.
+type Acct struct {
+	OpenReqs  int64
+	ReadReqs  int64
+	WriteReqs int64
+	SyncReqs  int64
+
+	BytesClientServer int64
+	BytesClientClient int64
+}
+
+// Cluster is one simulated PVFS deployment: I/O servers (one doubling as
+// metadata manager), compute nodes running the client library, and the
+// InfiniBand fabric connecting them.
+type Cluster struct {
+	Eng     *sim.Engine
+	Net     *simnet.Network
+	Cfg     Config
+	Servers []*Server
+	Clients []*Client
+	Manager *Manager
+
+	// Acct holds the protocol counters.
+	Acct Acct
+
+	// Trace, when non-nil, records request lifecycles and sieve decisions
+	// (attach with EnableTracing).
+	Trace *trace.Recorder
+}
+
+// EnableTracing attaches an event recorder keeping the most recent
+// capacity events and returns it.
+func (c *Cluster) EnableTracing(capacity int) *trace.Recorder {
+	c.Trace = trace.NewRecorder(capacity)
+	return c.Trace
+}
+
+// NewCluster builds a cluster with the given server and client counts. All
+// connections and pre-registered buffers are set up statically; setup costs
+// do not appear in virtual time.
+func NewCluster(eng *sim.Engine, cfg Config, nServers, nClients int) *Cluster {
+	if nServers < 1 || nClients < 1 {
+		panic("pvfs: need at least one server and one client")
+	}
+	c := &Cluster{
+		Eng: eng,
+		Net: simnet.New(eng, cfg.Net),
+		Cfg: cfg,
+	}
+	for i := 0; i < nServers; i++ {
+		c.Servers = append(c.Servers, newServer(c, i))
+	}
+	c.Manager = newManager(c)
+	for i := 0; i < nClients; i++ {
+		cl := newClient(c, i)
+		c.Clients = append(c.Clients, cl)
+		cl.connect()
+	}
+	return c
+}
+
+// Snapshot gathers the cluster-wide counters (Table 4 / Table 6 material).
+func (c *Cluster) Snapshot() stats.Snapshot {
+	s := stats.Snapshot{
+		OpenReqs:          c.Acct.OpenReqs,
+		ReadReqs:          c.Acct.ReadReqs,
+		WriteReqs:         c.Acct.WriteReqs,
+		SyncReqs:          c.Acct.SyncReqs,
+		BytesClientServer: c.Acct.BytesClientServer,
+		BytesClientClient: c.Acct.BytesClientClient,
+	}
+	for _, cl := range c.Clients {
+		hc := cl.hca.Counters
+		s.Registrations += hc.Registrations
+		s.Deregistrations += hc.Deregistrations
+		s.RegCacheHits += hc.RegCacheHits
+		// A lookup is either a cache hit, a cache miss (which registers),
+		// or a direct registration (no cache involved). Cache misses are
+		// counted inside Registrations too, so lookups are hits plus all
+		// registrations plus failed attempts.
+		s.RegLookups += hc.RegCacheHits + hc.Registrations + hc.RegFailures
+	}
+	for _, srv := range c.Servers {
+		fc := srv.fs.Counters
+		s.FSReadCalls += fc.ReadCalls
+		s.FSWriteCalls += fc.WriteCalls
+		dc := srv.dsk.Counters
+		s.DeviceReads += dc.ReadOps
+		s.DeviceWrites += dc.WriteOps
+		s.SieveWindows += srv.SieveStats.Windows
+		s.SieveWins += srv.SieveStats.SievedWins
+	}
+	return s
+}
+
+// infraPrefixes name the service processes that legitimately park forever
+// waiting for work.
+var infraPrefixes = []string{"hca[", "iod[", "mgr["}
+
+func isInfra(name string) bool {
+	for _, p := range infraPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return strings.HasSuffix(name, ".rxengine")
+}
+
+// Run drives the simulation until all application processes finish. The
+// infrastructure processes (HCA engines, I/O daemons, the manager) park
+// forever waiting for more work; a parked *application* process is a real
+// deadlock and is reported.
+func (c *Cluster) Run() error {
+	err := c.Eng.Run()
+	if err == nil {
+		return nil
+	}
+	de, ok := err.(*sim.DeadlockError)
+	if !ok {
+		return err
+	}
+	var stuck []string
+	for _, name := range de.Parked {
+		if !isInfra(name) {
+			stuck = append(stuck, name)
+		}
+	}
+	if len(stuck) > 0 {
+		return &sim.DeadlockError{Time: de.Time, Parked: stuck}
+	}
+	return nil
+}

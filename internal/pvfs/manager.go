@@ -1,0 +1,76 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// fileMeta is the manager's per-file metadata.
+type fileMeta struct {
+	id         int64
+	stripeSize int64
+}
+
+// Manager is the PVFS metadata manager. It provides the cluster-wide name
+// space and per-file striping metadata; it never participates in data
+// transfers. Like the paper's testbed it shares a node with the first I/O
+// server when the cluster has one, otherwise it gets its own node.
+type Manager struct {
+	node  *simnet.Node
+	space *mem.AddrSpace
+	hca   *ib.HCA
+
+	cfg    *Config
+	nextID int64
+	byName map[string]*fileMeta
+}
+
+func newManager(c *Cluster) *Manager {
+	m := &Manager{cfg: &c.Cfg, byName: make(map[string]*fileMeta)}
+	if len(c.Servers) > 0 {
+		// Co-located with the first I/O server.
+		m.node = c.Servers[0].node
+		m.space = c.Servers[0].space
+		m.hca = c.Servers[0].hca
+	} else {
+		m.node = c.Net.AddNode("mgr")
+		m.space = mem.NewAddrSpace("mgr")
+		m.hca = ib.NewHCA(m.node, m.space, c.Cfg.IB)
+	}
+	return m
+}
+
+// serve handles one client's metadata connection.
+func (m *Manager) serve(p *sim.Proc, qp *ib.QP) {
+	for {
+		_, payload := qp.Recv(p)
+		switch req := payload.(type) {
+		case *reqOpen:
+			meta, ok := m.byName[req.Name]
+			if !ok {
+				stripe := req.StripeSize
+				if stripe <= 0 {
+					stripe = m.cfg.StripeSize
+				}
+				meta = &fileMeta{id: m.nextID, stripeSize: stripe}
+				m.nextID++
+				m.byName[req.Name] = meta
+			}
+			qp.Send(p, smallReplyBytes, &respOpen{FileID: meta.id, StripeSize: meta.stripeSize})
+		case *reqUnlink:
+			meta, ok := m.byName[req.Name]
+			var id int64
+			if ok {
+				id = meta.id
+				delete(m.byName, req.Name)
+			}
+			qp.Send(p, smallReplyBytes, &respUnlink{FileID: id, Found: ok})
+		default:
+			panic(fmt.Sprintf("pvfs: manager: unexpected message %T", payload))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pvfs
+
+import (
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sieve"
+)
+
+// Wire protocol between clients, I/O daemons, and the metadata manager.
+// Request messages are small; bulk data always moves by RDMA.
+
+const (
+	reqHeaderBytes  = 64 // fixed request header
+	bytesPerPair    = 16 // one file offset-length pair
+	smallReplyBytes = 32
+)
+
+// reqOpen asks the metadata manager for a file handle, creating the file if
+// necessary. StripeSize, when nonzero, sets the new file's striping unit
+// (ignored for existing files — striping is immutable after create, as in
+// PVFS).
+type reqOpen struct {
+	Name       string
+	StripeSize int64
+}
+
+type respOpen struct {
+	FileID     int64
+	StripeSize int64
+}
+
+// reqWrite announces a list write of Total bytes covering Accs (server-local
+// regions). With SchemePack the data has already been RDMA-written into the
+// connection's receive buffer; with gather the server replies with a staging
+// buffer for the client to RDMA-write into.
+type reqWrite struct {
+	FileID     int64
+	Accs       []OffLen
+	Total      int64
+	SchemePack bool
+	Sieve      sieve.Mode
+	// Stream carries the payload inline (stream-socket transport).
+	Stream bool
+	Data   []byte
+}
+
+// respWriteReady carries the staging buffer for a gather write.
+type respWriteReady struct {
+	Addr mem.Addr
+	Key  ib.Key
+}
+
+// reqWriteDone tells the server the gather RDMA write has completed.
+type reqWriteDone struct{}
+
+// respWrite completes a write request.
+type respWrite struct{}
+
+// reqRead requests a list read. With SchemePack the server RDMA-writes the
+// packed bytes into the connection's client-side buffer before replying;
+// with gather the server stages the bytes and the client RDMA-reads them.
+type reqRead struct {
+	FileID     int64
+	Accs       []OffLen
+	Total      int64
+	SchemePack bool
+	Sieve      sieve.Mode
+	// Stream asks for the payload inline in the reply.
+	Stream bool
+}
+
+// respRead completes a pack read (data already delivered) or, for gather,
+// announces the staging buffer to RDMA-read from.
+type respRead struct {
+	Addr mem.Addr
+	Key  ib.Key
+	// Data carries the payload for stream-transport reads.
+	Data []byte
+}
+
+// reqReadDone releases the server's staging buffer after a gather read.
+type reqReadDone struct{}
+
+// reqSync asks the server to flush the file's dirty data to disk.
+type reqSync struct {
+	FileID int64
+}
+
+type respSync struct{}
+
+// reqStat asks a server for its stripe file's local size, from which the
+// client computes the logical end of file.
+type reqStat struct {
+	FileID int64
+}
+
+type respStat struct {
+	LocalSize int64
+}
+
+// reqRemove asks a server to delete its stripe file.
+type reqRemove struct {
+	FileID int64
+}
+
+type respRemove struct{}
+
+// reqUnlink asks the manager to drop a name from the name space.
+type reqUnlink struct {
+	Name string
+}
+
+type respUnlink struct {
+	FileID int64
+	Found  bool
+}
+
+func reqSize(npairs int) int { return reqHeaderBytes + npairs*bytesPerPair }

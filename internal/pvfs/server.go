@@ -1,0 +1,216 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"pvfsib/internal/disk"
+	"pvfsib/internal/ib"
+	"pvfsib/internal/localfs"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sieve"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+)
+
+// Server is one PVFS I/O daemon: an HCA, a local file system on a private
+// disk, a pool of pre-registered staging buffers, and one handler process
+// per client connection.
+type Server struct {
+	cluster *Cluster
+	idx     int
+	node    *simnet.Node
+	space   *mem.AddrSpace
+	hca     *ib.HCA
+	dsk     *disk.Disk
+	fs      *localfs.FS
+	staging *ib.BufPool
+
+	sieveParams sieve.Params
+	// SieveStats accumulates the daemon's data sieving decisions.
+	SieveStats sieve.Stats
+
+	// ioMu serializes the file-access phase of request processing: the
+	// PVFS I/O daemon is single-threaded, so local file operations from
+	// different client connections never overlap (network phases do).
+	ioMu *sim.Resource
+
+	files map[int64]*localfs.File
+}
+
+// HCA returns the server's adapter (for tests and benchmarks).
+func (s *Server) HCA() *ib.HCA { return s.hca }
+
+// FS returns the server's local file system.
+func (s *Server) FS() *localfs.FS { return s.fs }
+
+// Disk returns the server's disk.
+func (s *Server) Disk() *disk.Disk { return s.dsk }
+
+// SieveParams returns the daemon's cost model.
+func (s *Server) SieveParams() sieve.Params { return s.sieveParams }
+
+func newServer(c *Cluster, idx int) *Server {
+	node := c.Net.AddNode(fmt.Sprintf("io%d", idx))
+	space := mem.NewAddrSpace(node.Name)
+	s := &Server{
+		cluster: c,
+		idx:     idx,
+		node:    node,
+		space:   space,
+		hca:     ib.NewHCA(node, space, c.Cfg.IB),
+		dsk:     disk.New(c.Eng, node.Name+".disk", c.Cfg.Disk),
+		ioMu:    c.Eng.NewResource(fmt.Sprintf("io%d.iod", idx), 1),
+		files:   make(map[int64]*localfs.File),
+	}
+	s.fs = localfs.New(c.Eng, s.dsk, c.Cfg.FS)
+	s.staging = ib.NewBufPool(s.hca, c.Cfg.StagingBuffers, c.Cfg.MaxRequestBytes)
+	s.sieveParams = sieve.ModelFromFS(s.fs, c.Cfg.IB.MemcpyBandwidth)
+	return s
+}
+
+// serverConn is the daemon side of one client connection.
+type serverConn struct {
+	srv *Server
+	qp  *ib.QP
+	// recvBuf receives pack-scheme write data from the client.
+	recvBuf *ib.Buffer
+	// cliAddr/cliKey is the client-side buffer pack-scheme reads are
+	// RDMA-written into.
+	cliAddr mem.Addr
+	cliKey  ib.Key
+}
+
+// file returns the local stripe file for a handle, opening it on first use.
+func (s *Server) file(p *sim.Proc, id int64) *localfs.File {
+	if f, ok := s.files[id]; ok {
+		return f
+	}
+	f := s.fs.Open(p, fmt.Sprintf("f%06d", id))
+	s.files[id] = f
+	return f
+}
+
+// serve is the per-connection handler loop.
+func (sc *serverConn) serve(p *sim.Proc) {
+	s := sc.srv
+	for {
+		_, payload := sc.qp.Recv(p)
+		switch req := payload.(type) {
+		case *reqWrite:
+			sc.handleWrite(p, req)
+		case *reqRead:
+			sc.handleRead(p, req)
+		case *reqSync:
+			s.ioMu.Acquire(p)
+			s.file(p, req.FileID).Sync(p)
+			s.ioMu.Release()
+			sc.qp.Send(p, smallReplyBytes, &respSync{})
+		case *reqStat:
+			var size int64
+			if f, ok := s.files[req.FileID]; ok {
+				size = f.Size()
+			}
+			sc.qp.Send(p, smallReplyBytes, &respStat{LocalSize: size})
+		case *reqRemove:
+			s.ioMu.Acquire(p)
+			if _, ok := s.files[req.FileID]; ok {
+				delete(s.files, req.FileID)
+				s.fs.Remove(p, fmt.Sprintf("f%06d", req.FileID))
+			}
+			s.ioMu.Release()
+			sc.qp.Send(p, smallReplyBytes, &respRemove{})
+		default:
+			panic(fmt.Sprintf("pvfs: server %d: unexpected message %T", s.idx, payload))
+		}
+	}
+}
+
+func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) {
+	s := sc.srv
+	f := s.file(p, req.FileID)
+	var data []byte
+	if req.Stream {
+		// Stream sockets: kernel-to-user copy of the inline payload.
+		p.Sleep(s.cluster.Cfg.IB.MemcpyTime(req.Total) + s.cluster.Cfg.StreamOverhead)
+		data = req.Data
+	} else if req.SchemePack {
+		// Data already landed in the connection receive buffer.
+		b, err := s.space.Read(sc.recvBuf.Addr, req.Total)
+		if err != nil {
+			panic(fmt.Sprintf("pvfs: server %d: pack buffer read: %v", s.idx, err))
+		}
+		data = b
+	} else {
+		// Rendezvous: hand the client a staging buffer, wait for the
+		// completion notice, then pull the bytes out of it.
+		buf := s.staging.Get(p)
+		sc.qp.Send(p, smallReplyBytes, &respWriteReady{Addr: buf.Addr, Key: buf.MR.Key})
+		_, done := sc.qp.Recv(p)
+		if _, ok := done.(*reqWriteDone); !ok {
+			panic(fmt.Sprintf("pvfs: server %d: expected WriteDone, got %T", s.idx, done))
+		}
+		b, err := s.space.Read(buf.Addr, req.Total)
+		if err != nil {
+			panic(fmt.Sprintf("pvfs: server %d: staging read: %v", s.idx, err))
+		}
+		data = b
+		buf.Put()
+	}
+	s.ioMu.Acquire(p)
+	decs := sieve.Write(p, f, toSieveAccs(req.Accs), data, s.sieveParams, req.Sieve, &s.SieveStats)
+	s.ioMu.Release()
+	s.traceDecisions(p, "write", decs)
+	sc.qp.Send(p, smallReplyBytes, &respWrite{})
+}
+
+func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) {
+	s := sc.srv
+	f := s.file(p, req.FileID)
+	s.ioMu.Acquire(p)
+	data, decs := sieve.Read(p, f, toSieveAccs(req.Accs), s.sieveParams, req.Sieve, &s.SieveStats)
+	s.ioMu.Release()
+	s.traceDecisions(p, "read", decs)
+	if req.Stream {
+		// Stream sockets: payload rides in the reply (user-to-kernel copy).
+		p.Sleep(s.cluster.Cfg.IB.MemcpyTime(req.Total) + s.cluster.Cfg.StreamOverhead)
+		sc.qp.Send(p, smallReplyBytes+int(req.Total), &respRead{Data: data})
+		return
+	}
+	buf := s.staging.Get(p)
+	if err := s.space.Write(buf.Addr, data); err != nil {
+		panic(fmt.Sprintf("pvfs: server %d: staging write: %v", s.idx, err))
+	}
+	if req.SchemePack {
+		// Push the packed bytes straight into the client's buffer.
+		sc.qp.RDMAWrite(p, []ib.SGE{{Addr: buf.Addr, Len: req.Total}}, sc.cliAddr, sc.cliKey)
+		buf.Put()
+		sc.qp.Send(p, smallReplyBytes, &respRead{})
+		return
+	}
+	// Gather: the client scatters out of the staging buffer itself.
+	sc.qp.Send(p, smallReplyBytes, &respRead{Addr: buf.Addr, Key: buf.MR.Key})
+	_, done := sc.qp.Recv(p)
+	if _, ok := done.(*reqReadDone); !ok {
+		panic(fmt.Sprintf("pvfs: server %d: expected ReadDone, got %T", s.idx, done))
+	}
+	buf.Put()
+}
+
+// traceDecisions records the daemon's sieve choices for one request.
+func (s *Server) traceDecisions(p *sim.Proc, op string, decs []sieve.Decision) {
+	if s.cluster.Trace == nil {
+		return
+	}
+	for _, d := range decs {
+		s.cluster.Trace.Recordf(p.Now(), s.node.Name, "sieve-"+op, d.Wanted,
+			"sieved=%v n=%d span=%d", d.UseSieve, d.N, d.Span)
+	}
+}
+
+func toSieveAccs(accs []OffLen) []sieve.Access {
+	out := make([]sieve.Access, len(accs))
+	for i, a := range accs {
+		out[i] = sieve.Access{Off: a.Off, Len: a.Len}
+	}
+	return out
+}

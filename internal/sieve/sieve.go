@@ -1,0 +1,307 @@
+// Package sieve implements Active Data Sieving (Section 5 of the paper):
+// server-side data sieving in which the I/O node inspects each batch of
+// noncontiguous file accesses and uses an explicit cost model to decide
+// whether to service them with one large contiguous access (plus a
+// read-modify-write cycle for writes) or individually.
+//
+// The cost model is the paper's Table 1 / Section 5.1:
+//
+//	T_read = N·(O_r + O_seek) + Σ S_i/B_r(S_i)
+//	T_write = N·(O_w + O_seek) + Σ S_i/B_w(S_i)
+//	T_dsr  = O_r + O_seek + S_ds/B_r(S_ds)
+//	T_dsw  = T_dsr + S_req/B_mem + O_lock + O_w + S_ds/B_w(S_ds) + O_unlock
+//
+// It is deliberately conservative: bandwidths are the *uncached* disk
+// curves, so when sieving is chosen it is almost certainly beneficial once
+// caching helps further.
+package sieve
+
+import (
+	"sort"
+
+	"pvfsib/internal/localfs"
+	"pvfsib/internal/sim"
+)
+
+// Access is one contiguous file region of a noncontiguous request.
+type Access struct {
+	Off int64
+	Len int64
+}
+
+// End returns the first offset past the access.
+func (a Access) End() int64 { return a.Off + a.Len }
+
+// Params is the cost model (the paper's Table 1 system parameters).
+type Params struct {
+	// Bmem is host memory bandwidth in bytes/s.
+	Bmem float64
+	// Br and Bw return uncached file read/write bandwidth (bytes/s) for
+	// an access of the given size.
+	Br func(size int64) float64
+	Bw func(size int64) float64
+	// Or and Ow are per-call read/write overheads; Oseek is the seek
+	// overhead; Olock/Ounlock are file lock costs.
+	Or, Ow, Oseek  sim.Duration
+	Olock, Ounlock sim.Duration
+	// MaxBuffer caps the sieve staging buffer; larger spans are split
+	// into windows decided independently.
+	MaxBuffer int64
+}
+
+// ModelFromFS derives the cost model from a local file system's measured
+// parameters, as the I/O daemon does at startup.
+func ModelFromFS(fs *localfs.FS, memBandwidth float64) Params {
+	dp := fs.Disk().Params()
+	fp := fs.Params()
+	return Params{
+		Bmem:      memBandwidth,
+		Br:        dp.ReadBW,
+		Bw:        dp.WriteBW,
+		Or:        fp.CallOverhead + dp.PerOp,
+		Ow:        fp.CallOverhead + dp.PerOp,
+		Oseek:     dp.Seek,
+		Olock:     fp.LockOverhead,
+		Ounlock:   fp.LockOverhead,
+		MaxBuffer: 4 << 20,
+	}
+}
+
+// Mode selects how the decision is made.
+type Mode int
+
+const (
+	// Auto applies the cost model per window (Active Data Sieving).
+	Auto Mode = iota
+	// Always sieves unconditionally (classic data sieving).
+	Always
+	// Never services each access individually (list I/O without ADS).
+	Never
+)
+
+// Decision records the outcome of the cost model for one window.
+type Decision struct {
+	UseSieve bool
+	N        int   // accesses in the window
+	Span     int64 // S_ds
+	Wanted   int64 // S_req
+	Tds      sim.Duration
+	Tindiv   sim.Duration
+}
+
+// Stats accumulates sieve activity on a server.
+type Stats struct {
+	Windows     int64
+	SievedWins  int64 // windows the model chose to sieve
+	IndivWins   int64
+	SievedBytes int64 // bytes read/written through sieve buffers (S_ds)
+	WantedBytes int64 // bytes the client actually asked for (S_req)
+}
+
+// window is a run of accesses whose span fits the staging buffer.
+type window struct {
+	accs []Access // sorted by offset
+	span Access
+}
+
+// planWindows sorts accesses and greedily packs them into spans of at most
+// maxBuffer bytes. Unbounded maxBuffer yields a single window.
+func planWindows(accs []Access, maxBuffer int64) []window {
+	sorted := make([]Access, len(accs))
+	copy(sorted, accs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Off != sorted[j].Off {
+			return sorted[i].Off < sorted[j].Off
+		}
+		return sorted[i].Len < sorted[j].Len
+	})
+	var wins []window
+	cur := window{accs: sorted[:1], span: sorted[0]}
+	for _, a := range sorted[1:] {
+		end := a.End()
+		if cur.span.End() > end {
+			end = cur.span.End()
+		}
+		if maxBuffer > 0 && end-cur.span.Off > maxBuffer && len(cur.accs) > 0 {
+			wins = append(wins, cur)
+			cur = window{accs: []Access{a}, span: a}
+			continue
+		}
+		cur.accs = append(cur.accs, a)
+		cur.span.Len = end - cur.span.Off
+	}
+	wins = append(wins, cur)
+	return wins
+}
+
+// decide evaluates the cost model for one window.
+func (p Params) decide(w window, write bool) Decision {
+	d := Decision{N: len(w.accs), Span: w.span.Len}
+	var tIndiv, tSieve sim.Duration
+	perOp := p.Or
+	bwFor := p.Br
+	if write {
+		perOp = p.Ow
+		bwFor = p.Bw
+	}
+	for _, a := range w.accs {
+		d.Wanted += a.Len
+		tIndiv += perOp + p.Oseek + xferTime(a.Len, bwFor(a.Len))
+	}
+	tdsr := p.Or + p.Oseek + xferTime(d.Span, p.Br(d.Span))
+	if write {
+		tSieve = tdsr + xferTime(d.Wanted, p.Bmem) + p.Olock + p.Ow +
+			xferTime(d.Span, p.Bw(d.Span)) + p.Ounlock
+	} else {
+		tSieve = tdsr
+	}
+	d.Tds, d.Tindiv = tSieve, tIndiv
+	d.UseSieve = tSieve < tIndiv
+	return d
+}
+
+func xferTime(size int64, bw float64) sim.Duration {
+	if size <= 0 || bw <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(size) / bw * 1e9)
+}
+
+// Read services the accesses against the file, returning the wanted bytes
+// concatenated in the order the accesses were given (reads past end of file
+// return zeros). The returned decisions describe each window.
+func Read(p *sim.Proc, f *localfs.File, accs []Access, params Params, mode Mode, stats *Stats) ([]byte, []Decision) {
+	if len(accs) == 0 {
+		return nil, nil
+	}
+	var total int64
+	for _, a := range accs {
+		total += a.Len
+	}
+	out := make([]byte, total)
+	// Offsets of each access's slice in out, in original order.
+	pos := make(map[Access][]int64)
+	cursor := int64(0)
+	for _, a := range accs {
+		pos[a] = append(pos[a], cursor)
+		cursor += a.Len
+	}
+
+	var decisions []Decision
+	for _, w := range planWindows(accs, params.MaxBuffer) {
+		d := params.decide(w, false)
+		applyMode(&d, mode)
+		decisions = append(decisions, d)
+		record(stats, d)
+		if d.UseSieve {
+			buf := readPadded(p, f, w.span.Off, w.span.Len)
+			for _, a := range w.accs {
+				piece := buf[a.Off-w.span.Off : a.End()-w.span.Off]
+				placePiece(out, pos, a, piece)
+			}
+		} else {
+			for _, a := range w.accs {
+				piece := readPadded(p, f, a.Off, a.Len)
+				placePiece(out, pos, a, piece)
+			}
+		}
+	}
+	return out, decisions
+}
+
+// Write services the accesses with the given data (concatenated in access
+// order). Sieved windows perform a locked read-modify-write; individual
+// windows write each piece directly.
+func Write(p *sim.Proc, f *localfs.File, accs []Access, data []byte, params Params, mode Mode, stats *Stats) []Decision {
+	if len(accs) == 0 {
+		return nil
+	}
+	// Slice data into per-access pieces in the original order.
+	pieces := make([][]byte, len(accs))
+	cursor := int64(0)
+	for i, a := range accs {
+		pieces[i] = data[cursor : cursor+a.Len]
+		cursor += a.Len
+	}
+	// Sorting inside planWindows loses the original order, so key pieces
+	// by access; duplicates consume pieces FIFO.
+	queue := make(map[Access][][]byte)
+	order := make([]Access, len(accs))
+	copy(order, accs)
+	for i, a := range order {
+		queue[a] = append(queue[a], pieces[i])
+	}
+	take := func(a Access) []byte {
+		q := queue[a]
+		piece := q[0]
+		queue[a] = q[1:]
+		return piece
+	}
+
+	var decisions []Decision
+	for _, w := range planWindows(accs, params.MaxBuffer) {
+		d := params.decide(w, true)
+		applyMode(&d, mode)
+		decisions = append(decisions, d)
+		record(stats, d)
+		if d.UseSieve {
+			f.Lock(p, w.span.Off, w.span.Len)
+			buf := readPadded(p, f, w.span.Off, w.span.Len)
+			for _, a := range w.accs {
+				copy(buf[a.Off-w.span.Off:a.End()-w.span.Off], take(a))
+			}
+			p.Sleep(xferTime(d.Wanted, params.Bmem)) // modify phase
+			f.WriteAt(p, w.span.Off, buf)
+			f.Unlock(p, w.span.Off, w.span.Len)
+		} else {
+			for _, a := range w.accs {
+				f.WriteAt(p, a.Off, take(a))
+			}
+		}
+	}
+	return decisions
+}
+
+func applyMode(d *Decision, mode Mode) {
+	switch mode {
+	case Always:
+		d.UseSieve = true
+	case Never:
+		d.UseSieve = false
+	}
+}
+
+func record(stats *Stats, d Decision) {
+	if stats == nil {
+		return
+	}
+	stats.Windows++
+	stats.WantedBytes += d.Wanted
+	if d.UseSieve {
+		stats.SievedWins++
+		stats.SievedBytes += d.Span
+	} else {
+		stats.IndivWins++
+		stats.SievedBytes += d.Wanted
+	}
+}
+
+// readPadded reads [off, off+size), zero-padding past end of file so sieve
+// extraction arithmetic stays simple.
+func readPadded(p *sim.Proc, f *localfs.File, off, size int64) []byte {
+	got := f.ReadAt(p, off, size)
+	if int64(len(got)) == size {
+		return got
+	}
+	out := make([]byte, size)
+	copy(out, got)
+	return out
+}
+
+// placePiece copies the piece into every output slot for the access;
+// duplicate accesses receive identical bytes, so this is idempotent.
+func placePiece(out []byte, pos map[Access][]int64, a Access, piece []byte) {
+	for _, s := range pos[a] {
+		copy(out[s:s+a.Len], piece)
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with a virtual clock and goroutine-backed processes.
+//
+// The engine drives at most one process at a time, so simulation code needs
+// no locking and is fully deterministic: the interleaving of processes is a
+// function of the event timeline alone, never of the Go scheduler. Virtual
+// time advances only when the event heap says so; data manipulation within a
+// process is instantaneous in virtual time.
+//
+// A process is an ordinary function running on its own goroutine. It receives
+// a *Proc handle and uses it to interact with virtual time:
+//
+//	eng := sim.NewEngine()
+//	eng.Go("client", func(p *sim.Proc) {
+//		p.Sleep(10 * time.Microsecond)
+//		fmt.Println(p.Now())
+//	})
+//	eng.Run()
+//
+// Synchronization primitives (Mailbox, Resource, WaitGroup, Cond) are built
+// on the park/wake mechanism and never consume virtual time by themselves.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start of
+// the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// String formats the virtual time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the virtual time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback.
+type event struct {
+	t   Time
+	seq uint64 // tie-break so equal-time events run FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)      { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() *event     { return h[0] }
+func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	yield   chan struct{} // a running proc signals here when it parks or exits
+	parked  map[*Proc]struct{}
+	live    int // processes spawned and not yet finished
+	stopped bool
+	killed  bool
+
+	panicked any // propagated from a crashed process
+}
+
+// NewEngine returns an engine with the clock at zero and no events.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at time t (not before the current time).
+func (e *Engine) Schedule(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.pushEv(&event{t: t, seq: e.seq, fn: fn})
+}
+
+// After runs fn d from now.
+func (e *Engine) After(d Duration, fn func()) { e.Schedule(e.now.Add(d), fn) }
+
+// Proc is the handle a simulation process uses to interact with virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the label given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go spawns a new process that begins executing at the current virtual time.
+// The name is used in deadlock reports.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt spawns a new process that begins executing at time t.
+func (e *Engine) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // wait for the engine to hand us the run token
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+			}
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(t, func() { e.transferTo(p) })
+	return p
+}
+
+// transferTo hands the run token to p and waits for it to park or finish.
+func (e *Engine) transferTo(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park suspends the calling process until something wakes it. It must only
+// be called from within the process's own goroutine.
+func (p *Proc) park() {
+	p.eng.parked[p] = struct{}{}
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.eng.killed {
+		runtime.Goexit() // deferred wrapper signals the engine
+	}
+}
+
+// wake schedules p to resume at the current virtual time. It is an error to
+// wake a process that is not parked.
+func (e *Engine) wake(p *Proc) {
+	if _, ok := e.parked[p]; !ok {
+		panic(fmt.Sprintf("sim: wake of non-parked process %q", p.name))
+	}
+	delete(e.parked, p)
+	e.Schedule(e.now, func() { e.transferTo(p) })
+}
+
+// Sleep advances the process's virtual time by d. Negative durations are
+// treated as zero (the process yields but no time passes).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.parked[p] = struct{}{}
+	e.Schedule(e.now.Add(d), func() {
+		delete(e.parked, p)
+		e.transferTo(p)
+	})
+	e.yield <- struct{}{}
+	<-p.resume
+	if e.killed {
+		runtime.Goexit()
+	}
+}
+
+// Yield lets any other event scheduled for the current instant run before the
+// process continues. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError reports a simulation where parked processes remain but no
+// events are pending to wake them.
+type DeadlockError struct {
+	Time   Time
+	Parked []string // names of parked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) parked forever: %v",
+		e.Time, len(e.Parked), e.Parked)
+}
+
+// Run executes events until the queue is empty. It returns a *DeadlockError
+// if processes remain parked with no pending events, and re-panics if any
+// process panicked.
+func (e *Engine) Run() error {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit. It stops early on
+// deadlock or an empty queue.
+func (e *Engine) RunUntil(limit Time) error {
+	for len(e.events) > 0 && !e.stopped {
+		if e.events.peek().t > limit {
+			e.now = limit
+			return nil
+		}
+		ev := e.events.popEv()
+		e.now = ev.t
+		ev.fn()
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+	}
+	if len(e.parked) > 0 {
+		names := make([]string, 0, len(e.parked))
+		for p := range e.parked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Time: e.now, Parked: names}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Parked processes
+// are abandoned (their goroutines stay blocked until the test ends); Stop is
+// intended for benchmarks that only need the clock reading.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown terminates every parked process so that the engine — and
+// everything its processes reference — becomes garbage-collectable.
+// Without it, service processes that wait forever (device engines, daemon
+// loops) pin their whole simulated world in memory for the life of the Go
+// process. Call it when a simulation will not be used again; the engine
+// must not be used afterwards.
+func (e *Engine) Shutdown() {
+	e.killed = true
+	procs := make([]*Proc, 0, len(e.parked))
+	for p := range e.parked {
+		procs = append(procs, p)
+	}
+	e.parked = make(map[*Proc]struct{})
+	for _, p := range procs {
+		p.resume <- struct{}{} // park() sees killed and exits the goroutine
+		<-e.yield              // its deferred wrapper signals completion
+	}
+	e.events = nil
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,182 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulation processes.
+// Send never blocks; Recv blocks (in virtual time) until a message arrives.
+type Mailbox struct {
+	eng     *Engine
+	name    string
+	queue   []any
+	waiters []*Proc // processes parked in Recv, FIFO
+}
+
+// NewMailbox creates an empty mailbox. The name is used in diagnostics.
+func (e *Engine) NewMailbox(name string) *Mailbox {
+	return &Mailbox{eng: e, name: name}
+}
+
+// Send enqueues v and wakes the oldest waiting receiver, if any. It may be
+// called from a process or from a scheduled event callback.
+func (m *Mailbox) Send(v any) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.eng.wake(w)
+	}
+}
+
+// Recv returns the oldest queued message, blocking the calling process until
+// one is available. Messages are delivered in send order; when several
+// receivers wait, they are served FIFO.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryRecv returns the oldest queued message without blocking. ok is false if
+// the mailbox is empty.
+func (m *Mailbox) TryRecv() (v any, ok bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v = m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Resource is a counted resource (a semaphore) served FIFO. A Resource with
+// capacity 1 models a serially-reusable device such as a disk arm or a NIC
+// transmit engine.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given capacity (must be >= 1).
+func (e *Engine) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// Acquire obtains one unit, blocking in FIFO order while the resource is
+// fully in use.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// The releaser incremented inUse on our behalf before waking us.
+}
+
+// Release returns one unit and hands it directly to the oldest waiter, if
+// any, preserving FIFO fairness.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.eng.wake(w) // unit passes straight to w; inUse unchanged
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, sleeps for d, and releases it. This is the
+// common pattern for charging serialized device time.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// WaitGroup counts outstanding work items, like sync.WaitGroup but in
+// virtual time.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a wait group with count zero.
+func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add adds delta to the count. When the count reaches zero, all waiters wake.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			w.eng.wake(p)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks the calling process until the count is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.waiters = append(w.waiters, p)
+		p.park()
+	}
+}
+
+// Cond is a condition variable: processes wait until another process calls
+// Signal or Broadcast. There is no associated lock — the engine's one-process-
+// at-a-time execution already makes state changes atomic.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable.
+func (e *Engine) NewCond() *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until signaled. As with sync.Cond, callers
+// should re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.wake(w)
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.eng.wake(w)
+	}
+	c.waiters = nil
+}

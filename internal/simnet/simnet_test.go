@@ -1,0 +1,185 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"pvfsib/internal/sim"
+)
+
+func testNet(t *testing.T) (*sim.Engine, *Network, *Node, *Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := New(eng, DefaultParams())
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	return eng, net, a, b
+}
+
+// run executes the engine, tolerating the perpetually-parked rx engines.
+func run(t *testing.T, eng *sim.Engine) {
+	t.Helper()
+	err := eng.Run()
+	if err == nil {
+		return
+	}
+	de, ok := err.(*sim.DeadlockError)
+	if !ok {
+		t.Fatal(err)
+	}
+	// Only rx engines may remain parked (they wait for messages forever).
+	for _, name := range de.Parked {
+		if len(name) < 9 || name[len(name)-9:] != ".rxengine" {
+			t.Fatalf("unexpected parked process %q", name)
+		}
+	}
+}
+
+func TestSmallMessageLatency(t *testing.T) {
+	eng, _, a, b := testNet(t)
+	var arrived sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		m := b.Inbox.Recv(p).(*Message)
+		arrived = m.ArriveAt
+		if m.Payload.(string) != "ping" {
+			t.Errorf("payload = %v", m.Payload)
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		a.Send(p, b.ID, 4, "ping")
+	})
+	run(t, eng)
+	// 4 bytes: serialization is negligible; arrival ≈ latency.
+	lo, hi := sim.Time(6*time.Microsecond), sim.Time(6*time.Microsecond+100)
+	if arrived < lo || arrived > hi {
+		t.Errorf("4-byte message arrived at %v, want ≈6µs", arrived)
+	}
+}
+
+func TestLargeMessageBandwidth(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	const size = 64 * MB
+	var arrived sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		m := b.Inbox.Recv(p).(*Message)
+		arrived = m.ArriveAt
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		a.Send(p, b.ID, size, nil)
+	})
+	run(t, eng)
+	gotBW := float64(size) / arrived.Seconds() / MB
+	if gotBW < 800 || gotBW > 830 {
+		t.Errorf("bandwidth = %.1f MB/s, want ≈827", gotBW)
+	}
+	if net.BytesSent[a.ID] != size {
+		t.Errorf("BytesSent = %d, want %d", net.BytesSent[a.ID], size)
+	}
+}
+
+func TestSenderBlocksForSerialization(t *testing.T) {
+	eng, net, a, b := testNet(t)
+	const size = 8 * MB
+	var sendDone sim.Time
+	eng.Go("send", func(p *sim.Proc) {
+		a.Send(p, b.ID, size, nil)
+		sendDone = p.Now()
+	})
+	run(t, eng)
+	ser := net.Params().SerializationTime(size)
+	if sendDone != sim.Time(ser) {
+		t.Errorf("send returned at %v, want %v", sendDone, ser)
+	}
+}
+
+func TestMessagesFromOneSenderStayOrdered(t *testing.T) {
+	eng, _, a, b := testNet(t)
+	var got []int
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			m := b.Inbox.Recv(p).(*Message)
+			got = append(got, m.Payload.(int))
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			a.Send(p, b.ID, 1<<uint(20-i), i) // decreasing sizes
+		}
+	})
+	run(t, eng)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery order %v, want [0 1 2 3 4]", got)
+		}
+	}
+}
+
+func TestIncastSharesReceiverBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultParams())
+	dst := net.AddNode("dst")
+	const nsenders = 4
+	const size = 16 * MB
+	for i := 0; i < nsenders; i++ {
+		src := net.AddNode("src")
+		eng.Go("send", func(p *sim.Proc) {
+			src.Send(p, dst.ID, size, nil)
+		})
+	}
+	var last sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < nsenders; i++ {
+			m := dst.Inbox.Recv(p).(*Message)
+			last = m.ArriveAt
+		}
+	})
+	run(t, eng)
+	// All four must serialize through dst's single receive engine.
+	minTime := net.Params().SerializationTime(nsenders * size)
+	if last < sim.Time(minTime) {
+		t.Errorf("incast finished at %v, faster than receive line rate %v", last, minTime)
+	}
+}
+
+func TestDisjointPairsRunInParallel(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, DefaultParams())
+	const size = 32 * MB
+	var finish []sim.Time
+	for i := 0; i < 3; i++ {
+		src := net.AddNode("src")
+		dst := net.AddNode("dst")
+		eng.Go("send", func(p *sim.Proc) { src.Send(p, dst.ID, size, nil) })
+		eng.Go("recv", func(p *sim.Proc) {
+			m := dst.Inbox.Recv(p).(*Message)
+			finish = append(finish, m.ArriveAt)
+		})
+	}
+	run(t, eng)
+	oneFlow := sim.Time(net.Params().SerializationTime(size)) + sim.Time(net.Params().Latency)
+	for _, f := range finish {
+		if f != oneFlow {
+			t.Errorf("flow finished at %v, want %v (no cross-pair interference)", f, oneFlow)
+		}
+	}
+}
+
+func TestSendToUnknownNodePanics(t *testing.T) {
+	eng, _, a, _ := testNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	eng.Go("bad", func(p *sim.Proc) {
+		a.Send(p, NodeID(99), 1, nil)
+	})
+	_ = eng.Run()
+}
+
+func TestSerializationTimeZeroAndNegative(t *testing.T) {
+	p := DefaultParams()
+	if p.SerializationTime(0) != 0 || p.SerializationTime(-5) != 0 {
+		t.Error("nonpositive sizes must serialize in zero time")
+	}
+}

@@ -1,0 +1,74 @@
+// Package stats defines cluster-wide operation counters, the quantities the
+// paper reports in Table 4 (registration counts and overheads) and Table 6
+// (request, registration, cache-hit, and disk-call counts, plus bytes moved
+// between node classes).
+package stats
+
+import "fmt"
+
+// Snapshot is a point-in-time view of all cluster counters.
+type Snapshot struct {
+	// Client request messages by kind (requests, not replies).
+	OpenReqs  int64
+	ReadReqs  int64
+	WriteReqs int64
+	SyncReqs  int64
+
+	// Client-side memory registration activity.
+	Registrations   int64
+	Deregistrations int64
+	RegLookups      int64 // registration attempts incl. cache hits
+	RegCacheHits    int64
+
+	// Server-side file system calls (the (lseek,read) / (lseek,write)
+	// pairs of Table 6).
+	FSReadCalls  int64
+	FSWriteCalls int64
+
+	// Server-side device operations.
+	DeviceReads  int64
+	DeviceWrites int64
+
+	// Data payload bytes between node classes.
+	BytesClientServer int64
+	BytesClientClient int64
+
+	// Sieve decisions across all servers.
+	SieveWindows int64
+	SieveWins    int64
+}
+
+// IOReqs returns the total read+write+sync request count.
+func (s Snapshot) IOReqs() int64 { return s.ReadReqs + s.WriteReqs + s.SyncReqs }
+
+// Sub returns the counter deltas s - t; use it to isolate one experiment's
+// activity.
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		OpenReqs:          s.OpenReqs - t.OpenReqs,
+		ReadReqs:          s.ReadReqs - t.ReadReqs,
+		WriteReqs:         s.WriteReqs - t.WriteReqs,
+		SyncReqs:          s.SyncReqs - t.SyncReqs,
+		Registrations:     s.Registrations - t.Registrations,
+		Deregistrations:   s.Deregistrations - t.Deregistrations,
+		RegLookups:        s.RegLookups - t.RegLookups,
+		RegCacheHits:      s.RegCacheHits - t.RegCacheHits,
+		FSReadCalls:       s.FSReadCalls - t.FSReadCalls,
+		FSWriteCalls:      s.FSWriteCalls - t.FSWriteCalls,
+		DeviceReads:       s.DeviceReads - t.DeviceReads,
+		DeviceWrites:      s.DeviceWrites - t.DeviceWrites,
+		BytesClientServer: s.BytesClientServer - t.BytesClientServer,
+		BytesClientClient: s.BytesClientClient - t.BytesClientClient,
+		SieveWindows:      s.SieveWindows - t.SieveWindows,
+		SieveWins:         s.SieveWins - t.SieveWins,
+	}
+}
+
+// String formats the snapshot as the rows of Table 6.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"req#=%d reg#=%d hit=%d read#=%d write#=%d c/s=%.1fMB c/c=%.1fMB",
+		s.IOReqs(), s.RegLookups, s.RegCacheHits,
+		s.FSReadCalls, s.FSWriteCalls,
+		float64(s.BytesClientServer)/(1<<20), float64(s.BytesClientClient)/(1<<20))
+}

@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSub(t *testing.T) {
+	a := Snapshot{ReadReqs: 10, WriteReqs: 20, FSReadCalls: 100, BytesClientServer: 1 << 20}
+	b := Snapshot{ReadReqs: 4, WriteReqs: 5, FSReadCalls: 40, BytesClientServer: 1 << 19}
+	d := a.Sub(b)
+	if d.ReadReqs != 6 || d.WriteReqs != 15 || d.FSReadCalls != 60 || d.BytesClientServer != 1<<19 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestIOReqs(t *testing.T) {
+	s := Snapshot{ReadReqs: 1, WriteReqs: 2, SyncReqs: 3, OpenReqs: 99}
+	if s.IOReqs() != 6 {
+		t.Errorf("IOReqs = %d, want 6 (opens excluded)", s.IOReqs())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Snapshot{WriteReqs: 7, RegLookups: 3, BytesClientServer: 2 << 20}
+	str := s.String()
+	for _, want := range []string{"req#=7", "reg#=3", "c/s=2.0MB"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace records structured events from a simulated run: request
+// lifecycles, data sieving decisions, registration activity. A Recorder is
+// a bounded ring buffer, cheap enough to leave attached during benchmarks;
+// a nil *Recorder is valid and records nothing, so call sites need no
+// conditionals.
+//
+// Events carry virtual timestamps, making traces a debugging view of the
+// deterministic timeline: two runs of the same workload produce identical
+// traces.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pvfsib/internal/sim"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// T is the virtual time of the event in nanoseconds.
+	T int64 `json:"t_ns"`
+	// Node is the node or component that produced the event.
+	Node string `json:"node"`
+	// Kind classifies the event (e.g. "write-req", "sieve-decision").
+	Kind string `json:"kind"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail,omitempty"`
+	// Bytes is the payload size the event concerns, if any.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// Recorder is a bounded ring buffer of events.
+type Recorder struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRecorder creates a recorder that keeps the most recent capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event; the oldest event is dropped once the buffer is
+// full. A nil recorder ignores the call.
+func (r *Recorder) Record(t sim.Time, node, kind, detail string, bytes int64) {
+	if r == nil {
+		return
+	}
+	ev := Event{T: int64(t), Node: node, Kind: kind, Detail: detail, Bytes: bytes}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+		return
+	}
+	r.ring[r.next] = ev
+	r.next = (r.next + 1) % cap(r.ring)
+	r.wrapped = true
+	r.dropped++
+}
+
+// Recordf is Record with a formatted detail string.
+func (r *Recorder) Recordf(t sim.Time, node, kind string, bytes int64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(t, node, kind, fmt.Sprintf(format, args...), bytes)
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		out := make([]Event, len(r.ring))
+		copy(out, r.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events fell off the ring.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// WriteJSON emits the retained events as JSON Lines.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText emits the retained events as aligned human-readable lines.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.Events() {
+		var err error
+		if ev.Bytes > 0 {
+			_, err = fmt.Fprintf(w, "%12.3fus %-8s %-16s %8dB %s\n",
+				float64(ev.T)/1000, ev.Node, ev.Kind, ev.Bytes, ev.Detail)
+		} else {
+			_, err = fmt.Fprintf(w, "%12.3fus %-8s %-16s %9s %s\n",
+				float64(ev.T)/1000, ev.Node, ev.Kind, "", ev.Detail)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

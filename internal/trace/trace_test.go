@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pvfsib/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, "n", "k", "d", 1)
+	r.Recordf(0, "n", "k", 1, "x=%d", 1)
+	if r.Events() != nil || r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder must be inert")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), "n", "k", "", int64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.T != int64(6+i) {
+			t.Errorf("event %d: T = %d, want %d (chronological, newest kept)", i, ev.T, 6+i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestEventsBeforeWrap(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(1, "a", "x", "one", 0)
+	r.Record(2, "b", "y", "two", 10)
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Detail != "one" || evs[1].Bytes != 10 {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestWriteJSONAndText(t *testing.T) {
+	r := NewRecorder(8)
+	r.Recordf(sim.Time(1500), "cn0", "write-req", 4096, "io%d pairs=%d", 2, 7)
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal(jb.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "write-req" || ev.Bytes != 4096 || ev.Detail != "io2 pairs=7" {
+		t.Errorf("decoded %+v", ev)
+	}
+	var tb bytes.Buffer
+	if err := r.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cn0", "write-req", "4096B", "io2 pairs=7"} {
+		if !strings.Contains(tb.String(), want) {
+			t.Errorf("text %q missing %q", tb.String(), want)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 2000; i++ {
+		r.Record(sim.Time(i), "n", "k", "", 0)
+	}
+	if r.Len() != 1024 {
+		t.Errorf("default capacity = %d, want 1024", r.Len())
+	}
+}
