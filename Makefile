@@ -1,0 +1,40 @@
+GO ?= go
+
+BIN := bin/pvfslint
+
+.PHONY: all build test race lint vet check fuzz clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+$(BIN): FORCE
+	$(GO) build -o $(BIN) ./cmd/pvfslint
+
+.PHONY: FORCE
+FORCE:
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the project's own analyzers (sgelimit, regcheck, simblock,
+# nopanic) through the go vet driver, covering test files too.
+lint: $(BIN)
+	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
+
+# check is the full CI gate: build, vet, pvfslint, race tests.
+check: build vet lint race
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzFlattenDatatype -fuzztime=30s ./internal/mpiio/
+	$(GO) test -run=NONE -fuzz=FuzzGroupRegions -fuzztime=30s ./internal/ogr/
+
+clean:
+	rm -f $(BIN)

@@ -1,0 +1,54 @@
+// Pvfslint runs the repository's static-analysis suite: sgelimit (the
+// 64-entry InfiniBand SGE cap), regcheck (RDMA buffers must trace to a
+// registered MR), simblock (no blocking sim call while a sim.Resource is
+// held), and nopanic (no panic in library packages).
+//
+// Two modes:
+//
+//	pvfslint ./...                      # standalone, loads packages via go list
+//	go vet -vettool=$(pwd)/pvfslint ./...  # driven by go vet, covers test files too
+//
+// In vet mode the tool speaks the cmd/go vet-tool protocol (-V=full, -flags,
+// and a *.cfg compilation-unit file per package).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pvfsib/internal/analysis/load"
+	"pvfsib/internal/analysis/suite"
+	"pvfsib/internal/analysis/unit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := suite.All()
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			// Protocol flags or a compilation-unit config: vet mode.
+			return unit.Main(args, analyzers, os.Stdout, os.Stderr)
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := load.Packages(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvfslint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pvfslint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

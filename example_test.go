@@ -46,7 +46,11 @@ func Example() {
 func ExampleView() {
 	// Select the first 8 bytes of every 32, starting at offset 100.
 	v := pvfsib.View{Disp: 100, Pattern: pvfsib.Contig(8), Extent: 32}
-	for _, r := range v.Map(4, 16) {
+	regions, err := v.Map(4, 16)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range regions {
 		fmt.Printf("file[%d..%d)\n", r.Off, r.End())
 	}
 	// Output:

@@ -31,8 +31,11 @@ func main() {
 
 		// --- 1. Subarray: rank (rx, ry) owns a 32x32 block. ---
 		rx, ry := rank%2, rank/2
-		sub := pvfsib.Subarray2D(rows, cols, rows/2, cols/2,
+		sub, err := pvfsib.Subarray2D(rows, cols, rows/2, cols/2,
 			int64(ry)*rows/2, int64(rx)*cols/2, recBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
 		f1 := pvfsib.OpenFile(ctx, "matrix-subarray")
 		buf := fillRecords(ctx, sub.Total(), byte('A'+rank))
 		if err := f1.Write(ctx.Proc, pvfsib.ListIOADS,

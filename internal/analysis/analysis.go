@@ -1,0 +1,187 @@
+// Package analysis is a self-contained static-analysis framework for the
+// pvfslint suite, modeled on golang.org/x/tools/go/analysis but built only
+// on the standard library (the build environment is offline, so the x/tools
+// module cannot be a dependency).
+//
+// An Analyzer inspects one type-checked package at a time through a Pass and
+// reports Diagnostics. Drivers (cmd/pvfslint) run analyzers either over a
+// "go vet -vettool" compilation-unit config or over packages loaded with
+// "go list"; tests run them over small GOPATH-style corpora (see the
+// analysistest package).
+//
+// Findings can be suppressed site-by-site with a directive comment
+//
+//	//pvfslint:ok <analyzer> <reason>
+//
+// placed on the flagged line or the line above it. The reason is mandatory
+// by convention: a suppression is an audited, documented exception (for
+// example a nested-lock site that declares its lock order), not an opt-out.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// "//pvfslint:ok <name>" suppression directive.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Report or pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a finding. Drivers set it; suppressed findings are
+	// filtered before it is called.
+	Report func(Diagnostic)
+
+	// suppress maps file line numbers to the set of analyzer names with a
+	// pvfslint:ok directive covering that line. Built lazily.
+	suppress map[int]map[string]bool
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted finding at pos unless a pvfslint:ok directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Suppressed reports whether a "//pvfslint:ok <analyzer>" directive covers
+// the line of pos (the directive may sit on the same line or the line above).
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	if p.suppress == nil {
+		p.suppress = make(map[int]map[string]bool)
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "pvfslint:ok") {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						continue
+					}
+					name := fields[1]
+					line := p.Fset.Position(c.Pos()).Line
+					// The directive covers its own line (end-of-line
+					// comment) and the next line (comment above).
+					for _, l := range [2]int{line, line + 1} {
+						if p.suppress[l] == nil {
+							p.suppress[l] = make(map[string]bool)
+						}
+						p.suppress[l][name] = true
+					}
+				}
+			}
+		}
+	}
+	line := p.Fset.Position(pos).Line
+	return p.suppress[line][p.Analyzer.Name]
+}
+
+// PathHasSuffix reports whether a package import path is pkg or ends with
+// "/pkg". Analyzers match repo packages this way so that both the real
+// module packages ("pvfsib/internal/ib") and test-corpus stubs
+// ("pvfsib/internal/ib" under an analyzer's testdata/src) are recognized.
+func PathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// IsPkg reports whether the types.Package is the named repo package,
+// matching by import-path suffix (see PathHasSuffix).
+func IsPkg(pkg *types.Package, suffix string) bool {
+	return pkg != nil && PathHasSuffix(pkg.Path(), suffix)
+}
+
+// NamedFrom reports whether t (after unwrapping pointers and aliases) is the
+// named type typeName declared in the package whose path ends with pkgSuffix.
+func NamedFrom(t types.Type, pkgSuffix, typeName string) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(u)
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != typeName {
+		return false
+	}
+	return IsPkg(obj.Pkg(), pkgSuffix)
+}
+
+// ReceiverMethod reports whether the call is a method call named method on a
+// value whose type is typeName from the package ending in pkgSuffix, and
+// returns the receiver expression.
+func ReceiverMethod(info *types.Info, call *ast.CallExpr, pkgSuffix, typeName, method string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	if !NamedFrom(tv.Type, pkgSuffix, typeName) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// ExprString renders a (small) expression for use in messages and as a map
+// key when comparing receiver expressions lexically.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(fset, e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(fset, e.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(fset, e.X)
+	case *ast.IndexExpr:
+		return ExprString(fset, e.X) + "[" + ExprString(fset, e.Index) + "]"
+	case *ast.CallExpr:
+		return ExprString(fset, e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

@@ -1,0 +1,159 @@
+// Package load runs the pvfslint suite standalone, without go vet driving
+// it. It shells out to "go list -deps -export -json" to obtain, for every
+// package matching the given patterns, its Go files and the export-data
+// files of all dependencies (the go command builds them as a side effect of
+// -export), then type-checks and analyzes each non-stdlib package in the
+// main module.
+//
+// This is the path behind "pvfslint ./..." and the repository self-check
+// test; "go vet -vettool" uses the unit package instead.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"pvfsib/internal/analysis"
+)
+
+// listPackage is the subset of "go list -json" output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// Finding is one diagnostic with its rendered position.
+type Finding struct {
+	Position token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// Packages runs the analyzers over every main-module package matching the
+// go list patterns, in dir. It returns all findings sorted by position.
+func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Standard,Export,GoFiles,Imports,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	pkgs := make(map[string]*listPackage)
+	var order []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	exports := make(map[string]string)
+	for path, p := range pkgs {
+		if p.Export != "" {
+			exports[path] = p.Export
+		}
+	}
+
+	// -deps pulled in the whole closure for export data; a second plain
+	// list gives the set the patterns actually name.
+	cmd = exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = dir
+	var targetOut bytes.Buffer
+	cmd.Stdout = &targetOut
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	targets := make(map[string]bool)
+	for _, line := range bytes.Fields(targetOut.Bytes()) {
+		targets[string(line)] = true
+	}
+
+	fset := token.NewFileSet()
+	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: gcImporter,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+
+	var findings []Finding
+	for _, p := range order {
+		// Deps are in the list only for their export data; analyze the
+		// packages the patterns named.
+		if p.Standard || p.Module == nil || !targets[p.ImportPath] {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := analysis.NewInfo()
+		pkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		diags, err := analysis.RunAll(analyzers, fset, files, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			findings = append(findings, Finding{
+				Position: fset.Position(d.Pos),
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

@@ -1,0 +1,20 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "a")
+}
+
+func TestSimPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "pvfsib/internal/sim")
+}
+
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "mainpkg")
+}

@@ -1,0 +1,27 @@
+// Package a exercises the nopanic analyzer: a library package where panic
+// is forbidden.
+package a
+
+type wrapped struct{ err error }
+
+func (w wrapped) Error() string { return "op: " + w.err.Error() }
+
+func bad(n int) {
+	if n < 0 {
+		panic("negative") // want `panic in library package a`
+	}
+}
+
+func good(n int, err error) error {
+	if n < 0 {
+		return wrapped{err}
+	}
+	return nil
+}
+
+func audited(ok bool) {
+	if !ok {
+		//pvfslint:ok nopanic programmer-error contract, documented on the type
+		panic("broken invariant")
+	}
+}

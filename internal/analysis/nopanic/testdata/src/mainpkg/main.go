@@ -1,0 +1,6 @@
+// Command mainpkg shows that package main is exempt from nopanic.
+package main
+
+func main() {
+	panic("entry points may crash")
+}

@@ -1,0 +1,9 @@
+// Package sim is exempt from nopanic: the scheduler's assertion machinery is
+// the one audited panic site.
+package sim
+
+func Must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package regcheck defines an analyzer that enforces the memory-registration
+// invariant behind OGR (Section 4.2 of the paper): every buffer an RDMA work
+// request gathers from or scatters into must be covered by a registered
+// memory region.
+//
+// The simulated HCA faults at run time on an unregistered segment; this
+// analyzer catches the common bug shape at build time instead: an SGE list
+// assembled locally from raw addresses and posted via QP.RDMAWrite /
+// QP.RDMARead in a function that never touches the registration machinery.
+//
+// The check is intraprocedural. An SGE list that arrives as a parameter,
+// struct field, or call result is trusted (its registration happened at a
+// higher layer — e.g. pvfs.listOp registers list-I/O buffers via OGR before
+// fanning chunks out). A list built in the function itself — composite
+// literal, append, or make — requires registration evidence somewhere in the
+// enclosing top-level function: a value of type ib.MR or ib.Buffer, or a
+// call to Register / RegisterStatic / RegisterBuffers / RegCache.Get /
+// BufPool.Get.
+package regcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pvfsib/internal/analysis"
+)
+
+// Analyzer flags RDMA posts of locally-built SGE lists with no registration
+// evidence in scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "regcheck",
+	Doc:  "RDMA gather/scatter buffers must be traceable to a registered MR or BufPool buffer (OGR invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var posts []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, m := range [2]string{"RDMAWrite", "RDMARead"} {
+			if _, ok := analysis.ReceiverMethod(pass.TypesInfo, call, "internal/ib", "QP", m); ok && len(call.Args) >= 2 {
+				posts = append(posts, call)
+			}
+		}
+		return true
+	})
+	if len(posts) == 0 {
+		return
+	}
+	evidence := hasRegistrationEvidence(pass, fn.Body)
+	for _, call := range posts {
+		if evidence {
+			continue
+		}
+		if !locallyBuilt(pass, fn.Body, call.Args[1]) {
+			continue
+		}
+		method := call.Fun.(*ast.SelectorExpr).Sel.Name
+		pass.Reportf(call.Pos(), "%s posts a locally-built SGE list but no registration is in scope (no MR or Buffer value, no Register call); RDMA requires every segment pinned — register via HCA.Register, RegCache, BufPool, or ogr.RegisterBuffers", method)
+	}
+}
+
+// hasRegistrationEvidence reports whether the function body touches the
+// registration machinery at all.
+func hasRegistrationEvidence(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Register", "RegisterStatic", "RegisterBuffers", "RegisterRegion":
+					found = true
+					return false
+				}
+			}
+		case ast.Expr:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				if analysis.NamedFrom(tv.Type, "internal/ib", "MR") || analysis.NamedFrom(tv.Type, "internal/ib", "Buffer") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// locallyBuilt reports whether the SGE-list argument is assembled inside the
+// function from raw parts (composite literal, append, make), as opposed to
+// arriving from a parameter, field, or call — which a higher layer already
+// registered.
+func locallyBuilt(pass *analysis.Pass, body *ast.BlockStmt, arg ast.Expr) bool {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return isAppendOrMake(pass, e)
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return false
+		}
+		// A parameter is trusted.
+		if isParam(pass, body, obj) {
+			return false
+		}
+		// Local variable: built locally iff some assignment in the
+		// function gives it a composite literal, append, or make.
+		built := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if built {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					if pass.TypesInfo.Defs[id] != obj && pass.TypesInfo.Uses[id] != obj {
+						continue
+					}
+					switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+					case *ast.CompositeLit:
+						built = true
+					case *ast.CallExpr:
+						if isAppendOrMake(pass, rhs) {
+							built = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if pass.TypesInfo.Defs[name] != obj || i >= len(n.Values) {
+						continue
+					}
+					switch rhs := ast.Unparen(n.Values[i]).(type) {
+					case *ast.CompositeLit:
+						built = true
+					case *ast.CallExpr:
+						if isAppendOrMake(pass, rhs) {
+							built = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		return built
+	default:
+		return false
+	}
+}
+
+// isParam reports whether obj is declared as a parameter of the function or
+// of an enclosing function literal.
+func isParam(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	if obj.Parent() == nil {
+		return false
+	}
+	// Parameters are declared outside the body block but inside the
+	// function scope; approximate by checking the object's position is
+	// outside the body.
+	return obj.Pos() < body.Pos()
+}
+
+func isAppendOrMake(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return id.Name == "append" || id.Name == "make"
+}

@@ -1,0 +1,12 @@
+package regcheck_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/regcheck"
+)
+
+func TestRegCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", regcheck.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Package a exercises the regcheck analyzer.
+package a
+
+import (
+	"pvfsib/internal/ib"
+	"pvfsib/internal/sim"
+)
+
+// badWrite posts raw addresses: nothing in this function registered them.
+func badWrite(p *sim.Proc, q *ib.QP, raddr ib.Addr, rkey ib.Key) {
+	sges := []ib.SGE{{Addr: 0x1000, Len: 4096}}
+	q.RDMAWrite(p, sges, raddr, rkey) // want `RDMAWrite posts a locally-built SGE list but no registration is in scope`
+}
+
+// badRead grows the list with append; still no registration evidence.
+func badRead(p *sim.Proc, q *ib.QP, n int, raddr ib.Addr, rkey ib.Key) {
+	var sges []ib.SGE
+	for i := 0; i < n; i++ {
+		sges = append(sges, ib.SGE{Addr: ib.Addr(0x1000 * i), Len: 512})
+	}
+	q.RDMARead(p, sges, raddr, rkey) // want `RDMARead posts a locally-built SGE list but no registration is in scope`
+}
+
+// goodRegistered pins the region first; the MR in scope is the evidence.
+func goodRegistered(p *sim.Proc, h *ib.HCA, q *ib.QP, raddr ib.Addr, rkey ib.Key) error {
+	mr, err := h.Register(p, ib.Extent{Addr: 0x1000, Len: 4096})
+	if err != nil {
+		return err
+	}
+	sges := []ib.SGE{{Addr: 0x1000, Len: 4096}}
+	q.RDMAWrite(p, sges, raddr, rkey)
+	_ = mr
+	return nil
+}
+
+// goodParam trusts a list handed in by the caller: registration happened at
+// a higher layer (e.g. listOp registers via OGR before fanning out chunks).
+func goodParam(p *sim.Proc, q *ib.QP, sges []ib.SGE, raddr ib.Addr, rkey ib.Key) {
+	q.RDMAWrite(p, sges, raddr, rkey)
+}
+
+// goodPool gathers from a pre-registered pool buffer.
+func goodPool(p *sim.Proc, pool *ib.BufPool, q *ib.QP, raddr ib.Addr, rkey ib.Key) {
+	buf := pool.Get(p)
+	sges := []ib.SGE{buf.SGE(4096)}
+	q.RDMAWrite(p, sges, raddr, rkey)
+	pool.Put(buf)
+}
+
+// audited documents why its raw post is safe.
+func audited(p *sim.Proc, q *ib.QP, raddr ib.Addr, rkey ib.Key) {
+	sges := []ib.SGE{{Addr: 0x2000, Len: 8}}
+	//pvfslint:ok regcheck doorbell page is BAR-mapped, never part of an MR
+	q.RDMAWrite(p, sges, raddr, rkey)
+}

@@ -1,0 +1,44 @@
+// Package ib is a test stub: just enough of the InfiniBand model's surface
+// for the regcheck analyzer's type checks to engage.
+package ib
+
+import "pvfsib/internal/sim"
+
+type Addr uint64
+
+type Key uint64
+
+type SGE struct {
+	Addr Addr
+	Len  int
+}
+
+type Extent struct {
+	Addr Addr
+	Len  int
+}
+
+type MR struct {
+	LKey Key
+}
+
+type HCA struct{}
+
+func (h *HCA) Register(p *sim.Proc, e Extent) (*MR, error) { return &MR{}, nil }
+
+type Buffer struct {
+	Addr Addr
+	Size int
+}
+
+func (b Buffer) SGE(n int) SGE { return SGE{Addr: b.Addr, Len: n} }
+
+type BufPool struct{}
+
+func (bp *BufPool) Get(p *sim.Proc) Buffer { return Buffer{} }
+func (bp *BufPool) Put(b Buffer)           {}
+
+type QP struct{}
+
+func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr Addr, rkey Key) {}
+func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr Addr, rkey Key)  {}

@@ -1,0 +1,4 @@
+// Package sim is a test stub: just enough for the ib stub's signatures.
+package sim
+
+type Proc struct{}

@@ -1,0 +1,200 @@
+// Package sgelimit defines an analyzer that enforces the InfiniBand
+// scatter/gather limit (Section 4.1 of the paper: a work request carries at
+// most 64 SGEs).
+//
+// The QP transfer methods chunk arbitrarily long lists through the
+// gather/scatter splitter, so application code never hand-chunks. The
+// analyzer flags the ways the cap can be baked in wrongly:
+//
+//   - comparing len of an []ib.SGE value against an integer literal
+//     (hand-rolled chunking with a magic number; use Params.MaxSGE),
+//   - slicing an []ib.SGE value with a literal bound (same),
+//   - an []ib.SGE composite literal with more than 64 elements destined for
+//     a single work request,
+//   - configuring Params.MaxSGE above the hardware cap of 64, which would
+//     let the simulator model work requests no real HCA accepts.
+package sgelimit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pvfsib/internal/analysis"
+)
+
+// hardMaxSGE is the InfiniBand per-work-request scatter/gather cap
+// (Section 4.1); ib.HardMaxSGE mirrors it in the model.
+const hardMaxSGE = 64
+
+// Analyzer flags SGE-list constructions that can exceed the work-request cap.
+var Analyzer = &analysis.Analyzer{
+	Name: "sgelimit",
+	Doc:  "enforce the 64-entry InfiniBand SGE limit: no magic-number chunking, no over-cap lists or Params",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Tests assert exact SGE list shapes all the time; only the
+		// over-cap checks (impossible hardware) apply there.
+		inTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !inTest {
+					checkLenCompare(pass, n)
+				}
+			case *ast.SliceExpr:
+				if !inTest {
+					checkLiteralSlice(pass, n)
+				}
+			case *ast.CompositeLit:
+				checkOversizeLiteral(pass, n)
+				checkParamsLiteral(pass, n)
+			case *ast.AssignStmt:
+				checkParamsAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSGESlice reports whether e has type []ib.SGE.
+func isSGESlice(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return analysis.NamedFrom(sl.Elem(), "internal/ib", "SGE")
+}
+
+// intLit returns the value of e if it is an integer constant literal.
+func intLit(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	if _, isLit := e.(*ast.BasicLit); !isLit {
+		// Named constants (e.g. ib.HardMaxSGE) are self-documenting;
+		// only raw literals are magic numbers.
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return v, ok
+}
+
+// checkLenCompare flags `len(sges) OP <literal>`.
+func checkLenCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		call, ok := pair[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "len" {
+			continue
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			continue
+		}
+		if !isSGESlice(pass, call.Args[0]) {
+			continue
+		}
+		if v, ok := intLit(pass, pair[1]); ok && v > 1 {
+			pass.Reportf(b.Pos(), "SGE list length compared against magic number %d; the work-request cap is Params.MaxSGE (hardware limit %d)", v, hardMaxSGE)
+		}
+	}
+}
+
+// checkLiteralSlice flags `sges[...:<literal>]`.
+func checkLiteralSlice(pass *analysis.Pass, s *ast.SliceExpr) {
+	if !isSGESlice(pass, s.X) {
+		return
+	}
+	if s.High == nil {
+		return
+	}
+	if v, ok := intLit(pass, s.High); ok && v > 1 {
+		pass.Reportf(s.Pos(), "SGE list sliced at magic number %d; chunk through the QP splitter or use Params.MaxSGE", v)
+	}
+}
+
+// checkOversizeLiteral flags []ib.SGE{...} with more than hardMaxSGE entries.
+func checkOversizeLiteral(pass *analysis.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	var elem types.Type
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return
+	}
+	if !analysis.NamedFrom(elem, "internal/ib", "SGE") {
+		return
+	}
+	if len(cl.Elts) > hardMaxSGE {
+		pass.Reportf(cl.Pos(), "SGE composite literal with %d entries exceeds the %d-entry work-request cap; pass it through the QP splitter instead", len(cl.Elts), hardMaxSGE)
+	}
+}
+
+// checkParamsLiteral flags ib.Params{..., MaxSGE: <literal > 64>, ...}.
+func checkParamsLiteral(pass *analysis.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || !analysis.NamedFrom(tv.Type, "internal/ib", "Params") {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "MaxSGE" {
+			continue
+		}
+		reportOverCap(pass, kv.Value)
+	}
+}
+
+// checkParamsAssign flags `params.MaxSGE = <literal > 64>`.
+func checkParamsAssign(pass *analysis.Pass, a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "MaxSGE" || i >= len(a.Rhs) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !analysis.NamedFrom(tv.Type, "internal/ib", "Params") {
+			continue
+		}
+		reportOverCap(pass, a.Rhs[i])
+	}
+}
+
+func reportOverCap(pass *analysis.Pass, v ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[v]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	if n, ok := constant.Int64Val(tv.Value); ok && n > hardMaxSGE {
+		pass.Reportf(v.Pos(), "MaxSGE %d exceeds the InfiniBand hardware cap of %d SGEs per work request (Section 4.1)", n, hardMaxSGE)
+	}
+}

@@ -1,0 +1,12 @@
+package sgelimit_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/sgelimit"
+)
+
+func TestSGELimit(t *testing.T) {
+	analysistest.Run(t, "testdata", sgelimit.Analyzer, "a")
+}

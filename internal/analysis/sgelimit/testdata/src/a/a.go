@@ -1,0 +1,51 @@
+// Package a exercises the sgelimit analyzer.
+package a
+
+import "pvfsib/internal/ib"
+
+// chunkByMagicNumber hand-rolls work-request chunking with a baked-in cap.
+func chunkByMagicNumber(sges []ib.SGE) [][]ib.SGE {
+	var out [][]ib.SGE
+	for len(sges) > 32 { // want `SGE list length compared against magic number 32`
+		out = append(out, sges[:32]) // want `SGE list sliced at magic number 32`
+		sges = sges[32:]
+	}
+	return append(out, sges)
+}
+
+// overCapParams configures the simulator beyond what hardware accepts.
+func overCapParams() ib.Params {
+	p := ib.Params{MaxSGE: 128} // want `MaxSGE 128 exceeds the InfiniBand hardware cap of 64`
+	p.MaxSGE = 256              // want `MaxSGE 256 exceeds the InfiniBand hardware cap of 64`
+	return p
+}
+
+// oversizeLiteral builds a single list no real HCA accepts in one work request.
+func oversizeLiteral() []ib.SGE {
+	return []ib.SGE{{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}} // want `SGE composite literal with 65 entries exceeds the 64-entry work-request cap`
+}
+
+// chunkByParams is the clean shape: the cap comes from configuration.
+func chunkByParams(sges []ib.SGE, maxSGE int) [][]ib.SGE {
+	var out [][]ib.SGE
+	for len(sges) > maxSGE {
+		out = append(out, sges[:maxSGE])
+		sges = sges[maxSGE:]
+	}
+	return append(out, sges)
+}
+
+// namedConstOK: the named hardware-cap constant is self-documenting.
+func namedConstOK(sges []ib.SGE) bool {
+	return len(sges) > ib.HardMaxSGE
+}
+
+// inCapParams stays within the hardware limit.
+func inCapParams() ib.Params {
+	return ib.Params{MaxSGE: 64}
+}
+
+// emptyCheckOK: comparing against 0 or 1 is not chunking.
+func emptyCheckOK(sges []ib.SGE) bool {
+	return len(sges) > 0
+}

@@ -1,0 +1,14 @@
+// Package ib is a test stub: just enough of the InfiniBand model's surface
+// for the sgelimit analyzer's type checks to engage.
+package ib
+
+const HardMaxSGE = 64
+
+type SGE struct {
+	Addr uint64
+	Len  int
+}
+
+type Params struct {
+	MaxSGE int
+}

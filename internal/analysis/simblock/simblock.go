@@ -1,0 +1,126 @@
+// Package simblock defines an analyzer that flags calls to blocking
+// simulator primitives made while a sim.Resource is held.
+//
+// The simulation engine drives one process at a time; a process that parks
+// (Mailbox.Recv, Cond.Wait, WaitGroup.Wait, Resource.Acquire) while holding
+// a Resource keeps every other process that needs that resource parked too.
+// If the wake-up it is waiting for must itself go through the held resource
+// — the classic shape with a server's ioMu — the simulation deadlocks, and
+// only at run time, possibly only for some workloads. Sleeping while holding
+// is fine (that is exactly Resource.Use): sleep wake-ups come from the event
+// heap, not from other processes.
+//
+// The check is lexical and intraprocedural: it tracks Acquire/Release pairs
+// on the same receiver expression within one function body (treating each
+// function literal as its own process), so a hold that spans a call boundary
+// is not seen. Re-acquiring a held resource is reported separately — with a
+// capacity-1 resource that is certain self-deadlock.
+//
+// A genuine nested-hold site must declare its lock order with a
+// "//pvfslint:ok simblock <order>" directive.
+package simblock
+
+import (
+	"go/ast"
+
+	"pvfsib/internal/analysis"
+)
+
+// Analyzer flags blocking sim calls made while a sim.Resource is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "simblock",
+	Doc:  "no blocking sim primitive (Acquire/Recv/Wait) while a sim.Resource is held — the ioMu deadlock class",
+	Run:  run,
+}
+
+// blocking lists the sim primitives that park the calling process until
+// another process acts.
+var blocking = [...]struct{ typ, method string }{
+	{"Resource", "Acquire"},
+	{"Resource", "Use"},
+	{"Mailbox", "Recv"},
+	{"Cond", "Wait"},
+	{"WaitGroup", "Wait"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody walks one function body in source order, maintaining the set of
+// lexically held resources. Nested function literals are separate processes
+// and are checked independently.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := make(map[string]bool) // receiver expression -> held
+	var heldOrder []string
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// A deferred Release runs at function exit, not here: the
+			// resource stays held for the rest of the body, which is the
+			// state the walk keeps by not descending.
+			return false
+		case *ast.CallExpr:
+			// Release first: `r.Release()` drops the hold for following
+			// statements.
+			if recv, ok := analysis.ReceiverMethod(pass.TypesInfo, n, "internal/sim", "Resource", "Release"); ok {
+				delete(held, analysis.ExprString(pass.Fset, recv))
+				return true
+			}
+			for _, b := range blocking {
+				recv, ok := analysis.ReceiverMethod(pass.TypesInfo, n, "internal/sim", b.typ, b.method)
+				if !ok {
+					continue
+				}
+				recvStr := analysis.ExprString(pass.Fset, recv)
+				if b.typ == "Resource" && held[recvStr] {
+					pass.Reportf(n.Pos(), "%s of %s while already holding it: guaranteed deadlock for a capacity-1 resource", b.method, recvStr)
+				} else if len(held) > 0 {
+					pass.Reportf(n.Pos(), "blocking %s.%s while holding sim.Resource %s; if the wake-up needs the held resource the simulation deadlocks — release first, or declare the lock order with //pvfslint:ok simblock", b.typ, b.method, holdList(held, heldOrder))
+				}
+				if b.typ == "Resource" && b.method == "Acquire" {
+					if !held[recvStr] {
+						held[recvStr] = true
+						heldOrder = append(heldOrder, recvStr)
+					}
+				}
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// holdList renders the held set in acquisition order.
+func holdList(held map[string]bool, order []string) string {
+	out := ""
+	for _, r := range order {
+		if !held[r] {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += r
+	}
+	return out
+}

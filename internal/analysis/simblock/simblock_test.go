@@ -1,0 +1,12 @@
+package simblock_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/simblock"
+)
+
+func TestSimblock(t *testing.T) {
+	analysistest.Run(t, "testdata", simblock.Analyzer, "a")
+}

@@ -1,0 +1,28 @@
+// Package sim is a test stub: just enough of the simulator's surface for
+// the analyzers' type checks to engage. No stdlib imports (the analysistest
+// loader resolves imports only within the corpus).
+package sim
+
+type Proc struct{}
+
+type Duration int64
+
+type Resource struct{}
+
+func (r *Resource) Acquire(p *Proc)      {}
+func (r *Resource) Release()             {}
+func (r *Resource) Use(p *Proc, d Duration) {}
+
+type Mailbox struct{}
+
+func (m *Mailbox) Recv(p *Proc) any { return nil }
+func (m *Mailbox) Send(v any)       {}
+
+type Cond struct{}
+
+func (c *Cond) Wait(p *Proc) {}
+
+type WaitGroup struct{}
+
+func (w *WaitGroup) Wait(p *Proc) {}
+func (w *WaitGroup) Done()        {}

@@ -1,0 +1,49 @@
+package suite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pvfsib/internal/analysis/load"
+)
+
+// TestRepositoryIsClean runs the whole pvfslint suite over this repository
+// and fails on any finding. This is the tier-1 guard behind the invariants
+// the analyzers enforce: a regression that reintroduces a hot-path panic, a
+// magic-number SGE cap, an unregistered RDMA buffer, or a blocking call
+// under a held resource fails `go test ./...`, not just the lint step.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := load.Packages(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,21 @@
+// Package suite enumerates the pvfslint analyzers. The cmd/pvfslint driver
+// and the repository self-check test share this list.
+package suite
+
+import (
+	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/nopanic"
+	"pvfsib/internal/analysis/regcheck"
+	"pvfsib/internal/analysis/sgelimit"
+	"pvfsib/internal/analysis/simblock"
+)
+
+// All returns every analyzer in the suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		sgelimit.Analyzer,
+		regcheck.Analyzer,
+		simblock.Analyzer,
+		nopanic.Analyzer,
+	}
+}

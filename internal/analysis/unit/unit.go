@@ -1,0 +1,199 @@
+// Package unit implements the "go vet -vettool" compilation-unit protocol
+// for the pvfslint suite, using only the standard library.
+//
+// go vet invokes the tool in three ways:
+//
+//	pvfslint -V=full        # describe the executable, for build caching
+//	pvfslint -flags         # describe supported flags in JSON
+//	pvfslint <dir>/vet.cfg  # analyze one compilation unit
+//
+// The .cfg file is a JSON description of a single package: its Go files, the
+// resolved import map, and the export-data file for every dependency (go vet
+// has already built them). Type information for imports is loaded through
+// go/importer's gc importer with a lookup function over that map — the same
+// mechanism x/tools' unitchecker uses, minus the facts machinery, which the
+// pvfslint analyzers do not need.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"pvfsib/internal/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description written by cmd/go for
+// vet tools. Fields the pvfslint suite does not use (facts, gccgo support)
+// are retained so the full file decodes, but ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vet-tool command protocol for the given arguments
+// (os.Args[1:]) and returns the process exit code.
+func Main(args []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			return printVersion(stdout, stderr)
+		case a == "-flags" || a == "--flags":
+			// No analyzer flags; report the two protocol flags so that
+			// cmd/go accepts the tool.
+			fmt.Fprintln(stdout, `[{"Name":"V","Bool":true,"Usage":"print version and exit"},{"Name":"flags","Bool":true,"Usage":"print analyzer flags in JSON"}]`)
+			return 0
+		}
+	}
+	var cfgFile string
+	for _, a := range args {
+		if len(a) > 4 && a[len(a)-4:] == ".cfg" {
+			cfgFile = a
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintf(stderr, "pvfslint: no .cfg argument; this mode is meant to be driven by go vet -vettool\n")
+		return 1
+	}
+	return RunConfig(cfgFile, analyzers, stderr)
+}
+
+// printVersion implements -V=full: a stable line containing the executable
+// hash, which cmd/go folds into its build cache key.
+func printVersion(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s version devel buildID=%02x\n", exe, h.Sum(nil))
+	return 0
+}
+
+// RunConfig analyzes the compilation unit described by cfgFile and returns
+// the exit code: 0 clean, 1 findings or errors.
+func RunConfig(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+		return 1
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "pvfslint: cannot decode %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Always produce the vetx (facts) output when asked: cmd/go uses the
+	// file's presence for caching. The suite exports no facts, so it is a
+	// fixed placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pvfslint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: the suite has no cross-package facts to
+		// compute, and diagnostics would be discarded, so skip the unit.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	diags, err := check(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "pvfslint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 1
+}
+
+// check parses, type-checks, and analyzes one unit.
+func check(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("cannot resolve import %q", importPath)
+			}
+			return gcImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunAll(analyzers, fset, files, pkg, info)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

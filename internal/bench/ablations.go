@@ -75,9 +75,7 @@ func hybridThresholdCell(segSize, threshold int64) float64 {
 			accs = append(accs, pvfs.OffLen{Off: (j*ranks + int64(rank.ID())) * segSize, Len: segSize})
 		}
 		rank.Barrier(p)
-		if err := fh.WriteList(p, segs, accs, pvfs.OpOptions{Reg: pvfs.RegOGR}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, segs, accs, pvfs.OpOptions{Reg: pvfs.RegOGR}))
 	})
 	return bw(total, elapsed)
 }
@@ -117,9 +115,7 @@ func blockColumnWriteForced(n int64, mode sieve.Mode) float64 {
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
 		rank.Barrier(p)
 		opts := pvfs.OpOptions{Sieve: mode}
-		if err := fh.WriteList(p, buf.Segs, buf.Accs, opts); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, buf.Segs, buf.Accs, opts))
 		fh.Sync(p)
 	})
 	return bw(total, elapsed)
@@ -181,9 +177,7 @@ func ogrStrategyTime(nseg int, gapPages int64, strat string) float64 {
 	eng.Go("app", func(p *sim.Proc) {
 		t0 := p.Now()
 		res, err := ogr.RegisterBuffers(p, ogr.Direct{HCA: h}, h.Space(), exts, cfg)
-		if err != nil {
-			panic(err)
-		}
+		sim.Must(err)
 		ogr.Release(p, ogr.Direct{HCA: h}, res)
 		elapsed = p.Now().Sub(t0)
 	})

@@ -83,18 +83,14 @@ func networkCell(cfg pvfs.Config, segSize int64) float64 {
 	// Warm-up pass, then measured iterations.
 	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		fh := cl.Open(p, "net")
-		if err := fh.WriteList(p, segsOf[rank.ID()], accsOf(rank.ID()), opts); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, segsOf[rank.ID()], accsOf(rank.ID()), opts))
 	})
 	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		fh := cl.Open(p, "net")
 		accs := accsOf(rank.ID())
 		rank.Barrier(p)
 		for i := 0; i < iters; i++ {
-			if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
-				panic(err)
-			}
+			sim.Must(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
 		}
 	})
 	return bw(total*iters, elapsed)
@@ -150,15 +146,11 @@ func thrashCell(cacheEntries int, individual bool) (float64, int64) {
 	// everything; a fitting one hits.
 	f.runOne(func(p *sim.Proc, cl *pvfs.Client) {
 		fh := cl.Open(p, "thrash")
-		if err := fh.WriteList(p, segs, accs, opts); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, segs, accs, opts))
 	})
 	elapsed := f.runOne(func(p *sim.Proc, cl *pvfs.Client) {
 		fh := cl.Open(p, "thrash")
-		if err := fh.WriteList(p, segs, accs, opts); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, segs, accs, opts))
 	})
 	return bw(total, elapsed), cl.HCA().Counters.RegCacheHits
 }

@@ -55,9 +55,7 @@ func runBTIO(spec workload.BTIOSpec, m mpiio.Method, noIO bool) btioResult {
 			if step%stepsPerDump == 0 && !noIO {
 				pat := spec.Dump(rank.ID(), dump)
 				t0 := p.Now()
-				if err := file.Write(p, m, buf.Segs, []pvfs.OffLen(pat.File)); err != nil {
-					panic(err)
-				}
+				sim.Must(file.Write(p, m, buf.Segs, []pvfs.OffLen(pat.File)))
 				if rank.ID() == 0 {
 					ioTime += p.Now().Sub(t0)
 				}
@@ -71,9 +69,7 @@ func runBTIO(spec workload.BTIOSpec, m mpiio.Method, noIO bool) btioResult {
 		for d := 0; d < spec.Dumps; d++ {
 			pat := spec.Dump(rank.ID(), d)
 			t0 := p.Now()
-			if err := file.Read(p, m, buf.Segs, []pvfs.OffLen(pat.File)); err != nil {
-				panic(err)
-			}
+			sim.Must(file.Read(p, m, buf.Segs, []pvfs.OffLen(pat.File)))
 			if rank.ID() == 0 {
 				ioTime += p.Now().Sub(t0)
 			}

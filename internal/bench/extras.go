@@ -64,9 +64,7 @@ func noncontigCell(veclen, elem, count int64, m mpiio.Method) (wBW, rBW float64)
 		file := mpiio.Open(p, cl, rank, "noncontig")
 		buf := materialize(cl, patFor(rank.ID()), byte(rank.ID()))
 		rank.Barrier(p)
-		if err := file.Write(p, m, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Write(p, m, buf.Segs, buf.Accs))
 	})
 	wBW = bw(total, elapsed)
 
@@ -74,9 +72,7 @@ func noncontigCell(veclen, elem, count int64, m mpiio.Method) (wBW, rBW float64)
 		file := mpiio.Open(p, cl, rank, "noncontig")
 		buf := materialize(cl, patFor(rank.ID()), byte(rank.ID()+77))
 		rank.Barrier(p)
-		if err := file.Read(p, m, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Read(p, m, buf.Segs, buf.Accs))
 	})
 	rBW = bw(total, elapsed)
 	return
@@ -140,9 +136,7 @@ func diskSpeedCell(cfg pvfs.Config, n int64, mode sieve.Mode) float64 {
 		fh := cl.Open(p, "ds")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
 		rank.Barrier(p)
-		if err := fh.WriteList(p, buf.Segs, buf.Accs, pvfs.OpOptions{Sieve: mode}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, buf.Segs, buf.Accs, pvfs.OpOptions{Sieve: mode}))
 		fh.Sync(p)
 	})
 	return bw(total, elapsed)
@@ -157,9 +151,7 @@ func diskSpeedCellAuto(cfg pvfs.Config, n int64) (float64, int64) {
 		fh := cl.Open(p, "ds")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
 		rank.Barrier(p)
-		if err := fh.WriteList(p, buf.Segs, buf.Accs, pvfs.OpOptions{}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, buf.Segs, buf.Accs, pvfs.OpOptions{}))
 		fh.Sync(p)
 	})
 	var wins int64
@@ -201,18 +193,14 @@ func scalingCell(nServers int) (cw, cr, lw, lr float64) {
 		fh := cl.Open(p, "scale")
 		addr := cl.Space().Malloc(per)
 		rank.Barrier(p)
-		if err := fh.Write(p, addr, per, int64(rank.ID())*per, pvfs.OpOptions{}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.Write(p, addr, per, int64(rank.ID())*per, pvfs.OpOptions{}))
 	})
 	cw = bw(ranks*per, elapsed)
 	elapsed = f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		fh := cl.Open(p, "scale")
 		addr := cl.Space().Malloc(per)
 		rank.Barrier(p)
-		if err := fh.Read(p, addr, per, int64(rank.ID())*per, pvfs.OpOptions{}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.Read(p, addr, per, int64(rank.ID())*per, pvfs.OpOptions{}))
 	})
 	cr = bw(ranks*per, elapsed)
 
@@ -223,18 +211,14 @@ func scalingCell(nServers int) (cw, cr, lw, lr float64) {
 		fh := cl.Open(p, "scale-list")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
 		rank.Barrier(p)
-		if err := fh.WriteList(p, buf.Segs, buf.Accs, pvfs.OpOptions{}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, buf.Segs, buf.Accs, pvfs.OpOptions{}))
 	})
 	lw = bw(total, elapsed)
 	elapsed = f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		fh := cl.Open(p, "scale-list")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()+9))
 		rank.Barrier(p)
-		if err := fh.ReadList(p, buf.Segs, buf.Accs, pvfs.OpOptions{}); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.ReadList(p, buf.Segs, buf.Accs, pvfs.OpOptions{}))
 	})
 	lr = bw(total, elapsed)
 	return
@@ -299,17 +283,13 @@ func appAwareCell(n int64, reg pvfs.RegPolicy) (float64, int64) {
 		switch reg {
 		case pvfs.RegExplicit:
 			mr, err := cl.RegisterRegion(p, st.alloc)
-			if err != nil {
-				panic(err)
-			}
+			sim.Must(err)
 			st.mr = mr
 		case pvfs.RegCached:
 			fh := cl.Open(p, "warm")
 			opts := pvfs.OpOptions{Transfer: pvfs.ForceGather, Reg: reg, Sieve: sieve.Never}
 			accs := []pvfs.OffLen{{Off: int64(rank.ID()) * perRank, Len: perRank}}
-			if err := fh.WriteList(p, st.segs, accs, opts); err != nil {
-				panic(err)
-			}
+			sim.Must(fh.WriteList(p, st.segs, accs, opts))
 		}
 	})
 	var regs0 int64
@@ -325,9 +305,7 @@ func appAwareCell(n int64, reg pvfs.RegPolicy) (float64, int64) {
 		}
 		accs := []pvfs.OffLen{{Off: int64(rank.ID()) * perRank, Len: perRank}}
 		rank.Barrier(p)
-		if err := fh.WriteList(p, st.segs, accs, opts); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, st.segs, accs, opts))
 	})
 	var regsN int64
 	for _, cl := range f.c.Clients {
@@ -389,12 +367,10 @@ func queryMethodCell(nseg int, method mem.QueryMethod) (float64, int) {
 	eng.Go("app", func(p *sim.Proc) {
 		t0 := p.Now()
 		res, err := ogr.RegisterBuffers(p, ogr.Direct{HCA: h}, h.Space(), exts, cfg)
-		if err != nil {
-			panic(err)
-		}
+		sim.Must(err)
 		regs = res.Registrations
 		if !res.Queried {
-			panic("expected the query fallback to run")
+			sim.Failf("bench: expected the query fallback to run")
 		}
 		ogr.Release(p, ogr.Direct{HCA: h}, res)
 		elapsed = p.Now().Sub(t0)

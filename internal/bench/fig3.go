@@ -65,7 +65,8 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 
 	// Server staging region, statically registered.
 	dstAddr := srv.Space().Malloc(total)
-	dstMR := srv.RegisterStatic(mem.Extent{Addr: dstAddr, Len: total})
+	dstMR, err := srv.RegisterStatic(mem.Extent{Addr: dstAddr, Len: total})
+	sim.Must(err)
 
 	// The client's full array; the subarray rows live inside it.
 	array := cli.Space().Malloc(n * n * elem)
@@ -89,32 +90,32 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 			return p.Now().Sub(t0)
 		}
 		// contiguous, no reg.
-		contigMR := cli.RegisterStatic(mem.Extent{Addr: contig, Len: total})
-		_ = contigMR
+		_, err := cli.RegisterStatic(mem.Extent{Addr: contig, Len: total})
+		sim.Must(err)
 		out["contig"] = bw(total, time(func() {
-			qp.RDMAWrite(p, []ib.SGE{{Addr: contig, Len: total}}, dstAddr, dstMR.Key)
+			sim.Must(qp.RDMAWrite(p, []ib.SGE{{Addr: contig, Len: total}}, dstAddr, dstMR.Key))
 		}))
 
 		// multiple, no reg: whole array statically registered (perfect
 		// registration cache), one write per row.
-		arrMR := cli.RegisterStatic(mem.Extent{Addr: array, Len: n * n * elem})
+		_, err = cli.RegisterStatic(mem.Extent{Addr: array, Len: n * n * elem})
+		sim.Must(err)
 		out["multiple"] = bw(total, time(func() {
 			off := int64(0)
 			for _, seg := range rowSegs {
-				qp.RDMAWrite(p, []ib.SGE{seg}, dstAddr+mem.Addr(off), dstMR.Key)
+				sim.Must(qp.RDMAWrite(p, []ib.SGE{seg}, dstAddr+mem.Addr(off), dstMR.Key))
 				off += seg.Len
 			}
 		}))
 
 		// pack, no reg: staging buffer statically registered.
-		cli.RegisterStatic(mem.Extent{Addr: staging, Len: total})
+		_, err = cli.RegisterStatic(mem.Extent{Addr: staging, Len: total})
+		sim.Must(err)
 		pack := func() {
 			off := int64(0)
 			for _, seg := range rowSegs {
 				b, err := cli.Space().Read(seg.Addr, seg.Len)
-				if err != nil {
-					panic(err)
-				}
+				sim.Must(err)
 				cli.Space().Write(staging+mem.Addr(off), b)
 				off += seg.Len
 			}
@@ -122,16 +123,14 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 		}
 		out["packnoreg"] = bw(total, time(func() {
 			pack()
-			qp.RDMAWrite(p, []ib.SGE{{Addr: staging, Len: total}}, dstAddr, dstMR.Key)
+			sim.Must(qp.RDMAWrite(p, []ib.SGE{{Addr: staging, Len: total}}, dstAddr, dstMR.Key))
 		}))
 
 		// pack, reg: register and deregister a fresh staging buffer.
 		fresh := cli.Space().Malloc(total)
 		out["packreg"] = bw(total, time(func() {
 			mr, err := cli.Register(p, mem.Extent{Addr: fresh, Len: total})
-			if err != nil {
-				panic(err)
-			}
+			sim.Must(err)
 			off := int64(0)
 			for _, seg := range rowSegs {
 				b, _ := cli.Space().Read(seg.Addr, seg.Len)
@@ -139,8 +138,8 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 				off += seg.Len
 			}
 			p.Sleep(params.MemcpyTime(total))
-			qp.RDMAWrite(p, []ib.SGE{{Addr: fresh, Len: total}}, dstAddr, dstMR.Key)
-			cli.Deregister(p, mr)
+			sim.Must(qp.RDMAWrite(p, []ib.SGE{{Addr: fresh, Len: total}}, dstAddr, dstMR.Key))
+			sim.Must(cli.Deregister(p, mr))
 		}))
 
 		// For the registration-sensitive gather schemes the static
@@ -152,14 +151,12 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 			var mrs []*ib.MR
 			for _, e := range rowExts {
 				mr, err := cli.Register(p, e)
-				if err != nil {
-					panic(err)
-				}
+				sim.Must(err)
 				mrs = append(mrs, mr)
 			}
-			qp.RDMAWrite(p, rowSegs, dstAddr, dstMR.Key)
+			sim.Must(qp.RDMAWrite(p, rowSegs, dstAddr, dstMR.Key))
 			for _, mr := range mrs {
-				cli.Deregister(p, mr)
+				sim.Must(cli.Deregister(p, mr))
 			}
 		}))
 
@@ -168,13 +165,10 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 			cfg := ogr.DefaultConfig()
 			cfg.Params = params
 			res, err := ogr.RegisterBuffers(p, ogr.Direct{HCA: cli}, cli.Space(), rowExts, cfg)
-			if err != nil {
-				panic(err)
-			}
-			qp.RDMAWrite(p, rowSegs, dstAddr, dstMR.Key)
-			ogr.Release(p, ogr.Direct{HCA: cli}, res)
+			sim.Must(err)
+			sim.Must(qp.RDMAWrite(p, rowSegs, dstAddr, dstMR.Key))
+			sim.Must(ogr.Release(p, ogr.Direct{HCA: cli}, res))
 		}))
-		_ = arrMR
 	})
 	runTolerant(eng)
 	return out

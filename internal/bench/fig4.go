@@ -68,18 +68,14 @@ func fig4Cell(segSize int64, tr pvfs.Transfer) (wBW, rBW float64) {
 	}
 	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		fh := cl.Open(p, "fig4")
-		if err := fh.WriteList(p, segsOf[rank.ID()], buildAccs(rank.ID()), opts); err != nil {
-			panic(err)
-		}
+		sim.Must(fh.WriteList(p, segsOf[rank.ID()], buildAccs(rank.ID()), opts))
 	})
 	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		fh := cl.Open(p, "fig4")
 		accs := buildAccs(rank.ID())
 		rank.Barrier(p)
 		for i := 0; i < iters; i++ {
-			if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
-				panic(err)
-			}
+			sim.Must(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
 		}
 	})
 	wBW = bw(total*iters, elapsed)
@@ -89,9 +85,7 @@ func fig4Cell(segSize int64, tr pvfs.Transfer) (wBW, rBW float64) {
 		accs := buildAccs(rank.ID())
 		rank.Barrier(p)
 		for i := 0; i < iters; i++ {
-			if err := fh.ReadList(p, segsOf[rank.ID()], accs, opts); err != nil {
-				panic(err)
-			}
+			sim.Must(fh.ReadList(p, segsOf[rank.ID()], accs, opts))
 		}
 	})
 	rBW = bw(total*iters, elapsed)

@@ -77,9 +77,7 @@ func blockColumnWrite(n int64, m mpiio.Method, withSync bool) float64 {
 		file := mpiio.Open(p, cl, rank, "bc")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
 		rank.Barrier(p)
-		if err := file.Write(p, m, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Write(p, m, buf.Segs, buf.Accs))
 		if withSync {
 			file.Sync(p)
 		}
@@ -100,27 +98,21 @@ func blockColumnRead(n int64, m mpiio.Method, cached bool) float64 {
 	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		file := mpiio.Open(p, cl, rank, "bc")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()))
-		if err := file.Write(p, mpiio.ListIO, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Write(p, mpiio.ListIO, buf.Segs, buf.Accs))
 		if !cached {
 			file.Sync(p)
 		}
 	})
 	if !cached {
 		f.c.Eng.Go("drop", func(p *sim.Proc) { dropAllCaches(p, f.c) })
-		if err := f.c.Run(); err != nil {
-			panic(err)
-		}
+		sim.Must(f.c.Run())
 	}
 
 	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		file := mpiio.Open(p, cl, rank, "bc")
 		buf := materialize(cl, workload.BlockColumn(n, ranks, rank.ID(), 4), byte(rank.ID()+50))
 		rank.Barrier(p)
-		if err := file.Read(p, m, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Read(p, m, buf.Segs, buf.Accs))
 	})
 	return bw(total, elapsed)
 }

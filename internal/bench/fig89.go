@@ -57,9 +57,7 @@ func tileWrite(m mpiio.Method, withSync bool) float64 {
 		file := mpiio.Open(p, cl, rank, "tiles")
 		buf := materialize(cl, spec.Tile(rank.ID()), byte(rank.ID()))
 		rank.Barrier(p)
-		if err := file.Write(p, m, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Write(p, m, buf.Segs, buf.Accs))
 		if withSync {
 			file.Sync(p)
 		}
@@ -74,26 +72,20 @@ func tileRead(m mpiio.Method, cached bool) float64 {
 	f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		file := mpiio.Open(p, cl, rank, "tiles")
 		buf := materialize(cl, spec.Tile(rank.ID()), byte(rank.ID()))
-		if err := file.Write(p, mpiio.ListIO, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Write(p, mpiio.ListIO, buf.Segs, buf.Accs))
 		if !cached {
 			file.Sync(p)
 		}
 	})
 	if !cached {
 		f.c.Eng.Go("drop", func(p *sim.Proc) { dropAllCaches(p, f.c) })
-		if err := f.c.Run(); err != nil {
-			panic(err)
-		}
+		sim.Must(f.c.Run())
 	}
 	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 		file := mpiio.Open(p, cl, rank, "tiles")
 		buf := materialize(cl, spec.Tile(rank.ID()), byte(rank.ID()+9))
 		rank.Barrier(p)
-		if err := file.Read(p, m, buf.Segs, buf.Accs); err != nil {
-			panic(err)
-		}
+		sim.Must(file.Read(p, m, buf.Segs, buf.Accs))
 	})
 	return bw(spec.FileBytes(), elapsed)
 }

@@ -52,7 +52,7 @@ func (f *fixture) runRanks(fn func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client)
 		})
 	}
 	if err := f.c.Run(); err != nil {
-		panic(fmt.Sprintf("bench: simulation failed: %v", err))
+		sim.Failf("bench: simulation failed: %v", err)
 	}
 	return end.Sub(start)
 }
@@ -67,7 +67,7 @@ func (f *fixture) runOne(fn func(p *sim.Proc, cl *pvfs.Client)) sim.Duration {
 		end = p.Now()
 	})
 	if err := f.c.Run(); err != nil {
-		panic(fmt.Sprintf("bench: simulation failed: %v", err))
+		sim.Failf("bench: simulation failed: %v", err)
 	}
 	return end.Sub(start)
 }
@@ -92,9 +92,7 @@ func materialize(cl *pvfs.Client, pat workload.Pattern, seed byte) buffer {
 		for j := range data {
 			data[j] = byte(int(seed) + i*31 + j)
 		}
-		if err := cl.Space().Write(s.Addr, data); err != nil {
-			panic(err)
-		}
+		sim.Must(cl.Space().Write(s.Addr, data))
 	}
 	return buffer{Base: base, Segs: segs, Accs: []pvfs.OffLen(pat.File)}
 }
@@ -141,9 +139,7 @@ func stridedSegs(cl *pvfs.Client, nseg, segSize int64, seed byte) []ib.SGE {
 		for j := range data {
 			data[j] = byte(int64(seed) + i + int64(j)*3)
 		}
-		if err := cl.Space().Write(segs[i].Addr, data); err != nil {
-			panic(err)
-		}
+		sim.Must(cl.Space().Write(segs[i].Addr, data))
 	}
 	return segs
 }

@@ -106,7 +106,7 @@ func Table2(short bool) *Table {
 func runTolerant(eng *sim.Engine) {
 	if err := eng.Run(); err != nil {
 		if _, ok := err.(*sim.DeadlockError); !ok {
-			panic(err)
+			sim.Must(err)
 		}
 	}
 	eng.Shutdown()

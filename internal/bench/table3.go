@@ -59,9 +59,7 @@ func Table3(short bool) *Table {
 		}
 		rWarm = bw(total, p.Now().Sub(t0))
 	})
-	if err := eng.Run(); err != nil {
-		panic(err)
-	}
+	sim.Must(eng.Run())
 	t.Add("without cache", wCold, rCold)
 	t.Add("with cache", wWarm, rWarm)
 	return t

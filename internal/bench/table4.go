@@ -79,9 +79,7 @@ func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overh
 			f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 				fh := cl.Open(p, "warm")
 				accs := []pvfs.OffLen{{Off: int64(rank.ID()) * perRank, Len: perRank}}
-				if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
-					panic(err)
-				}
+				sim.Must(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
 			})
 		}
 
@@ -94,9 +92,7 @@ func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overh
 			fh := cl.Open(p, "t4")
 			accs := []pvfs.OffLen{{Off: int64(rank.ID()) * perRank, Len: perRank}}
 			rank.Barrier(p)
-			if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
-				panic(err)
-			}
+			sim.Must(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
 			if withSync {
 				fh.Sync(p)
 			}
@@ -140,9 +136,7 @@ func holeySegs(cl *pvfs.Client, nseg int, segSize int64, nArrays int) []ib.SGE {
 			for j := range data {
 				data[j] = byte(a + i + j)
 			}
-			if err := cl.Space().Write(seg.Addr, data); err != nil {
-				panic(err)
-			}
+			sim.Must(cl.Space().Write(seg.Addr, data))
 		}
 	}
 	return segs

@@ -1,6 +1,8 @@
 package ib
 
 import (
+	"fmt"
+
 	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
 )
@@ -14,11 +16,11 @@ type Buffer struct {
 }
 
 // SGE returns a gather entry for the first n bytes of the buffer.
-func (b *Buffer) SGE(n int64) SGE {
+func (b *Buffer) SGE(n int64) (SGE, error) {
 	if n > b.Size {
-		panic("ib: buffer SGE larger than buffer")
+		return SGE{}, fmt.Errorf("ib: SGE of %d bytes exceeds %d-byte buffer", n, b.Size)
 	}
-	return SGE{Addr: b.Addr, Len: n}
+	return SGE{Addr: b.Addr, Len: n}, nil
 }
 
 // BufPool is a set of equally-sized, permanently registered buffers, such as
@@ -36,14 +38,17 @@ type BufPool struct {
 // NewBufPool allocates and statically registers count buffers of size bytes
 // each in the HCA's host memory. Pools are built once at system setup, so
 // registration is free in virtual time.
-func NewBufPool(h *HCA, count int, size int64) *BufPool {
+func NewBufPool(h *HCA, count int, size int64) (*BufPool, error) {
 	pool := &BufPool{hca: h, size: size, cond: h.engine().NewCond()}
 	for i := 0; i < count; i++ {
 		addr := h.space.Malloc(size)
-		mr := h.RegisterStatic(mem.Extent{Addr: addr, Len: size})
+		mr, err := h.RegisterStatic(mem.Extent{Addr: addr, Len: size})
+		if err != nil {
+			return nil, fmt.Errorf("ib: buffer pool registration: %w", err)
+		}
 		pool.free = append(pool.free, &Buffer{Addr: addr, Size: size, MR: mr, pool: pool})
 	}
-	return pool
+	return pool, nil
 }
 
 // BufSize returns the size of each buffer.

@@ -2,6 +2,8 @@ package ib
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
 
 	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
@@ -59,7 +61,11 @@ func (c *RegCache) Get(p *sim.Proc, e mem.Extent) (*MR, error) {
 	// Evict until the new region fits.
 	need := e.Pages() * mem.PageSize
 	for c.bytes+need > c.maxBytes || len(c.entries) >= c.maxEntries {
-		if !c.evictOne(p) {
+		evicted, err := c.evictOne(p)
+		if err != nil {
+			return nil, err
+		}
+		if !evicted {
 			break // nothing evictable; let Register enforce HCA limits
 		}
 	}
@@ -80,20 +86,28 @@ func (c *RegCache) Get(p *sim.Proc, e mem.Extent) (*MR, error) {
 // deregistered now, their cost charged to p. This is what produces
 // registration thrashing when the pinnable budget is smaller than an
 // operation's working set (Section 4.2).
-func (c *RegCache) Put(p *sim.Proc, mr *MR) {
+func (c *RegCache) Put(p *sim.Proc, mr *MR) error {
 	ent, ok := c.entries[mr.Key]
 	if !ok {
-		panic("ib: RegCache.Put of unknown MR")
+		return fmt.Errorf("ib: RegCache.Put of unknown MR (key %d): %w", mr.Key, ErrInvalidMR)
 	}
 	if ent.refs <= 0 {
-		panic("ib: RegCache.Put without matching Get")
+		return errors.New("ib: RegCache.Put without matching Get")
 	}
 	ent.refs--
 	if ent.refs == 0 {
 		ent.elem = c.lru.PushFront(ent)
 	}
-	for (c.bytes > c.maxBytes || len(c.entries) > c.maxEntries) && c.evictOne(p) {
+	for c.bytes > c.maxBytes || len(c.entries) > c.maxEntries {
+		evicted, err := c.evictOne(p)
+		if err != nil {
+			return err
+		}
+		if !evicted {
+			break
+		}
 	}
+	return nil
 }
 
 func (c *RegCache) ref(ent *cacheEntry) {
@@ -105,23 +119,32 @@ func (c *RegCache) ref(ent *cacheEntry) {
 }
 
 // evictOne deregisters the least-recently-used unreferenced entry.
-func (c *RegCache) evictOne(p *sim.Proc) bool {
+func (c *RegCache) evictOne(p *sim.Proc) (bool, error) {
 	back := c.lru.Back()
 	if back == nil {
-		return false
+		return false, nil
 	}
 	ent := back.Value.(*cacheEntry)
 	c.lru.Remove(back)
 	ent.elem = nil
 	delete(c.entries, ent.mr.Key)
 	c.bytes -= ent.mr.Extent.Pages() * mem.PageSize
-	c.hca.Deregister(p, ent.mr)
-	return true
+	if err := c.hca.Deregister(p, ent.mr); err != nil {
+		return false, fmt.Errorf("ib: RegCache eviction: %w", err)
+	}
+	return true, nil
 }
 
 // Flush deregisters every unreferenced cached entry.
-func (c *RegCache) Flush(p *sim.Proc) {
-	for c.evictOne(p) {
+func (c *RegCache) Flush(p *sim.Proc) error {
+	for {
+		evicted, err := c.evictOne(p)
+		if err != nil {
+			return err
+		}
+		if !evicted {
+			return nil
+		}
 	}
 }
 

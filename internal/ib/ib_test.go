@@ -274,19 +274,23 @@ func TestRDMAWriteSplitsAtMaxSGE(t *testing.T) {
 	}
 }
 
-func TestRDMAWriteUnregisteredLocalPanics(t *testing.T) {
+func TestRDMAWriteUnregisteredLocalFails(t *testing.T) {
 	eng, a, b := pair(t)
 	qa, _ := Connect(a, b)
 	src := a.Space().Malloc(mem.PageSize)
 	dst := b.Space().Malloc(mem.PageSize)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unregistered local segment")
-		}
-	}()
 	eng.Go("t", func(p *sim.Proc) {
 		mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: mem.PageSize})
-		qa.RDMAWrite(p, []SGE{{Addr: src, Len: 16}}, dst, mrB.Key)
+		writes := a.Counters.RDMAWrites
+		if err := qa.RDMAWrite(p, []SGE{{Addr: src, Len: 16}}, dst, mrB.Key); err == nil {
+			t.Error("expected error for unregistered local segment")
+		}
+		if a.Counters.RDMAWrites != writes {
+			t.Error("failed work request must not be posted")
+		}
+		if err := qa.RDMARead(p, []SGE{{Addr: src, Len: 16}}, dst, mrB.Key); err == nil {
+			t.Error("expected error for unregistered local read segment")
+		}
 	})
 	run(t, eng)
 }
@@ -419,7 +423,12 @@ func TestBufPoolBlocksWhenEmpty(t *testing.T) {
 	var pool *BufPool
 	var gotAt sim.Time
 	eng.Go("setup", func(p *sim.Proc) {
-		pool = NewBufPool(a, 1, 64<<10)
+		var err error
+		pool, err = NewBufPool(a, 1, 64<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		b1 := pool.Get(p)
 		eng.Go("waiter", func(q *sim.Proc) {
 			b2 := pool.Get(q)
@@ -438,7 +447,11 @@ func TestBufPoolBlocksWhenEmpty(t *testing.T) {
 func TestBufPoolPreRegistered(t *testing.T) {
 	eng, a, _ := pair(t)
 	eng.Go("t", func(p *sim.Proc) {
-		pool := NewBufPool(a, 4, 64<<10)
+		pool, err := NewBufPool(a, 4, 64<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		regs := a.Counters.Registrations
 		b := pool.Get(p)
 		b.Put()
@@ -448,8 +461,8 @@ func TestBufPoolPreRegistered(t *testing.T) {
 		if !b.MR.Valid() {
 			t.Error("pool buffer must stay registered")
 		}
-		if b.SGE(100).Len != 100 {
-			t.Error("SGE helper")
+		if sge, err := b.SGE(100); err != nil || sge.Len != 100 {
+			t.Errorf("SGE helper: sge=%v err=%v", sge, err)
 		}
 	})
 	run(t, eng)

@@ -78,21 +78,25 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 // buffers). Setup-time costs are irrelevant to the experiments; per-
 // operation costs are what the paper measures. The registration still
 // counts against pin limits but not in the Registrations counter.
-func (h *HCA) RegisterStatic(e mem.Extent) *MR {
+func (h *HCA) RegisterStatic(e mem.Extent) (*MR, error) {
 	if e.Len <= 0 || !h.space.Allocated(e) {
-		panic(fmt.Sprintf("ib: RegisterStatic of invalid extent %v", e))
+		return nil, fmt.Errorf("ib: RegisterStatic of invalid extent %v: %w", e, ErrNotAllocated)
 	}
 	h.nextKey++
 	mr := &MR{Key: h.nextKey, Extent: e, hca: h, valid: true}
 	h.mrs[mr.Key] = mr
 	h.pinnedBytes += e.Pages() * mem.PageSize
-	return mr
+	return mr, nil
 }
 
+// ErrInvalidMR is returned by Deregister for a region that was never
+// registered on this HCA or was already deregistered.
+var ErrInvalidMR = errors.New("ib: deregister of invalid MR")
+
 // Deregister unpins the region, charging the deregistration cost.
-func (h *HCA) Deregister(p *sim.Proc, mr *MR) {
-	if !mr.valid {
-		panic("ib: deregister of invalid MR")
+func (h *HCA) Deregister(p *sim.Proc, mr *MR) error {
+	if !mr.Valid() {
+		return ErrInvalidMR
 	}
 	cost := h.params.DeregCost(mr.Extent.Pages())
 	p.Sleep(cost)
@@ -101,6 +105,7 @@ func (h *HCA) Deregister(p *sim.Proc, mr *MR) {
 	h.pinnedBytes -= mr.Extent.Pages() * mem.PageSize
 	h.Counters.Deregistrations++
 	h.Counters.DeregTime += cost
+	return nil
 }
 
 // lookup returns the MR for key, or nil.

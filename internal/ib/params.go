@@ -23,6 +23,11 @@ import (
 	"pvfsib/internal/simnet"
 )
 
+// HardMaxSGE is the InfiniBand hardware cap on scatter/gather entries per
+// work request (Section 4.1). Params.MaxSGE configures the simulated HCA but
+// may not exceed this; the sgelimit analyzer enforces both directions.
+const HardMaxSGE = 64
+
 // Params holds the HCA timing and capacity model.
 type Params struct {
 	// RegPerPage and RegPerOp model registration cost T = a*pages + b.
@@ -64,7 +69,7 @@ func DefaultParams() Params {
 		RegPerOp:         7420 * time.Nanosecond,
 		DeregPerPage:     230 * time.Nanosecond,
 		DeregPerOp:       1100 * time.Nanosecond,
-		MaxSGE:           64,
+		MaxSGE:           HardMaxSGE,
 		WROverhead:       2 * time.Microsecond,
 		PerSGE:           100 * time.Nanosecond,
 		UnalignedPenalty: 200 * time.Nanosecond,

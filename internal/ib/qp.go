@@ -148,16 +148,16 @@ func (h *HCA) dispatch(p *sim.Proc) {
 		case *wireSend:
 			q, ok := h.qps[w.dstQP]
 			if !ok {
-				panic(fmt.Sprintf("ib: %s: send to unknown QP %d", h.node.Name, w.dstQP))
+				sim.Failf("ib: %s: send to unknown QP %d", h.node.Name, w.dstQP)
 			}
 			q.inbox.Send(w)
 		case *wireRDMAWrite:
 			mr := h.lookup(w.rkey)
 			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
-				panic(fmt.Sprintf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey))
+				sim.Failf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey)
 			}
 			if err := h.space.Write(w.raddr, w.data); err != nil {
-				panic(fmt.Sprintf("ib: %s: RDMA write fault: %v", h.node.Name, err))
+				sim.Failf("ib: %s: RDMA write fault: %v", h.node.Name, err)
 			}
 			if h.OnRDMAWriteApplied != nil {
 				h.OnRDMAWriteApplied(w.raddr, int64(len(w.data)))
@@ -165,23 +165,23 @@ func (h *HCA) dispatch(p *sim.Proc) {
 		case *wireRDMAReadReq:
 			mr := h.lookup(w.rkey)
 			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
-				panic(fmt.Sprintf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey))
+				sim.Failf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey)
 			}
 			data, err := h.space.Read(w.raddr, w.size)
 			if err != nil {
-				panic(fmt.Sprintf("ib: %s: RDMA read fault: %v", h.node.Name, err))
+				sim.Failf("ib: %s: RDMA read fault: %v", h.node.Name, err)
 			}
 			p.Sleep(h.params.ReadTurnaround)
 			h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data})
 		case *wireRDMAReadResp:
 			mb, ok := h.reads[w.id]
 			if !ok {
-				panic(fmt.Sprintf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id))
+				sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
 			}
 			delete(h.reads, w.id)
 			mb.Send(w.data)
 		default:
-			panic(fmt.Sprintf("ib: %s: unknown wire message %T", h.node.Name, m.Payload))
+			sim.Failf("ib: %s: unknown wire message %T", h.node.Name, m.Payload)
 		}
 	}
 }
@@ -216,16 +216,18 @@ func (h *HCA) sgeCost(sges []SGE) sim.Duration {
 	return d
 }
 
-// checkLocal panics unless every SGE is covered by a registered local MR.
-func (h *HCA) checkLocal(op string, sges []SGE) {
+// checkLocal fails unless every SGE is covered by a registered local MR —
+// the precondition real verbs enforce with a local protection fault.
+func (h *HCA) checkLocal(op string, sges []SGE) error {
 	for _, s := range sges {
 		if s.Len <= 0 {
-			panic(fmt.Sprintf("ib: %s: empty SGE %v", op, s))
+			return fmt.Errorf("ib: %s: empty SGE %v", op, s)
 		}
 		if !h.coveredLocally(s.Extent()) {
-			panic(fmt.Sprintf("ib: %s: %s: local segment %v not registered", h.node.Name, op, s.Extent()))
+			return fmt.Errorf("ib: %s: %s: local segment %v not registered", h.node.Name, op, s.Extent())
 		}
 	}
+	return nil
 }
 
 // RDMAWrite gathers the local segments and writes them contiguously into the
@@ -233,9 +235,13 @@ func (h *HCA) checkLocal(op string, sges []SGE) {
 // work requests, each paying its own overhead. The caller blocks until the
 // last work request's local completion; remote memory is updated when the
 // data arrives on the wire (before any message the caller sends afterwards).
-func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
+// An unregistered or unreadable local segment fails the whole work request
+// before anything is sent.
+func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 	h := q.hca
-	h.checkLocal("RDMA write", sges)
+	if err := h.checkLocal("RDMA write", sges); err != nil {
+		return err
+	}
 	offset := int64(0)
 	for len(sges) > 0 {
 		n := len(sges)
@@ -249,7 +255,7 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
 		for _, s := range wr {
 			b, err := h.space.Read(s.Addr, s.Len)
 			if err != nil {
-				panic(fmt.Sprintf("ib: %s: RDMA write gather fault: %v", h.node.Name, err))
+				return fmt.Errorf("ib: %s: RDMA write gather fault: %w", h.node.Name, err)
 			}
 			data = append(data, b...)
 		}
@@ -261,15 +267,19 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
 		p.Sleep(h.params.WROverhead)
 		offset += size
 	}
+	return nil
 }
 
 // RDMARead reads a contiguous remote region and scatters it into the local
 // segments (the verbs shape: remote side contiguous, local side scattered).
 // Lists longer than MaxSGE split into multiple work requests. The caller
-// blocks until all data has arrived and been scattered.
-func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
+// blocks until all data has arrived and been scattered. An unregistered or
+// unwritable local segment fails the work request.
+func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 	h := q.hca
-	h.checkLocal("RDMA read", sges)
+	if err := h.checkLocal("RDMA read", sges); err != nil {
+		return err
+	}
 	offset := int64(0)
 	for len(sges) > 0 {
 		n := len(sges)
@@ -291,10 +301,11 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) {
 		data := mb.Recv(p).([]byte)
 		for _, s := range wr {
 			if err := h.space.Write(s.Addr, data[:s.Len]); err != nil {
-				panic(fmt.Sprintf("ib: %s: RDMA read scatter fault: %v", h.node.Name, err))
+				return fmt.Errorf("ib: %s: RDMA read scatter fault: %w", h.node.Name, err)
 			}
 			data = data[s.Len:]
 		}
 		offset += size
 	}
+	return nil
 }

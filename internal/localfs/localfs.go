@@ -16,7 +16,6 @@ package localfs
 
 import (
 	"container/list"
-	"fmt"
 	"sort"
 	"time"
 
@@ -385,7 +384,7 @@ func (c *pageCache) present(f *File, blk int64) bool {
 func (c *pageCache) touch(p *sim.Proc, f *File, blk int64, dirty bool) {
 	el, ok := c.entries[cacheKey{f, blk}]
 	if !ok {
-		panic(fmt.Sprintf("localfs: touch of uncached block %d of %s", blk, f.name))
+		sim.Failf("localfs: touch of uncached block %d of %s", blk, f.name)
 	}
 	c.lru.MoveToFront(el)
 	if dirty {
@@ -506,7 +505,7 @@ func (lt *lockTable) unlock(off, size int64) {
 			return
 		}
 	}
-	panic("localfs: unlock of range not held")
+	sim.Failf("localfs: unlock of range not held")
 }
 
 func (lt *lockTable) conflicts(off, size int64) bool {

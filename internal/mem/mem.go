@@ -72,6 +72,7 @@ func queryCost(m QueryMethod, holes int, pages int64) sim.Duration {
 	case QueryMincore:
 		return time.Duration(pages) * 200 * time.Nanosecond
 	default:
+		//pvfslint:ok nopanic QueryMethod is a closed enum; a new variant is a compile-time omission here
 		panic("mem: unknown query method")
 	}
 }
@@ -104,6 +105,7 @@ func (s *AddrSpace) Name() string { return s.name }
 // adjacent; use Reserve to introduce unallocated holes between them.
 func (s *AddrSpace) Malloc(size int64) Addr {
 	if size <= 0 {
+		//pvfslint:ok nopanic Malloc's contract mirrors C malloc: a nonpositive size is a caller bug, and an error return would infect every inline call site
 		panic("mem: Malloc of nonpositive size")
 	}
 	base := s.brk
@@ -121,6 +123,7 @@ func (s *AddrSpace) Malloc(size int64) Addr {
 // creating an unallocated hole after the most recent allocation.
 func (s *AddrSpace) Reserve(npages int64) {
 	if npages < 0 {
+		//pvfslint:ok nopanic Reserve shares Malloc's inline-allocator contract: a negative count is a caller bug
 		panic("mem: negative Reserve")
 	}
 	s.brk += Addr(npages * PageSize)

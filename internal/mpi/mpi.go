@@ -12,7 +12,6 @@
 package mpi
 
 import (
-	"fmt"
 	"time"
 
 	"pvfsib/internal/ib"
@@ -72,7 +71,7 @@ func (r *Rank) Size() int { return len(r.world.ranks) }
 // like a buffered MPI_Send).
 func (r *Rank) Send(p *sim.Proc, dst int, data []byte) {
 	if dst == r.id {
-		panic("mpi: send to self")
+		sim.Failf("mpi: send to self")
 	}
 	p.Sleep(SoftwareOverhead)
 	if r.world.acct != nil {
@@ -84,7 +83,7 @@ func (r *Rank) Send(p *sim.Proc, dst int, data []byte) {
 // Recv blocks until a message from rank src arrives and returns its payload.
 func (r *Rank) Recv(p *sim.Proc, src int) []byte {
 	if src == r.id {
-		panic("mpi: recv from self")
+		sim.Failf("mpi: recv from self")
 	}
 	_, payload := r.qps[src].Recv(p)
 	p.Sleep(SoftwareOverhead)
@@ -167,7 +166,7 @@ func (r *Rank) Allgather(p *sim.Proc, data []byte) [][]byte {
 func (r *Rank) Alltoallv(p *sim.Proc, parts [][]byte) [][]byte {
 	n := r.Size()
 	if len(parts) != n {
-		panic(fmt.Sprintf("mpi: Alltoallv needs %d parts, got %d", n, len(parts)))
+		sim.Failf("mpi: Alltoallv needs %d parts, got %d", n, len(parts))
 	}
 	out := make([][]byte, n)
 	out[r.id] = parts[r.id]

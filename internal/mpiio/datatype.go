@@ -93,24 +93,24 @@ func Vector(count, blocklen, stride int64) Flat {
 }
 
 // Indexed describes blocks at explicit offsets (MPI_Type_create_hindexed).
-func Indexed(offs, lens []int64) Flat {
+func Indexed(offs, lens []int64) (Flat, error) {
 	if len(offs) != len(lens) {
-		panic("mpiio: Indexed needs equal-length slices")
+		return nil, fmt.Errorf("mpiio: Indexed needs equal-length slices (got %d offsets, %d lengths)", len(offs), len(lens))
 	}
 	f := make(Flat, 0, len(offs))
 	for i := range offs {
 		f = append(f, pvfs.OffLen{Off: offs[i], Len: lens[i]})
 	}
-	return f.Normalize()
+	return f.Normalize(), nil
 }
 
 // Subarray2D describes a subRows x subCols block starting at (startRow,
 // startCol) of a rows x cols row-major array with elem-byte elements
 // (MPI_Type_create_subarray in 2-D).
-func Subarray2D(rows, cols, subRows, subCols, startRow, startCol, elem int64) Flat {
+func Subarray2D(rows, cols, subRows, subCols, startRow, startCol, elem int64) (Flat, error) {
 	if startRow+subRows > rows || startCol+subCols > cols {
-		panic(fmt.Sprintf("mpiio: subarray %dx%d@(%d,%d) outside %dx%d",
-			subRows, subCols, startRow, startCol, rows, cols))
+		return nil, fmt.Errorf("mpiio: subarray %dx%d@(%d,%d) outside %dx%d",
+			subRows, subCols, startRow, startCol, rows, cols)
 	}
 	f := make(Flat, 0, subRows)
 	for r := int64(0); r < subRows; r++ {
@@ -119,14 +119,15 @@ func Subarray2D(rows, cols, subRows, subCols, startRow, startCol, elem int64) Fl
 			Len: subCols * elem,
 		})
 	}
-	return f.Normalize()
+	return f.Normalize(), nil
 }
 
 // Subarray3D is the 3-D analogue with the last dimension fastest-varying.
-func Subarray3D(dims, subs, starts [3]int64, elem int64) Flat {
+func Subarray3D(dims, subs, starts [3]int64, elem int64) (Flat, error) {
 	for i := 0; i < 3; i++ {
 		if starts[i]+subs[i] > dims[i] {
-			panic("mpiio: subarray outside array")
+			return nil, fmt.Errorf("mpiio: subarray dim %d: start %d + size %d outside array of %d",
+				i, starts[i], subs[i], dims[i])
 		}
 	}
 	f := make(Flat, 0, subs[0]*subs[1])
@@ -136,7 +137,7 @@ func Subarray3D(dims, subs, starts [3]int64, elem int64) Flat {
 			f = append(f, pvfs.OffLen{Off: off, Len: subs[2] * elem})
 		}
 	}
-	return f.Normalize()
+	return f.Normalize(), nil
 }
 
 // View is an MPI-IO file view: a displacement plus a filetype pattern that
@@ -151,14 +152,15 @@ type View struct {
 }
 
 // Map translates a contiguous byte range of the view (viewOff, n in "view
-// space", counting only selected bytes) into absolute file regions.
-func (v View) Map(viewOff, n int64) Flat {
+// space", counting only selected bytes) into absolute file regions. A view
+// whose pattern selects no bytes cannot map anything.
+func (v View) Map(viewOff, n int64) (Flat, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	per := v.Pattern.Total()
 	if per <= 0 {
-		panic("mpiio: view with empty pattern")
+		return nil, fmt.Errorf("mpiio: mapping %d bytes through a view with an empty pattern", n)
 	}
 	var out Flat
 	tile := viewOff / per
@@ -185,5 +187,5 @@ func (v View) Map(viewOff, n int64) Flat {
 		tile++
 		within = 0
 	}
-	return out.Normalize()
+	return out.Normalize(), nil
 }

@@ -103,9 +103,9 @@ func (f *File) SetView(v View) {
 
 // ViewRegions maps [viewOff, viewOff+n) of the current view to absolute
 // file regions; without a view the mapping is the identity.
-func (f *File) ViewRegions(viewOff, n int64) []pvfs.OffLen {
+func (f *File) ViewRegions(viewOff, n int64) ([]pvfs.OffLen, error) {
 	if !f.hasView {
-		return []pvfs.OffLen{{Off: viewOff, Len: n}}
+		return []pvfs.OffLen{{Off: viewOff, Len: n}}, nil
 	}
 	return f.view.Map(viewOff, n)
 }
@@ -113,12 +113,20 @@ func (f *File) ViewRegions(viewOff, n int64) []pvfs.OffLen {
 // WriteView writes n bytes from the memory segments through the view at
 // view offset viewOff using the given method.
 func (f *File) WriteView(p *sim.Proc, method Method, memSegs []ib.SGE, viewOff, n int64) error {
-	return f.Write(p, method, memSegs, f.ViewRegions(viewOff, n))
+	accs, err := f.ViewRegions(viewOff, n)
+	if err != nil {
+		return err
+	}
+	return f.Write(p, method, memSegs, accs)
 }
 
 // ReadView reads n bytes through the view into the memory segments.
 func (f *File) ReadView(p *sim.Proc, method Method, memSegs []ib.SGE, viewOff, n int64) error {
-	return f.Read(p, method, memSegs, f.ViewRegions(viewOff, n))
+	accs, err := f.ViewRegions(viewOff, n)
+	if err != nil {
+		return err
+	}
+	return f.Read(p, method, memSegs, accs)
 }
 
 // Sync flushes the file on all servers.

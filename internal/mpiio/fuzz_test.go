@@ -1,0 +1,95 @@
+package mpiio
+
+import (
+	"testing"
+)
+
+// checkFlat fails unless f is in normalized form: ascending, positive-length
+// regions with no two adjacent (adjacent regions must have been merged).
+func checkFlat(t *testing.T, label string, f Flat) {
+	t.Helper()
+	for i, r := range f {
+		if r.Len <= 0 {
+			t.Fatalf("%s: region %d has nonpositive length: %v", label, i, r)
+		}
+		if i > 0 && r.Off <= f[i-1].End() {
+			t.Fatalf("%s: regions %d,%d out of order or unmerged: %v, %v",
+				label, i-1, i, f[i-1], r)
+		}
+	}
+}
+
+func clampPos(v, mod int64) int64 {
+	v %= mod
+	if v < 0 {
+		v += mod
+	}
+	return v + 1
+}
+
+// FuzzFlattenDatatype drives the datatype constructors and View.Map over
+// arbitrary shapes and checks the flattening invariants: byte counts are
+// preserved, output is always normalized, and Normalize is idempotent.
+// Seeds mirror the table-driven cases in mpiio_test.go.
+func FuzzFlattenDatatype(f *testing.F) {
+	f.Add(int64(4), int64(10), int64(20), int64(0), int64(16))  // strided vector
+	f.Add(int64(4), int64(10), int64(10), int64(5), int64(20))  // contiguous merge
+	f.Add(int64(1), int64(1), int64(1), int64(0), int64(1))     // degenerate
+	f.Add(int64(8), int64(3), int64(100), int64(7), int64(200)) // sparse
+	f.Fuzz(func(t *testing.T, count, blocklen, stride, mapOff, mapN int64) {
+		count = clampPos(count, 64)
+		blocklen = clampPos(blocklen, 1024)
+		// Keep blocks non-overlapping so byte totals are exact.
+		stride = blocklen + clampPos(stride, 512) - 1
+
+		flat := Vector(count, blocklen, stride)
+		checkFlat(t, "Vector", flat)
+		total := flat.Total()
+		if total != count*blocklen {
+			t.Fatalf("Vector(%d,%d,%d).Total() = %d, want %d",
+				count, blocklen, stride, total, count*blocklen)
+		}
+		again := flat.Normalize()
+		if len(again) != len(flat) {
+			t.Fatalf("Normalize not idempotent: %d regions became %d", len(flat), len(again))
+		}
+
+		// The same shape built through Indexed must flatten identically.
+		offs := make([]int64, count)
+		lens := make([]int64, count)
+		for i := int64(0); i < count; i++ {
+			offs[i] = i * stride
+			lens[i] = blocklen
+		}
+		idx, err := Indexed(offs, lens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != len(flat) || idx.Total() != total {
+			t.Fatalf("Indexed disagrees with Vector: %v vs %v", idx, flat)
+		}
+
+		// Mapping any window through a view built on the pattern must yield
+		// exactly the requested bytes, in normalized form.
+		v := View{
+			Disp:    clampPos(mapOff, 1<<20) - 1,
+			Pattern: flat,
+			Extent:  flat.Span() + stride,
+		}
+		off := clampPos(mapOff, 2*total) - 1
+		n := clampPos(mapN, 3*total)
+		regions, err := v.Map(off, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFlat(t, "View.Map", regions)
+		if regions.Total() != n {
+			t.Fatalf("Map(%d, %d) selected %d bytes", off, n, regions.Total())
+		}
+		for _, r := range regions {
+			if r.Off < v.Disp {
+				t.Fatalf("Map produced region %v before the displacement %d", r, v.Disp)
+			}
+		}
+	})
+}

@@ -61,35 +61,59 @@ func TestVectorMergesWhenStrideEqualsBlock(t *testing.T) {
 }
 
 func TestIndexedNormalizes(t *testing.T) {
-	f := Indexed([]int64{100, 0, 50}, []int64{10, 50, 50})
+	f, err := Indexed([]int64{100, 0, 50}, []int64{10, 50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 0..50, 50..100 and 100..110 are all adjacent: one region.
 	if len(f) != 1 || f[0] != (pvfs.OffLen{Off: 0, Len: 110}) {
 		t.Errorf("got %v", f)
 	}
-	g := Indexed([]int64{0, 60}, []int64{50, 10})
+	g, err := Indexed([]int64{0, 60}, []int64{50, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(g) != 2 {
 		t.Errorf("disjoint blocks merged: %v", g)
+	}
+	if _, err := Indexed([]int64{0, 60}, []int64{50}); err == nil {
+		t.Error("mismatched slice lengths should error")
 	}
 }
 
 func TestSubarray2D(t *testing.T) {
 	// 4x4 ints, take the 2x2 block at (1,1).
-	f := Subarray2D(4, 4, 2, 2, 1, 1, 4)
+	f, err := Subarray2D(4, 4, 2, 2, 1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := Flat{{Off: (1*4 + 1) * 4, Len: 8}, {Off: (2*4 + 1) * 4, Len: 8}}
 	if len(f) != 2 || f[0] != want[0] || f[1] != want[1] {
 		t.Errorf("got %v, want %v", f, want)
 	}
+	if _, err := Subarray2D(4, 4, 2, 2, 3, 1, 4); err == nil {
+		t.Error("out-of-bounds subarray should error")
+	}
 }
 
 func TestSubarray2DFullWidthMerges(t *testing.T) {
-	f := Subarray2D(8, 8, 2, 8, 2, 0, 1)
+	f, err := Subarray2D(8, 8, 2, 8, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f) != 1 || f[0] != (pvfs.OffLen{Off: 16, Len: 16}) {
 		t.Errorf("full-width rows should merge: %v", f)
 	}
 }
 
 func TestSubarray3D(t *testing.T) {
-	f := Subarray3D([3]int64{4, 4, 4}, [3]int64{2, 2, 4}, [3]int64{0, 0, 0}, 1)
+	f, err := Subarray3D([3]int64{4, 4, 4}, [3]int64{2, 2, 4}, [3]int64{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Subarray3D([3]int64{4, 4, 4}, [3]int64{2, 2, 4}, [3]int64{0, 3, 0}, 1); err == nil {
+		t.Error("out-of-bounds 3-D subarray should error")
+	}
 	// Full fastest dimension: rows merge along j for fixed i? Row (i,j)
 	// occupies offsets ((i*4+j)*4, +4); with j=0,1 adjacent they merge.
 	if f.Total() != 16 {
@@ -117,7 +141,10 @@ func TestRepeatAndShift(t *testing.T) {
 func TestViewMap(t *testing.T) {
 	// View: every other 10-byte block, displacement 1000.
 	v := View{Disp: 1000, Pattern: Flat{{Off: 0, Len: 10}}, Extent: 20}
-	got := v.Map(5, 20)
+	got, err := v.Map(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// View bytes 5..25 = last 5 of tile 0, all of tile 1, first 5 of tile 2.
 	want := Flat{{Off: 1005, Len: 5}, {Off: 1020, Len: 10}, {Off: 1040, Len: 5}}
 	if len(got) != 3 {
@@ -132,8 +159,12 @@ func TestViewMap(t *testing.T) {
 
 func TestViewMapZero(t *testing.T) {
 	v := View{Pattern: Contig(8), Extent: 8}
-	if v.Map(0, 0) != nil {
-		t.Error("zero-length map should be nil")
+	if f, err := v.Map(0, 0); f != nil || err != nil {
+		t.Errorf("zero-length map should be nil, nil; got %v, %v", f, err)
+	}
+	empty := View{Extent: 8}
+	if _, err := empty.Map(0, 8); err == nil {
+		t.Error("mapping through an empty pattern should error")
 	}
 }
 

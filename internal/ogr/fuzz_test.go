@@ -1,0 +1,63 @@
+package ogr
+
+import (
+	"testing"
+
+	"pvfsib/internal/mem"
+)
+
+// FuzzGroupRegions decodes an arbitrary byte string into a buffer list
+// (alternating hole and length page counts, the shapes Table 4 exercises)
+// and checks the grouping invariants: every buffer lands inside exactly one
+// group span, spans are disjoint and ascending, and disabling grouping
+// degenerates to one group per buffer.
+func FuzzGroupRegions(f *testing.F) {
+	f.Add([]byte{0, 4, 0, 4, 0, 4}, false)        // one dense run
+	f.Add([]byte{0, 1, 200, 1, 200, 1}, false)    // far-apart buffers
+	f.Add([]byte{0, 2, 1, 2, 30, 2, 1, 2}, false) // small holes worth swallowing
+	f.Add([]byte{0, 3, 5, 3}, true)
+	f.Fuzz(func(t *testing.T, data []byte, disableGrouping bool) {
+		addr := mem.Addr(1 << 20)
+		var bufs []mem.Extent
+		for i := 0; i+1 < len(data) && len(bufs) < 128; i += 2 {
+			holePages := int64(data[i] % 64)
+			lenPages := int64(data[i+1]%16) + 1
+			addr += mem.Addr(holePages * mem.PageSize)
+			bufs = append(bufs, mem.Extent{Addr: addr, Len: lenPages * mem.PageSize})
+			addr += mem.Addr(lenPages * mem.PageSize)
+		}
+		if len(bufs) == 0 {
+			return
+		}
+		cfg := DefaultConfig()
+		cfg.DisableGrouping = disableGrouping
+		groups := planGroups(bufs, cfg)
+
+		if disableGrouping && len(groups) != len(bufs) {
+			t.Fatalf("grouping disabled but %d buffers became %d groups", len(bufs), len(groups))
+		}
+		covered := 0
+		var prevEnd mem.Addr
+		for gi, g := range groups {
+			if g.span.Len <= 0 {
+				t.Fatalf("group %d has nonpositive span %v", gi, g.span)
+			}
+			if gi > 0 && g.span.Addr < prevEnd {
+				t.Fatalf("group %d span %v overlaps previous end %#x", gi, g.span, prevEnd)
+			}
+			prevEnd = g.span.End()
+			if len(g.bufs) == 0 {
+				t.Fatalf("group %d covers no buffers", gi)
+			}
+			for _, b := range g.bufs {
+				if b.Addr < g.span.Addr || b.End() > g.span.End() {
+					t.Fatalf("group %d span %v does not contain its buffer %v", gi, g.span, b)
+				}
+			}
+			covered += len(g.bufs)
+		}
+		if covered != len(bufs) {
+			t.Fatalf("%d buffers in, %d assigned to groups", len(bufs), covered)
+		}
+	})
+}

@@ -36,7 +36,7 @@ type Registrar interface {
 	Register(p *sim.Proc, e mem.Extent) (*ib.MR, error)
 	// Release undoes Register. A direct registrar deregisters; a caching
 	// registrar only drops a reference.
-	Release(p *sim.Proc, mr *ib.MR)
+	Release(p *sim.Proc, mr *ib.MR) error
 }
 
 // Direct registers straight against an HCA, deregistering on Release.
@@ -48,7 +48,7 @@ func (d Direct) Register(p *sim.Proc, e mem.Extent) (*ib.MR, error) {
 }
 
 // Release implements Registrar.
-func (d Direct) Release(p *sim.Proc, mr *ib.MR) { d.HCA.Deregister(p, mr) }
+func (d Direct) Release(p *sim.Proc, mr *ib.MR) error { return d.HCA.Deregister(p, mr) }
 
 // Cached goes through a pin-down cache: repeated use of the same buffers
 // costs nothing after the first registration.
@@ -60,7 +60,7 @@ func (c Cached) Register(p *sim.Proc, e mem.Extent) (*ib.MR, error) {
 }
 
 // Release implements Registrar.
-func (c Cached) Release(p *sim.Proc, mr *ib.MR) { c.Cache.Put(p, mr) }
+func (c Cached) Release(p *sim.Proc, mr *ib.MR) error { return c.Cache.Put(p, mr) }
 
 // Config tunes the scheme.
 type Config struct {
@@ -187,16 +187,14 @@ func RegisterBuffers(p *sim.Proc, reg Registrar, space *mem.AddrSpace, bufs []me
 			continue
 		}
 		if !errors.Is(err, ib.ErrNotAllocated) {
-			releaseAll(p, reg, res)
-			return nil, err
+			return nil, errors.Join(err, releaseAll(p, reg, res))
 		}
 		res.FailedAttempts++
 
 		// Step 3: fall back.
 		if len(g.bufs) <= cfg.SmallGroupLimit {
 			if err := registerEach(p, reg, g.bufs, res); err != nil {
-				releaseAll(p, reg, res)
-				return nil, err
+				return nil, errors.Join(err, releaseAll(p, reg, res))
 			}
 			continue
 		}
@@ -209,11 +207,10 @@ func RegisterBuffers(p *sim.Proc, reg Registrar, space *mem.AddrSpace, bufs []me
 			}
 			mr, err := reg.Register(p, run)
 			if err != nil {
-				releaseAll(p, reg, res)
 				if errors.Is(err, ib.ErrNotAllocated) {
-					return nil, ErrBufferUnallocated
+					err = ErrBufferUnallocated
 				}
-				return nil, err
+				return nil, errors.Join(err, releaseAll(p, reg, res))
 			}
 			res.MRs = append(res.MRs, mr)
 			res.Registrations++
@@ -222,8 +219,7 @@ func RegisterBuffers(p *sim.Proc, reg Registrar, space *mem.AddrSpace, bufs []me
 		// application error.
 		for _, b := range g.bufs {
 			if !covered(b, res.MRs) {
-				releaseAll(p, reg, res)
-				return nil, ErrBufferUnallocated
+				return nil, errors.Join(ErrBufferUnallocated, releaseAll(p, reg, res))
 			}
 		}
 	}
@@ -246,15 +242,21 @@ func registerEach(p *sim.Proc, reg Registrar, bufs []mem.Extent, res *Result) er
 }
 
 // Release unpins every region in the result.
-func Release(p *sim.Proc, reg Registrar, res *Result) {
-	releaseAll(p, reg, res)
+func Release(p *sim.Proc, reg Registrar, res *Result) error {
+	return releaseAll(p, reg, res)
 }
 
-func releaseAll(p *sim.Proc, reg Registrar, res *Result) {
+// releaseAll releases every region, keeps going past failures, and returns
+// the failures joined (nil when all releases succeed).
+func releaseAll(p *sim.Proc, reg Registrar, res *Result) error {
+	var errs []error
 	for _, mr := range res.MRs {
-		reg.Release(p, mr)
+		if err := reg.Release(p, mr); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	res.MRs = nil
+	return errors.Join(errs...)
 }
 
 // subtractHoles returns the allocated runs of span after removing holes

@@ -76,12 +76,15 @@ func (c *Client) connect() {
 	cl := c.cluster
 	for _, s := range cl.Servers {
 		cq, sq := ib.Connect(c.hca, s.hca)
-		// Client-side Fast-RDMA buffer.
+		// Client-side Fast-RDMA buffer. Registration of freshly malloc'd
+		// setup buffers cannot fail unless the model itself is broken.
 		fastAddr := c.space.Malloc(cl.Cfg.FastBufSize)
-		fastMR := c.hca.RegisterStatic(mem.Extent{Addr: fastAddr, Len: cl.Cfg.FastBufSize})
+		fastMR, err := c.hca.RegisterStatic(mem.Extent{Addr: fastAddr, Len: cl.Cfg.FastBufSize})
+		sim.Must(err)
 		// Server-side receive buffer for pack writes.
 		recvAddr := s.space.Malloc(cl.Cfg.FastBufSize)
-		recvMR := s.hca.RegisterStatic(mem.Extent{Addr: recvAddr, Len: cl.Cfg.FastBufSize})
+		recvMR, err := s.hca.RegisterStatic(mem.Extent{Addr: recvAddr, Len: cl.Cfg.FastBufSize})
+		sim.Must(err)
 
 		conn := &clientConn{
 			srv:     s.idx,
@@ -161,8 +164,8 @@ func (c *Client) RegisterRegion(p *sim.Proc, e mem.Extent) (*ib.MR, error) {
 }
 
 // ReleaseRegion unpins a region obtained from RegisterRegion.
-func (c *Client) ReleaseRegion(p *sim.Proc, mr *ib.MR) {
-	c.hca.Deregister(p, mr)
+func (c *Client) ReleaseRegion(p *sim.Proc, mr *ib.MR) error {
+	return c.hca.Deregister(p, mr)
 }
 
 // WriteList writes the bytes described by memSegs (client memory, in order)
@@ -299,6 +302,7 @@ func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, o
 	}
 	var reg ogr.Registrar
 	var regRes *ogr.Result
+	var declMR *ib.MR
 	if cfg.Wire == WireStream {
 		// Stream sockets: no RDMA, no registration; the chunk functions
 		// take the stream path regardless of the pack decision.
@@ -318,7 +322,7 @@ func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, o
 			if err != nil {
 				return fmt.Errorf("pvfs: declared allocation registration: %w", err)
 			}
-			defer c.cache.Put(p, mr)
+			declMR = mr
 		default:
 			var ogrCfg ogr.Config
 			reg, ogrCfg = c.registrar(opts.Reg)
@@ -342,7 +346,14 @@ func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, o
 	}
 	wg.Wait(p)
 	if regRes != nil {
-		ogr.Release(p, reg, regRes)
+		if err := ogr.Release(p, reg, regRes); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pvfs: list buffer release: %w", err)
+		}
+	}
+	if declMR != nil {
+		if err := c.cache.Put(p, declMR); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pvfs: declared allocation release: %w", err)
+		}
 	}
 	return firstErr
 }
@@ -429,7 +440,9 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 		if err := c.space.Write(conn.fastBuf.Addr, packed); err != nil {
 			return err
 		}
-		conn.qp.RDMAWrite(p, []ib.SGE{{Addr: conn.fastBuf.Addr, Len: ch.total}}, conn.srvAddr, conn.srvKey)
+		if err := conn.qp.RDMAWrite(p, []ib.SGE{{Addr: conn.fastBuf.Addr, Len: ch.total}}, conn.srvAddr, conn.srvKey); err != nil {
+			return fmt.Errorf("pvfs: pack push: %w", err)
+		}
 		conn.qp.Send(p, reqSize(len(ch.accs)), req)
 		conn.qp.Recv(p) // respWrite
 		return nil
@@ -442,7 +455,9 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 	if !ok {
 		return fmt.Errorf("pvfs: expected WriteReady, got %T", ready)
 	}
-	conn.qp.RDMAWrite(p, ch.segs, r.Addr, r.Key)
+	if err := conn.qp.RDMAWrite(p, ch.segs, r.Addr, r.Key); err != nil {
+		return fmt.Errorf("pvfs: gather write: %w", err)
+	}
 	conn.qp.Send(p, reqSize(0), &reqWriteDone{})
 	conn.qp.Recv(p) // respWrite
 	return nil
@@ -500,7 +515,9 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 	if !ok {
 		return fmt.Errorf("pvfs: expected ReadResp, got %T", ready)
 	}
-	conn.qp.RDMARead(p, ch.segs, r.Addr, r.Key)
+	if err := conn.qp.RDMARead(p, ch.segs, r.Addr, r.Key); err != nil {
+		return fmt.Errorf("pvfs: scatter read: %w", err)
+	}
 	conn.qp.Send(p, reqSize(0), &reqReadDone{})
 	return nil
 }

@@ -53,7 +53,7 @@ func (c *Cluster) EnableTracing(capacity int) *trace.Recorder {
 // do not appear in virtual time.
 func NewCluster(eng *sim.Engine, cfg Config, nServers, nClients int) *Cluster {
 	if nServers < 1 || nClients < 1 {
-		panic("pvfs: need at least one server and one client")
+		sim.Failf("pvfs: need at least one server and one client")
 	}
 	c := &Cluster{
 		Eng: eng,

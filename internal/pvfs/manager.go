@@ -1,8 +1,6 @@
 package pvfs
 
 import (
-	"fmt"
-
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
@@ -70,7 +68,7 @@ func (m *Manager) serve(p *sim.Proc, qp *ib.QP) {
 			}
 			qp.Send(p, smallReplyBytes, &respUnlink{FileID: id, Found: ok})
 		default:
-			panic(fmt.Sprintf("pvfs: manager: unexpected message %T", payload))
+			sim.Failf("pvfs: manager: unexpected message %T", payload)
 		}
 	}
 }

@@ -63,7 +63,9 @@ func newServer(c *Cluster, idx int) *Server {
 		files:   make(map[int64]*localfs.File),
 	}
 	s.fs = localfs.New(c.Eng, s.dsk, c.Cfg.FS)
-	s.staging = ib.NewBufPool(s.hca, c.Cfg.StagingBuffers, c.Cfg.MaxRequestBytes)
+	staging, err := ib.NewBufPool(s.hca, c.Cfg.StagingBuffers, c.Cfg.MaxRequestBytes)
+	sim.Must(err)
+	s.staging = staging
 	s.sieveParams = sieve.ModelFromFS(s.fs, c.Cfg.IB.MemcpyBandwidth)
 	return s
 }
@@ -120,7 +122,7 @@ func (sc *serverConn) serve(p *sim.Proc) {
 			s.ioMu.Release()
 			sc.qp.Send(p, smallReplyBytes, &respRemove{})
 		default:
-			panic(fmt.Sprintf("pvfs: server %d: unexpected message %T", s.idx, payload))
+			sim.Failf("pvfs: server %d: unexpected message %T", s.idx, payload)
 		}
 	}
 }
@@ -137,7 +139,7 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) {
 		// Data already landed in the connection receive buffer.
 		b, err := s.space.Read(sc.recvBuf.Addr, req.Total)
 		if err != nil {
-			panic(fmt.Sprintf("pvfs: server %d: pack buffer read: %v", s.idx, err))
+			sim.Failf("pvfs: server %d: pack buffer read: %v", s.idx, err)
 		}
 		data = b
 	} else {
@@ -147,11 +149,11 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) {
 		sc.qp.Send(p, smallReplyBytes, &respWriteReady{Addr: buf.Addr, Key: buf.MR.Key})
 		_, done := sc.qp.Recv(p)
 		if _, ok := done.(*reqWriteDone); !ok {
-			panic(fmt.Sprintf("pvfs: server %d: expected WriteDone, got %T", s.idx, done))
+			sim.Failf("pvfs: server %d: expected WriteDone, got %T", s.idx, done)
 		}
 		b, err := s.space.Read(buf.Addr, req.Total)
 		if err != nil {
-			panic(fmt.Sprintf("pvfs: server %d: staging read: %v", s.idx, err))
+			sim.Failf("pvfs: server %d: staging read: %v", s.idx, err)
 		}
 		data = b
 		buf.Put()
@@ -178,11 +180,14 @@ func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) {
 	}
 	buf := s.staging.Get(p)
 	if err := s.space.Write(buf.Addr, data); err != nil {
-		panic(fmt.Sprintf("pvfs: server %d: staging write: %v", s.idx, err))
+		sim.Failf("pvfs: server %d: staging write: %v", s.idx, err)
 	}
 	if req.SchemePack {
-		// Push the packed bytes straight into the client's buffer.
-		sc.qp.RDMAWrite(p, []ib.SGE{{Addr: buf.Addr, Len: req.Total}}, sc.cliAddr, sc.cliKey)
+		// Push the packed bytes straight into the client's buffer. The
+		// target is the connection's statically registered fast buffer, so
+		// a failure here is a broken connection invariant, not a request
+		// error the client could handle.
+		sim.Must(sc.qp.RDMAWrite(p, []ib.SGE{{Addr: buf.Addr, Len: req.Total}}, sc.cliAddr, sc.cliKey))
 		buf.Put()
 		sc.qp.Send(p, smallReplyBytes, &respRead{})
 		return
@@ -191,7 +196,7 @@ func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) {
 	sc.qp.Send(p, smallReplyBytes, &respRead{Addr: buf.Addr, Key: buf.MR.Key})
 	_, done := sc.qp.Recv(p)
 	if _, ok := done.(*reqReadDone); !ok {
-		panic(fmt.Sprintf("pvfs: server %d: expected ReadDone, got %T", s.idx, done))
+		sim.Failf("pvfs: server %d: expected ReadDone, got %T", s.idx, done)
 	}
 	buf.Put()
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The synchronization primitives keep panicking on contract violations: a
+// negative count or an idle release is a corrupted simulation, not a
+// recoverable condition. These tests pin that contract down (the nopanic
+// analyzer exempts this package for exactly this reason).
+
+func TestWaitGroupNegativeCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative WaitGroup count")
+		}
+	}()
+	e := NewEngine()
+	wg := e.NewWaitGroup()
+	wg.Add(1)
+	wg.Done()
+	wg.Done()
+}
+
+func TestWaitGroupAddNegativeDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when Add drives the count below zero")
+		}
+	}()
+	e := NewEngine()
+	e.NewWaitGroup().Add(-3)
+}
+
+func TestResourceBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on capacity < 1")
+		}
+	}()
+	NewEngine().NewResource("bad", 0)
+}
+
+func TestReleaseIdleAfterBalancedUsePanics(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource("r", 2)
+	e.Go("t", func(p *Proc) {
+		r.Acquire(p)
+		r.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: every unit was already released")
+		}
+	}()
+	r.Release()
+}
+
+func TestMustNilIsNoOp(t *testing.T) {
+	Must(nil)
+}
+
+func TestMustPanicsWithOriginalError(t *testing.T) {
+	want := errors.New("boom")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, want) {
+			t.Errorf("recovered %v, want the original error", r)
+		}
+	}()
+	Must(want)
+}
+
+func TestFailfFormatsMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "sim: lost proc 7") {
+			t.Errorf("recovered %v, want formatted message", r)
+		}
+	}()
+	Failf("sim: lost proc %d", 7)
+}

@@ -86,7 +86,7 @@ type Network struct {
 // New creates a fabric on the engine with the given parameters.
 func New(eng *sim.Engine, params Params) *Network {
 	if params.Bandwidth <= 0 {
-		panic("simnet: bandwidth must be positive")
+		sim.Failf("simnet: bandwidth must be positive")
 	}
 	return &Network{eng: eng, params: params}
 }
@@ -146,7 +146,7 @@ func (node *Node) rxEngine(p *sim.Proc) {
 // send order.
 func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) {
 	if dst < 0 || int(dst) >= len(node.net.nodes) {
-		panic(fmt.Sprintf("simnet: send to unknown node %d", dst))
+		sim.Failf("simnet: send to unknown node %d", dst)
 	}
 	m := &Message{From: node.ID, To: dst, Size: size, Payload: payload}
 	node.tx.Acquire(p)

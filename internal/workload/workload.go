@@ -8,10 +8,9 @@
 package workload
 
 import (
-	"fmt"
-
 	"pvfsib/internal/mpiio"
 	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sim"
 )
 
 // Pattern pairs a memory layout (offsets relative to a buffer base) with
@@ -30,7 +29,7 @@ func (p Pattern) MemSpan() int64 { return p.Mem.Span() }
 
 func (p Pattern) check() Pattern {
 	if p.Mem.Total() != p.File.Total() {
-		panic(fmt.Sprintf("workload: memory bytes %d != file bytes %d", p.Mem.Total(), p.File.Total()))
+		sim.Failf("workload: memory bytes %d != file bytes %d", p.Mem.Total(), p.File.Total())
 	}
 	return p
 }
@@ -44,7 +43,10 @@ func (p Pattern) check() Pattern {
 // is contiguous.
 func SubarrayWrite(n int64, px, py, ix, iy int, elem int64) Pattern {
 	subRows, subCols := n/int64(py), n/int64(px)
-	mem := mpiio.Subarray2D(n, n, subRows, subCols, int64(iy)*subRows, int64(ix)*subCols, elem)
+	// The block decomposition keeps every subarray inside the array, so the
+	// constructor cannot fail for any (px, py, ix, iy) grid position.
+	mem, err := mpiio.Subarray2D(n, n, subRows, subCols, int64(iy)*subRows, int64(ix)*subCols, elem)
+	sim.Must(err)
 	rank := int64(iy*px + ix)
 	bytes := subRows * subCols * elem
 	return Pattern{
@@ -107,7 +109,7 @@ func (s TileSpec) TileWithOverlap(rank int) Pattern {
 func (s TileSpec) tile(rank int, overlap int64) Pattern {
 	tx, ty := rank%s.TilesX, rank/s.TilesX
 	if ty >= s.TilesY {
-		panic("workload: tile rank out of range")
+		sim.Failf("workload: tile rank out of range")
 	}
 	frameCols := int64(s.TilesX) * s.PixelsX
 	frameRows := int64(s.TilesY) * s.PixelsY
@@ -124,8 +126,11 @@ func (s TileSpec) tile(rank int, overlap int64) Pattern {
 	colHi := clamp(int64(tx+1)*s.PixelsX+overlap, 0, frameCols)
 	rowLo := clamp(int64(ty)*s.PixelsY-overlap, 0, frameRows)
 	rowHi := clamp(int64(ty+1)*s.PixelsY+overlap, 0, frameRows)
-	file := mpiio.Subarray2D(frameRows, frameCols,
+	// Overlap borders are clamped to the display edges above, so the
+	// subarray always lies inside the frame.
+	file, err := mpiio.Subarray2D(frameRows, frameCols,
 		rowHi-rowLo, colHi-colLo, rowLo, colLo, s.Elem)
+	sim.Must(err)
 	return Pattern{
 		Mem:  mpiio.Contig((colHi - colLo) * (rowHi - rowLo) * s.Elem),
 		File: file,
@@ -171,7 +176,7 @@ func (s BTIOSpec) FileBytes() int64 { return int64(s.Dumps) * s.DumpBytes() }
 func (s BTIOSpec) Dump(rank, d int) Pattern {
 	side := isqrt(s.NProcs)
 	if side*side != s.NProcs {
-		panic("workload: BTIO needs a square process count")
+		sim.Failf("workload: BTIO needs a square process count")
 	}
 	pj, pk := int64(rank%side), int64(rank/side)
 	bk := s.Grid / int64(side)
@@ -198,5 +203,6 @@ func isqrt(n int) int {
 			return i
 		}
 	}
-	panic("workload: not a perfect square")
+	sim.Failf("workload: not a perfect square")
+	return 0
 }

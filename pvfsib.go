@@ -248,9 +248,7 @@ func (ctx *Ctx) Materialize(pat Pattern, fill func(i int64) byte) ([]SGE, []OffL
 				data[j] = fill(cursor + int64(j))
 			}
 		}
-		if err := ctx.Client.Space().Write(seg.Addr, data); err != nil {
-			panic(err)
-		}
+		sim.Must(ctx.Client.Space().Write(seg.Addr, data))
 		cursor += r.Len
 	}
 	return segs, []OffLen(pat.File)
