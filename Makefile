@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint vet check fuzz clean
+.PHONY: all build test race lint lint-json vet check fuzz clean
 
 all: build
 
@@ -25,9 +25,15 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own analyzers (sgelimit, regcheck, simblock,
-# nopanic) through the go vet driver, covering test files too.
+# nopanic, mrlife, errflow, lockorder, okreason) through the go vet driver,
+# covering test files too.
 lint: $(BIN)
 	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
+
+# lint-json runs the standalone driver and archives the findings as JSON
+# (pvfslint.json); it fails when any unsuppressed finding remains.
+lint-json: $(BIN)
+	$(BIN) -json ./... > pvfslint.json
 
 # check is the full CI gate: build, vet, pvfslint, race tests.
 check: build vet lint race

@@ -1,18 +1,27 @@
 // Pvfslint runs the repository's static-analysis suite: sgelimit (the
 // 64-entry InfiniBand SGE cap), regcheck (RDMA buffers must trace to a
 // registered MR), simblock (no blocking sim call while a sim.Resource is
-// held), and nopanic (no panic in library packages).
+// held), nopanic (no panic in library packages), mrlife (registrations are
+// released exactly once on every path), errflow (repo-API errors are
+// checked, not dropped), lockorder (sim.Resource pairs acquire in one
+// consistent order), and okreason (every suppression names its analyzer
+// and gives a reason).
 //
 // Two modes:
 //
 //	pvfslint ./...                      # standalone, loads packages via go list
 //	go vet -vettool=$(pwd)/pvfslint ./...  # driven by go vet, covers test files too
 //
+// In standalone mode, -json writes the findings to stdout as a JSON array
+// (one object per finding: file, line, column, analyzer, message) for CI
+// artifacts and tooling; the human-readable lines still go to stderr.
+//
 // In vet mode the tool speaks the cmd/go vet-tool protocol (-V=full, -flags,
 // and a *.cfg compilation-unit file per package).
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -26,15 +35,32 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonFinding is the stable JSON shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string) int {
 	analyzers := suite.All()
+
+	// -json is ours; any other flag (or a .cfg operand) means go vet is
+	// driving and the whole command line belongs to the vet-tool protocol.
+	jsonOut := false
+	var patterns []string
 	for _, a := range args {
+		if a == "-json" {
+			jsonOut = true
+			continue
+		}
 		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
-			// Protocol flags or a compilation-unit config: vet mode.
 			return unit.Main(args, analyzers, os.Stdout, os.Stderr)
 		}
+		patterns = append(patterns, a)
 	}
-	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -45,6 +71,24 @@ func run(args []string) int {
 	}
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
+	}
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Position.Filename,
+				Line:     f.Position.Line,
+				Column:   f.Position.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "pvfslint: encoding findings: %v\n", err)
+			return 1
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "pvfslint: %d finding(s)\n", len(findings))

@@ -70,7 +70,10 @@ func run(spec workload.BTIOSpec, m pvfsib.Method) (secs float64, reqs, fscalls i
 		if err := f.Read(ctx.Proc, m, []pvfsib.SGE{{Addr: dst, Len: total}}, []pvfsib.OffLen(pat.File)); err != nil {
 			log.Fatal(err)
 		}
-		got, _ := ctx.ReadMem(dst, total)
+		got, err := ctx.ReadMem(dst, total)
+		if err != nil {
+			log.Fatal(err)
+		}
 		want := make([]byte, total)
 		for i := range want {
 			want[i] = byte(int64(rank) + int64(i))

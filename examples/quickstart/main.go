@@ -61,7 +61,10 @@ func main() {
 			[]pvfsib.SGE{{Addr: dst, Len: recSize * nrec}}, peerRegions); err != nil {
 			log.Fatal(err)
 		}
-		got, _ := ctx.ReadMem(dst, recSize*nrec)
+		got, err := ctx.ReadMem(dst, recSize*nrec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		want := bytes.Repeat([]byte{byte('A' + peer)}, recSize*nrec)
 		if !bytes.Equal(got, want) {
 			log.Fatalf("rank %d: data mismatch reading rank %d's records", rank, peer)

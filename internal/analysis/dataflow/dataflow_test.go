@@ -1,0 +1,197 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"pvfsib/internal/analysis/cfg"
+)
+
+// definite is a must-assigned analysis over variable names: a name is in the
+// fact iff every path to this point assigns it. Join is set intersection.
+// It exercises the worklist, branch joins, and loop back edges.
+type definite struct{}
+
+type nameSet map[string]bool
+
+func (definite) Entry() Fact { return nameSet{} }
+
+func (definite) Transfer(n ast.Node, in Fact) Fact {
+	s := in.(nameSet)
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return s
+	}
+	out := make(nameSet, len(s)+len(assign.Lhs))
+	for k := range s {
+		out[k] = true
+	}
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func (definite) TransferEdge(e cfg.Edge, out Fact) Fact { return out }
+
+func (definite) Join(a, b Fact) Fact {
+	sa, sb := a.(nameSet), b.(nameSet)
+	out := make(nameSet)
+	for k := range sa {
+		if sb[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (definite) Equal(a, b Fact) bool {
+	sa, sb := a.(nameSet), b.(nameSet)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func render(s nameSet) string {
+	var names []string
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func runOn(t *testing.T, src string) (*Result, *cfg.Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			g := cfg.Build(fn.Body, nil)
+			return Fixpoint(g, definite{}), g
+		}
+	}
+	t.Fatal("no function")
+	return nil, nil
+}
+
+func TestBothArmsAssignIsDefinite(t *testing.T) {
+	res, g := runOn(t, `package p
+func f(c bool) {
+	var x, y int
+	if c {
+		x = 1
+		y = 1
+	} else {
+		x = 2
+	}
+	_ = x
+}`)
+	got := render(res.In[g.Exit].(nameSet))
+	if got != "x" {
+		t.Fatalf("definitely-assigned at exit = %q, want \"x\" (y only on one arm)", got)
+	}
+}
+
+func TestLoopBodyIsNotDefinite(t *testing.T) {
+	res, g := runOn(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		x := 1
+		_ = x
+	}
+}`)
+	// The loop body may run zero times: x must not be definite at exit, but
+	// i (the init statement runs unconditionally) must be.
+	got := render(res.In[g.Exit].(nameSet))
+	if got != "i" {
+		t.Fatalf("definitely-assigned at exit = %q, want \"i\"", got)
+	}
+}
+
+func TestEarlyReturnPathJoins(t *testing.T) {
+	res, g := runOn(t, `package p
+func f(c bool) {
+	if c {
+		e := 1
+		_ = e
+		return
+	}
+	x := 1
+	_ = x
+}`)
+	// Exit joins the early return (e assigned, x not) with the fall-off end
+	// (both assigned): only the intersection survives... which is empty,
+	// since e's arm never assigns x and vice versa.
+	got := render(res.In[g.Exit].(nameSet))
+	if got != "" {
+		t.Fatalf("definitely-assigned at exit = %q, want \"\"", got)
+	}
+}
+
+func TestReplayVisitsWithInFacts(t *testing.T) {
+	res, g := runOn(t, `package p
+func f() {
+	a := 1
+	b := a
+	_ = b
+}`)
+	// At the node assigning b, a must already be definite.
+	found := false
+	res.Replay(definite{}, func(blk *cfg.Block, n ast.Node, before Fact) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name == "b" {
+			found = true
+			if !before.(nameSet)["a"] {
+				t.Fatalf("at b's assignment, a not definite: %q", render(before.(nameSet)))
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("replay never visited b's assignment:\n%s", g)
+	}
+}
+
+func TestSummarizeCoversAllDecls(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package p
+func a() {}
+func b() { return }
+var v = 1
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without type info Summarize finds no *types.Func objects; with a nil
+	// info it must not panic. The real path is exercised by the analyzers'
+	// corpus tests; here we check the CFG construction side via compute.
+	n := 0
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			if g := cfg.Build(fn.Body, nil); g != nil {
+				n++
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("built %d graphs, want 2", n)
+	}
+}

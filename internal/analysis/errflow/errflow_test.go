@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "a")
+}

@@ -1,0 +1,115 @@
+// Package a exercises the errflow analyzer. Calls within the package are
+// repo-API calls (same *types.Package), so no stubs are needed.
+package a
+
+type thing struct{ err error }
+
+func step() error { return nil }
+
+func produce() (int, error) { return 0, nil }
+
+func consume(err error) {}
+
+func sink(n int) {}
+
+// discard drops the only result of a repo call on the floor.
+func discard() {
+	step() // want `error result of step is discarded`
+}
+
+// blanked keeps the value but blanks the error.
+func blanked() {
+	v, _ := produce() // want `error result of produce is assigned to the blank identifier`
+	sink(v)
+}
+
+// overwritten reassigns before checking: the first error is lost.
+func overwritten() error {
+	err := step()
+	err = step() // want `err is overwritten before the error assigned at .* is checked`
+	return err
+}
+
+// neverChecked returns success on one path while holding an unchecked
+// error.
+func neverChecked(c bool) error {
+	err := step()
+	if c {
+		return nil // want `return without checking the error assigned to err`
+	}
+	return err
+}
+
+// shadowed checks an inner err while the outer one goes stale: when c is
+// false the first step's error is silently dropped.
+func shadowed(c bool) error {
+	err := step()
+	if c {
+		return err
+	}
+	if err := step(); err != nil { // the inner err is a new variable
+		return err // want `return without checking the error assigned to err`
+	}
+	return nil // want `return without checking the error assigned to err`
+}
+
+// droppedAtEnd checks the first error but lets the second fall off the end
+// of the function.
+func droppedAtEnd() {
+	err := step()
+	consume(err)
+	err = step() // want `error assigned to err is never checked`
+}
+
+// goodChecked is the normal pattern.
+func goodChecked() error {
+	err := step()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodPassed hands the error to another function: that is a use.
+func goodPassed() {
+	err := step()
+	consume(err)
+}
+
+// goodStored stores the error into a struct: also a use.
+func goodStored() thing {
+	err := step()
+	return thing{err: err}
+}
+
+// goodNaked assigns a named result and returns naked: implicitly read.
+func goodNaked() (err error) {
+	err = step()
+	return
+}
+
+// goodClosure lets a closure check later: capture counts as a use.
+func goodClosure() func() error {
+	err := step()
+	return func() error { return err }
+}
+
+// goodOneArm checks on one path only: the join is an intersection, so the
+// analyzer gives the other path the benefit of the doubt.
+func goodOneArm(c bool) {
+	err := step()
+	if c {
+		consume(err)
+	}
+}
+
+// goodDefer ignores a deferred call's error: accepted idiom.
+func goodDefer() {
+	defer step()
+}
+
+// audited documents an intentional fire-and-forget call.
+func audited() {
+	//pvfslint:ok errflow best-effort prefetch, failure falls back to the slow path
+	step()
+}

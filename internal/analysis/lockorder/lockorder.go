@@ -1,0 +1,355 @@
+// Package lockorder defines a flow-sensitive analyzer for sim.Resource
+// acquisition order. The simulator's Resource is a counting semaphore with
+// no deadlock detection: two processes that acquire the same pair of
+// resources in opposite orders hang the simulated cluster just like real
+// mutexes hang a real one.
+//
+// The analyzer tracks, along each path of each function, the ordered list
+// of resources currently held (a deferred Release keeps the resource held
+// through the body; the CFG's exit chain pops it). Every Acquire or Use
+// while holding adds acquired-after edges from each held resource to the
+// new one; a call to a function in the same package that may itself acquire
+// (known from its one-level summary) adds edges to everything it acquires.
+//
+// Resources are named by their canonical key: "Type.field" for a resource
+// stored in a struct field (all instances of a type share a key — lock
+// order is a per-type discipline), the variable name for package-level and
+// local resources. After the whole package is scanned, the analyzer reports
+// every edge that lies on a cycle in the acquired-after graph, and any
+// resource re-acquired through the same expression while already held.
+//
+// Test files are skipped.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/cfg"
+	"pvfsib/internal/analysis/dataflow"
+)
+
+// Analyzer reports sim.Resource acquisition cycles and re-acquisitions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "sim.Resource pairs must be acquired in a consistent order everywhere",
+	Run:  run,
+}
+
+// held is one held resource: its canonical key plus the receiver expression
+// it was acquired through (for precise re-acquire detection).
+type held struct {
+	key  string
+	expr string
+}
+
+// fact is the ordered list of held resources. Facts are immutable: push and
+// pop copy.
+type fact []held
+
+// edge is one acquired-after observation: to was acquired while from was
+// held, first witnessed at pos.
+type edge struct {
+	from, to string
+}
+
+func run(pass *analysis.Pass) error {
+	a := &lockorder{
+		pass:  pass,
+		edges: make(map[edge]token.Pos),
+	}
+	a.summaries = dataflow.Summarize(pass.TypesInfo, pass.Files, func(fn dataflow.FuncInfo) []string {
+		return a.mayAcquire(fn.Decl)
+	})
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.checkFunc(n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				a.checkFunc(n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	a.reportCycles()
+	return nil
+}
+
+type lockorder struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func][]string
+	edges     map[edge]token.Pos
+}
+
+// checkFunc records the acquisition edges of one function body, then
+// recurses into its literals (a goroutine body orders locks like any other
+// code).
+func (a *lockorder) checkFunc(body *ast.BlockStmt) {
+	g := cfg.Build(body, a.pass.TypesInfo)
+	prob := &problem{a: a}
+	res := dataflow.Fixpoint(g, prob)
+
+	// Record edges and re-acquisitions in a single replay.
+	prob.record = true
+	res.Replay(prob, func(blk *cfg.Block, n ast.Node, before dataflow.Fact) {})
+	prob.record = false
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			a.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// mayAcquire is the one-level summary: the canonical keys a function may
+// acquire anywhere in its body (flow-insensitively, not chasing calls).
+func (a *lockorder) mayAcquire(fn *ast.FuncDecl) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method := a.resourceCall(call)
+		if recv == nil || (method != "Acquire" && method != "Use") {
+			return true
+		}
+		if k := a.key(recv); k != "" && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+		return true
+	})
+	return out
+}
+
+// resourceCall matches a call to a sim.Resource method and returns the
+// receiver expression and method name.
+func (a *lockorder) resourceCall(call *ast.CallExpr) (ast.Expr, string) {
+	for _, m := range [...]string{"Acquire", "Release", "Use"} {
+		if recv, ok := analysis.ReceiverMethod(a.pass.TypesInfo, call, "internal/sim", "Resource", m); ok {
+			return recv, m
+		}
+	}
+	return nil, ""
+}
+
+// key canonicalizes a resource expression. Field selections become
+// "Type.field" so all instances of a type share one ordering discipline;
+// plain variables keep their name.
+func (a *lockorder) key(recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := a.pass.TypesInfo.Selections[e]; ok {
+			t := sel.Recv()
+			for {
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		return analysis.ExprString(a.pass.Fset, e)
+	case *ast.Ident:
+		return e.Name
+	}
+	return analysis.ExprString(a.pass.Fset, recv)
+}
+
+// addEdge records the first witness of an acquired-after pair. Self-edges
+// are excluded: two instances of the same type legitimately share a key.
+func (a *lockorder) addEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	e := edge{from, to}
+	if _, ok := a.edges[e]; !ok {
+		a.edges[e] = pos
+	}
+}
+
+// problem implements dataflow.Problem for one function.
+type problem struct {
+	a      *lockorder
+	record bool
+}
+
+func (p *problem) Entry() dataflow.Fact { return fact{} }
+
+func (p *problem) TransferEdge(e cfg.Edge, out dataflow.Fact) dataflow.Fact { return out }
+
+// Join intersects the held lists, preserving the first operand's order: a
+// resource counts as held at a merge only when every path holds it.
+func (p *problem) Join(x, y dataflow.Fact) dataflow.Fact {
+	fx, fy := x.(fact), y.(fact)
+	inY := make(map[string]bool, len(fy))
+	for _, h := range fy {
+		inY[h.key] = true
+	}
+	out := make(fact, 0, len(fx))
+	for _, h := range fx {
+		if inY[h.key] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (p *problem) Equal(x, y dataflow.Fact) bool {
+	fx, fy := x.(fact), y.(fact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for i := range fx {
+		if fx[i].key != fy[i].key {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *problem) Transfer(n ast.Node, in dataflow.Fact) dataflow.Fact {
+	f := in.(fact)
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// The deferred call replays on the exit chain; the registration
+		// point itself does nothing.
+		return f
+	}
+	out := f
+	forEachCall(n, func(call *ast.CallExpr) {
+		recv, method := p.a.resourceCall(call)
+		if recv != nil {
+			k := p.a.key(recv)
+			if k == "" {
+				return
+			}
+			switch method {
+			case "Acquire", "Use":
+				expr := analysis.ExprString(p.a.pass.Fset, recv)
+				if p.record {
+					for _, h := range out {
+						p.a.addEdge(h.key, k, call.Pos())
+						if h.key == k && h.expr == expr {
+							p.a.pass.Reportf(call.Pos(), "%s is acquired while already held: a second Acquire on the same resource self-deadlocks when capacity is exhausted", expr)
+						}
+					}
+				}
+				if method == "Acquire" {
+					out = append(out[:len(out):len(out)], held{key: k, expr: expr})
+				}
+			case "Release":
+				// Pop the innermost matching hold.
+				for i := len(out) - 1; i >= 0; i-- {
+					if out[i].key == k {
+						cp := make(fact, 0, len(out)-1)
+						cp = append(cp, out[:i]...)
+						cp = append(cp, out[i+1:]...)
+						out = cp
+						break
+					}
+				}
+			}
+			return
+		}
+		// A same-package callee with a known summary: everything it may
+		// acquire is ordered after everything currently held.
+		if p.record && len(out) > 0 {
+			if fn := dataflow.Callee(p.a.pass.TypesInfo, call); fn != nil {
+				for _, k := range p.a.summaries[fn] {
+					for _, h := range out {
+						p.a.addEdge(h.key, k, call.Pos())
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// reportCycles reports every recorded edge that lies on a cycle, rendering
+// the cycle path in the message.
+func (a *lockorder) reportCycles() {
+	succs := make(map[string][]string)
+	for e := range a.edges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	for _, tos := range succs {
+		sort.Strings(tos)
+	}
+
+	var keys []edge
+	for e := range a.edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+
+	for _, e := range keys {
+		if path := findPath(succs, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			a.pass.Reportf(a.edges[e], "acquiring %s while holding %s creates a lock-order cycle: %s",
+				e.to, e.from, strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+// findPath returns a path from src to dst in the edge graph (nil if none),
+// exploring successors in sorted order for deterministic messages.
+func findPath(succs map[string][]string, src, dst string) []string {
+	visited := map[string]bool{src: true}
+	var dfs func(cur string, acc []string) []string
+	dfs = func(cur string, acc []string) []string {
+		if cur == dst {
+			return acc
+		}
+		for _, next := range succs[cur] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			if res := dfs(next, append(acc, next)); res != nil {
+				return res
+			}
+		}
+		return nil
+	}
+	return dfs(src, []string{src})
+}
+
+// forEachCall visits every call in n, not descending into function
+// literals (they run later, under their own lock context).
+func forEachCall(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(m)
+		}
+		return true
+	})
+}

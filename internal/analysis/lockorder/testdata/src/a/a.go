@@ -1,0 +1,123 @@
+// Package a exercises the lockorder analyzer. Each scenario uses its own
+// struct type: keys are per-type ("Type.field"), so separate types keep the
+// acquisition graphs independent.
+package a
+
+import "pvfsib/internal/sim"
+
+// ab is the classic inverted pair.
+type ab struct {
+	mu  sim.Resource
+	cpu sim.Resource
+}
+
+// lockAB acquires mu before cpu: with lockBA below, the pair forms a cycle
+// and both witnessing acquisitions are flagged.
+func lockAB(p *sim.Proc, s *ab) {
+	s.mu.Acquire(p)
+	s.cpu.Acquire(p) // want `acquiring ab.cpu while holding ab.mu creates a lock-order cycle`
+	s.cpu.Release()
+	s.mu.Release()
+}
+
+// lockBA acquires the same pair in the opposite order.
+func lockBA(p *sim.Proc, s *ab) {
+	s.cpu.Acquire(p)
+	s.mu.Acquire(p) // want `acquiring ab.mu while holding ab.cpu creates a lock-order cycle`
+	s.mu.Release()
+	s.cpu.Release()
+}
+
+// reacquire grabs the same resource twice through the same expression: a
+// second Acquire self-deadlocks once capacity runs out.
+func reacquire(p *sim.Proc, s *ab) {
+	s.mu.Acquire(p)
+	s.mu.Acquire(p) // want `s.mu is acquired while already held`
+	s.mu.Release()
+	s.mu.Release()
+}
+
+// callthrough exercises the one-level summary edges.
+type callthrough struct {
+	mu  sim.Resource
+	net sim.Resource
+}
+
+// helperNet acquires net: callers holding other locks inherit the edge
+// through helperNet's one-level summary.
+func helperNet(p *sim.Proc, s *callthrough) {
+	s.net.Use(p, 1)
+}
+
+// viaSummary holds mu across a call that touches net: the summary adds the
+// mu -> net edge, and netThenMu's opposite order closes the cycle.
+func viaSummary(p *sim.Proc, s *callthrough) {
+	s.mu.Acquire(p)
+	defer s.mu.Release()
+	helperNet(p, s) // want `acquiring callthrough.net while holding callthrough.mu creates a lock-order cycle`
+}
+
+// netThenMu orders net before mu, closing the cycle with viaSummary.
+func netThenMu(p *sim.Proc, s *callthrough) {
+	s.net.Acquire(p)
+	s.mu.Acquire(p) // want `acquiring callthrough.mu while holding callthrough.net creates a lock-order cycle`
+	s.mu.Release()
+	s.net.Release()
+}
+
+// clean holds consistently ordered locks: no cycle, no findings.
+type clean struct {
+	mu  sim.Resource
+	cpu sim.Resource
+}
+
+// goodNested holds mu around a cpu Use everywhere it nests (mirrors the
+// client's runPart holding conn.mu across a cpu charge).
+func goodNested(p *sim.Proc, s *clean) {
+	s.mu.Acquire(p)
+	defer s.mu.Release()
+	s.cpu.Use(p, 10)
+}
+
+// goodDeferOrder releases through defer in LIFO order: same direction as
+// goodNested, still consistent.
+func goodDeferOrder(p *sim.Proc, s *clean) {
+	s.mu.Acquire(p)
+	defer s.mu.Release()
+	s.cpu.Acquire(p)
+	defer s.cpu.Release()
+}
+
+// goodHandOver releases before taking the next lock: nothing held when cpu
+// is acquired, so no edge in either direction.
+func goodHandOver(p *sim.Proc, s *clean) {
+	s.cpu.Acquire(p)
+	s.cpu.Release()
+	s.mu.Acquire(p)
+	s.mu.Release()
+}
+
+// exempt is the audited pair: one direction is flagged, the other is
+// suppressed with a reason.
+type exempt struct {
+	x sim.Resource
+	y sim.Resource
+}
+
+// orderXY establishes x before y.
+func orderXY(p *sim.Proc, s *exempt) {
+	s.x.Acquire(p)
+	s.y.Acquire(p) // want `acquiring exempt.y while holding exempt.x creates a lock-order cycle`
+	s.y.Release()
+	s.x.Release()
+}
+
+// audited takes the pair the other way on a documented single-threaded
+// path: the suppression eats the diagnostic at this witness.
+func audited(p *sim.Proc, s *exempt) {
+	s.y.Acquire(p)
+	//pvfslint:ok lockorder recovery path runs single-threaded before workers start
+	s.x.Acquire(p)
+	s.x.Release()
+	s.y.Release()
+}

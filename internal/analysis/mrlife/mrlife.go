@@ -1,0 +1,912 @@
+// Package mrlife defines a flow-sensitive analyzer for memory-registration
+// lifetimes: every dynamically registered region (ib.MR from HCA.Register /
+// RegCache.Get / ogr.Registrar.Register, ib.Buffer from BufPool.Get,
+// ogr.Result from ogr.RegisterBuffers) must be released exactly once on
+// every path that completes normally.
+//
+// The analyzer runs the dataflow engine over each function's CFG, tracking
+// an ownership state per local variable:
+//
+//	live      registration held, this variable owns it
+//	dead      the registering call failed on this path (its error result is
+//	          known non-nil), the handle is nil
+//	released  Released / Deregistered / Put on this path
+//	escaped   ownership left the function: returned, stored into a field,
+//	          slice, map, or composite literal, passed to a call, or
+//	          captured by a function literal
+//	mixed     paths disagree; the analyzer stays silent
+//
+// It reports:
+//
+//   - use after release: a released handle is read, passed, or returned;
+//   - double release: a second release on a definitely-released handle
+//     (including an explicit release shadowed by a deferred one, caught
+//     when the CFG's defer exit chain replays the deferred call);
+//   - leaked registration: a return — the early error return is the classic
+//     shape — or the function end reached while a handle is definitely live,
+//     unreleased, unescaped, and not covered by a deferred release;
+//   - discarded registration: the result of a registering call assigned to
+//     the blank identifier or dropped as an expression statement.
+//
+// Error-gated origins are path-sensitive: after "mr, err := Register(...)",
+// the "err != nil" arm knows mr is nil, so an early "return err" before the
+// registration succeeds is not a leak — only returns after the success arm
+// are.
+//
+// Facts flow one level across intra-package calls: a package function that
+// releases one of its registration-typed parameters (directly or through a
+// value derived from it, like ogr's releaseAll ranging over res.MRs) acts
+// as a release at its call sites, and one that returns a freshly registered
+// value acts as an origin.
+//
+// RegisterStatic is deliberately not an origin: static registrations are
+// setup-lifetime by contract and are never deregistered. Test files are
+// skipped — tests exercise misuse on purpose.
+package mrlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/cfg"
+	"pvfsib/internal/analysis/dataflow"
+)
+
+// Analyzer flags use-after-release, double-release, and leaked or discarded
+// memory registrations.
+var Analyzer = &analysis.Analyzer{
+	Name: "mrlife",
+	Doc:  "memory registrations (ib.MR, ib.Buffer, ogr.Result) must be released exactly once on every normal path",
+	Run:  run,
+}
+
+// state is one variable's ownership state.
+type state uint8
+
+const (
+	live state = iota
+	dead
+	released
+	escaped
+	mixed
+)
+
+func (s state) String() string {
+	return [...]string{"live", "dead", "released", "escaped", "mixed"}[s]
+}
+
+// varState is the per-variable fact: the ownership state, the error object
+// gating the origin (nil once checked or when the origin cannot fail), and
+// the origin position for diagnostics.
+type varState struct {
+	st     state
+	errObj types.Object
+	origin token.Pos
+}
+
+// fact maps tracked variables to their state. Facts are persistent: every
+// transfer that changes anything copies first.
+type fact map[types.Object]varState
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// summary is the one-level call fact for an intra-package function.
+type summary struct {
+	// releasesParams[i] is true when the function releases its i-th
+	// parameter (or a value derived from it) on some path.
+	releasesParams []bool
+	// returnsRegistration is true when some return hands a freshly
+	// registered value to the caller, making the function an origin.
+	returnsRegistration bool
+}
+
+func run(pass *analysis.Pass) error {
+	a := &mrlife{pass: pass}
+	a.summaries = dataflow.Summarize(pass.TypesInfo, pass.Files, func(fn dataflow.FuncInfo) summary {
+		return a.summarize(fn.Decl)
+	})
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.checkFunc(n.Body)
+				}
+				return false // literals inside are found by checkFunc
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type mrlife struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]summary
+}
+
+// checkFunc analyzes one function body, then recurses into every function
+// literal it contains (each literal is its own lifetime scope).
+func (a *mrlife) checkFunc(body *ast.BlockStmt) {
+	g := cfg.Build(body, a.pass.TypesInfo)
+	prob := &problem{a: a, deferReleased: a.deferReleased(body)}
+	res := dataflow.Fixpoint(g, prob)
+
+	// Reporting pass: replay each reachable block with reporting on.
+	prob.report = true
+	res.Replay(prob, func(blk *cfg.Block, n ast.Node, before dataflow.Fact) {})
+	prob.report = false
+
+	// Function-end leaks: a variable still definitely live once every path
+	// (after the defer chain) has merged into the exit was never released.
+	if exit, ok := res.In[g.Exit].(fact); ok {
+		for obj, vs := range exit {
+			if vs.st == live && !prob.reported[obj] {
+				a.pass.Reportf(vs.origin, "registration assigned to %s is never released on some path to the end of the function", obj.Name())
+			}
+		}
+	}
+
+	// Nested literals.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			a.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// deferReleased collects the variables released by deferred calls anywhere
+// in the body (including inside deferred closures): these are exempt from
+// the early-return leak check, since the defer runs on that exit too.
+func (a *mrlife) deferReleased(body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		mark := func(n ast.Node) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if target, ok := a.releaseTarget(call); ok {
+						if obj := a.identObj(target); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		mark(d.Call)
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			mark(lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// problem implements dataflow.Problem for one function.
+type problem struct {
+	a             *mrlife
+	deferReleased map[types.Object]bool
+	report        bool
+	reported      map[types.Object]bool
+}
+
+func (p *problem) Entry() dataflow.Fact { return fact{} }
+
+func (p *problem) Join(x, y dataflow.Fact) dataflow.Fact {
+	fx, fy := x.(fact), y.(fact)
+	out := make(fact, len(fx)+len(fy))
+	for k, v := range fx {
+		if w, ok := fy[k]; ok {
+			out[k] = joinVar(v, w)
+		} else {
+			out[k] = v // declared on one arm only: keep its obligation
+		}
+	}
+	for k, w := range fy {
+		if _, ok := fx[k]; !ok {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+func joinVar(v, w varState) varState {
+	if v.st != w.st {
+		return varState{st: mixed, origin: v.origin}
+	}
+	if v.errObj != w.errObj {
+		v.errObj = nil
+	}
+	return v
+}
+
+func (p *problem) Equal(x, y dataflow.Fact) bool {
+	fx, fy := x.(fact), y.(fact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for k, v := range fx {
+		if w, ok := fy[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// TransferEdge refines states along branch edges: "err != nil" kills the
+// registrations gated by err on the failure arm and ungates them on the
+// success arm; a nil-check on the handle itself refines mixed states.
+func (p *problem) TransferEdge(e cfg.Edge, out dataflow.Fact) dataflow.Fact {
+	f := out.(fact)
+	if e.Cond == nil {
+		return f
+	}
+	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return f
+	}
+	var operand ast.Expr
+	switch {
+	case isNil(p.a.pass, bin.Y):
+		operand = bin.X
+	case isNil(p.a.pass, bin.X):
+		operand = bin.Y
+	default:
+		return f
+	}
+	obj := p.a.identObj(operand)
+	if obj == nil {
+		return f
+	}
+	// nonNil is the truth of "operand != nil" along this edge.
+	nonNil := e.Branch == (bin.Op == token.NEQ)
+
+	var changed fact
+	set := func(k types.Object, vs varState) {
+		if changed == nil {
+			changed = f.clone()
+		}
+		changed[k] = vs
+	}
+	for k, vs := range f {
+		if vs.errObj == obj {
+			// The gating error is checked on this edge.
+			if nonNil {
+				vs.st = dead // registration failed; handle is nil
+			}
+			vs.errObj = nil
+			set(k, vs)
+			continue
+		}
+		if k == obj {
+			// Nil check on the handle itself.
+			if nonNil && vs.st == mixed {
+				vs.st = live
+				set(k, vs)
+			} else if !nonNil && (vs.st == mixed || vs.st == live) {
+				vs.st = dead
+				set(k, vs)
+			}
+		}
+	}
+	if changed != nil {
+		return changed
+	}
+	return f
+}
+
+// Transfer applies one node. The heavy lifting — recognizing origins,
+// releases, uses, escapes, and return-site leaks — all happens here, so the
+// same code drives both the fixpoint and the reporting replay.
+func (p *problem) Transfer(n ast.Node, in dataflow.Fact) dataflow.Fact {
+	f := in.(fact)
+	out := f // copy-on-write
+	cloned := false
+	mutate := func() fact {
+		if !cloned {
+			out = f.clone()
+			cloned = true
+		}
+		return out
+	}
+
+	// Deferred registrations are replayed on the exit chain; the DeferStmt
+	// node itself only marks the registration point.
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return out
+	}
+
+	// 1. Releases anywhere in this node (not inside function literals).
+	releasedHere := make(map[*ast.Ident]bool)
+	forEachCall(n, func(call *ast.CallExpr) {
+		target, ok := p.a.releaseTarget(call)
+		if !ok {
+			return
+		}
+		id, _ := ast.Unparen(target).(*ast.Ident)
+		obj := p.a.identObj(target)
+		if obj == nil {
+			return
+		}
+		if id != nil {
+			releasedHere[id] = true
+		}
+		vs, tracked := out[obj]
+		if !tracked {
+			return
+		}
+		switch vs.st {
+		case released:
+			p.reportf(obj, call.Pos(), "double release of %s (registration from %s already released)", obj.Name(), p.a.pos(vs.origin))
+		case live, dead, mixed:
+			vs.st = released
+			mutate()[obj] = vs
+		}
+	})
+
+	// 2. Origins: track assignments of registering calls; flag discards.
+	// The CFG stores an expression statement as its bare expression, so a
+	// node that IS a call is a statement-position call whose results vanish.
+	switch stmt := n.(type) {
+	case *ast.AssignStmt:
+		p.transferAssign(stmt, &out, mutate)
+	case *ast.CallExpr:
+		if p.a.isOrigin(stmt) {
+			p.reportAt(stmt.Pos(), "result of %s is discarded: the registration can never be released", callName(stmt))
+		}
+	}
+
+	// 3. Uses and escapes of tracked variables, and return-site leaks.
+	p.scanUses(n, out, mutate, releasedHere)
+
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		p.transferReturn(ret, &out, mutate)
+	}
+	return out
+}
+
+// transferAssign handles origin assignments, ownership moves, gate breaks,
+// and overwrite leaks.
+func (p *problem) transferAssign(stmt *ast.AssignStmt, out *fact, mutate func() fact) {
+	// Overwrites and gate breaks on every assigned ident.
+	for _, lhs := range stmt.Lhs {
+		obj := p.a.identObj(lhs)
+		if obj == nil {
+			continue
+		}
+		if vs, ok := (*out)[obj]; ok && vs.st == live {
+			p.reportf(obj, lhs.Pos(), "%s is overwritten while it still owns a live registration (from %s): the handle is lost", obj.Name(), p.a.pos(vs.origin))
+			vs.st = mixed
+			mutate()[obj] = vs
+		}
+		// Assigning to a variable that gates registrations breaks the gate:
+		// the new value has nothing to do with the old origin.
+		for k, vs := range *out {
+			if vs.errObj == obj {
+				vs.errObj = nil
+				mutate()[k] = vs
+			}
+		}
+	}
+
+	// Origin call on the right-hand side.
+	if len(stmt.Rhs) == 1 {
+		if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok && p.a.isOrigin(call) {
+			var errObj types.Object
+			if len(stmt.Lhs) == 2 {
+				if o := p.a.identObj(stmt.Lhs[1]); o != nil && isErrorType(o.Type()) {
+					errObj = o
+				}
+			}
+			target := stmt.Lhs[0]
+			obj := p.a.identObj(target)
+			if isBlank(target) {
+				p.reportAt(call.Pos(), "registration from %s assigned to the blank identifier: it can never be released", callName(call))
+			} else if obj != nil {
+				mutate()[obj] = varState{st: live, errObj: errObj, origin: call.Pos()}
+			}
+			return
+		}
+	}
+
+	// Ownership move: dst = src where src is tracked and dst is a plain
+	// local. The handle follows the new name.
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		for i := range stmt.Lhs {
+			src := p.a.identObj(stmt.Rhs[i])
+			if src == nil {
+				continue
+			}
+			vs, ok := (*out)[src]
+			if !ok {
+				continue
+			}
+			dst := p.a.identObj(stmt.Lhs[i])
+			m := mutate()
+			delete(m, src)
+			if dst != nil && !isBlank(stmt.Lhs[i]) {
+				m[dst] = vs
+			}
+		}
+	}
+}
+
+// scanUses walks the node for reads of tracked variables (flagging reads of
+// released handles), then marks ownership escapes at direct-transfer
+// positions: the handle itself passed as a call argument, stored into a
+// composite literal, sent on a channel, returned, or captured by a closure.
+// Reading a field (mr.LKey as an argument) is a use, not an escape.
+func (p *problem) scanUses(n ast.Node, out fact, mutate func() fact, releasedHere map[*ast.Ident]bool) {
+	// Identify assignment LHS idents: writing is not reading.
+	writes := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				writes[id] = true
+			}
+		}
+	}
+
+	// Use-after-release pass.
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // handled by the escape pass
+		case *ast.BinaryExpr:
+			// Nil comparisons are how code legitimately inspects a
+			// possibly-released handle; skip the compared ident.
+			if (m.Op == token.EQL || m.Op == token.NEQ) &&
+				(isNil(p.a.pass, m.X) || isNil(p.a.pass, m.Y)) {
+				return false
+			}
+		case *ast.Ident:
+			if writes[m] || releasedHere[m] {
+				return true
+			}
+			obj := p.a.pass.TypesInfo.Uses[m]
+			if obj == nil {
+				return true
+			}
+			if vs, ok := out[obj]; ok && vs.st == released {
+				p.reportf(obj, m.Pos(), "use of %s after release (registration from %s was already released)", obj.Name(), p.a.pos(vs.origin))
+			}
+		}
+		return true
+	})
+
+	// Escape pass: collect idents in direct ownership-transfer positions.
+	direct := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		if id, ok := e.(*ast.Ident); ok && !releasedHere[id] && !writes[id] {
+			p.escape(id, out, mutate)
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Captured by a closure: ownership escapes, whatever the
+			// closure does with it.
+			for _, id := range identsIn(m.Body) {
+				p.escape(id, out, mutate)
+			}
+			return false
+		case *ast.CallExpr:
+			for _, a := range m.Args {
+				direct(a)
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					direct(kv.Value)
+				} else {
+					direct(el)
+				}
+			}
+		case *ast.SendStmt:
+			direct(m.Value)
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				direct(r)
+			}
+		}
+		return true
+	})
+
+	// A store into anything but a plain ident (field, slice element, map)
+	// escapes the stored handle.
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+				direct(as.Rhs[i])
+			}
+		}
+	}
+}
+
+func (p *problem) escape(id *ast.Ident, out fact, mutate func() fact) {
+	obj := p.a.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	if vs, ok := out[obj]; ok && vs.st != released {
+		vs.st = escaped
+		mutate()[obj] = vs
+	}
+}
+
+// transferReturn reports early-return leaks: every tracked variable that is
+// definitely live here, not returned, and not covered by a deferred release
+// leaks its registration on this path.
+func (p *problem) transferReturn(ret *ast.ReturnStmt, out *fact, mutate func() fact) {
+	returned := make(map[types.Object]bool)
+	for _, r := range ret.Results {
+		ast.Inspect(r, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := p.a.pass.TypesInfo.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for obj, vs := range *out {
+		if vs.st != live || returned[obj] || p.deferReleased[obj] {
+			continue
+		}
+		p.reportf(obj, ret.Pos(), "return leaks the live registration held by %s (registered at %s): release it before returning", obj.Name(), p.a.pos(vs.origin))
+	}
+}
+
+// reportf reports through the pass when the replay is on, deduplicating the
+// end-of-function leak for already-reported variables.
+func (p *problem) reportf(obj types.Object, pos token.Pos, format string, args ...any) {
+	if !p.report {
+		return
+	}
+	if p.reported == nil {
+		p.reported = make(map[types.Object]bool)
+	}
+	p.reported[obj] = true
+	p.a.pass.Reportf(pos, format, args...)
+}
+
+func (p *problem) reportAt(pos token.Pos, format string, args ...any) {
+	if p.report {
+		p.a.pass.Reportf(pos, format, args...)
+	}
+}
+
+// ---- recognizers ----
+
+// originNames are the registering entry points, by method or function name;
+// the callee must be declared in internal/ib or internal/ogr (or carry an
+// intra-package origin summary) and return a registration-typed value.
+var originNames = map[string]bool{
+	"Register":        true, // HCA.Register, ogr.Registrar.Register
+	"Get":             true, // RegCache.Get, BufPool.Get
+	"RegisterBuffers": true, // ogr.RegisterBuffers
+	"GroupRegions":    true, // ogr group-registration entry point
+}
+
+// isOrigin reports whether the call freshly registers memory the caller now
+// owns.
+func (a *mrlife) isOrigin(call *ast.CallExpr) bool {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if s, ok := a.summaries[fn]; ok && s.returnsRegistration {
+		return true
+	}
+	if !originNames[fn.Name()] || !fromRegPkg(fn) {
+		return false
+	}
+	return returnsRegistration(fn.Type().(*types.Signature))
+}
+
+// releaseTarget returns the expression whose registration the call
+// releases, when it is a recognized release.
+func (a *mrlife) releaseTarget(call *ast.CallExpr) (ast.Expr, bool) {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil {
+		return nil, false
+	}
+	if s, ok := a.summaries[fn]; ok {
+		for i, rel := range s.releasesParams {
+			if rel && i < len(call.Args) {
+				return call.Args[i], true
+			}
+		}
+	}
+	if !fromRegPkg(fn) {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "Deregister": // HCA.Deregister(p, mr)
+		if len(call.Args) == 2 {
+			return call.Args[1], true
+		}
+	case "Put":
+		if len(call.Args) == 2 { // RegCache.Put(p, mr)
+			return call.Args[1], true
+		}
+		if len(call.Args) == 0 { // Buffer.Put()
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				return sel.X, true
+			}
+		}
+	case "Release":
+		if len(call.Args) == 2 { // Registrar.Release(p, mr)
+			return call.Args[1], true
+		}
+		if len(call.Args) == 3 { // ogr.Release(p, reg, res)
+			return call.Args[2], true
+		}
+	}
+	return nil, false
+}
+
+// summarize computes the one-level call facts for one function declaration.
+func (a *mrlife) summarize(fn *ast.FuncDecl) summary {
+	var params []types.Object
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := a.pass.TypesInfo.Defs[name]; obj != nil {
+				params = append(params, obj)
+			}
+		}
+	}
+	s := summary{releasesParams: make([]bool, len(params))}
+	if fn.Body == nil {
+		return s
+	}
+
+	// derivedFrom chases a value back to the identifier it came from:
+	// "for _, mr := range res.MRs" derives mr from res.
+	derived := make(map[types.Object]types.Object)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if v := a.identObjDef(n.Value); v != nil {
+				if root := a.rootObj(n.X, derived); root != nil {
+					derived[v] = root
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if v := a.identObjDef(lhs); v != nil {
+					if root := a.rootObj(n.Rhs[i], derived); root != nil && root != v {
+						derived[v] = root
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	paramIndex := func(obj types.Object) int {
+		for i, p := range params {
+			if p == obj {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// originVars: locals holding a fresh registration.
+	originVars := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && a.isBaseOrigin(call) {
+					if v := a.identObjDef(n.Lhs[0]); v != nil {
+						originVars[v] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if target, ok := a.baseReleaseTarget(n); ok {
+				if root := a.rootObj(target, derived); root != nil {
+					if i := paramIndex(root); i >= 0 {
+						s.releasesParams[i] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && a.isBaseOrigin(call) {
+					s.returnsRegistration = true
+				}
+				if root := a.rootObj(r, derived); root != nil && originVars[root] {
+					s.returnsRegistration = true
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// isBaseOrigin / baseReleaseTarget are the summary-free recognizers, so
+// summaries stay one level deep.
+func (a *mrlife) isBaseOrigin(call *ast.CallExpr) bool {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil || !originNames[fn.Name()] || !fromRegPkg(fn) {
+		return false
+	}
+	return returnsRegistration(fn.Type().(*types.Signature))
+}
+
+func (a *mrlife) baseReleaseTarget(call *ast.CallExpr) (ast.Expr, bool) {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil || !fromRegPkg(fn) {
+		return nil, false
+	}
+	saved := a.summaries
+	a.summaries = nil
+	defer func() { a.summaries = saved }()
+	return a.releaseTarget(call)
+}
+
+// rootObj strips selectors, indexes, stars, and parens down to the base
+// identifier's object, chasing derivations.
+func (a *mrlife) rootObj(e ast.Expr, derived map[types.Object]types.Object) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := a.pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = a.pass.TypesInfo.Defs[x]
+			}
+			for i := 0; obj != nil && i < 8; i++ {
+				next, ok := derived[obj]
+				if !ok {
+					break
+				}
+				obj = next
+			}
+			return obj
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj resolves a plain identifier expression to its object (uses or
+// defs), nil for anything else.
+func (a *mrlife) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return a.pass.TypesInfo.Defs[id]
+}
+
+func (a *mrlife) identObjDef(e ast.Expr) types.Object {
+	return a.identObj(e)
+}
+
+func (a *mrlife) pos(p token.Pos) token.Position {
+	pos := a.pass.Fset.Position(p)
+	pos.Column = 0 // keep messages short: file:line
+	return pos
+}
+
+// fromRegPkg reports whether fn is declared in the registration machinery's
+// packages (internal/ib or internal/ogr, under any module prefix).
+func fromRegPkg(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return analysis.PathHasSuffix(pkg.Path(), "internal/ib") ||
+		analysis.PathHasSuffix(pkg.Path(), "internal/ogr")
+}
+
+// returnsRegistration reports whether the signature returns *ib.MR,
+// *ib.Buffer, or *ogr.Result (possibly alongside an error).
+func returnsRegistration(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if analysis.NamedFrom(t, "internal/ib", "MR") ||
+			analysis.NamedFrom(t, "internal/ib", "Buffer") ||
+			analysis.NamedFrom(t, "internal/ogr", "Result") {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// forEachCall visits every call expression in n, not descending into
+// function literals.
+func forEachCall(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(m)
+		}
+		return true
+	})
+}
+
+// identsIn collects the identifiers read in a subtree.
+func identsIn(n ast.Node) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

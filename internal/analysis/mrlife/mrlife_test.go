@@ -1,0 +1,12 @@
+package mrlife_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/mrlife"
+)
+
+func TestMRLife(t *testing.T) {
+	analysistest.Run(t, "testdata", mrlife.Analyzer, "a")
+}

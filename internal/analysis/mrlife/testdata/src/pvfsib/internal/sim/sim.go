@@ -1,0 +1,7 @@
+// Package sim is a test stub: just enough of the simulator's surface for
+// the mrlife analyzer's type checks to engage.
+package sim
+
+type Proc struct{}
+
+func Failf(format string, args ...any) {}

@@ -4,7 +4,11 @@ package suite
 
 import (
 	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/errflow"
+	"pvfsib/internal/analysis/lockorder"
+	"pvfsib/internal/analysis/mrlife"
 	"pvfsib/internal/analysis/nopanic"
+	"pvfsib/internal/analysis/okreason"
 	"pvfsib/internal/analysis/regcheck"
 	"pvfsib/internal/analysis/sgelimit"
 	"pvfsib/internal/analysis/simblock"
@@ -17,5 +21,9 @@ func All() []*analysis.Analyzer {
 		regcheck.Analyzer,
 		simblock.Analyzer,
 		nopanic.Analyzer,
+		mrlife.Analyzer,
+		errflow.Analyzer,
+		lockorder.Analyzer,
+		okreason.Analyzer,
 	}
 }

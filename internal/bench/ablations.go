@@ -178,7 +178,7 @@ func ogrStrategyTime(nseg int, gapPages int64, strat string) float64 {
 		t0 := p.Now()
 		res, err := ogr.RegisterBuffers(p, ogr.Direct{HCA: h}, h.Space(), exts, cfg)
 		sim.Must(err)
-		ogr.Release(p, ogr.Direct{HCA: h}, res)
+		sim.Must(ogr.Release(p, ogr.Direct{HCA: h}, res))
 		elapsed = p.Now().Sub(t0)
 	})
 	runTolerant(eng)

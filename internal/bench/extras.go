@@ -372,7 +372,7 @@ func queryMethodCell(nseg int, method mem.QueryMethod) (float64, int) {
 		if !res.Queried {
 			sim.Failf("bench: expected the query fallback to run")
 		}
-		ogr.Release(p, ogr.Direct{HCA: h}, res)
+		sim.Must(ogr.Release(p, ogr.Direct{HCA: h}, res))
 		elapsed = p.Now().Sub(t0)
 	})
 	runTolerant(eng)

@@ -116,7 +116,7 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 			for _, seg := range rowSegs {
 				b, err := cli.Space().Read(seg.Addr, seg.Len)
 				sim.Must(err)
-				cli.Space().Write(staging+mem.Addr(off), b)
+				sim.Must(cli.Space().Write(staging+mem.Addr(off), b))
 				off += seg.Len
 			}
 			p.Sleep(params.MemcpyTime(total))
@@ -133,8 +133,9 @@ func fig3RowOn(n int64, params ib.Params, netParams simnet.Params) map[string]fl
 			sim.Must(err)
 			off := int64(0)
 			for _, seg := range rowSegs {
-				b, _ := cli.Space().Read(seg.Addr, seg.Len)
-				cli.Space().Write(fresh+mem.Addr(off), b)
+				b, rerr := cli.Space().Read(seg.Addr, seg.Len)
+				sim.Must(rerr)
+				sim.Must(cli.Space().Write(fresh+mem.Addr(off), b))
 				off += seg.Len
 			}
 			p.Sleep(params.MemcpyTime(total))

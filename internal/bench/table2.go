@@ -34,16 +34,20 @@ func Table2(short bool) *Table {
 		dst := b.Space().Malloc(bigSize)
 		var lat, elapsed sim.Duration
 		eng.Go("app", func(p *sim.Proc) {
-			mrB, _ := b.Register(p, mem.Extent{Addr: dst, Len: bigSize})
-			a.Register(p, mem.Extent{Addr: src, Len: bigSize})
+			mrB, err := b.Register(p, mem.Extent{Addr: dst, Len: bigSize})
+			sim.Must(err)
+			mrA, err := a.Register(p, mem.Extent{Addr: src, Len: bigSize})
+			sim.Must(err)
 			t0 := p.Now()
 			b.OnRDMAWriteApplied = func(mem.Addr, int64) { lat = p.Engine().Now().Sub(t0) }
-			qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: 4}}, dst, mrB.Key)
+			sim.Must(qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: 4}}, dst, mrB.Key))
 			p.Sleep(sim.Duration(100) * 1000) // drain
 			b.OnRDMAWriteApplied = nil
 			t0 = p.Now()
-			qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: bigSize}}, dst, mrB.Key)
+			sim.Must(qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: bigSize}}, dst, mrB.Key))
 			elapsed = p.Now().Sub(t0)
+			sim.Must(a.Deregister(p, mrA))
+			sim.Must(b.Deregister(p, mrB))
 		})
 		runTolerant(eng)
 		t.Add("VAPI RDMA Write", float64(lat.Nanoseconds())/1000, bw(bigSize, elapsed))
@@ -60,14 +64,18 @@ func Table2(short bool) *Table {
 		src := b.Space().Malloc(bigSize)
 		var lat, elapsed sim.Duration
 		eng.Go("app", func(p *sim.Proc) {
-			mrB, _ := b.Register(p, mem.Extent{Addr: src, Len: bigSize})
-			a.Register(p, mem.Extent{Addr: dst, Len: bigSize})
+			mrB, err := b.Register(p, mem.Extent{Addr: src, Len: bigSize})
+			sim.Must(err)
+			mrA, err := a.Register(p, mem.Extent{Addr: dst, Len: bigSize})
+			sim.Must(err)
 			t0 := p.Now()
-			qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: 4}}, src, mrB.Key)
+			sim.Must(qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: 4}}, src, mrB.Key))
 			lat = p.Now().Sub(t0)
 			t0 = p.Now()
-			qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: bigSize}}, src, mrB.Key)
+			sim.Must(qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: bigSize}}, src, mrB.Key))
 			elapsed = p.Now().Sub(t0)
+			sim.Must(a.Deregister(p, mrA))
+			sim.Must(b.Deregister(p, mrB))
 		})
 		runTolerant(eng)
 		t.Add("VAPI RDMA Read", float64(lat.Nanoseconds())/1000, bw(bigSize, elapsed))

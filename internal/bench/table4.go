@@ -46,7 +46,7 @@ func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overh
 	perRank := (n / 2) * (n / 2) * elem
 	total := int64(ranks) * perRank
 
-	run := func(withSync bool) (float64, int64, float64) {
+	run := func(withSync bool) (float64, int64, float64, error) {
 		f := newFixture(pvfs.DefaultConfig(), 4, ranks)
 		defer f.close()
 		opts := pvfs.OpOptions{Transfer: pvfs.ForceGather, Sieve: sieve.Never}
@@ -74,13 +74,25 @@ func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overh
 			}
 		}
 
+		// The engine is cooperative and single-threaded, so capturing the
+		// first rank failure in a shared variable is race-free.
+		var firstErr error
+		rankErr := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+
 		if kind == "Ideal" {
 			// Warm the pin-down caches with an unmeasured pass.
 			f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
 				fh := cl.Open(p, "warm")
 				accs := []pvfs.OffLen{{Off: int64(rank.ID()) * perRank, Len: perRank}}
-				sim.Must(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
+				rankErr(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
 			})
+			if firstErr != nil {
+				return 0, 0, 0, firstErr
+			}
 		}
 
 		var regs0, regT0 int64
@@ -92,11 +104,17 @@ func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overh
 			fh := cl.Open(p, "t4")
 			accs := []pvfs.OffLen{{Off: int64(rank.ID()) * perRank, Len: perRank}}
 			rank.Barrier(p)
-			sim.Must(fh.WriteList(p, segsOf[rank.ID()], accs, opts))
+			if err := fh.WriteList(p, segsOf[rank.ID()], accs, opts); err != nil {
+				rankErr(err)
+				return
+			}
 			if withSync {
 				fh.Sync(p)
 			}
 		})
+		if firstErr != nil {
+			return 0, 0, 0, firstErr
+		}
 		var regsN, regTN int64
 		for _, cl := range f.c.Clients {
 			regsN += cl.HCA().Counters.Registrations
@@ -104,11 +122,14 @@ func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overh
 		}
 		// Report per-process registration counts and overhead, like the
 		// paper.
-		return bw(total, elapsed), (regsN - regs0) / ranks, float64(regTN-regT0) / 1000 / ranks
+		return bw(total, elapsed), (regsN - regs0) / ranks, float64(regTN-regT0) / 1000 / ranks, nil
 	}
 
-	nosync, regs, overheadUS = run(false)
-	syncBW, _, _ = run(true)
+	var err error
+	nosync, regs, overheadUS, err = run(false)
+	sim.Must(err)
+	syncBW, _, _, err = run(true)
+	sim.Must(err)
 	return
 }
 

@@ -320,7 +320,10 @@ func (in *Interp) cmdContig(cmd string, a args) error {
 	}
 	verify, hasVerify := a.kv["verify"]
 	return in.withFile(a, func(p *sim.Proc, fh *pvfs.FileHandle) error {
-		cl, _ := in.client(a)
+		cl, err := in.client(a)
+		if err != nil {
+			return err
+		}
 		addr := cl.Space().Malloc(length)
 		t0 := p.Now()
 		if cmd == "write" {
@@ -339,7 +342,10 @@ func (in *Interp) cmdContig(cmd string, a args) error {
 				if err != nil {
 					return fmt.Errorf("bad verify=%q", verify)
 				}
-				got, _ := cl.Space().Read(addr, length)
+				got, err := cl.Space().Read(addr, length)
+				if err != nil {
+					return err
+				}
 				if !bytesEqual(got, pattern(length, vseed)) {
 					return fmt.Errorf("verification failed")
 				}
@@ -385,7 +391,10 @@ func (in *Interp) cmdList(cmd string, a args) error {
 	}
 	verify, hasVerify := a.kv["verify"]
 	return in.withFile(a, func(p *sim.Proc, fh *pvfs.FileHandle) error {
-		cl, _ := in.client(a)
+		cl, err := in.client(a)
+		if err != nil {
+			return err
+		}
 		base := cl.Space().Malloc(count * mstride)
 		var segs []ib.SGE
 		var accs []pvfs.OffLen
@@ -416,7 +425,10 @@ func (in *Interp) cmdList(cmd string, a args) error {
 				}
 				want := pattern(total, vseed)
 				for i, s := range segs {
-					got, _ := cl.Space().Read(s.Addr, size)
+					got, err := cl.Space().Read(s.Addr, size)
+					if err != nil {
+						return err
+					}
 					if !bytesEqual(got, want[int64(i)*size:int64(i+1)*size]) {
 						return fmt.Errorf("verification failed at piece %d", i)
 					}
