@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json vet check fuzz clean
+.PHONY: all build test race lint lint-json vet check bench-smoke fuzz clean
 
 all: build
 
@@ -37,6 +37,13 @@ lint-json: $(BIN)
 
 # check is the full CI gate: build, vet, pvfslint, race tests.
 check: build vet lint race
+
+# bench-smoke runs the short fault-plane and list-I/O experiments and
+# archives the tables as BENCH_smoke.json; CI uploads it as an artifact so
+# regressions in completion time or recovery counters are visible per run.
+bench-smoke:
+	$(GO) run ./cmd/pvfsbench -short -seed 1 -format json -run faults,fig4 > BENCH_smoke.json
+	@echo "wrote BENCH_smoke.json"
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFlattenDatatype -fuzztime=30s ./internal/mpiio/

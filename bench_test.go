@@ -26,7 +26,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		tbl := e.Run(testing.Short())
+		tbl := e.Run(bench.RunOpts{Short: testing.Short(), Seed: 1})
 		if _, printed := printOnce.LoadOrStore(id, true); !printed {
 			fmt.Println(tbl)
 		}
@@ -55,3 +55,4 @@ func BenchmarkExtraDiskSpeed(b *testing.B)          { runExperiment(b, "extra-di
 func BenchmarkExtraScaling(b *testing.B)            { runExperiment(b, "extra-scaling") }
 func BenchmarkExtraAppAware(b *testing.B)           { runExperiment(b, "extra-appaware") }
 func BenchmarkExtraQueryMethod(b *testing.B)        { runExperiment(b, "extra-querymethod") }
+func BenchmarkFaults(b *testing.B)                  { runExperiment(b, "faults") }

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	pvfsbench -list            list the available experiments
-//	pvfsbench -run fig6        run one experiment
-//	pvfsbench -run all         run everything (paper order, then ablations)
-//	pvfsbench -short -run all  smaller sweeps for a quick look
+//	pvfsbench -list                 list the available experiments
+//	pvfsbench -run fig6             run one experiment
+//	pvfsbench -run faults,fig4      run several (comma-separated ids)
+//	pvfsbench -run all              run everything (paper order, then ablations)
+//	pvfsbench -short -run all       smaller sweeps for a quick look
+//	pvfsbench -seed 7 -run faults   reseed the fault plane (same seed, same table)
+//	pvfsbench -format json ...      machine-readable output (one JSON object per table)
 //
 // Each experiment prints a plain-text table; the titles carry the paper's
 // reference values where the paper states them.
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pvfsib/internal/bench"
@@ -24,10 +28,11 @@ import (
 func main() {
 	var (
 		list    = flag.Bool("list", false, "list experiments and exit")
-		run     = flag.String("run", "all", "experiment id to run, or 'all'")
+		run     = flag.String("run", "all", "experiment ids to run (comma-separated), or 'all'")
 		short   = flag.Bool("short", false, "reduced sweeps (faster)")
+		seed    = flag.Int64("seed", 1, "seed for randomized experiments (fault plane)")
 		timings = flag.Bool("timings", true, "print real (host) runtime per experiment")
-		format  = flag.String("format", "table", "output format: table or csv")
+		format  = flag.String("format", "table", "output format: table, csv, or json")
 	)
 	flag.Parse()
 
@@ -42,19 +47,26 @@ func main() {
 	if *run == "all" {
 		todo = bench.Registry
 	} else {
-		e, err := bench.Lookup(*run)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		for _, id := range strings.Split(*run, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
 		}
-		todo = []bench.Experiment{e}
 	}
 
+	opts := bench.RunOpts{Short: *short, Seed: *seed}
 	for _, e := range todo {
 		t0 := time.Now()
-		tbl := e.Run(*short)
-		if *format == "csv" {
+		tbl := e.Run(opts)
+		switch *format {
+		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+			continue
+		case "json":
+			fmt.Println(tbl.JSON())
 			continue
 		}
 		fmt.Println(tbl)

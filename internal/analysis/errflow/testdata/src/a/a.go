@@ -113,3 +113,44 @@ func audited() {
 	//pvfslint:ok errflow best-effort prefetch, failure falls back to the slow path
 	step()
 }
+
+// The fault plane's recovery layer added retry loops and reset paths; the
+// checked-API set is "any callee in this module", so these are guarded
+// automatically — the cases below pin the idioms down.
+
+func recoverableErr(err error) bool { return err != nil }
+
+func resetEndpoint() {}
+
+// goodRetryLoop is the client recovery idiom: every attempt's error is
+// inspected (recoverable or not) before the next attempt overwrites it.
+func goodRetryLoop() error {
+	for attempt := 0; attempt < 3; attempt++ {
+		err := step()
+		if err == nil {
+			return nil
+		}
+		if !recoverableErr(err) {
+			return err
+		}
+		resetEndpoint()
+	}
+	return nil
+}
+
+// retrySwallows drops all but the last attempt's error: the loop
+// reassigns before anything looked at the previous one.
+func retrySwallows() error {
+	err := step()
+	for attempt := 0; attempt < 2; attempt++ {
+		err = step() // want `err is overwritten before the error assigned at .* is checked`
+	}
+	return err
+}
+
+// resetDiscards models the bug class the recovery layer must avoid: firing
+// the recovery action while discarding the error that triggered it.
+func resetDiscards() {
+	step() // want `error result of step is discarded`
+	resetEndpoint()
+}

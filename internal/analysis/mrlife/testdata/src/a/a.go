@@ -158,3 +158,43 @@ func audited(p *sim.Proc, h *ib.HCA) {
 	mr, _ := h.Register(p, ib.Extent{Addr: 0x4000, Len: 8})
 	post(p, mr.LKey)
 }
+
+// resetIsNotARelease: the fault plane's QP reset recovers the endpoint but
+// leaves staging pinned — an abort path that resets without Put leaks.
+func resetIsNotARelease(p *sim.Proc, pool *ib.BufPool, qp *ib.QP) {
+	buf := pool.Get(p) // want `registration assigned to buf is never released on some path to the end of the function`
+	post(p, ib.Key(buf.Addr))
+	qp.Reset(p)
+}
+
+// goodAbort is the server's fault-plane abort idiom: on a send failure the
+// staging buffer is returned to the pool before the endpoint resets.
+func goodAbort(p *sim.Proc, pool *ib.BufPool, qp *ib.QP) {
+	buf := pool.Get(p)
+	if err := qp.Send(p, buf.Size, nil); err != nil {
+		buf.Put()
+		qp.Reset(p)
+		return
+	}
+	buf.Put()
+}
+
+// goodRetry is the client's recovery idiom: each attempt re-acquires and
+// releases its registration, so a retry never doubles or leaks a pin.
+func goodRetry(p *sim.Proc, c *ib.RegCache, qp *ib.QP) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		mr, err := c.Get(p, ib.Extent{Addr: 0x5000, Len: 4096})
+		if err != nil {
+			return err
+		}
+		sendErr := qp.Send(p, 4096, mr.LKey)
+		if putErr := c.Put(p, mr); putErr != nil {
+			return putErr
+		}
+		if sendErr == nil {
+			return nil
+		}
+		qp.Reset(p)
+	}
+	return nil
+}

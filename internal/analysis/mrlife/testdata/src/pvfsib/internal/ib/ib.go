@@ -47,3 +47,20 @@ func (b *Buffer) Put() {}
 type BufPool struct{}
 
 func (bp *BufPool) Get(p *sim.Proc) *Buffer { return &Buffer{} }
+
+// Fault-plane surface: queue pairs move to an error state on an injected
+// completion error; Reset recovers the endpoint but has no effect on
+// registrations or staging buffers.
+
+type QPState int
+
+const (
+	QPReady QPState = iota
+	QPError
+)
+
+type QP struct{}
+
+func (q *QP) State() QPState                       { return QPReady }
+func (q *QP) Reset(p *sim.Proc)                    {}
+func (q *QP) Send(p *sim.Proc, n int, m any) error { return nil }

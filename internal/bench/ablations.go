@@ -18,7 +18,8 @@ import (
 // AblationSGELimit studies the sensitivity of the RDMA Gather/Scatter
 // scheme to the per-work-request scatter/gather limit (InfiniBand's is 64).
 // It reruns the Figure 3 gather,one-reg measurement with different limits.
-func AblationSGELimit(short bool) *Table {
+func AblationSGELimit(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "ablation-sge",
 		Title:  "Gather/scatter bandwidth vs. SGE limit (2048x2048 array)",
@@ -40,7 +41,8 @@ func AblationSGELimit(short bool) *Table {
 
 // AblationHybridThreshold sweeps the pack/gather crossover threshold of the
 // hybrid transfer policy for small and large list operations.
-func AblationHybridThreshold(short bool) *Table {
+func AblationHybridThreshold(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "ablation-hybrid",
 		Title:  "Hybrid crossover threshold sweep, 128-segment write bandwidth (MB/s)",
@@ -83,7 +85,8 @@ func hybridThresholdCell(segSize, threshold int64) float64 {
 // AblationADSModel compares the ADS cost-model decision against sieving
 // forced always-on and always-off, for a dense small-access pattern (where
 // sieving wins) and a sparse large-access pattern (where it loses).
-func AblationADSModel(short bool) *Table {
+func AblationADSModel(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "ablation-adsmodel",
 		Title:  "ADS decision quality: block-column write bandwidth (MB/s)",
@@ -124,7 +127,8 @@ func blockColumnWriteForced(n int64, mode sieve.Mode) float64 {
 // AblationOGRGrouping compares the registration strategies on the raw
 // registration path: per-buffer, whole-span, and the cost-model grouping,
 // over a single-array layout and a multi-array layout with allocated gaps.
-func AblationOGRGrouping(short bool) *Table {
+func AblationOGRGrouping(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "ablation-ogrgroup",
 		Title:  "OGR grouping strategies: registration time (µs) for 1024 x 4kB buffers",

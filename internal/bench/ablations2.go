@@ -18,7 +18,8 @@ import (
 // 1024x1024-int subarray, i.e. 512 rows) on both fabrics and reports the
 // spread between the best and worst scheme, and additionally compares the
 // full PVFS stacks (verbs + hybrid vs. stream sockets).
-func AblationNetwork(short bool) *Table {
+func AblationNetwork(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "ablation-network",
 		Title:  "Transmission schemes vs. network generation (MB/s)",
@@ -101,7 +102,8 @@ func networkCell(cfg pvfs.Config, segSize int64) float64 {
 // must be deregistered, [which] may lead to registration thrashing"): with
 // a small pinned-memory budget, per-buffer registration through the cache
 // thrashes while OGR's single grouped region still fits.
-func AblationRegThrash(short bool) *Table {
+func AblationRegThrash(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "ablation-regthrash",
 		Title:  "Registration thrashing under a pinned-memory limit (write bandwidth, MB/s)",

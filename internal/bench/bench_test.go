@@ -11,7 +11,7 @@ import (
 // simulator, not the authors' testbed).
 
 func TestTable2MatchesPaper(t *testing.T) {
-	tbl := Table2(true)
+	tbl := Table2(RunOpts{Short: true})
 	// RDMA write ≈ 6.0µs / 827 MB/s.
 	if lat := tbl.CellF(0, "latency_us"); lat < 5.5 || lat > 7 {
 		t.Errorf("RDMA write latency = %v µs, want ≈6.0", lat)
@@ -30,7 +30,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestTable3MatchesPaper(t *testing.T) {
-	tbl := Table3(true)
+	tbl := Table3(RunOpts{Short: true})
 	cold, warm := tbl.FindRow("without cache"), tbl.FindRow("with cache")
 	if w := tbl.CellF(cold, "write_MB_s"); w < 20 || w > 30 {
 		t.Errorf("uncached write = %v, want ≈25", w)
@@ -47,7 +47,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	tbl := Fig3(true)
+	tbl := Fig3(RunOpts{Short: true})
 	last := len(tbl.Rows) - 1 // largest array
 	contig := tbl.CellF(last, "contig_noreg")
 	multi := tbl.CellF(last, "multiple_noreg")
@@ -81,7 +81,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4HybridTracksWinner(t *testing.T) {
-	tbl := Fig4(true)
+	tbl := Fig4(RunOpts{Short: true})
 	for i := 0; i < len(tbl.Rows); i++ {
 		pack := tbl.CellF(i, "pack")
 		gather := tbl.CellF(i, "gather")
@@ -97,7 +97,7 @@ func TestFig4HybridTracksWinner(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	tbl := Table4(true)
+	tbl := Table4(RunOpts{Short: true})
 	ideal := tbl.FindRow("Ideal")
 	indiv := tbl.FindRow("Indiv.")
 	ogr := tbl.FindRow("OGR")
@@ -129,7 +129,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFig6ListIOBeatsMultiple(t *testing.T) {
-	tbl := Fig6(true)
+	tbl := Fig6(RunOpts{Short: true})
 	for i := range tbl.Rows {
 		multi := tbl.CellF(i, "multiple")
 		ds := tbl.CellF(i, "datasieving")
@@ -151,7 +151,7 @@ func TestFig6ListIOBeatsMultiple(t *testing.T) {
 }
 
 func TestFig7ReadShape(t *testing.T) {
-	tbl := Fig7(true)
+	tbl := Fig7(RunOpts{Short: true})
 	for i := range tbl.Rows {
 		multi := tbl.CellF(i, "multiple")
 		list := tbl.CellF(i, "listio")
@@ -168,7 +168,7 @@ func TestFig7ReadShape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	tbl := Fig8(true)
+	tbl := Fig8(RunOpts{Short: true})
 	w, r := tbl.FindRow("write"), tbl.FindRow("read")
 	// ADS beats Multiple by a large factor both ways.
 	if tbl.CellF(w, "listio+ads") < 1.5*tbl.CellF(w, "multiple") {
@@ -187,7 +187,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9DiskBoundShape(t *testing.T) {
-	tbl := Fig9(true)
+	tbl := Fig9(RunOpts{Short: true})
 	w, r := tbl.FindRow("write"), tbl.FindRow("read")
 	// Writes: ADS still ahead of multiple.
 	if tbl.CellF(w, "listio+ads") <= tbl.CellF(w, "multiple") {
@@ -201,7 +201,7 @@ func TestFig9DiskBoundShape(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
-	tbl := Table5(true)
+	tbl := Table5(RunOpts{Short: true})
 	get := func(label string) float64 { return tbl.CellF(tbl.FindRow(label), "time_s") }
 	noio := get("no I/O")
 	multiple := get("Multiple I/O")
@@ -223,7 +223,7 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestTable6Shape(t *testing.T) {
-	tbl := Table6(true)
+	tbl := Table6(RunOpts{Short: true})
 	req := tbl.FindRow("req #")
 	fsr := tbl.FindRow("read #")
 	fsw := tbl.FindRow("write #")
@@ -255,7 +255,7 @@ func TestTable6Shape(t *testing.T) {
 }
 
 func TestAblationSGEShape(t *testing.T) {
-	tbl := AblationSGELimit(true)
+	tbl := AblationSGELimit(RunOpts{Short: true})
 	// Bandwidth must not decrease as the SGE limit grows.
 	prev := 0.0
 	for i := range tbl.Rows {
@@ -268,7 +268,7 @@ func TestAblationSGEShape(t *testing.T) {
 }
 
 func TestAblationOGRGroupingShape(t *testing.T) {
-	tbl := AblationOGRGrouping(true)
+	tbl := AblationOGRGrouping(RunOpts{Short: true})
 	for i := range tbl.Rows {
 		indiv := tbl.CellF(i, "individual")
 		span := tbl.CellF(i, "whole_span")
@@ -286,7 +286,7 @@ func TestAblationOGRGroupingShape(t *testing.T) {
 }
 
 func TestAblationADSModelTracksWinner(t *testing.T) {
-	tbl := AblationADSModel(true)
+	tbl := AblationADSModel(RunOpts{Short: true})
 	for i := range tbl.Rows {
 		never := tbl.CellF(i, "never")
 		always := tbl.CellF(i, "always")
@@ -342,7 +342,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestAblationNetworkShape(t *testing.T) {
-	tbl := AblationNetwork(true)
+	tbl := AblationNetwork(RunOpts{Short: true})
 	ibSpread := tbl.CellF(0, "best/worst")
 	tcpSpread := tbl.CellF(1, "best/worst")
 	if ibSpread <= tcpSpread {
@@ -360,7 +360,7 @@ func TestAblationNetworkShape(t *testing.T) {
 }
 
 func TestAblationRegThrashShape(t *testing.T) {
-	tbl := AblationRegThrash(true)
+	tbl := AblationRegThrash(RunOpts{Short: true})
 	// Small cache: individual thrashes (0 hits, lower bandwidth), OGR fine.
 	small, large := 0, len(tbl.Rows)-1
 	if tbl.CellF(small, "indiv_hits") != 0 {
@@ -390,7 +390,7 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestExtraNoncontigShape(t *testing.T) {
-	tbl := ExtraNoncontig(true)
+	tbl := ExtraNoncontig(RunOpts{Short: true})
 	for i := range tbl.Rows {
 		multi := tbl.CellF(i, "multiple")
 		list := tbl.CellF(i, "listio")
@@ -405,7 +405,7 @@ func TestExtraNoncontigShape(t *testing.T) {
 }
 
 func TestExtraDiskSpeedShape(t *testing.T) {
-	tbl := ExtraDiskSpeed(true)
+	tbl := ExtraDiskSpeed(RunOpts{Short: true})
 	for i := range tbl.Rows {
 		never := tbl.CellF(i, "never")
 		always := tbl.CellF(i, "always")
@@ -424,7 +424,7 @@ func TestExtraDiskSpeedShape(t *testing.T) {
 }
 
 func TestExtraScalingShape(t *testing.T) {
-	tbl := ExtraScaling(true)
+	tbl := ExtraScaling(RunOpts{Short: true})
 	first, last := 0, len(tbl.Rows)-1
 	for _, col := range []string{"contig_write", "contig_read", "list_write", "list_read"} {
 		if tbl.CellF(last, col) <= tbl.CellF(first, col) {
@@ -435,7 +435,7 @@ func TestExtraScalingShape(t *testing.T) {
 }
 
 func TestExtraAppAwareShape(t *testing.T) {
-	tbl := ExtraAppAware(true)
+	tbl := ExtraAppAware(RunOpts{Short: true})
 	explicit := tbl.CellF(tbl.FindRow("explicit (4.2.1-1)"), "agg_MB_s")
 	declared := tbl.CellF(tbl.FindRow("declared (4.2.1-2)"), "agg_MB_s")
 	ogrBW := tbl.CellF(tbl.FindRow("OGR (chosen)"), "agg_MB_s")
@@ -459,7 +459,7 @@ func TestExtraAppAwareShape(t *testing.T) {
 }
 
 func TestExtraQueryMethodShape(t *testing.T) {
-	tbl := ExtraQueryMethod(true)
+	tbl := ExtraQueryMethod(RunOpts{Short: true})
 	syscall := tbl.CellF(tbl.FindRow("custom syscall"), "reg_time_us")
 	proc := tbl.CellF(tbl.FindRow("/proc/pid/maps"), "reg_time_us")
 	if proc <= syscall {
@@ -470,5 +470,37 @@ func TestExtraQueryMethodShape(t *testing.T) {
 		if tbl.CellF(i, "regs") != 11 {
 			t.Errorf("row %d registered %v regions, want 11", i, tbl.CellF(i, "regs"))
 		}
+	}
+}
+
+func TestFaultsShape(t *testing.T) {
+	tbl := Faults(RunOpts{Short: true, Seed: 7})
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (two rates + storm)", len(tbl.Rows))
+	}
+	clean := tbl.CellF(0, "time_ms")
+	faulty := tbl.CellF(1, "time_ms")
+	if clean <= 0 || faulty <= clean {
+		t.Errorf("faults must cost time: clean=%vms faulty=%vms", clean, faulty)
+	}
+	if tbl.CellF(0, "retries") != 0 {
+		t.Error("fault-free row must show zero retries")
+	}
+	if tbl.CellF(1, "retries") == 0 {
+		t.Error("faulty row shows no retries — injection not exercised")
+	}
+	storm := tbl.FindRow("storm")
+	if storm < 0 || tbl.CellF(storm, "retries") == 0 {
+		t.Error("storm row missing or shows no recovery work")
+	}
+}
+
+// TestFaultsDeterministic re-runs the sweep with one seed and demands the
+// identical table, cell for cell.
+func TestFaultsDeterministic(t *testing.T) {
+	a := Faults(RunOpts{Short: true, Seed: 42})
+	b := Faults(RunOpts{Short: true, Seed: 42})
+	if a.JSON() != b.JSON() {
+		t.Errorf("same seed produced different tables:\n%s\nvs\n%s", a.JSON(), b.JSON())
 	}
 }

@@ -117,7 +117,8 @@ func btioAll(short bool) []btioResult {
 
 // Table5 reproduces the paper's Table 5: NAS BTIO class A total execution
 // time and I/O overhead for every access method.
-func Table5(short bool) *Table {
+func Table5(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "table5",
 		Title:  "BTIO class A (paper: noio 165.6s; Multiple 180.0/14.4; Collective 169.6/4.0; List 168.2/2.6; List+ADS 167.7/2.1; DS 177.3/11.7)",
@@ -138,7 +139,8 @@ func Table5(short bool) *Table {
 // Table6 reproduces the paper's Table 6: BTIO request, registration,
 // cache-hit, and file-access characteristics per method, plus bytes moved
 // between node classes.
-func Table6(short bool) *Table {
+func Table6(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "table6",
 		Title:  "BTIO characteristics per method",

@@ -18,7 +18,8 @@ import (
 // pattern — veclen elements of elemsize bytes out of every nprocs*veclen —
 // through each access method. The pattern is the pathological case the
 // paper's introduction cites for PVFS-over-TCP performance problems.
-func ExtraNoncontig(short bool) *Table {
+func ExtraNoncontig(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "extra-noncontig",
 		Title:  "ROMIO noncontig benchmark, aggregate bandwidth (MB/s)",
@@ -83,7 +84,8 @@ func noncontigCell(veclen, elem, count int64, m mpiio.Method) (wBW, rBW float64)
 // sieve/individual decision adapts to the storage generation without
 // retuning — seek-bound disks favour sieving, near-seekless devices favour
 // individual access. Sync writes of the block-column pattern.
-func ExtraDiskSpeed(short bool) *Table {
+func ExtraDiskSpeed(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "extra-diskspeed",
 		Title:  "ADS decision vs. storage profile, block-column sync write (MB/s)",
@@ -164,7 +166,8 @@ func diskSpeedCellAuto(cfg pvfs.Config, n int64) (float64, int64) {
 // ExtraScaling measures aggregate list-I/O bandwidth as the server count
 // grows — the striping-scalability property PVFS exists for (the paper's
 // prior work [31] evaluates it on the same testbed).
-func ExtraScaling(short bool) *Table {
+func ExtraScaling(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "extra-scaling",
 		Title:  "Aggregate bandwidth vs. I/O server count (4 clients, MB/s)",
@@ -228,7 +231,8 @@ func scalingCell(nServers int) (cw, cr, lw, lr float64) {
 // application-controlled registration (explicit) and declared-allocation
 // registration — against the transparent Optimistic Group Registration the
 // paper chose. The subarray write of Table 4, steady state.
-func ExtraAppAware(short bool) *Table {
+func ExtraAppAware(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "extra-appaware",
 		Title:  "Application-aware registration alternatives, subarray write (MB/s)",
@@ -318,7 +322,8 @@ func appAwareCell(n int64, reg pvfs.RegPolicy) (float64, int64) {
 // discusses for OGR's fallback (Section 4.3): the custom system call
 // (≈70 µs per 1000 holes), reading /proc/$pid/maps (≈1100 µs), and a
 // mincore-style per-page probe. The OGR+Q scenario of Table 4.
-func ExtraQueryMethod(short bool) *Table {
+func ExtraQueryMethod(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "extra-querymethod",
 		Title:  "OS hole-query mechanisms in OGR's fallback (registration time, µs)",

@@ -23,7 +23,8 @@ import (
 //	pack,reg          — ditto, but register/deregister the staging buffer
 //	gather,mult reg   — register every row separately, one gather write
 //	gather,one reg    — Optimistic Group Registration, one gather write
-func Fig3(short bool) *Table {
+func Fig3(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:    "fig3",
 		Title: "Noncontiguous transfer schemes, subarray write bandwidth (MB/s)",

@@ -13,7 +13,8 @@ import (
 // in the final design. Four clients and four servers; each operation moves
 // 128 noncontiguous segments whose size sweeps 128 B .. 8 kB. Cache effects
 // are left in (the paper's first experiment set stresses the network).
-func Fig4(short bool) *Table {
+func Fig4(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:    "fig4",
 		Title: "List I/O transfer schemes, 128 segments, aggregate bandwidth (MB/s)",

@@ -14,7 +14,8 @@ import (
 // block-column file view (each of 4 processes accesses 1 unit out of every
 // 4), for array sizes 512..8192, with the four access methods, with and
 // without sync. ROMIO Data Sieving degenerates to Multiple I/O for writes.
-func Fig6(short bool) *Table {
+func Fig6(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "fig6",
 		Title:  "Block-column WRITE bandwidth (MB/s)",
@@ -34,7 +35,8 @@ func Fig6(short bool) *Table {
 }
 
 // Fig7 reproduces Figure 7: block-column reads, cached and uncached.
-func Fig7(short bool) *Table {
+func Fig7(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Block-column READ bandwidth (MB/s)",

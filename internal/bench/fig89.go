@@ -11,7 +11,7 @@ import (
 // Fig8 reproduces the paper's Figure 8: mpi-tile-io (2x2 display of
 // 1024x768 24-bit tiles, a 9 MB file) without disk effects — writes are not
 // synced and reads come from the servers' file caches.
-func Fig8(short bool) *Table {
+func Fig8(o RunOpts) *Table {
 	t := tileTable("fig8", "Tiled I/O without disk effects, bandwidth (MB/s)")
 	tileRows(t, false)
 	t.Note("paper shape: List+ADS ~5.7x Multiple for write, ~8.8x for read; 8.4%%/45%% over plain List I/O")
@@ -20,7 +20,7 @@ func Fig8(short bool) *Table {
 
 // Fig9 reproduces Figure 9: the same accesses with disk effects — writes
 // synced to disk, reads from dropped caches.
-func Fig9(short bool) *Table {
+func Fig9(o RunOpts) *Table {
 	t := tileTable("fig9", "Tiled I/O with disk effects, bandwidth (MB/s)")
 	tileRows(t, true)
 	t.Note("paper shape: ADS still wins writes; for reads ROMIO DS overtakes when the disk dominates")

@@ -5,11 +5,21 @@ import (
 	"sort"
 )
 
+// RunOpts parameterizes one experiment run.
+type RunOpts struct {
+	// Short selects the reduced sweeps.
+	Short bool
+	// Seed feeds the experiments that draw randomness (today only the
+	// fault plane); deterministic sweeps ignore it. The same seed always
+	// reproduces the same tables.
+	Seed int64
+}
+
 // Experiment is one reproducible table or figure.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(short bool) *Table
+	Run   func(o RunOpts) *Table
 }
 
 // Registry lists every experiment in paper order, then the ablations.
@@ -36,6 +46,7 @@ var Registry = []Experiment{
 	{"extra-scaling", "Bandwidth scaling with server count", ExtraScaling},
 	{"extra-appaware", "App-aware registration alternatives (Section 4.2.1)", ExtraAppAware},
 	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethod},
+	{"faults", "Recovery under injected faults (fault-plane sweep)", Faults},
 }
 
 // Lookup finds an experiment by id.

@@ -7,8 +7,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+
+	"pvfsib/internal/sim"
 )
 
 // Table is one experiment's result: a title, column headers, and rows of
@@ -112,6 +115,15 @@ func (t *Table) FindRow(label string) int {
 		}
 	}
 	return -1
+}
+
+// JSON renders the table as an indented JSON object with id, title,
+// header, rows, and notes — the machine-readable artifact bench-smoke
+// archives in CI.
+func (t *Table) JSON() string {
+	b, err := json.MarshalIndent(t, "", "  ")
+	sim.Must(err) // Table holds only strings; marshaling cannot fail
+	return string(b)
 }
 
 // CSV renders the table as comma-separated values (header row first), for

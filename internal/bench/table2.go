@@ -11,7 +11,8 @@ import (
 // Table2 reproduces the paper's Table 2: raw network performance — 4-byte
 // one-way latency and large-message bandwidth for VAPI RDMA write, VAPI
 // RDMA read, and the MPI layer (the paper's MVAPICH).
-func Table2(short bool) *Table {
+func Table2(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "table2",
 		Title:  "Network performance (paper: write 6.0µs/827MB/s, read 12.4µs/816MB/s, MPI 6.8µs/822MB/s)",

@@ -9,7 +9,8 @@ import (
 // Table3 reproduces the paper's Table 3: local ext3 file-system sequential
 // read and write bandwidth with and without cache effects (the paper used
 // the bonnie benchmark).
-func Table3(short bool) *Table {
+func Table3(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "table3",
 		Title:  "File system performance (paper: write 25/303 MB/s, read 20/1391 MB/s)",

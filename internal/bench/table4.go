@@ -22,7 +22,8 @@ import (
 //	OGR    — Optimistic Group Registration (one registration)
 //	OGR+Q  — buffers from 11 separate arrays with 10 unallocated holes,
 //	         forcing the optimistic attempt to fail and query the OS
-func Table4(short bool) *Table {
+func Table4(o RunOpts) *Table {
+	short := o.Short
 	t := &Table{
 		ID:     "table4",
 		Title:  "Optimistic Group Registration impact (paper: Ideal 1010/82, Indiv 424/73, OGR 950/~82, OGR+Q 879/~82 MB/s; regs 0/1024/1/11)",

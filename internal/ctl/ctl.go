@@ -10,6 +10,15 @@
 //	stats
 //	time
 //
+// The fault plane is scripted the same way (rates are probabilities, times
+// are microseconds of virtual time relative to the inject command; fabric
+// node ids are servers 0..S-1 then clients S..S+C-1):
+//
+//	fault inject wr=0.02 reg=0.1 seed=7
+//	fault inject cut=4:0:200:400 crash=2:300:600 spike=4:1:0:50:30
+//	fault list
+//	fault clear
+//
 // Commands run sequentially, each as one application process in virtual
 // time. Lines starting with '#' and blank lines are ignored.
 package ctl
@@ -21,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pvfsib/internal/fault"
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
 	"pvfsib/internal/pvfs"
@@ -36,6 +46,7 @@ type Interp struct {
 	rec     *trace.Recorder
 	files   map[string]map[int]*pvfs.FileHandle // name -> client -> handle
 	bufs    map[string]mem.Addr                 // named buffers (reserved)
+	plan    *fault.Plan                         // active fault plan (nil = none)
 	line    int
 }
 
@@ -97,6 +108,18 @@ func (a args) num(key string, def int64) (int64, error) {
 	return n, nil
 }
 
+func (a args) float(key string, def float64) (float64, error) {
+	v, ok := a.kv[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", key, v)
+	}
+	return f, nil
+}
+
 func (in *Interp) exec(line string) error {
 	fields := strings.Fields(line)
 	cmd, rest := fields[0], parseArgs(fields[1:])
@@ -144,6 +167,8 @@ func (in *Interp) exec(line string) error {
 		}
 		fmt.Fprintf(in.out, "t=%v\n", in.cluster.Eng.Now())
 		return nil
+	case "fault":
+		return in.cmdFault(rest)
 	case "trace":
 		return in.cmdTrace(rest)
 	case "echo":
@@ -439,6 +464,155 @@ func (in *Interp) cmdList(cmd string, a args) error {
 			cmd, fh.Name(), count, size, p.Now().Sub(t0), mbps(total, p.Now().Sub(t0)))
 		return nil
 	})
+}
+
+// cmdFault scripts the fault plane. 'inject' parses a complete plan from
+// one line and attaches it (replacing any previous plan — the injector's
+// random stream and counters start fresh); 'clear' detaches everything;
+// 'list' shows the active plan and what the injector has done so far.
+// Daemon crashes already planted on the timeline by an earlier inject
+// still fire after clear, like a real scheduled outage would.
+func (in *Interp) cmdFault(a args) error {
+	if in.cluster == nil {
+		return fmt.Errorf("no cluster")
+	}
+	switch a.name {
+	case "inject":
+		plan, err := in.parsePlan(a)
+		if err != nil {
+			return err
+		}
+		if plan.Empty() {
+			return fmt.Errorf("empty plan: set wr=, reg=, diskerr=, diskslow=, cut=, spike=, or crash=")
+		}
+		in.cluster.AttachFaults(plan)
+		in.plan = plan
+		fmt.Fprintf(in.out, "faults attached: %s\n", describePlan(plan))
+		return nil
+	case "clear":
+		in.cluster.AttachFaults(nil)
+		in.plan = nil
+		fmt.Fprintln(in.out, "faults cleared")
+		return nil
+	case "list":
+		if in.cluster.Faults == nil {
+			fmt.Fprintln(in.out, "no faults attached")
+			return nil
+		}
+		fmt.Fprintf(in.out, "plan: %s\n", describePlan(in.plan))
+		fmt.Fprintf(in.out, "injected: %v\n", in.cluster.Faults.Counters)
+		return nil
+	default:
+		return fmt.Errorf("fault wants 'inject', 'clear', or 'list'")
+	}
+}
+
+// parsePlan builds a fault plan from one inject line. Rates are
+// probabilities in [0,1]; cut=A:B:AT:DUR, spike=FROM:TO:AT:DUR:EXTRA, and
+// crash=SERVER:AT:DOWN take microseconds and accept comma-separated lists.
+func (in *Interp) parsePlan(a args) (*fault.Plan, error) {
+	plan := &fault.Plan{}
+	var err error
+	if plan.Seed, err = a.num("seed", 1); err != nil {
+		return nil, err
+	}
+	for _, r := range []struct {
+		key string
+		dst *float64
+	}{
+		{"wr", &plan.WRErrorRate},
+		{"reg", &plan.RegFailRate},
+		{"diskerr", &plan.DiskErrorRate},
+		{"diskslow", &plan.DiskSlowRate},
+	} {
+		if *r.dst, err = a.float(r.key, 0); err != nil {
+			return nil, err
+		}
+		if *r.dst < 0 || *r.dst > 1 {
+			return nil, fmt.Errorf("%s=%g out of [0,1]", r.key, *r.dst)
+		}
+	}
+	us := func(n int64) sim.Duration { return sim.Duration(n) * 1000 }
+	for _, spec := range splitSpecs(a.str("cut", "")) {
+		v, err := splitInts("cut", spec, 4)
+		if err != nil {
+			return nil, err
+		}
+		plan.Cuts = append(plan.Cuts, fault.Cut{
+			A: int(v[0]), B: int(v[1]), At: us(v[2]), Dur: us(v[3])})
+	}
+	for _, spec := range splitSpecs(a.str("spike", "")) {
+		v, err := splitInts("spike", spec, 5)
+		if err != nil {
+			return nil, err
+		}
+		plan.Spikes = append(plan.Spikes, fault.Spike{
+			From: int(v[0]), To: int(v[1]), At: us(v[2]), Dur: us(v[3]), Extra: us(v[4])})
+	}
+	for _, spec := range splitSpecs(a.str("crash", "")) {
+		v, err := splitInts("crash", spec, 3)
+		if err != nil {
+			return nil, err
+		}
+		srv := int(v[0])
+		if srv <= 0 || srv >= len(in.cluster.Servers) {
+			return nil, fmt.Errorf("crash server %d out of range (1..%d; server 0 hosts the manager)",
+				srv, len(in.cluster.Servers)-1)
+		}
+		plan.Crashes = append(plan.Crashes, fault.Crash{Server: srv, At: us(v[1]), Down: us(v[2])})
+	}
+	return plan, nil
+}
+
+func splitSpecs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func splitInts(what, spec string, want int) ([]int64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != want {
+		return nil, fmt.Errorf("bad %s=%q: want %d colon-separated ints", what, spec, want)
+	}
+	out := make([]int64, want)
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s=%q: %q is not an int", what, spec, p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func describePlan(pl *fault.Plan) string {
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	if pl.WRErrorRate > 0 {
+		add("wr=%g", pl.WRErrorRate)
+	}
+	if pl.RegFailRate > 0 {
+		add("reg=%g", pl.RegFailRate)
+	}
+	if pl.DiskErrorRate > 0 {
+		add("diskerr=%g", pl.DiskErrorRate)
+	}
+	if pl.DiskSlowRate > 0 {
+		add("diskslow=%g", pl.DiskSlowRate)
+	}
+	for _, c := range pl.Cuts {
+		add("cut %d<->%d @%v+%v", c.A, c.B, c.At, c.Dur)
+	}
+	for _, s := range pl.Spikes {
+		add("spike %d->%d @%v+%v extra=%v", s.From, s.To, s.At, s.Dur, s.Extra)
+	}
+	for _, c := range pl.Crashes {
+		add("crash io%d @%v down=%v", c.Server, c.At, c.Down)
+	}
+	add("seed=%d", pl.Seed)
+	return strings.Join(parts, ", ")
 }
 
 func (in *Interp) cmdTrace(a args) error {

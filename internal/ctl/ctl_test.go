@@ -145,3 +145,47 @@ cluster servers=1 clients=1
 		t.Errorf("echo missing:\n%s", out)
 	}
 }
+
+func TestScriptFaultPlane(t *testing.T) {
+	out := run(t, `
+cluster servers=4 clients=2
+fault list
+fault inject wr=0.05 cut=4:1:200:400 crash=2:300:600 seed=7
+fault list
+open data
+writelist data count=64 size=4096 fstride=8192 seed=9
+sync data
+readlist data count=64 size=4096 fstride=8192 verify=9
+fault list
+stats
+fault clear
+fault list
+`)
+	for _, want := range []string{
+		"no faults attached",
+		"faults attached: wr=0.05, cut 4<->1",
+		"crash io2",
+		"seed=7",
+		"injected: wr-err=",
+		"faults cleared",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptFaultErrors(t *testing.T) {
+	// The manager lives on server 0: crashing it must be rejected, and an
+	// inject line that sets nothing is a script bug worth failing loudly.
+	for _, script := range []string{
+		"cluster servers=2 clients=1\nfault inject crash=0:10:10",
+		"cluster servers=2 clients=1\nfault inject",
+		"cluster servers=2 clients=1\nfault inject wr=1.5",
+		"fault list",
+	} {
+		if err := runErr(t, script); err == nil {
+			t.Errorf("script %q should have failed", script)
+		}
+	}
+}

@@ -97,15 +97,28 @@ type Counters struct {
 	BusyTime     sim.Duration
 }
 
+// FaultInjector is the device's hook into the fault plane
+// (internal/fault implements it). It returns extra device time for one
+// transfer: slowdown events plus internally-retried transient errors. The
+// device retries transient errors itself — as real drives do — so the
+// operation's outcome is unchanged and no caller signature grows an error.
+type FaultInjector interface {
+	DiskFault(now sim.Time, read bool, size int64) sim.Duration
+}
+
 // Disk is one simulated device.
 type Disk struct {
 	params Params
 	res    *sim.Resource
 	head   int64 // byte position after the last transfer
+	faults FaultInjector
 
 	// Counters accumulates this device's activity.
 	Counters Counters
 }
+
+// SetFaults attaches (or, with nil, detaches) the fault injector.
+func (d *Disk) SetFaults(f FaultInjector) { d.faults = f }
 
 // New creates a disk on the engine.
 func New(eng *sim.Engine, name string, params Params) *Disk {
@@ -143,6 +156,9 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 	}
 	if seek {
 		d.Counters.Seeks++
+	}
+	if d.faults != nil {
+		dur += d.faults.DiskFault(p.Now(), read, size)
 	}
 	d.Counters.BusyTime += dur
 	p.Sleep(dur)

@@ -1,0 +1,235 @@
+// Package fault is the deterministic fault plane for the simulated cluster.
+//
+// A Plan is pure data: probabilistic fault rates (NIC work-request
+// completion errors, registration failures, disk errors and slowdowns) and
+// scheduled fault windows (link latency spikes, link partitions, I/O-daemon
+// crashes). An Injector compiles a Plan into the runtime object the
+// substrate layers consult: simnet asks it about every message before
+// transmission, ib about every posted work request and registration
+// attempt, disk about every transfer. All probabilistic draws come from one
+// seeded generator, and because the simulation engine drives one process at
+// a time, the draw order — and therefore the whole fault schedule — is a
+// pure function of (workload, plan, seed). The same triple replays
+// byte-identically.
+//
+// The package deliberately imports only internal/sim: the substrate layers
+// each declare the small interface they need (simnet.FaultPolicy,
+// ib.FaultInjector, disk.FaultInjector) and *Injector satisfies all of them
+// structurally. internal/pvfs owns the wiring (Cluster.AttachFaults) and
+// the scheduled crash/restart orchestration.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pvfsib/internal/sim"
+)
+
+// Wildcard matches any node in a Spike or Cut endpoint.
+const Wildcard = -1
+
+// Spike is a window of added per-message sender-side delay on a link. The
+// delay models RC retransmission stalls, so it is charged on the sender
+// before the transmit engine is acquired and never reorders messages.
+type Spike struct {
+	// From and To are fabric node ids; Wildcard matches any node. A spike
+	// applies to messages in either direction between the endpoints.
+	From, To int
+	// At and Dur bound the window in virtual time from injector attach.
+	At, Dur sim.Duration
+	// Extra is the added delay per affected message.
+	Extra sim.Duration
+}
+
+// Cut is a bidirectional link partition: every message between the two
+// endpoints during the window is dropped (the sender sees a retry-exhaustion
+// completion error, as a reliable-connection QP would report).
+type Cut struct {
+	// A and B are fabric node ids; Wildcard matches any node.
+	A, B int
+	// At and Dur bound the partition window; the link heals at At+Dur.
+	At, Dur sim.Duration
+}
+
+// Crash schedules one I/O-daemon crash and restart. While down, the daemon
+// discards all traffic and its in-flight requests die; on restart it
+// re-registers with the metadata manager and serves again. The daemon's
+// local file system (and kernel page cache) survive — this models a daemon
+// restart, not a node power loss.
+type Crash struct {
+	// Server is the I/O server index (not a fabric node id).
+	Server int
+	// At is when the daemon dies; Down is how long it stays dead.
+	At, Down sim.Duration
+}
+
+// Plan is a complete, declarative fault scenario.
+type Plan struct {
+	// Seed drives every probabilistic decision. Two runs of the same
+	// (workload, plan, seed) produce identical fault schedules.
+	Seed int64
+
+	// WRErrorRate is the per-work-request probability of a completion
+	// error (CQ status != success). Control QPs (metadata, MPI) are exempt.
+	WRErrorRate float64
+	// RegFailRate is the per-attempt probability that a memory
+	// registration fails (pinning pressure, as NP-RDMA-style stacks see).
+	RegFailRate float64
+	// DiskErrorRate is the per-transfer probability of a transient media
+	// error, retried internally by the device at DiskErrorPenalty each.
+	DiskErrorRate float64
+	// DiskErrorPenalty is the added device time per transient error
+	// (default 2 ms).
+	DiskErrorPenalty sim.Duration
+	// DiskSlowRate is the per-transfer probability of a slowdown event
+	// (recalibration, remapped sector) costing DiskSlowPenalty.
+	DiskSlowRate float64
+	// DiskSlowPenalty is the added device time per slowdown (default 1 ms).
+	DiskSlowPenalty sim.Duration
+
+	Spikes  []Spike
+	Cuts    []Cut
+	Crashes []Crash
+}
+
+// Empty reports whether the plan injects nothing.
+func (pl Plan) Empty() bool {
+	return pl.WRErrorRate == 0 && pl.RegFailRate == 0 &&
+		pl.DiskErrorRate == 0 && pl.DiskSlowRate == 0 &&
+		len(pl.Spikes) == 0 && len(pl.Cuts) == 0 && len(pl.Crashes) == 0
+}
+
+// Counters accumulates every injected fault, the ground truth a recovery
+// test compares its observed retries against.
+type Counters struct {
+	WRErrors    int64 // work requests completed in error
+	Drops       int64 // messages dropped by a partition
+	Spiked      int64 // messages delayed by a spike window
+	RegFailures int64 // injected registration failures
+	DiskErrors  int64 // injected transient disk errors
+	DiskSlow    int64 // injected disk slowdown events
+}
+
+// String summarizes the counters on one line.
+func (c Counters) String() string {
+	return fmt.Sprintf("wr-err=%d drops=%d spiked=%d reg-fail=%d disk-err=%d disk-slow=%d",
+		c.WRErrors, c.Drops, c.Spiked, c.RegFailures, c.DiskErrors, c.DiskSlow)
+}
+
+// Injector is a compiled Plan: the object the substrate layers consult.
+// All methods are called from simulation processes (one at a time), so no
+// locking is needed and the rng draw order is deterministic.
+type Injector struct {
+	plan Plan
+	rng  *rand.Rand
+
+	// Counters tallies every injected fault.
+	Counters Counters
+}
+
+// NewInjector compiles the plan, applying defaults for zero penalty fields.
+func NewInjector(plan Plan) *Injector {
+	if plan.DiskErrorPenalty == 0 {
+		plan.DiskErrorPenalty = 2 * time.Millisecond
+	}
+	if plan.DiskSlowPenalty == 0 {
+		plan.DiskSlowPenalty = time.Millisecond
+	}
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Plan returns the compiled plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// matches reports whether the (a, b) endpoint pattern covers the (from, to)
+// link in either direction.
+func matches(a, b, from, to int) bool {
+	dir := func(x, y int) bool {
+		return (x == Wildcard || x == from) && (y == Wildcard || y == to)
+	}
+	return dir(a, b) || dir(b, a)
+}
+
+func inWindow(now sim.Time, at, dur sim.Duration) bool {
+	return now >= sim.Time(at) && now < sim.Time(at+dur)
+}
+
+// SendVerdict implements simnet.FaultPolicy: consulted once per message
+// before transmission. drop surfaces to the sender as a completion error;
+// extra is sender-side stall time (ordering-preserving).
+func (in *Injector) SendVerdict(now sim.Time, from, to int, size int) (drop bool, extra sim.Duration) {
+	for _, c := range in.plan.Cuts {
+		if inWindow(now, c.At, c.Dur) && matches(c.A, c.B, from, to) {
+			in.Counters.Drops++
+			return true, 0
+		}
+	}
+	for _, s := range in.plan.Spikes {
+		if inWindow(now, s.At, s.Dur) && matches(s.From, s.To, from, to) {
+			in.Counters.Spiked++
+			extra += s.Extra
+		}
+	}
+	return false, extra
+}
+
+// WRError implements ib.FaultInjector: drawn once per posted work request
+// on non-control QPs.
+func (in *Injector) WRError(now sim.Time, node string) bool {
+	if in.plan.WRErrorRate <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.plan.WRErrorRate {
+		in.Counters.WRErrors++
+		return true
+	}
+	return false
+}
+
+// RegFail implements ib.FaultInjector: drawn once per dynamic registration
+// attempt.
+func (in *Injector) RegFail(now sim.Time, node string) bool {
+	if in.plan.RegFailRate <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.plan.RegFailRate {
+		in.Counters.RegFailures++
+		return true
+	}
+	return false
+}
+
+// DiskFault implements disk.FaultInjector: returns added device time for
+// one transfer (slowdowns plus internally-retried transient errors).
+func (in *Injector) DiskFault(now sim.Time, read bool, size int64) sim.Duration {
+	var extra sim.Duration
+	if in.plan.DiskErrorRate > 0 && in.rng.Float64() < in.plan.DiskErrorRate {
+		in.Counters.DiskErrors++
+		extra += in.plan.DiskErrorPenalty
+	}
+	if in.plan.DiskSlowRate > 0 && in.rng.Float64() < in.plan.DiskSlowRate {
+		in.Counters.DiskSlow++
+		extra += in.plan.DiskSlowPenalty
+	}
+	return extra
+}
+
+// Describe renders the plan for `pvfsctl fault list`.
+func (pl Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d wr-rate=%g reg-rate=%g disk-err=%g disk-slow=%g\n",
+		pl.Seed, pl.WRErrorRate, pl.RegFailRate, pl.DiskErrorRate, pl.DiskSlowRate)
+	for _, s := range pl.Spikes {
+		fmt.Fprintf(&b, "spike %d<->%d at=%v dur=%v extra=%v\n", s.From, s.To, s.At, s.Dur, s.Extra)
+	}
+	for _, c := range pl.Cuts {
+		fmt.Fprintf(&b, "cut %d<->%d at=%v dur=%v\n", c.A, c.B, c.At, c.Dur)
+	}
+	for _, c := range pl.Crashes {
+		fmt.Fprintf(&b, "crash io%d at=%v down=%v\n", c.Server, c.At, c.Down)
+	}
+	return b.String()
+}

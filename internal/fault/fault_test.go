@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"pvfsib/internal/sim"
+)
+
+func TestSendVerdictCutWindow(t *testing.T) {
+	in := NewInjector(Plan{Cuts: []Cut{{A: 1, B: 4, At: 10 * time.Microsecond, Dur: 5 * time.Microsecond}}})
+	us := func(d int64) sim.Time { return sim.Time(d * 1000) }
+
+	if drop, _ := in.SendVerdict(us(9), 1, 4, 100); drop {
+		t.Fatal("dropped before window")
+	}
+	if drop, _ := in.SendVerdict(us(10), 1, 4, 100); !drop {
+		t.Fatal("not dropped at window start")
+	}
+	if drop, _ := in.SendVerdict(us(12), 4, 1, 100); !drop {
+		t.Fatal("cut must be bidirectional")
+	}
+	if drop, _ := in.SendVerdict(us(12), 1, 2, 100); drop {
+		t.Fatal("unrelated link dropped")
+	}
+	if drop, _ := in.SendVerdict(us(15), 1, 4, 100); drop {
+		t.Fatal("dropped after heal")
+	}
+	if in.Counters.Drops != 2 {
+		t.Fatalf("Drops = %d, want 2", in.Counters.Drops)
+	}
+}
+
+func TestSendVerdictWildcardAndSpike(t *testing.T) {
+	in := NewInjector(Plan{
+		Cuts:   []Cut{{A: Wildcard, B: 3, At: 0, Dur: time.Millisecond}},
+		Spikes: []Spike{{From: 0, To: Wildcard, At: 0, Dur: time.Millisecond, Extra: 7 * time.Microsecond}},
+	})
+	if drop, _ := in.SendVerdict(0, 9, 3, 1); !drop {
+		t.Fatal("wildcard cut missed inbound")
+	}
+	if drop, _ := in.SendVerdict(0, 3, 9, 1); !drop {
+		t.Fatal("wildcard cut missed outbound")
+	}
+	drop, extra := in.SendVerdict(0, 5, 0, 1)
+	if drop || extra != 7*time.Microsecond {
+		t.Fatalf("spike verdict = (%v, %v), want (false, 7µs)", drop, extra)
+	}
+}
+
+func TestProbabilisticDrawsAreSeeded(t *testing.T) {
+	draw := func(seed int64) (a, b [64]bool) {
+		in := NewInjector(Plan{Seed: seed, WRErrorRate: 0.3, RegFailRate: 0.3})
+		for i := range a {
+			a[i] = in.WRError(0, "n")
+			b[i] = in.RegFail(0, "n")
+		}
+		return
+	}
+	a1, b1 := draw(42)
+	a2, b2 := draw(42)
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	a3, _ := draw(43)
+	if a1 == a3 {
+		t.Fatal("different seeds produced identical WR-error schedules (suspicious)")
+	}
+}
+
+func TestDiskFaultDefaultsAndCounters(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, DiskErrorRate: 1, DiskSlowRate: 1})
+	extra := in.DiskFault(0, true, 4096)
+	if extra != 3*time.Millisecond {
+		t.Fatalf("extra = %v, want 3ms (2ms error + 1ms slow defaults)", extra)
+	}
+	if in.Counters.DiskErrors != 1 || in.Counters.DiskSlow != 1 {
+		t.Fatalf("counters = %+v", in.Counters)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Fatal("zero plan not Empty")
+	}
+	if (Plan{WRErrorRate: 0.1}).Empty() {
+		t.Fatal("plan with a rate reported Empty")
+	}
+	if (Plan{Crashes: []Crash{{Server: 1}}}).Empty() {
+		t.Fatal("plan with a crash reported Empty")
+	}
+}

@@ -37,6 +37,12 @@ var (
 	// ErrPinLimit is returned when the HCA's pinned-memory or MR-count
 	// limit would be exceeded.
 	ErrPinLimit = errors.New("ib: registration limit exceeded")
+	// ErrRegPressure is returned when the fault plane rejects a
+	// registration, modeling transient pinning pressure (the first-class
+	// runtime failure NP-RDMA-style stacks handle). Unlike ErrNotAllocated
+	// it is not a property of the region: retrying, or falling back to
+	// pre-registered staging buffers, is the expected response.
+	ErrRegPressure = errors.New("ib: registration rejected (pinning pressure)")
 )
 
 // Register pins the extent and returns a memory region handle. The calling
@@ -50,6 +56,13 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 	}
 	pages := e.Pages()
 	cost := h.params.RegCost(pages)
+	if h.faults != nil && h.faults.RegFail(p.Now(), h.node.Name) {
+		// The kernel walked the pages before giving up: charge the full
+		// attempt cost, as for any failed registration.
+		p.Sleep(cost)
+		h.Counters.RegFailures++
+		return nil, ErrRegPressure
+	}
 	if !h.space.Allocated(e) {
 		// The walk stops at the first bad page; charge the full per-op
 		// overhead but only half the average per-page cost.

@@ -56,6 +56,13 @@ type Params struct {
 	// used for pack/unpack staging copies.
 	MemcpyBandwidth float64
 
+	// QPResetLatency is the cost of recovering a queue pair from the
+	// error state (ERR→RESET→RTS plus connection re-establishment).
+	QPResetLatency sim.Duration
+	// WRTimeout bounds the wait for an RDMA read response when a fault
+	// plane is attached; without one the wait is unbounded (and safe).
+	WRTimeout sim.Duration
+
 	// MaxPinnedBytes and MaxMRs bound total registered memory; exceeding
 	// either makes Register fail, modeling registration thrashing limits.
 	MaxPinnedBytes int64
@@ -75,6 +82,8 @@ func DefaultParams() Params {
 		UnalignedPenalty: 200 * time.Nanosecond,
 		ReadTurnaround:   300 * time.Nanosecond,
 		MemcpyBandwidth:  1300 * simnet.MB,
+		QPResetLatency:   25 * time.Microsecond,
+		WRTimeout:        500 * time.Microsecond,
 		MaxPinnedBytes:   1 << 30, // 1 GiB of pinnable memory
 		MaxMRs:           64 << 10,
 	}
@@ -110,6 +119,8 @@ type Counters struct {
 	RDMAWrites      int64 // RDMA write work requests
 	RDMAReads       int64 // RDMA read work requests
 	BytesOut        int64 // payload bytes transmitted (all semantics)
+	WRErrors        int64 // work requests completed in error (fault plane)
+	QPResets        int64 // queue-pair error-state recoveries
 	RegTime         sim.Duration
 	DeregTime       sim.Duration
 }
@@ -125,6 +136,8 @@ func (c *Counters) Add(other Counters) {
 	c.RDMAWrites += other.RDMAWrites
 	c.RDMAReads += other.RDMAReads
 	c.BytesOut += other.BytesOut
+	c.WRErrors += other.WRErrors
+	c.QPResets += other.QPResets
 	c.RegTime += other.RegTime
 	c.DeregTime += other.DeregTime
 }

@@ -41,6 +41,9 @@ type HCA struct {
 	nextReadID uint64
 	reads      map[uint64]*sim.Mailbox
 
+	faults FaultInjector
+	down   bool
+
 	// Counters accumulates operation counts for this HCA.
 	Counters Counters
 
@@ -86,6 +89,8 @@ type QP struct {
 	remote    simnet.NodeID
 	remoteNum uint32
 	inbox     *sim.Mailbox // received channel-semantics messages
+	state     QPState
+	control   bool // exempt from probabilistic WR-error injection
 }
 
 // Connect creates a queue pair between two HCAs and returns both endpoints.
@@ -141,9 +146,19 @@ type wireRDMAReadResp struct {
 
 // dispatch is the adapter's inbound engine: it demultiplexes wire messages
 // to queue pairs, applies RDMA writes to host memory, and serves RDMA reads.
+//
+// With a fault plane attached, anomalies that are hard protocol-invariant
+// violations in a fault-free run — an RDMA against a deregistered region, a
+// read response nobody is waiting for — become expected leftovers of a
+// failed epoch (the peer timed out, reset, and released its buffers) and
+// are discarded instead of failing the simulation. A down adapter discards
+// everything: in-flight requests to a crashed daemon die silently.
 func (h *HCA) dispatch(p *sim.Proc) {
 	for {
 		m := h.node.Inbox.Recv(p).(*simnet.Message)
+		if h.down {
+			continue
+		}
 		switch w := m.Payload.(type) {
 		case *wireSend:
 			q, ok := h.qps[w.dstQP]
@@ -154,6 +169,9 @@ func (h *HCA) dispatch(p *sim.Proc) {
 		case *wireRDMAWrite:
 			mr := h.lookup(w.rkey)
 			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
+				if h.faults != nil {
+					continue // stale write from a failed epoch; NAK and drop
+				}
 				sim.Failf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey)
 			}
 			if err := h.space.Write(w.raddr, w.data); err != nil {
@@ -165,6 +183,9 @@ func (h *HCA) dispatch(p *sim.Proc) {
 		case *wireRDMAReadReq:
 			mr := h.lookup(w.rkey)
 			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
+				if h.faults != nil {
+					continue // stale read from a failed epoch; initiator times out
+				}
 				sim.Failf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey)
 			}
 			data, err := h.space.Read(w.raddr, w.size)
@@ -172,10 +193,15 @@ func (h *HCA) dispatch(p *sim.Proc) {
 				sim.Failf("ib: %s: RDMA read fault: %v", h.node.Name, err)
 			}
 			p.Sleep(h.params.ReadTurnaround)
-			h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data})
+			if err := h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data}); err != nil {
+				continue // partitioned mid-read; the initiator times out
+			}
 		case *wireRDMAReadResp:
 			mb, ok := h.reads[w.id]
 			if !ok {
+				if h.faults != nil {
+					continue // response for a read that already timed out
+				}
 				sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
 			}
 			delete(h.reads, w.id)
@@ -188,13 +214,23 @@ func (h *HCA) dispatch(p *sim.Proc) {
 
 // Send transmits a channel-semantics message of the given payload size to the
 // remote endpoint, where it is delivered to a matching Recv. The caller
-// blocks for wire serialization plus the work-request overhead.
-func (q *QP) Send(p *sim.Proc, size int, payload any) {
+// blocks for wire serialization plus the work-request overhead. A fault-
+// injected completion error or a partitioned link fails the send with a
+// *WCError and moves the QP to the error state; without a fault plane
+// attached Send never fails.
+func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 	h := q.hca
+	if err := q.wrFault(p, "send"); err != nil {
+		return err
+	}
 	h.Counters.SendMsgs++
 	h.Counters.BytesOut += int64(size)
-	h.node.Send(p, q.remote, size+wireHeader, &wireSend{dstQP: q.remoteNum, size: size, payload: payload})
+	err := h.node.Send(p, q.remote, size+wireHeader, &wireSend{dstQP: q.remoteNum, size: size, payload: payload})
+	if err != nil {
+		return q.wireFault("send", err)
+	}
 	p.Sleep(h.params.WROverhead)
+	return nil
 }
 
 // Recv blocks until a message arrives on this endpoint and returns its
@@ -202,6 +238,18 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) {
 func (q *QP) Recv(p *sim.Proc) (int, any) {
 	w := q.inbox.Recv(p).(*wireSend)
 	return w.size, w.payload
+}
+
+// RecvTimeout is Recv with a deadline; ok is false if nothing arrives
+// within d. The recovery layer uses it to bound waits on a peer that may
+// have crashed or been partitioned away.
+func (q *QP) RecvTimeout(p *sim.Proc, d sim.Duration) (int, any, bool) {
+	v, ok := q.inbox.RecvTimeout(p, d)
+	if !ok {
+		return 0, nil, false
+	}
+	w := v.(*wireSend)
+	return w.size, w.payload, true
 }
 
 // sgeCost returns the initiator-side DMA setup time for a gather list.
@@ -259,11 +307,17 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 			}
 			data = append(data, b...)
 		}
+		if err := q.wrFault(p, "rdma-write"); err != nil {
+			return err
+		}
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAWrites++
 		h.Counters.BytesOut += size
-		h.node.Send(p, q.remote, int(size)+wireHeader,
+		err := h.node.Send(p, q.remote, int(size)+wireHeader,
 			&wireRDMAWrite{raddr: raddr + mem.Addr(offset), rkey: rkey, data: data})
+		if err != nil {
+			return q.wireFault("rdma-write", err)
+		}
 		p.Sleep(h.params.WROverhead)
 		offset += size
 	}
@@ -289,16 +343,37 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		wr := sges[:n]
 		sges = sges[n:]
 		size := TotalLen(wr)
+		if err := q.wrFault(p, "rdma-read"); err != nil {
+			return err
+		}
 		h.nextReadID++
 		id := h.nextReadID
 		mb := h.engine().NewMailbox(fmt.Sprintf("read[%s.%d]", h.node.Name, id))
 		h.reads[id] = mb
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAReads++
-		h.node.Send(p, q.remote, wireHeader, &wireRDMAReadReq{
+		err := h.node.Send(p, q.remote, wireHeader, &wireRDMAReadReq{
 			id: id, initiator: h.node.ID, raddr: raddr + mem.Addr(offset), rkey: rkey, size: size,
 		})
-		data := mb.Recv(p).([]byte)
+		if err != nil {
+			delete(h.reads, id)
+			return q.wireFault("rdma-read", err)
+		}
+		var data []byte
+		if h.faults != nil {
+			// Under faults the response may never come (responder crashed
+			// or the return path partitioned): bound the wait.
+			v, ok := mb.RecvTimeout(p, h.params.WRTimeout)
+			if !ok {
+				delete(h.reads, id)
+				q.state = QPError
+				h.Counters.WRErrors++
+				return &WCError{Status: WCResponseTimeout, Op: "rdma-read"}
+			}
+			data = v.([]byte)
+		} else {
+			data = mb.Recv(p).([]byte)
+		}
 		for _, s := range wr {
 			if err := h.space.Write(s.Addr, data[:s.Len]); err != nil {
 				return fmt.Errorf("ib: %s: RDMA read scatter fault: %w", h.node.Name, err)

@@ -48,6 +48,10 @@ func NewWorld(eng *sim.Engine, hcas []*ib.HCA, acct func(bytes int64)) *World {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			qi, qj := ib.Connect(hcas[i], hcas[j])
+			// MPI traffic is a control path for the fault plane: the
+			// recovery story lives in the file system client, not here.
+			qi.MarkControl()
+			qj.MarkControl()
 			w.ranks[i].qps[j] = qi
 			w.ranks[j].qps[i] = qj
 		}
@@ -77,7 +81,10 @@ func (r *Rank) Send(p *sim.Proc, dst int, data []byte) {
 	if r.world.acct != nil {
 		r.world.acct(int64(len(data)))
 	}
-	r.qps[dst].Send(p, len(data), append([]byte(nil), data...))
+	// Control QPs never see injected completion errors; a failure here
+	// would mean a partition cut client-to-client links, which mini-MPI
+	// (like MPI itself) does not survive.
+	sim.Must(r.qps[dst].Send(p, len(data), append([]byte(nil), data...)))
 }
 
 // Recv blocks until a message from rank src arrives and returns its payload.

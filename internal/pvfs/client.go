@@ -25,6 +25,15 @@ type Client struct {
 	// transfer legs of one operation run concurrently on the wire, but
 	// their staging copies share one processor.
 	cpu *sim.Resource
+	// nextSeq numbers this client's requests; a retry gets a fresh number
+	// so stale replies to abandoned attempts are recognizable.
+	nextSeq int64
+}
+
+// seq returns the next request sequence number.
+func (c *Client) seq() int64 {
+	c.nextSeq++
+	return c.nextSeq
 }
 
 // clientConn is the client side of one connection.
@@ -106,6 +115,10 @@ func (c *Client) connect() {
 		cl.Eng.Go(fmt.Sprintf("iod[io%d<-cn%d]", s.idx, c.idx), sconn.serve)
 	}
 	cq, mq := ib.Connect(c.hca, cl.Manager.hca)
+	// Metadata is a control path: the fault plane injects no completion
+	// errors on it (partitions can still drop its messages).
+	cq.MarkControl()
+	mq.MarkControl()
 	c.mgr = &clientConn{qp: cq, mu: cl.Eng.NewResource(fmt.Sprintf("mgrconn[cn%d]", c.idx), 1)}
 	cl.Eng.Go(fmt.Sprintf("mgr[<-cn%d]", c.idx), func(p *sim.Proc) { cl.Manager.serve(p, mq) })
 }
@@ -138,8 +151,10 @@ func (c *Client) OpenStriped(p *sim.Proc, name string, stripeSize int64) *FileHa
 	c.mgr.mu.Acquire(p)
 	defer c.mgr.mu.Release()
 	c.cluster.Acct.OpenReqs++
-	c.mgr.qp.Send(p, reqSize(0), &reqOpen{Name: name, StripeSize: stripeSize})
-	_, resp := c.mgr.qp.Recv(p)
+	resp, err := c.rpc(p, c.mgr, reqSize(0), func(seq int64) any {
+		return &reqOpen{Seq: seq, Name: name, StripeSize: stripeSize}
+	})
+	sim.Must(err)
 	r := resp.(*respOpen)
 	return &FileHandle{client: c, id: r.FileID, name: name, stripeSize: r.StripeSize}
 }
@@ -208,8 +223,10 @@ func (fh *FileHandle) Stat(p *sim.Proc) int64 {
 			defer wg.Done()
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
-			conn.qp.Send(q, reqSize(0), &reqStat{FileID: fh.id})
-			_, resp := conn.qp.Recv(q)
+			resp, err := c.rpc(q, conn, reqSize(0), func(seq int64) any {
+				return &reqStat{Seq: seq, FileID: fh.id}
+			})
+			sim.Must(err)
 			sizes[i] = resp.(*respStat).LocalSize
 		})
 	}
@@ -235,9 +252,11 @@ func (fh *FileHandle) Stat(p *sim.Proc) int64 {
 // server's stripe file. Removing a nonexistent name is a no-op.
 func (c *Client) Remove(p *sim.Proc, name string) {
 	c.mgr.mu.Acquire(p)
-	c.mgr.qp.Send(p, reqSize(0), &reqUnlink{Name: name})
-	_, resp := c.mgr.qp.Recv(p)
+	resp, err := c.rpc(p, c.mgr, reqSize(0), func(seq int64) any {
+		return &reqUnlink{Seq: seq, Name: name}
+	})
 	c.mgr.mu.Release()
+	sim.Must(err)
 	un := resp.(*respUnlink)
 	if !un.Found {
 		return
@@ -250,8 +269,10 @@ func (c *Client) Remove(p *sim.Proc, name string) {
 			defer wg.Done()
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
-			conn.qp.Send(q, reqSize(0), &reqRemove{FileID: un.FileID})
-			conn.qp.Recv(q)
+			_, err := c.rpc(q, conn, reqSize(0), func(seq int64) any {
+				return &reqRemove{Seq: seq, FileID: un.FileID}
+			})
+			sim.Must(err)
 		})
 	}
 	wg.Wait(p)
@@ -269,8 +290,10 @@ func (fh *FileHandle) Sync(p *sim.Proc) {
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
 			c.cluster.Acct.SyncReqs++
-			conn.qp.Send(q, reqSize(0), &reqSync{FileID: fh.id})
-			conn.qp.Recv(q)
+			_, err := c.rpc(q, conn, reqSize(0), func(seq int64) any {
+				return &reqSync{Seq: seq, FileID: fh.id}
+			})
+			sim.Must(err)
 		})
 	}
 	wg.Wait(p)
@@ -328,7 +351,17 @@ func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, o
 			reg, ogrCfg = c.registrar(opts.Reg)
 			regRes, err = ogr.RegisterBuffers(p, reg, c.space, segExtents(memSegs), ogrCfg)
 			if err != nil {
-				return fmt.Errorf("pvfs: list buffer registration: %w", err)
+				if c.cluster.recovery() == nil || !recoverable(err) {
+					return fmt.Errorf("pvfs: list buffer registration: %w", err)
+				}
+				// Graceful degradation: pinning pressure keeps the user
+				// buffers out of RDMA reach, but the pre-registered
+				// Fast-RDMA buffers always work — fall back to Pack/Unpack.
+				c.cluster.Acct.Fallbacks++
+				c.cluster.Trace.Recordf(p.Now(), c.node.Name, "fallback-pack", total,
+					"registration failed: %v", err)
+				pack = true
+				regRes = nil
 			}
 		}
 	}
@@ -359,8 +392,16 @@ func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, o
 }
 
 // runPart executes one server's share of a list operation, chunk by chunk.
+// Under the fault plane each chunk is retried with capped exponential
+// backoff — chunks are idempotent (absolute file offsets, no append state) so
+// re-issue after a timeout is safe even when the first attempt actually
+// completed server-side. A gather chunk that keeps failing degrades the whole
+// part to Pack/Unpack through the pre-registered Fast-RDMA buffers and
+// restarts it from the beginning (also idempotent).
 func (c *Client) runPart(p *sim.Proc, fileID int64, part *serverPart, pack bool, opts OpOptions, write bool) error {
 	cfg := c.cluster.Cfg
+	rec := c.cluster.recovery()
+restart:
 	maxBytes := cfg.MaxRequestBytes
 	if pack && cfg.Wire == WireVerbs {
 		// Pack chunks must fit the Fast-RDMA buffers; streams have no
@@ -369,16 +410,41 @@ func (c *Client) runPart(p *sim.Proc, fileID int64, part *serverPart, pack bool,
 	}
 	conn := c.conns[part.srv]
 	for _, ch := range chunkPart(part, cfg.MaxListCount, maxBytes) {
-		conn.mu.Acquire(p)
-		var err error
-		if write {
-			err = c.writeChunk(p, conn, fileID, ch, pack, opts)
-		} else {
-			err = c.readChunk(p, conn, fileID, ch, pack, opts)
-		}
-		conn.mu.Release()
-		if err != nil {
-			return err
+		gatherFails := 0
+		for attempt := 0; ; attempt++ {
+			conn.mu.Acquire(p)
+			var err error
+			if write {
+				err = c.writeChunk(p, conn, fileID, ch, pack, opts)
+			} else {
+				err = c.readChunk(p, conn, fileID, ch, pack, opts)
+			}
+			conn.mu.Release()
+			if err == nil {
+				break
+			}
+			if rec == nil || !recoverable(err) {
+				return err
+			}
+			c.cluster.Acct.Retries++
+			c.resetConn(p, conn)
+			c.cluster.Trace.Recordf(p.Now(), c.node.Name, "retry", ch.total,
+				"io%d attempt=%d: %v", part.srv, attempt+1, err)
+			if !pack {
+				gatherFails++
+				if gatherFails >= rec.FallbackAfter {
+					c.cluster.Acct.Fallbacks++
+					c.cluster.Trace.Recordf(p.Now(), c.node.Name, "fallback-pack", ch.total,
+						"io%d gather failed %d times", part.srv, gatherFails)
+					pack = true
+					goto restart
+				}
+			}
+			if attempt+1 >= rec.MaxRetries {
+				return fmt.Errorf("pvfs: cn%d io%d: chunk failed after %d attempts: %w",
+					c.idx, part.srv, attempt+1, err)
+			}
+			p.Sleep(retryBackoff(rec, attempt))
 		}
 	}
 	return nil
@@ -405,7 +471,8 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 	cl.Acct.BytesClientServer += ch.total
 	cl.Trace.Recordf(p.Now(), c.node.Name, "write-req", ch.total,
 		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
-	req := &reqWrite{FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
+	seq := c.seq()
+	req := &reqWrite{Seq: seq, FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
 	if cl.Cfg.Wire == WireStream {
 		// Stream sockets: the payload rides in the request. The gather
 		// into the socket is one user-to-kernel copy.
@@ -420,8 +487,12 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
 		req.Stream = true
 		req.Data = data
-		conn.qp.Send(p, reqSize(len(ch.accs))+int(ch.total), req)
-		conn.qp.Recv(p) // respWrite
+		if err := conn.qp.Send(p, reqSize(len(ch.accs))+int(ch.total), req); err != nil {
+			return err
+		}
+		if _, err := c.recvResp(p, conn, seq); err != nil { // respWrite
+			return err
+		}
 		p.Sleep(cl.Cfg.StreamOverhead)
 		return nil
 	}
@@ -443,14 +514,23 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 		if err := conn.qp.RDMAWrite(p, []ib.SGE{{Addr: conn.fastBuf.Addr, Len: ch.total}}, conn.srvAddr, conn.srvKey); err != nil {
 			return fmt.Errorf("pvfs: pack push: %w", err)
 		}
-		conn.qp.Send(p, reqSize(len(ch.accs)), req)
-		conn.qp.Recv(p) // respWrite
+		if err := conn.qp.Send(p, reqSize(len(ch.accs)), req); err != nil {
+			return err
+		}
+		if _, err := c.recvResp(p, conn, seq); err != nil { // respWrite
+			return err
+		}
 		return nil
 	}
 	// Gather: buffers were registered at operation start; rendezvous,
 	// then RDMA-gather-write straight from user memory.
-	conn.qp.Send(p, reqSize(len(ch.accs)), req)
-	_, ready := conn.qp.Recv(p)
+	if err := conn.qp.Send(p, reqSize(len(ch.accs)), req); err != nil {
+		return err
+	}
+	ready, err := c.recvResp(p, conn, seq)
+	if err != nil {
+		return err
+	}
 	r, ok := ready.(*respWriteReady)
 	if !ok {
 		return fmt.Errorf("pvfs: expected WriteReady, got %T", ready)
@@ -458,8 +538,12 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 	if err := conn.qp.RDMAWrite(p, ch.segs, r.Addr, r.Key); err != nil {
 		return fmt.Errorf("pvfs: gather write: %w", err)
 	}
-	conn.qp.Send(p, reqSize(0), &reqWriteDone{})
-	conn.qp.Recv(p) // respWrite
+	if err := conn.qp.Send(p, reqSize(0), &reqWriteDone{Seq: seq}); err != nil {
+		return err
+	}
+	if _, err := c.recvResp(p, conn, seq); err != nil { // respWrite
+		return err
+	}
 	return nil
 }
 
@@ -469,12 +553,18 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 	cl.Acct.BytesClientServer += ch.total
 	cl.Trace.Recordf(p.Now(), c.node.Name, "read-req", ch.total,
 		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
-	req := &reqRead{FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
+	seq := c.seq()
+	req := &reqRead{Seq: seq, FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
 	if cl.Cfg.Wire == WireStream {
 		req.Stream = true
 		p.Sleep(cl.Cfg.StreamOverhead)
-		conn.qp.Send(p, reqSize(len(ch.accs)), req)
-		_, resp := conn.qp.Recv(p)
+		if err := conn.qp.Send(p, reqSize(len(ch.accs)), req); err != nil {
+			return err
+		}
+		resp, err := c.recvResp(p, conn, seq)
+		if err != nil {
+			return err
+		}
 		r, ok := resp.(*respRead)
 		if !ok {
 			return fmt.Errorf("pvfs: expected stream ReadResp, got %T", resp)
@@ -491,8 +581,12 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 		return nil
 	}
 	if pack {
-		conn.qp.Send(p, reqSize(len(ch.accs)), req)
-		conn.qp.Recv(p) // respRead: data already in fastBuf
+		if err := conn.qp.Send(p, reqSize(len(ch.accs)), req); err != nil {
+			return err
+		}
+		if _, err := c.recvResp(p, conn, seq); err != nil { // respRead: data already in fastBuf
+			return err
+		}
 		// Unpack into the user segments (one copy).
 		data, err := c.space.Read(conn.fastBuf.Addr, ch.total)
 		if err != nil {
@@ -509,8 +603,13 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 	}
 	// Gather/scatter: buffers were registered at operation start;
 	// RDMA-read the staged bytes directly into user memory.
-	conn.qp.Send(p, reqSize(len(ch.accs)), req)
-	_, ready := conn.qp.Recv(p)
+	if err := conn.qp.Send(p, reqSize(len(ch.accs)), req); err != nil {
+		return err
+	}
+	ready, err := c.recvResp(p, conn, seq)
+	if err != nil {
+		return err
+	}
 	r, ok := ready.(*respRead)
 	if !ok {
 		return fmt.Errorf("pvfs: expected ReadResp, got %T", ready)
@@ -518,7 +617,9 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 	if err := conn.qp.RDMARead(p, ch.segs, r.Addr, r.Key); err != nil {
 		return fmt.Errorf("pvfs: scatter read: %w", err)
 	}
-	conn.qp.Send(p, reqSize(0), &reqReadDone{})
+	if err := conn.qp.Send(p, reqSize(0), &reqReadDone{Seq: seq}); err != nil {
+		return err
+	}
 	return nil
 }
 

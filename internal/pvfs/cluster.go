@@ -1,8 +1,11 @@
 package pvfs
 
 import (
+	"fmt"
 	"strings"
 
+	"pvfsib/internal/fault"
+	"pvfsib/internal/ib"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
 	"pvfsib/internal/stats"
@@ -20,6 +23,15 @@ type Acct struct {
 
 	BytesClientServer int64
 	BytesClientClient int64
+
+	// Recovery-layer activity (all zero without a fault plane attached).
+	Retries          int64 // chunk/RPC re-issues after a failure or timeout
+	Timeouts         int64 // client waits that expired
+	Fallbacks        int64 // Gather/Scatter operations degraded to Pack/Unpack
+	ServerAborts     int64 // requests the daemons abandoned mid-protocol
+	Crashes          int64 // scheduled daemon crashes executed
+	Restarts         int64 // daemon restarts completed
+	IodRegistrations int64 // manager re-registrations after restart
 }
 
 // Cluster is one simulated PVFS deployment: I/O servers (one doubling as
@@ -39,6 +51,10 @@ type Cluster struct {
 	// Trace, when non-nil, records request lifecycles and sieve decisions
 	// (attach with EnableTracing).
 	Trace *trace.Recorder
+
+	// Faults is the attached fault injector, nil for fault-free runs
+	// (attach with Cfg.Faults or AttachFaults).
+	Faults *fault.Injector
 }
 
 // EnableTracing attaches an event recorder keeping the most recent
@@ -64,10 +80,26 @@ func NewCluster(eng *sim.Engine, cfg Config, nServers, nClients int) *Cluster {
 		c.Servers = append(c.Servers, newServer(c, i))
 	}
 	c.Manager = newManager(c)
+	for _, s := range c.Servers {
+		// Control connection daemon -> manager, used by a restarted daemon
+		// to re-register. Exempt from WR-error injection; for server 0 it
+		// is a (working) self-connection through its own adapter.
+		sq, mq := ib.Connect(s.hca, c.Manager.hca)
+		sq.MarkControl()
+		mq.MarkControl()
+		s.mgrQP = sq
+		s.mgrMu = eng.NewResource(fmt.Sprintf("mgrconn[io%d]", s.idx), 1)
+		c.Eng.Go(fmt.Sprintf("mgr[<-io%d]", s.idx), func(p *sim.Proc) { c.Manager.serve(p, mq) })
+		// Daemons register at boot; boot happens statically here.
+		c.Manager.iods[s.idx] = 0
+	}
 	for i := 0; i < nClients; i++ {
 		cl := newClient(c, i)
 		c.Clients = append(c.Clients, cl)
 		cl.connect()
+	}
+	if cfg.Faults != nil {
+		c.AttachFaults(cfg.Faults)
 	}
 	return c
 }
@@ -81,12 +113,26 @@ func (c *Cluster) Snapshot() stats.Snapshot {
 		SyncReqs:          c.Acct.SyncReqs,
 		BytesClientServer: c.Acct.BytesClientServer,
 		BytesClientClient: c.Acct.BytesClientClient,
+		Retries:           c.Acct.Retries,
+		Timeouts:          c.Acct.Timeouts,
+		Fallbacks:         c.Acct.Fallbacks,
+		ServerAborts:      c.Acct.ServerAborts,
+		Crashes:           c.Acct.Crashes,
+		Restarts:          c.Acct.Restarts,
+	}
+	if c.Faults != nil {
+		fc := c.Faults.Counters
+		s.FaultWRErrors = fc.WRErrors
+		s.FaultDrops = fc.Drops
+		s.FaultDiskErrors = fc.DiskErrors + fc.DiskSlow
+		s.FaultRegFailures = fc.RegFailures
 	}
 	for _, cl := range c.Clients {
 		hc := cl.hca.Counters
 		s.Registrations += hc.Registrations
 		s.Deregistrations += hc.Deregistrations
 		s.RegCacheHits += hc.RegCacheHits
+		s.QPResets += hc.QPResets
 		// A lookup is either a cache hit, a cache miss (which registers),
 		// or a direct registration (no cache involved). Cache misses are
 		// counted inside Registrations too, so lookups are hits plus all
@@ -94,6 +140,7 @@ func (c *Cluster) Snapshot() stats.Snapshot {
 		s.RegLookups += hc.RegCacheHits + hc.Registrations + hc.RegFailures
 	}
 	for _, srv := range c.Servers {
+		s.QPResets += srv.hca.Counters.QPResets
 		fc := srv.fs.Counters
 		s.FSReadCalls += fc.ReadCalls
 		s.FSWriteCalls += fc.WriteCalls

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pvfsib/internal/disk"
+	"pvfsib/internal/fault"
 	"pvfsib/internal/ib"
 	"pvfsib/internal/localfs"
 	"pvfsib/internal/ogr"
@@ -132,11 +133,61 @@ type Config struct {
 	// OGR configures group registration.
 	OGR ogr.Config
 
+	// Faults, when non-nil, is compiled into an injector and attached to
+	// every substrate layer at cluster construction (see
+	// Cluster.AttachFaults). A nil plan costs nothing anywhere.
+	Faults *fault.Plan
+	// Recovery tunes the client/server timeout-retry machinery. It is
+	// consulted only while a fault plane is attached; fault-free runs take
+	// the original blocking paths untouched.
+	Recovery Recovery
+
 	// Net, IB, Disk, FS are the substrate models.
 	Net  simnet.Params
 	IB   ib.Params
 	Disk disk.Params
 	FS   localfs.Params
+}
+
+// Recovery parameterizes the fault-recovery layer: per-request client
+// timeouts with capped exponential backoff, idempotent re-issue of list-I/O
+// chunks, and graceful degradation from RDMA Gather/Scatter to Pack/Unpack
+// through the Fast-RDMA buffers.
+type Recovery struct {
+	// Timeout bounds each client wait for a server response.
+	Timeout sim.Duration
+	// ServerTimeout bounds the daemon's interior protocol waits (the
+	// rendezvous completion notices); on expiry the daemon aborts the
+	// request and releases its staging buffer.
+	ServerTimeout sim.Duration
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// up to MaxBackoff.
+	Backoff    sim.Duration
+	MaxBackoff sim.Duration
+	// MaxRetries bounds re-issues of one chunk before the operation fails.
+	MaxRetries int
+	// FallbackAfter is the number of consecutive failed attempts on a
+	// gather/scatter chunk after which the transfer falls back to
+	// Pack/Unpack through the pre-registered Fast-RDMA buffers.
+	FallbackAfter int
+}
+
+// DefaultRecovery returns timeouts sized for the simulated testbed. The
+// client timeout must clear the worst case for a *healthy* request — the
+// 2003-era disks move ~21 MB/s with 500 µs seeks and the daemon serializes
+// its file phase across every client, so a legitimate reply can lag by
+// hundreds of milliseconds; a premature timeout re-issues work that is
+// still queued and spirals. The interior server timeout only covers the
+// network-bound rendezvous window and can be much tighter.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		Timeout:       time.Second,
+		ServerTimeout: 50 * time.Millisecond,
+		Backoff:       2 * time.Millisecond,
+		MaxBackoff:    100 * time.Millisecond,
+		MaxRetries:    24,
+		FallbackAfter: 3,
+	}
 }
 
 // DefaultConfig matches the paper's testbed and PVFS defaults.
@@ -155,6 +206,7 @@ func DefaultConfig() Config {
 		RegCacheEntries: 1024,
 		Sieve:           sieve.Auto,
 		OGR:             ogr.DefaultConfig(),
+		Recovery:        DefaultRecovery(),
 		Net:             simnet.DefaultParams(),
 		IB:              ib.DefaultParams(),
 		Disk:            disk.DefaultParams(),

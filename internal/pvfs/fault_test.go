@@ -1,0 +1,194 @@
+package pvfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pvfsib/internal/fault"
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/stats"
+)
+
+// stormPlan is the end-to-end stress plan: probabilistic WR completion
+// errors and registration rejections, disk faults, one partition that heals,
+// and one daemon crash/restart. Server 0 hosts the manager and never
+// crashes.
+func stormPlan(seed int64) *fault.Plan {
+	return &fault.Plan{
+		Seed:          seed,
+		WRErrorRate:   0.02,
+		RegFailRate:   0.3,
+		DiskErrorRate: 0.01,
+		DiskSlowRate:  0.05,
+		Spikes: []fault.Spike{
+			{From: fault.Wildcard, To: 1, At: 100 * time.Microsecond, Dur: 300 * time.Microsecond, Extra: 40 * time.Microsecond},
+		},
+		Cuts: []fault.Cut{
+			// 4 servers + 4 clients: node 4 is cn0, node 1 is io1.
+			{A: 4, B: 1, At: 200 * time.Microsecond, Dur: 400 * time.Microsecond},
+		},
+		Crashes: []fault.Crash{
+			{Server: 2, At: 300 * time.Microsecond, Down: 600 * time.Microsecond},
+		},
+	}
+}
+
+// stormWorkload writes a strided pattern from every client, syncs, reads it
+// back, and verifies the bytes. Returns the verified read-back images.
+func stormWorkload(t *testing.T, c *Cluster) [][]byte {
+	t.Helper()
+	const (
+		segLen = 4 << 10
+		nSegs  = 48
+		stride = 16 << 10
+	)
+	images := make([][]byte, len(c.Clients))
+	app(t, c, func(p *sim.Proc) {
+		wg := c.Eng.NewWaitGroup()
+		for ci, cl := range c.Clients {
+			ci, cl := ci, cl
+			wg.Add(1)
+			c.Eng.Go("worker", func(q *sim.Proc) {
+				defer wg.Done()
+				fh := cl.Open(q, "storm")
+				total := int64(segLen * nSegs)
+				addr, want := fill(cl, total, byte(ci))
+				var segs []ib.SGE
+				var accs []OffLen
+				for i := 0; i < nSegs; i++ {
+					segs = append(segs, ib.SGE{Addr: addr + mem.Addr(i*segLen), Len: segLen})
+					// Interleave clients in the file so every server sees
+					// every client.
+					accs = append(accs, OffLen{Off: int64(ci)*segLen + int64(i)*stride*int64(len(c.Clients)), Len: segLen})
+				}
+				// Gather-sized op (above FastBufSize) so faults exercise
+				// the rendezvous path and the pack fallback.
+				if err := fh.WriteList(q, segs, accs, OpOptions{}); err != nil {
+					t.Errorf("cn%d: WriteList: %v", ci, err)
+					return
+				}
+				fh.Sync(q)
+				rdAddr := cl.Space().Malloc(total)
+				var rdSegs []ib.SGE
+				for i := 0; i < nSegs; i++ {
+					rdSegs = append(rdSegs, ib.SGE{Addr: rdAddr + mem.Addr(i*segLen), Len: segLen})
+				}
+				if err := fh.ReadList(q, rdSegs, accs, OpOptions{}); err != nil {
+					t.Errorf("cn%d: ReadList: %v", ci, err)
+					return
+				}
+				got, err := cl.Space().Read(rdAddr, total)
+				if err != nil {
+					t.Errorf("cn%d: read-back: %v", ci, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("cn%d: read-back differs from written data", ci)
+					return
+				}
+				images[ci] = got
+			})
+		}
+		wg.Wait(p)
+	})
+	return images
+}
+
+// TestRecoveryUnderFaultStorm is the headline end-to-end test: a 4+4
+// cluster runs a strided list-I/O workload through injected WR errors, a
+// partition that heals, registration pressure, disk faults, and one daemon
+// crash/restart — and loses no data.
+func TestRecoveryUnderFaultStorm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = stormPlan(7)
+	c := NewCluster(sim.NewEngine(), cfg, 4, 4)
+	stormWorkload(t, c)
+
+	s := c.Snapshot()
+	if s.FaultWRErrors == 0 {
+		t.Error("no WR errors injected — plan not exercised")
+	}
+	if s.Retries == 0 || s.Timeouts == 0 {
+		t.Errorf("recovery not exercised: retries=%d timeouts=%d", s.Retries, s.Timeouts)
+	}
+	if s.Fallbacks == 0 {
+		t.Errorf("gather->pack fallback not exercised (regFailures=%d)", s.FaultRegFailures)
+	}
+	if s.Crashes != 1 || s.Restarts != 1 {
+		t.Errorf("crash/restart = %d/%d, want 1/1", s.Crashes, s.Restarts)
+	}
+	if got := c.Manager.IodRegistrations()[2]; got == 0 {
+		t.Error("restarted daemon io2 never re-registered with the manager")
+	}
+	if c.Servers[2].Down() {
+		t.Error("io2 still down at end of run")
+	}
+}
+
+// TestFaultDeterminism runs the same (workload, plan, seed) triple twice and
+// demands byte-identical read-back, identical final virtual times, and
+// identical fault/recovery counters.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() ([][]byte, sim.Time, stats.Snapshot, fault.Counters) {
+		cfg := DefaultConfig()
+		cfg.Faults = stormPlan(42)
+		c := NewCluster(sim.NewEngine(), cfg, 4, 4)
+		images := stormWorkload(t, c)
+		return images, c.Eng.Now(), c.Snapshot(), c.Faults.Counters
+	}
+	img1, t1, s1, f1 := run()
+	img2, t2, s2, f2 := run()
+	if t1 != t2 {
+		t.Errorf("final virtual times differ: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Errorf("counter snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	if f1 != f2 {
+		t.Errorf("injector counters differ: %+v vs %+v", f1, f2)
+	}
+	for i := range img1 {
+		if !bytes.Equal(img1[i], img2[i]) {
+			t.Errorf("cn%d: read-back images differ between runs", i)
+		}
+	}
+}
+
+// TestEmptyPlanZeroOverhead checks that attaching no fault plan leaves
+// virtual time exactly where the fault-unaware code put it: the recovery
+// machinery must be pay-for-use.
+func TestEmptyPlanZeroOverhead(t *testing.T) {
+	run := func(cfg Config) sim.Time {
+		c := NewCluster(sim.NewEngine(), cfg, 4, 4)
+		stormWorkload(t, c)
+		return c.Eng.Now()
+	}
+	base := run(DefaultConfig())
+	// An explicitly attached-then-detached plane must also cost nothing.
+	cfg := DefaultConfig()
+	c := NewCluster(sim.NewEngine(), cfg, 4, 4)
+	c.AttachFaults(&fault.Plan{Seed: 1})
+	c.AttachFaults(nil)
+	stormWorkload(t, c)
+	if got := c.Eng.Now(); got != base {
+		t.Errorf("detached fault plane changed timing: %v vs %v", got, base)
+	}
+	if s := c.Snapshot(); s.Retries+s.Timeouts+s.Fallbacks != 0 {
+		t.Errorf("recovery counters moved on a fault-free run: %+v", s)
+	}
+}
+
+// TestCrashValidation rejects plans that crash the manager's host.
+func TestCrashValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("crashing server 0 should panic (hosts the manager)")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Faults = &fault.Plan{Crashes: []fault.Crash{{Server: 0, At: time.Millisecond, Down: time.Millisecond}}}
+	NewCluster(sim.NewEngine(), cfg, 4, 4)
+}

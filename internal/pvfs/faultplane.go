@@ -1,0 +1,112 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"pvfsib/internal/fault"
+	"pvfsib/internal/localfs"
+	"pvfsib/internal/sim"
+)
+
+// AttachFaults compiles the plan and wires the injector into every
+// substrate layer: the fabric consults it per message, every adapter per
+// work request and registration, every disk per transfer. Scheduled daemon
+// crashes are planted on the event timeline (times are relative to the
+// current virtual time). Attaching replaces any previous plan; attaching a
+// nil plan detaches everything and restores the zero-overhead fault-free
+// paths.
+//
+// The manager is co-located with server 0 (as in the paper's testbed), so
+// a plan must not crash server 0 — metadata has no retry story by design.
+func (c *Cluster) AttachFaults(plan *fault.Plan) *fault.Injector {
+	if plan == nil {
+		c.Faults = nil
+		c.Net.SetFaults(nil)
+		for _, s := range c.Servers {
+			s.hca.SetFaults(nil)
+			s.dsk.SetFaults(nil)
+		}
+		for _, cl := range c.Clients {
+			cl.hca.SetFaults(nil)
+		}
+		return nil
+	}
+	for _, cr := range plan.Crashes {
+		if cr.Server <= 0 || cr.Server >= len(c.Servers) {
+			sim.Failf("pvfs: fault plan crashes server %d (valid: 1..%d; server 0 hosts the manager)",
+				cr.Server, len(c.Servers)-1)
+		}
+	}
+	inj := fault.NewInjector(*plan)
+	c.Faults = inj
+	c.Net.SetFaults(inj)
+	for _, s := range c.Servers {
+		s.hca.SetFaults(inj)
+		s.dsk.SetFaults(inj)
+	}
+	for _, cl := range c.Clients {
+		cl.hca.SetFaults(inj)
+	}
+	now := c.Eng.Now()
+	for _, cr := range plan.Crashes {
+		cr := cr
+		srv := c.Servers[cr.Server]
+		c.Eng.Schedule(now.Add(cr.At), func() { srv.crash() })
+		c.Eng.GoAt(now.Add(cr.At+cr.Down), fmt.Sprintf("iod[restart-io%d]", cr.Server),
+			func(p *sim.Proc) { srv.restart(p) })
+	}
+	return inj
+}
+
+// recovery returns the retry parameters, or nil when no fault plane is
+// attached — the signal for every call site to take the original blocking
+// path with no timers and no sequence filtering.
+func (c *Cluster) recovery() *Recovery {
+	if c.Faults == nil {
+		return nil
+	}
+	return &c.Cfg.Recovery
+}
+
+// crash kills the I/O daemon: the adapter discards all traffic, in-flight
+// request handling aborts at its next step, and the daemon's open file
+// table is lost. The local file system (kernel page cache included)
+// survives — this is a daemon restart, not a node power loss, so
+// acknowledged data is never lost.
+func (s *Server) crash() {
+	s.down = true
+	s.hca.SetDown(true)
+	s.files = make(map[int64]*localfs.File)
+	s.cluster.Acct.Crashes++
+	s.cluster.Trace.Recordf(s.cluster.Eng.Now(), s.node.Name, "iod-crash", 0,
+		"daemon down, open files dropped")
+}
+
+// restart brings the daemon back: the adapter accepts traffic again and
+// the daemon re-registers with the metadata manager, as a freshly booted
+// iod would. Stripe files reopen lazily on first access.
+func (s *Server) restart(p *sim.Proc) {
+	s.down = false
+	s.hca.SetDown(false)
+	s.cluster.Acct.Restarts++
+	s.registerWithManager(p)
+	s.cluster.Trace.Recordf(p.Now(), s.node.Name, "iod-restart", 0, "daemon up, re-registered")
+}
+
+// registerWithManager performs the iod registration RPC over the daemon's
+// control connection.
+func (s *Server) registerWithManager(p *sim.Proc) {
+	s.mgrMu.Acquire(p)
+	defer s.mgrMu.Release()
+	if err := s.mgrQP.Send(p, reqSize(0), &reqIodRegister{Server: s.idx}); err != nil {
+		// Control path; only a partition can fail it. The daemon still
+		// serves — registration is advisory bookkeeping in this model.
+		s.cluster.Trace.Recordf(p.Now(), s.node.Name, "iod-register-fail", 0, "%v", err)
+		return
+	}
+	_, resp := s.mgrQP.Recv(p)
+	if _, ok := resp.(*respIodRegister); !ok {
+		sim.Failf("pvfs: server %d: expected IodRegister reply, got %T", s.idx, resp)
+	}
+	s.cluster.Acct.IodRegistrations++
+}

@@ -25,10 +25,14 @@ type Manager struct {
 	cfg    *Config
 	nextID int64
 	byName map[string]*fileMeta
+	// iods records each I/O daemon's last registration time. Daemons
+	// register at boot (statically, time zero) and re-register after a
+	// fault-plane restart.
+	iods map[int]sim.Time
 }
 
 func newManager(c *Cluster) *Manager {
-	m := &Manager{cfg: &c.Cfg, byName: make(map[string]*fileMeta)}
+	m := &Manager{cfg: &c.Cfg, byName: make(map[string]*fileMeta), iods: make(map[int]sim.Time)}
 	if len(c.Servers) > 0 {
 		// Co-located with the first I/O server.
 		m.node = c.Servers[0].node
@@ -58,7 +62,7 @@ func (m *Manager) serve(p *sim.Proc, qp *ib.QP) {
 				m.nextID++
 				m.byName[req.Name] = meta
 			}
-			qp.Send(p, smallReplyBytes, &respOpen{FileID: meta.id, StripeSize: meta.stripeSize})
+			m.send(p, qp, &respOpen{Seq: req.Seq, FileID: meta.id, StripeSize: meta.stripeSize})
 		case *reqUnlink:
 			meta, ok := m.byName[req.Name]
 			var id int64
@@ -66,9 +70,25 @@ func (m *Manager) serve(p *sim.Proc, qp *ib.QP) {
 				id = meta.id
 				delete(m.byName, req.Name)
 			}
-			qp.Send(p, smallReplyBytes, &respUnlink{FileID: id, Found: ok})
+			m.send(p, qp, &respUnlink{Seq: req.Seq, FileID: id, Found: ok})
+		case *reqIodRegister:
+			m.iods[req.Server] = p.Now()
+			m.send(p, qp, &respIodRegister{})
 		default:
 			sim.Failf("pvfs: manager: unexpected message %T", payload)
 		}
 	}
 }
+
+// send replies on a metadata connection. Control QPs never see injected
+// completion errors, but a partition that happens to cover the manager's
+// node can still eat a reply; the client-side timeout covers that, so the
+// manager just drops the error and serves on.
+func (m *Manager) send(p *sim.Proc, qp *ib.QP, resp any) {
+	if err := qp.Send(p, smallReplyBytes, resp); err != nil {
+		qp.Reset(p)
+	}
+}
+
+// IodRegistrations exposes the registration table for tests.
+func (m *Manager) IodRegistrations() map[int]sim.Time { return m.iods }

@@ -20,11 +20,13 @@ const (
 // (ignored for existing files — striping is immutable after create, as in
 // PVFS).
 type reqOpen struct {
+	Seq        int64
 	Name       string
 	StripeSize int64
 }
 
 type respOpen struct {
+	Seq        int64
 	FileID     int64
 	StripeSize int64
 }
@@ -34,6 +36,7 @@ type respOpen struct {
 // connection's receive buffer; with gather the server replies with a staging
 // buffer for the client to RDMA-write into.
 type reqWrite struct {
+	Seq        int64
 	FileID     int64
 	Accs       []OffLen
 	Total      int64
@@ -46,20 +49,22 @@ type reqWrite struct {
 
 // respWriteReady carries the staging buffer for a gather write.
 type respWriteReady struct {
+	Seq  int64
 	Addr mem.Addr
 	Key  ib.Key
 }
 
 // reqWriteDone tells the server the gather RDMA write has completed.
-type reqWriteDone struct{}
+type reqWriteDone struct{ Seq int64 }
 
 // respWrite completes a write request.
-type respWrite struct{}
+type respWrite struct{ Seq int64 }
 
 // reqRead requests a list read. With SchemePack the server RDMA-writes the
 // packed bytes into the connection's client-side buffer before replying;
 // with gather the server stages the bytes and the client RDMA-reads them.
 type reqRead struct {
+	Seq        int64
 	FileID     int64
 	Accs       []OffLen
 	Total      int64
@@ -72,6 +77,7 @@ type reqRead struct {
 // respRead completes a pack read (data already delivered) or, for gather,
 // announces the staging buffer to RDMA-read from.
 type respRead struct {
+	Seq  int64
 	Addr mem.Addr
 	Key  ib.Key
 	// Data carries the payload for stream-transport reads.
@@ -79,40 +85,70 @@ type respRead struct {
 }
 
 // reqReadDone releases the server's staging buffer after a gather read.
-type reqReadDone struct{}
+type reqReadDone struct{ Seq int64 }
 
 // reqSync asks the server to flush the file's dirty data to disk.
 type reqSync struct {
+	Seq    int64
 	FileID int64
 }
 
-type respSync struct{}
+type respSync struct{ Seq int64 }
 
 // reqStat asks a server for its stripe file's local size, from which the
 // client computes the logical end of file.
 type reqStat struct {
+	Seq    int64
 	FileID int64
 }
 
 type respStat struct {
+	Seq       int64
 	LocalSize int64
 }
 
 // reqRemove asks a server to delete its stripe file.
 type reqRemove struct {
+	Seq    int64
 	FileID int64
 }
 
-type respRemove struct{}
+type respRemove struct{ Seq int64 }
 
 // reqUnlink asks the manager to drop a name from the name space.
 type reqUnlink struct {
+	Seq  int64
 	Name string
 }
 
 type respUnlink struct {
+	Seq    int64
 	FileID int64
 	Found  bool
 }
+
+// reqIodRegister announces a (re)started I/O daemon to the metadata
+// manager. In real PVFS every iod registers at boot; here setup is static,
+// so the message only appears when the fault plane restarts a daemon.
+type reqIodRegister struct {
+	Server int
+}
+
+type respIodRegister struct{}
+
+// seqer is implemented by every response that echoes its request's
+// sequence number. The recovery layer filters stale responses — replies to
+// an attempt the client already timed out and re-issued — by comparing
+// sequence numbers; a request retry gets a fresh number.
+type seqer interface{ seqNum() int64 }
+
+func (r *respOpen) seqNum() int64       { return r.Seq }
+func (r *respUnlink) seqNum() int64     { return r.Seq }
+func (r *respWriteReady) seqNum() int64 { return r.Seq }
+func (r *respWrite) seqNum() int64      { return r.Seq }
+func (r *respRead) seqNum() int64       { return r.Seq }
+func (r *respSync) seqNum() int64       { return r.Seq }
+func (r *respStat) seqNum() int64       { return r.Seq }
+func (r *respRemove) seqNum() int64     { return r.Seq }
 
 func reqSize(npairs int) int { return reqHeaderBytes + npairs*bytesPerPair }

@@ -35,7 +35,18 @@ type Server struct {
 	ioMu *sim.Resource
 
 	files map[int64]*localfs.File
+
+	// down marks the daemon crashed (fault plane): handlers abort and all
+	// traffic is discarded until restart.
+	down bool
+	// mgrQP/mgrMu is the daemon's control connection to the metadata
+	// manager, used to (re)register after a restart.
+	mgrQP *ib.QP
+	mgrMu *sim.Resource
 }
+
+// Down reports whether the daemon is crashed (for tests).
+func (s *Server) Down() bool { return s.down }
 
 // HCA returns the server's adapter (for tests and benchmarks).
 func (s *Server) HCA() *ib.HCA { return s.hca }
@@ -92,27 +103,41 @@ func (s *Server) file(p *sim.Proc, id int64) *localfs.File {
 	return f
 }
 
-// serve is the per-connection handler loop.
+// serve is the per-connection handler loop. A handler can return a pushed-back
+// request: under faults, a client that timed out mid-protocol re-issues its
+// request while the daemon is still inside the previous attempt's rendezvous
+// wait; the handler aborts and hands the new request here for reprocessing.
 func (sc *serverConn) serve(p *sim.Proc) {
 	s := sc.srv
+	var pending any
 	for {
-		_, payload := sc.qp.Recv(p)
+		var payload any
+		if pending != nil {
+			payload, pending = pending, nil
+		} else {
+			_, payload = sc.qp.Recv(p)
+		}
+		if s.down {
+			// Crashed daemon: drop anything already delivered before the
+			// adapter went down.
+			continue
+		}
 		switch req := payload.(type) {
 		case *reqWrite:
-			sc.handleWrite(p, req)
+			pending = sc.handleWrite(p, req)
 		case *reqRead:
-			sc.handleRead(p, req)
+			pending = sc.handleRead(p, req)
 		case *reqSync:
 			s.ioMu.Acquire(p)
 			s.file(p, req.FileID).Sync(p)
 			s.ioMu.Release()
-			sc.qp.Send(p, smallReplyBytes, &respSync{})
+			sc.send(p, smallReplyBytes, &respSync{Seq: req.Seq})
 		case *reqStat:
 			var size int64
 			if f, ok := s.files[req.FileID]; ok {
 				size = f.Size()
 			}
-			sc.qp.Send(p, smallReplyBytes, &respStat{LocalSize: size})
+			sc.send(p, smallReplyBytes, &respStat{Seq: req.Seq, LocalSize: size})
 		case *reqRemove:
 			s.ioMu.Acquire(p)
 			if _, ok := s.files[req.FileID]; ok {
@@ -120,14 +145,75 @@ func (sc *serverConn) serve(p *sim.Proc) {
 				s.fs.Remove(p, fmt.Sprintf("f%06d", req.FileID))
 			}
 			s.ioMu.Release()
-			sc.qp.Send(p, smallReplyBytes, &respRemove{})
+			sc.send(p, smallReplyBytes, &respRemove{Seq: req.Seq})
 		default:
 			sim.Failf("pvfs: server %d: unexpected message %T", s.idx, payload)
 		}
 	}
 }
 
-func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) {
+// send replies to the client. A send can only fail under the fault plane
+// (injected completion error, partition drop, crashed adapter); the daemon
+// resets its QP so the connection can keep serving and reports failure — the
+// client's timeout covers the lost reply, and every request is idempotent.
+func (sc *serverConn) send(p *sim.Proc, size int, resp any) bool {
+	if err := sc.qp.Send(p, size, resp); err != nil {
+		if sc.qp.State() == ib.QPError {
+			sc.qp.Reset(p)
+		}
+		return false
+	}
+	return true
+}
+
+// abort records an aborted request (reply lost, rendezvous expired, or the
+// client moved on); the client re-issues it.
+func (sc *serverConn) abort(p *sim.Proc, op string, seq int64, why string) {
+	s := sc.srv
+	s.cluster.Acct.ServerAborts++
+	s.cluster.Trace.Recordf(p.Now(), s.node.Name, "iod-abort", 0, "%s seq=%d: %s", op, seq, why)
+}
+
+// waitDone waits for the rendezvous completion notice matching seq. Without a
+// fault plane it blocks and anything unexpected is a protocol violation (the
+// original strict protocol). Under faults it waits at most ServerTimeout,
+// ignores stale notices from attempts the client already abandoned, and pushes
+// back any other request for serve to reprocess.
+func (sc *serverConn) waitDone(p *sim.Proc, seq int64, write bool) (ok bool, pending any) {
+	s := sc.srv
+	rec := s.cluster.recovery()
+	for {
+		var payload any
+		if rec == nil {
+			_, payload = sc.qp.Recv(p)
+		} else {
+			var got bool
+			_, payload, got = sc.qp.RecvTimeout(p, rec.ServerTimeout)
+			if !got {
+				return false, nil
+			}
+		}
+		switch d := payload.(type) {
+		case *reqWriteDone:
+			if write && d.Seq == seq {
+				return true, nil
+			}
+		case *reqReadDone:
+			if !write && d.Seq == seq {
+				return true, nil
+			}
+		default:
+			if rec != nil {
+				return false, payload
+			}
+		}
+		if rec == nil {
+			sim.Failf("pvfs: server %d: expected completion for seq %d, got %#v", s.idx, seq, payload)
+		}
+	}
+}
+
+func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) (next any) {
 	s := sc.srv
 	f := s.file(p, req.FileID)
 	var data []byte
@@ -146,10 +232,16 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) {
 		// Rendezvous: hand the client a staging buffer, wait for the
 		// completion notice, then pull the bytes out of it.
 		buf := s.staging.Get(p)
-		sc.qp.Send(p, smallReplyBytes, &respWriteReady{Addr: buf.Addr, Key: buf.MR.Key})
-		_, done := sc.qp.Recv(p)
-		if _, ok := done.(*reqWriteDone); !ok {
-			sim.Failf("pvfs: server %d: expected WriteDone, got %T", s.idx, done)
+		if !sc.send(p, smallReplyBytes, &respWriteReady{Seq: req.Seq, Addr: buf.Addr, Key: buf.MR.Key}) {
+			buf.Put()
+			sc.abort(p, "write", req.Seq, "write-ready reply lost")
+			return nil
+		}
+		ok, pending := sc.waitDone(p, req.Seq, true)
+		if !ok {
+			buf.Put()
+			sc.abort(p, "write", req.Seq, "rendezvous expired")
+			return pending
 		}
 		b, err := s.space.Read(buf.Addr, req.Total)
 		if err != nil {
@@ -162,10 +254,13 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) {
 	decs := sieve.Write(p, f, toSieveAccs(req.Accs), data, s.sieveParams, req.Sieve, &s.SieveStats)
 	s.ioMu.Release()
 	s.traceDecisions(p, "write", decs)
-	sc.qp.Send(p, smallReplyBytes, &respWrite{})
+	if !sc.send(p, smallReplyBytes, &respWrite{Seq: req.Seq}) {
+		sc.abort(p, "write", req.Seq, "write reply lost")
+	}
+	return nil
 }
 
-func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) {
+func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) (next any) {
 	s := sc.srv
 	f := s.file(p, req.FileID)
 	s.ioMu.Acquire(p)
@@ -175,8 +270,10 @@ func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) {
 	if req.Stream {
 		// Stream sockets: payload rides in the reply (user-to-kernel copy).
 		p.Sleep(s.cluster.Cfg.IB.MemcpyTime(req.Total) + s.cluster.Cfg.StreamOverhead)
-		sc.qp.Send(p, smallReplyBytes+int(req.Total), &respRead{Data: data})
-		return
+		if !sc.send(p, smallReplyBytes+int(req.Total), &respRead{Seq: req.Seq, Data: data}) {
+			sc.abort(p, "read", req.Seq, "stream reply lost")
+		}
+		return nil
 	}
 	buf := s.staging.Get(p)
 	if err := s.space.Write(buf.Addr, data); err != nil {
@@ -185,20 +282,38 @@ func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) {
 	if req.SchemePack {
 		// Push the packed bytes straight into the client's buffer. The
 		// target is the connection's statically registered fast buffer, so
-		// a failure here is a broken connection invariant, not a request
-		// error the client could handle.
-		sim.Must(sc.qp.RDMAWrite(p, []ib.SGE{{Addr: buf.Addr, Len: req.Total}}, sc.cliAddr, sc.cliKey))
+		// fault-free a failure here is a broken connection invariant; under
+		// faults it is an injected completion error and the request aborts.
+		if err := sc.qp.RDMAWrite(p, []ib.SGE{{Addr: buf.Addr, Len: req.Total}}, sc.cliAddr, sc.cliKey); err != nil {
+			if s.cluster.recovery() == nil {
+				sim.Must(err)
+			}
+			buf.Put()
+			if sc.qp.State() == ib.QPError {
+				sc.qp.Reset(p)
+			}
+			sc.abort(p, "read", req.Seq, "pack RDMA write failed")
+			return nil
+		}
 		buf.Put()
-		sc.qp.Send(p, smallReplyBytes, &respRead{})
-		return
+		if !sc.send(p, smallReplyBytes, &respRead{Seq: req.Seq}) {
+			sc.abort(p, "read", req.Seq, "pack reply lost")
+		}
+		return nil
 	}
 	// Gather: the client scatters out of the staging buffer itself.
-	sc.qp.Send(p, smallReplyBytes, &respRead{Addr: buf.Addr, Key: buf.MR.Key})
-	_, done := sc.qp.Recv(p)
-	if _, ok := done.(*reqReadDone); !ok {
-		sim.Failf("pvfs: server %d: expected ReadDone, got %T", s.idx, done)
+	if !sc.send(p, smallReplyBytes, &respRead{Seq: req.Seq, Addr: buf.Addr, Key: buf.MR.Key}) {
+		buf.Put()
+		sc.abort(p, "read", req.Seq, "read-ready reply lost")
+		return nil
 	}
+	ok, pending := sc.waitDone(p, req.Seq, false)
 	buf.Put()
+	if !ok {
+		sc.abort(p, "read", req.Seq, "rendezvous expired")
+		return pending
+	}
+	return nil
 }
 
 // traceDecisions records the daemon's sieve choices for one request.

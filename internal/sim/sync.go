@@ -38,6 +38,46 @@ func (m *Mailbox) Recv(p *Proc) any {
 	return v
 }
 
+// RecvTimeout is Recv with a deadline: it returns the oldest queued message,
+// or ok=false if none arrives within d of each park. The timer is armed only
+// while the mailbox is empty, so a message already queued returns immediately
+// and costs nothing. Timeouts are the foundation of the fault-recovery layer;
+// code on the no-fault path should use Recv, which schedules no timer events.
+func (m *Mailbox) RecvTimeout(p *Proc, d Duration) (v any, ok bool) {
+	for len(m.queue) == 0 {
+		// armed distinguishes this wait from any later wait by the same
+		// process on the same mailbox; timedOut records that the timer, not
+		// a Send, woke us. The timer only fires for a process still in the
+		// waiter list: a process already woken by Send (or removed by an
+		// earlier timer) is left alone.
+		armed := true
+		timedOut := false
+		waiter := p
+		m.eng.After(d, func() {
+			if !armed {
+				return
+			}
+			for i, w := range m.waiters {
+				if w == waiter {
+					m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+					timedOut = true
+					m.eng.wake(waiter)
+					return
+				}
+			}
+		})
+		m.waiters = append(m.waiters, p)
+		p.park()
+		armed = false
+		if timedOut {
+			return nil, false
+		}
+	}
+	v = m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
 // TryRecv returns the oldest queued message without blocking. ok is false if
 // the mailbox is empty.
 func (m *Mailbox) TryRecv() (v any, ok bool) {

@@ -16,6 +16,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -72,16 +73,36 @@ type Node struct {
 	Inbox *sim.Mailbox // fully received messages, consumed by the host
 }
 
+// FaultPolicy is consulted once per message before transmission. It is the
+// fabric's hook into the fault plane (internal/fault implements it): drop
+// makes Send fail with ErrDropped — the sender-visible shape of a reliable
+// connection exhausting its retries during a partition — and extra is
+// added sender-side stall time (charged before the transmit engine is
+// acquired, so per-link message ordering is preserved). Node ids are plain
+// ints so implementations need not import this package.
+type FaultPolicy interface {
+	SendVerdict(now sim.Time, from, to int, size int) (drop bool, extra sim.Duration)
+}
+
+// ErrDropped is returned by Send when the fault policy partitions the link.
+var ErrDropped = errors.New("simnet: message dropped (link partitioned)")
+
 // Network is the crossbar plus all attached nodes.
 type Network struct {
 	eng    *sim.Engine
 	params Params
 	nodes  []*Node
+	faults FaultPolicy
 
 	// BytesSent accumulates all payload bytes accepted for transmission,
 	// indexed by sender.
 	BytesSent []int64
 }
+
+// SetFaults attaches (or, with nil, detaches) the fault policy. With no
+// policy Send consults nothing and schedules nothing extra — the zero-
+// overhead guarantee for fault-free runs.
+func (n *Network) SetFaults(f FaultPolicy) { n.faults = f }
 
 // New creates a fabric on the engine with the given parameters.
 func New(eng *sim.Engine, params Params) *Network {
@@ -143,10 +164,27 @@ func (node *Node) rxEngine(p *sim.Proc) {
 // The calling process blocks for the transmit-side serialization time; the
 // message lands in dst's Inbox after the path latency plus receive-side
 // serialization. Messages between the same pair of nodes are delivered in
-// send order.
-func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) {
+// send order. When a fault policy is attached it may stall the sender
+// (latency spike) or drop the message, in which case Send returns
+// ErrDropped after charging the serialization time the failed retries
+// consumed; without a policy Send never fails.
+func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	if dst < 0 || int(dst) >= len(node.net.nodes) {
 		sim.Failf("simnet: send to unknown node %d", dst)
+	}
+	if fp := node.net.faults; fp != nil {
+		drop, extra := fp.SendVerdict(p.Now(), int(node.ID), int(dst), size)
+		if extra > 0 {
+			p.Sleep(extra)
+		}
+		if drop {
+			// The reliable connection burned its retries: the wire time was
+			// consumed but the message never arrived.
+			node.tx.Acquire(p)
+			p.Sleep(node.net.params.SerializationTime(size))
+			node.tx.Release()
+			return ErrDropped
+		}
 	}
 	m := &Message{From: node.ID, To: dst, Size: size, Payload: payload}
 	node.tx.Acquire(p)
@@ -159,4 +197,5 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) {
 	n.eng.After(n.params.Latency, func() { target.stage.Send(m) })
 	p.Sleep(n.params.SerializationTime(size))
 	node.tx.Release()
+	return nil
 }

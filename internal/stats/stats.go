@@ -36,6 +36,19 @@ type Snapshot struct {
 	// Sieve decisions across all servers.
 	SieveWindows int64
 	SieveWins    int64
+
+	// Fault-plane and recovery activity (all zero on fault-free runs).
+	Retries          int64 // client re-issues after failures or timeouts
+	Timeouts         int64 // client waits that expired
+	Fallbacks        int64 // gather operations degraded to pack
+	ServerAborts     int64 // requests the I/O daemons abandoned mid-protocol
+	Crashes          int64 // daemon crashes executed
+	Restarts         int64 // daemon restarts completed
+	QPResets         int64 // queue pairs recovered from error state
+	FaultWRErrors    int64 // injected work-request completion errors
+	FaultDrops       int64 // messages dropped by partitions
+	FaultDiskErrors  int64 // injected disk errors and slowdowns
+	FaultRegFailures int64 // injected registration rejections
 }
 
 // IOReqs returns the total read+write+sync request count.
@@ -61,14 +74,31 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		BytesClientClient: s.BytesClientClient - t.BytesClientClient,
 		SieveWindows:      s.SieveWindows - t.SieveWindows,
 		SieveWins:         s.SieveWins - t.SieveWins,
+		Retries:           s.Retries - t.Retries,
+		Timeouts:          s.Timeouts - t.Timeouts,
+		Fallbacks:         s.Fallbacks - t.Fallbacks,
+		ServerAborts:      s.ServerAborts - t.ServerAborts,
+		Crashes:           s.Crashes - t.Crashes,
+		Restarts:          s.Restarts - t.Restarts,
+		QPResets:          s.QPResets - t.QPResets,
+		FaultWRErrors:     s.FaultWRErrors - t.FaultWRErrors,
+		FaultDrops:        s.FaultDrops - t.FaultDrops,
+		FaultDiskErrors:   s.FaultDiskErrors - t.FaultDiskErrors,
+		FaultRegFailures:  s.FaultRegFailures - t.FaultRegFailures,
 	}
 }
 
-// String formats the snapshot as the rows of Table 6.
+// String formats the snapshot as the rows of Table 6, with a recovery
+// suffix when the fault plane saw any action.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"req#=%d reg#=%d hit=%d read#=%d write#=%d c/s=%.1fMB c/c=%.1fMB",
 		s.IOReqs(), s.RegLookups, s.RegCacheHits,
 		s.FSReadCalls, s.FSWriteCalls,
 		float64(s.BytesClientServer)/(1<<20), float64(s.BytesClientClient)/(1<<20))
+	if s.Retries+s.Timeouts+s.Fallbacks+s.Crashes+s.FaultWRErrors+s.FaultDrops > 0 {
+		out += fmt.Sprintf(" retry#=%d timeout#=%d fallback#=%d abort#=%d crash#=%d",
+			s.Retries, s.Timeouts, s.Fallbacks, s.ServerAborts, s.Crashes)
+	}
+	return out
 }

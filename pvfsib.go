@@ -35,6 +35,7 @@ package pvfsib
 import (
 	"fmt"
 
+	"pvfsib/internal/fault"
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
 	"pvfsib/internal/mpi"
@@ -88,7 +89,25 @@ type (
 	SieveMode = sieve.Mode
 	// Transfer selects the noncontiguous transmission scheme.
 	Transfer = pvfs.Transfer
+	// FaultPlan is a declarative, seeded fault scenario (set Config.Faults
+	// or call Cluster.AttachFaults).
+	FaultPlan = fault.Plan
+	// FaultSpike is a window of added per-message latency on a link.
+	FaultSpike = fault.Spike
+	// FaultCut is a bidirectional link partition window.
+	FaultCut = fault.Cut
+	// FaultCrash schedules an I/O-daemon crash and restart.
+	FaultCrash = fault.Crash
+	// FaultCounters is the injector's ground-truth tally of injected faults.
+	FaultCounters = fault.Counters
+	// Recovery tunes the client/server timeout-retry machinery active while
+	// a fault plan is attached.
+	Recovery = pvfs.Recovery
 )
+
+// FaultWildcard matches any fabric node in a FaultSpike or FaultCut
+// endpoint.
+const FaultWildcard = fault.Wildcard
 
 // MPI-IO access methods (the paper's Section 2.3 list).
 const (
@@ -159,6 +178,11 @@ type Options struct {
 	// Config overrides the cluster configuration; zero means
 	// DefaultConfig.
 	Config *Config
+	// Seed is the cluster's single random-number seed. Today only the
+	// fault plane draws randomness: when Config.Faults is set and the plan
+	// leaves Seed at zero, this value seeds it. The same (workload, plan,
+	// seed) triple always replays byte-identically.
+	Seed int64
 }
 
 // Cluster is a simulated PVFS-over-InfiniBand deployment plus an MPI world
@@ -180,6 +204,11 @@ func NewCluster(opts Options) *Cluster {
 	cfg := DefaultConfig()
 	if opts.Config != nil {
 		cfg = *opts.Config
+	}
+	if cfg.Faults != nil && cfg.Faults.Seed == 0 && opts.Seed != 0 {
+		plan := *cfg.Faults
+		plan.Seed = opts.Seed
+		cfg.Faults = &plan
 	}
 	inner := pvfs.NewCluster(sim.NewEngine(), cfg, opts.Servers, opts.ComputeNodes)
 	var hcas []*ib.HCA
@@ -204,6 +233,20 @@ func (c *Cluster) Now() sim.Time { return c.inner.Eng.Now() }
 
 // Snapshot returns the cluster-wide operation counters.
 func (c *Cluster) Snapshot() Snapshot { return c.inner.Snapshot() }
+
+// AttachFaults wires a fault plan into every substrate layer, replacing any
+// previous plan; nil detaches everything and restores the zero-overhead
+// fault-free paths. Plans must not crash server 0 (it hosts the manager).
+func (c *Cluster) AttachFaults(plan *FaultPlan) { c.inner.AttachFaults(plan) }
+
+// FaultCounters returns the injector's tally of faults actually injected so
+// far (zero value when no plan is attached).
+func (c *Cluster) FaultCounters() FaultCounters {
+	if c.inner.Faults == nil {
+		return FaultCounters{}
+	}
+	return c.inner.Faults.Counters
+}
 
 // Ctx is the per-rank context handed to RunMPI bodies.
 type Ctx struct {
