@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json vet check bench-smoke fuzz clean
+.PHONY: all build test race lint lint-json vet check bench-smoke bench-go fuzz clean
 
 all: build
 
@@ -38,12 +38,20 @@ lint-json: $(BIN)
 # check is the full CI gate: build, vet, pvfslint, race tests.
 check: build vet lint race
 
-# bench-smoke runs the short fault-plane and list-I/O experiments and
-# archives the tables as BENCH_smoke.json; CI uploads it as an artifact so
-# regressions in completion time or recovery counters are visible per run.
+# bench-smoke runs the short fault-plane and list-I/O experiments on the
+# parallel cell scheduler and archives the tables as BENCH_smoke.json; the
+# trailing -hostmeta record adds wall-clock and allocation counts, so CI
+# runs expose both table regressions and host-side performance drift.
 bench-smoke:
-	$(GO) run ./cmd/pvfsbench -short -seed 1 -format json -run faults,fig4 > BENCH_smoke.json
+	$(GO) run ./cmd/pvfsbench -short -seed 1 -parallel 4 -format json -hostmeta -run faults,fig4 > BENCH_smoke.json
 	@echo "wrote BENCH_smoke.json"
+
+# bench-go runs the engine microbenchmarks (event turnover, mailbox
+# ping-pong, contended resource, one full Figure 3 cell) with allocation
+# reporting — the numbers the engine-hot-path work is graded on.
+bench-go:
+	$(GO) test -run NONE -bench . -benchmem ./internal/sim/
+	$(GO) test -run NONE -bench BenchmarkFig3Cell -benchmem ./internal/bench/
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFlattenDatatype -fuzztime=30s ./internal/mpiio/

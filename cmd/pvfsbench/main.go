@@ -9,30 +9,55 @@
 //	pvfsbench -run all              run everything (paper order, then ablations)
 //	pvfsbench -short -run all       smaller sweeps for a quick look
 //	pvfsbench -seed 7 -run faults   reseed the fault plane (same seed, same table)
+//	pvfsbench -parallel 4           run independent cells on 4 workers
 //	pvfsbench -format json ...      machine-readable output (one JSON object per table)
+//	pvfsbench -hostmeta ...         append a host-side JSON record (wall clock, allocs)
+//	pvfsbench -cpuprofile cpu.pb    write a CPU profile of the run
+//	pvfsbench -memprofile mem.pb    write a heap profile at exit
 //
 // Each experiment prints a plain-text table; the titles carry the paper's
-// reference values where the paper states them.
+// reference values where the paper states them. The tables are functions
+// of (-short, -seed) only: every cell runs on its own deterministic
+// simulated cluster, so -parallel changes wall-clock time, never output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"pvfsib/internal/bench"
 )
 
+// hostMeta is the -hostmeta record: host-side measurements that are
+// deliberately kept out of the tables themselves (tables stay functions of
+// the inputs; wall clock and allocation counts are not).
+type hostMeta struct {
+	Parallel    int                `json:"parallel"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	WallSeconds float64            `json:"wall_s"`
+	Mallocs     uint64             `json:"mallocs"`
+	TotalAlloc  uint64             `json:"total_alloc_bytes"`
+	Experiments map[string]float64 `json:"experiment_wall_s"`
+}
+
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		run     = flag.String("run", "all", "experiment ids to run (comma-separated), or 'all'")
-		short   = flag.Bool("short", false, "reduced sweeps (faster)")
-		seed    = flag.Int64("seed", 1, "seed for randomized experiments (fault plane)")
-		timings = flag.Bool("timings", true, "print real (host) runtime per experiment")
-		format  = flag.String("format", "table", "output format: table, csv, or json")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "experiment ids to run (comma-separated), or 'all'")
+		short    = flag.Bool("short", false, "reduced sweeps (faster)")
+		seed     = flag.Int64("seed", 1, "seed for randomized experiments (fault plane)")
+		parallel = flag.Int("parallel", 0, "cell workers per experiment (0 = GOMAXPROCS)")
+		timings  = flag.Bool("timings", true, "print real (host) runtime per experiment")
+		format   = flag.String("format", "table", "output format: table, csv, or json")
+		hostmeta = flag.Bool("hostmeta", false, "append a JSON host record (wall clock, allocs) after the tables")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -57,10 +82,30 @@ func main() {
 		}
 	}
 
-	opts := bench.RunOpts{Short: *short, Seed: *seed}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	perExp := make(map[string]float64, len(todo))
+
+	opts := bench.RunOpts{Short: *short, Seed: *seed, Parallel: *parallel}
 	for _, e := range todo {
 		t0 := time.Now()
 		tbl := e.Run(opts)
+		perExp[e.ID] = time.Since(t0).Seconds()
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
@@ -72,6 +117,39 @@ func main() {
 		fmt.Println(tbl)
 		if *timings {
 			fmt.Printf("(%s took %.1fs host time)\n\n", e.ID, time.Since(t0).Seconds())
+		}
+	}
+
+	if *hostmeta {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		meta := hostMeta{
+			Parallel:    *parallel,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			WallSeconds: time.Since(start).Seconds(),
+			Mallocs:     m1.Mallocs - m0.Mallocs,
+			TotalAlloc:  m1.TotalAlloc - m0.TotalAlloc,
+			Experiments: perExp,
+		}
+		b, err := json.Marshal(map[string]hostMeta{"hostmeta": meta})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	}
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

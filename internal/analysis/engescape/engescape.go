@@ -1,0 +1,174 @@
+// Package engescape defines an analyzer that flags *sim.Proc and
+// *sim.Engine values escaping the engine's single-threaded discipline.
+//
+// The simulation engine drives exactly one process at a time, which is why
+// simulation code needs no locking and stays deterministic. That property
+// holds only while every touch of an engine (or of a Proc, which embeds the
+// engine's wake slot) happens on the goroutine the engine is currently
+// driving. Two escape routes break it:
+//
+//   - a real goroutine (`go` statement) that captures or receives a Proc or
+//     Engine races the engine's own event loop — the cell scheduler runs
+//     whole engines on worker goroutines, so a leaked handle is a data race
+//     that -race only catches if the schedule happens to interleave;
+//   - a package-level variable holding a Proc or Engine outlives the cell
+//     that created it, silently sharing one cell's world with the next and
+//     destroying the "cells are independent" invariant the parallel bench
+//     harness depends on.
+//
+// The engine package itself is exempt: spawning the per-process goroutine
+// is the engine's job. A deliberate exception elsewhere must carry a
+// "//pvfslint:ok engescape <reason>" directive.
+package engescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pvfsib/internal/analysis"
+)
+
+// Analyzer flags sim.Proc/sim.Engine values that leak out of the engine's
+// single-threaded world.
+var Analyzer = &analysis.Analyzer{
+	Name: "engescape",
+	Doc:  "no *sim.Proc or *sim.Engine captured by a real goroutine or stored in a package-level variable — cells must stay single-threaded and independent",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.IsPkg(pass.Pkg, "internal/sim") {
+		return nil // the engine spawns process goroutines by design
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				checkPackageVars(pass, gd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// simTypeName returns "Proc" or "Engine" if t is (a pointer to) one of the
+// engine types, and "" otherwise.
+func simTypeName(t types.Type) string {
+	switch {
+	case analysis.NamedFrom(t, "internal/sim", "Proc"):
+		return "Proc"
+	case analysis.NamedFrom(t, "internal/sim", "Engine"):
+		return "Engine"
+	}
+	return ""
+}
+
+// containedSimType unwraps containers (pointer, slice, array, map, chan)
+// and reports the engine type found inside, if any.
+func containedSimType(t types.Type) string {
+	for {
+		if name := simTypeName(t); name != "" {
+			return name
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		default:
+			return ""
+		}
+	}
+}
+
+// checkPackageVars flags package-level variable declarations whose type
+// holds an engine type.
+func checkPackageVars(pass *analysis.Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if simName := containedSimType(obj.Type()); simName != "" {
+				pass.Reportf(name.Pos(), "package-level variable %s holds a *sim.%s: it outlives the cell that created it, so cells stop being independent", name.Name, simName)
+			}
+		}
+	}
+}
+
+// checkAssign flags stores of engine values into package-level variables
+// (covers `var global any` escape hatches the declaration check misses).
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		ident, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Uses[ident].(*types.Var)
+		if !ok || obj.Parent() != pass.Pkg.Scope() {
+			continue
+		}
+		if i >= len(as.Rhs) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[as.Rhs[i]]
+		if !ok {
+			continue
+		}
+		if simName := simTypeName(tv.Type); simName != "" {
+			pass.Reportf(as.Pos(), "storing a *sim.%s in package-level variable %s: it outlives the cell that created it", simName, ident.Name)
+		}
+	}
+}
+
+// checkGoStmt flags engine-typed values entering a `go` statement from
+// outside — passed as arguments or captured by the function literal. A
+// Proc or Engine declared inside the goroutine is owned by it (a worker
+// may run a whole private simulation) and is not an escape.
+func checkGoStmt(pass *analysis.Pass, gs *ast.GoStmt) {
+	declaredInside := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= gs.Pos() && obj.Pos() < gs.End()
+	}
+	ast.Inspect(gs.Call, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.IsValue() {
+				if simName := simTypeName(tv.Type); simName != "" {
+					if root, ok := n.X.(*ast.Ident); ok && declaredInside(pass.TypesInfo.Uses[root]) {
+						return false
+					}
+					pass.Reportf(n.Pos(), "*sim.%s escapes into a real goroutine: the engine is single-threaded, a second OS thread races the simulation", simName)
+					return false
+				}
+			}
+		case *ast.Ident:
+			obj, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok {
+				return true
+			}
+			if simName := simTypeName(obj.Type()); simName != "" && !declaredInside(obj) {
+				pass.Reportf(n.Pos(), "*sim.%s escapes into a real goroutine: the engine is single-threaded, a second OS thread races the simulation", simName)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package engescape_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/engescape"
+)
+
+func TestEngescape(t *testing.T) {
+	analysistest.Run(t, "testdata", engescape.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Package a exercises the engescape analyzer.
+package a
+
+import "pvfsib/internal/sim"
+
+// leakedEngine outlives any cell: the next cell to touch it shares the
+// previous cell's world.
+var leakedEngine *sim.Engine // want `package-level variable leakedEngine holds a \*sim\.Engine`
+
+// procTable is a container escape: the Procs inside outlive their cells.
+var procTable map[string]*sim.Proc // want `package-level variable procTable holds a \*sim\.Proc`
+
+// sink is an untyped escape hatch; the store is what gets flagged.
+var sink any
+
+// captureProc hands a live Proc to a real goroutine: the engine is
+// single-threaded, so the goroutine races the event loop.
+func captureProc(p *sim.Proc, done chan struct{}) {
+	go func() {
+		p.Now() // want `\*sim\.Proc escapes into a real goroutine`
+		close(done)
+	}()
+}
+
+// passEngine passes the engine as a goroutine argument.
+func passEngine(e *sim.Engine) {
+	go runIt(e) // want `\*sim\.Engine escapes into a real goroutine`
+}
+
+func runIt(e *sim.Engine) { _ = e.Run() }
+
+// storeProc funnels a Proc through the any-typed package variable.
+func storeProc(p *sim.Proc) {
+	sink = p // want `storing a \*sim\.Proc in package-level variable sink`
+}
+
+// ownedEngine is the worker-pool shape the bench scheduler uses: the
+// goroutine creates, runs, and abandons its own engine. Nothing escapes.
+func ownedEngine(done chan struct{}) {
+	go func() {
+		e := sim.NewEngine()
+		e.Go("p", func(p *sim.Proc) { p.Now() })
+		_ = e.Run()
+		close(done)
+	}()
+}
+
+// localUse keeps the Proc on the engine's own goroutine.
+func localUse(e *sim.Engine) {
+	e.Go("p", func(p *sim.Proc) { p.Now() })
+}
+
+// declaredEscape documents a deliberate exception.
+func declaredEscape(p *sim.Proc, done chan struct{}) {
+	go func() {
+		//pvfslint:ok engescape test-only inspection after the engine stopped
+		p.Now()
+		close(done)
+	}()
+}

@@ -4,6 +4,7 @@ package suite
 
 import (
 	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/engescape"
 	"pvfsib/internal/analysis/errflow"
 	"pvfsib/internal/analysis/lockorder"
 	"pvfsib/internal/analysis/mrlife"
@@ -25,5 +26,6 @@ func All() []*analysis.Analyzer {
 		errflow.Analyzer,
 		lockorder.Analyzer,
 		okreason.Analyzer,
+		engescape.Analyzer,
 	}
 }

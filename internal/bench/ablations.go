@@ -18,47 +18,71 @@ import (
 // AblationSGELimit studies the sensitivity of the RDMA Gather/Scatter
 // scheme to the per-work-request scatter/gather limit (InfiniBand's is 64).
 // It reruns the Figure 3 gather,one-reg measurement with different limits.
-func AblationSGELimit(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "ablation-sge",
-		Title:  "Gather/scatter bandwidth vs. SGE limit (2048x2048 array)",
-		Header: []string{"max_sge", "gather_onereg_MB_s"},
-	}
+func AblationSGELimit(o RunOpts) *Table { return AblationSGELimitPlan(o).Table(o.Parallel) }
+
+// AblationSGELimitPlan decomposes the sweep into one cell per SGE limit.
+func AblationSGELimitPlan(o RunOpts) *Plan {
 	n := int64(2048)
-	if short {
+	if o.Short {
 		n = 1024
 	}
-	for _, lim := range []int{4, 16, 64, 256} {
-		params := ib.DefaultParams()
-		params.MaxSGE = lim
-		r := fig3Row(n, params)
-		t.Add(lim, r["gatherone"])
+	limits := []int{4, 16, 64, 256}
+	pl := &Plan{}
+	for _, lim := range limits {
+		pl.Cells = append(pl.Cells, cell(fmt.Sprintf("sge-%d", lim), func() float64 {
+			params := ib.DefaultParams()
+			params.MaxSGE = lim
+			return fig3Row(n, params)["gatherone"]
+		}))
 	}
-	t.Note("smaller limits split the transfer into more work requests, each paying its own overhead")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "ablation-sge",
+			Title:  "Gather/scatter bandwidth vs. SGE limit (2048x2048 array)",
+			Header: []string{"max_sge", "gather_onereg_MB_s"},
+		}
+		for i, lim := range limits {
+			t.Add(lim, results[i].(float64))
+		}
+		t.Note("smaller limits split the transfer into more work requests, each paying its own overhead")
+		return t
+	}
+	return pl
 }
 
 // AblationHybridThreshold sweeps the pack/gather crossover threshold of the
 // hybrid transfer policy for small and large list operations.
 func AblationHybridThreshold(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "ablation-hybrid",
-		Title:  "Hybrid crossover threshold sweep, 128-segment write bandwidth (MB/s)",
-		Header: []string{"threshold_kB", "segs_512B", "segs_8kB"},
-	}
+	return AblationHybridThresholdPlan(o).Table(o.Parallel)
+}
+
+// AblationHybridThresholdPlan is one cell per (threshold, segment size).
+func AblationHybridThresholdPlan(o RunOpts) *Plan {
 	thresholds := []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
-	if short {
+	if o.Short {
 		thresholds = []int64{16 << 10, 64 << 10, 256 << 10}
 	}
+	segSizes := []int64{512, 8192}
+	pl := &Plan{}
 	for _, th := range thresholds {
-		small := hybridThresholdCell(512, th)
-		large := hybridThresholdCell(8192, th)
-		t.Add(th>>10, small, large)
+		for _, s := range segSizes {
+			pl.Cells = append(pl.Cells, cell(fmt.Sprintf("%dkB/%dB", th>>10, s),
+				func() float64 { return hybridThresholdCell(s, th) }))
+		}
 	}
-	t.Note("the paper picks the 64 kB stripe size; small ops prefer pack, large ops gather")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "ablation-hybrid",
+			Title:  "Hybrid crossover threshold sweep, 128-segment write bandwidth (MB/s)",
+			Header: []string{"threshold_kB", "segs_512B", "segs_8kB"},
+		}
+		for i, th := range thresholds {
+			t.Add(th>>10, results[2*i].(float64), results[2*i+1].(float64))
+		}
+		t.Note("the paper picks the 64 kB stripe size; small ops prefer pack, large ops gather")
+		return t
+	}
+	return pl
 }
 
 func hybridThresholdCell(segSize, threshold int64) float64 {
@@ -85,25 +109,36 @@ func hybridThresholdCell(segSize, threshold int64) float64 {
 // AblationADSModel compares the ADS cost-model decision against sieving
 // forced always-on and always-off, for a dense small-access pattern (where
 // sieving wins) and a sparse large-access pattern (where it loses).
-func AblationADSModel(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "ablation-adsmodel",
-		Title:  "ADS decision quality: block-column write bandwidth (MB/s)",
-		Header: []string{"array", "never", "always", "model(auto)"},
-	}
+func AblationADSModel(o RunOpts) *Table { return AblationADSModelPlan(o).Table(o.Parallel) }
+
+// AblationADSModelPlan is three cells (never/always/auto) per array size.
+func AblationADSModelPlan(o RunOpts) *Plan {
 	sizes := []int64{512, 4096}
-	if short {
+	if o.Short {
 		sizes = []int64{512}
 	}
+	pl := &Plan{}
 	for _, n := range sizes {
-		never := blockColumnWrite(n, mpiio.ListIO, true)
-		always := blockColumnWriteForced(n, sieve.Always)
-		auto := blockColumnWrite(n, mpiio.ListIOADS, true)
-		t.Add(fmt.Sprintf("%d", n), never, always, auto)
+		pl.Cells = append(pl.Cells,
+			cell(fmt.Sprintf("%d/never", n), func() float64 { return blockColumnWrite(n, mpiio.ListIO, true) }),
+			cell(fmt.Sprintf("%d/always", n), func() float64 { return blockColumnWriteForced(n, sieve.Always) }),
+			cell(fmt.Sprintf("%d/auto", n), func() float64 { return blockColumnWrite(n, mpiio.ListIOADS, true) }),
+		)
 	}
-	t.Note("the model should track the better of always/never in each regime")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "ablation-adsmodel",
+			Title:  "ADS decision quality: block-column write bandwidth (MB/s)",
+			Header: []string{"array", "never", "always", "model(auto)"},
+		}
+		for i, n := range sizes {
+			t.Add(fmt.Sprintf("%d", n),
+				results[3*i].(float64), results[3*i+1].(float64), results[3*i+2].(float64))
+		}
+		t.Note("the model should track the better of always/never in each regime")
+		return t
+	}
+	return pl
 }
 
 // blockColumnWriteForced runs the block-column write with a forced sieve
@@ -127,15 +162,12 @@ func blockColumnWriteForced(n int64, mode sieve.Mode) float64 {
 // AblationOGRGrouping compares the registration strategies on the raw
 // registration path: per-buffer, whole-span, and the cost-model grouping,
 // over a single-array layout and a multi-array layout with allocated gaps.
-func AblationOGRGrouping(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "ablation-ogrgroup",
-		Title:  "OGR grouping strategies: registration time (µs) for 1024 x 4kB buffers",
-		Header: []string{"layout", "individual", "whole_span", "cost_model"},
-	}
+func AblationOGRGrouping(o RunOpts) *Table { return AblationOGRGroupingPlan(o).Table(o.Parallel) }
+
+// AblationOGRGroupingPlan is one cell per (layout, strategy).
+func AblationOGRGroupingPlan(o RunOpts) *Plan {
 	nseg := 1024
-	if short {
+	if o.Short {
 		nseg = 256
 	}
 	layouts := []struct {
@@ -145,16 +177,32 @@ func AblationOGRGrouping(o RunOpts) *Table {
 		{"one array", 0},
 		{"8 arrays, big gaps", 64},
 	}
+	strats := []string{"indiv", "span", "model"}
+	pl := &Plan{}
 	for _, layout := range layouts {
-		var cells []any
-		cells = append(cells, layout.name)
-		for _, strat := range []string{"indiv", "span", "model"} {
-			cells = append(cells, ogrStrategyTime(nseg, layout.gap, strat))
+		for _, strat := range strats {
+			gap := layout.gap
+			pl.Cells = append(pl.Cells, cell(fmt.Sprintf("%s/%s", layout.name, strat),
+				func() float64 { return ogrStrategyTime(nseg, gap, strat) }))
 		}
-		t.Add(cells...)
 	}
-	t.Note("whole-span registers gap pages too; the cost model splits only when the gap outweighs an extra operation")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "ablation-ogrgroup",
+			Title:  "OGR grouping strategies: registration time (µs) for 1024 x 4kB buffers",
+			Header: []string{"layout", "individual", "whole_span", "cost_model"},
+		}
+		for i, layout := range layouts {
+			cells := []any{layout.name}
+			for j := range strats {
+				cells = append(cells, results[i*len(strats)+j].(float64))
+			}
+			t.Add(cells...)
+		}
+		t.Note("whole-span registers gap pages too; the cost model splits only when the gap outweighs an extra operation")
+		return t
+	}
+	return pl
 }
 
 func ogrStrategyTime(nseg int, gapPages int64, strat string) float64 {

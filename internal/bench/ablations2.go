@@ -18,15 +18,13 @@ import (
 // 1024x1024-int subarray, i.e. 512 rows) on both fabrics and reports the
 // spread between the best and worst scheme, and additionally compares the
 // full PVFS stacks (verbs + hybrid vs. stream sockets).
-func AblationNetwork(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "ablation-network",
-		Title:  "Transmission schemes vs. network generation (MB/s)",
-		Header: []string{"network", "multiple", "pack", "gather_onereg", "best/worst"},
-	}
+func AblationNetwork(o RunOpts) *Table { return AblationNetworkPlan(o).Table(o.Parallel) }
+
+// AblationNetworkPlan is one cell per fabric plus one per full-stack
+// configuration.
+func AblationNetworkPlan(o RunOpts) *Plan {
 	n := int64(1024)
-	if short {
+	if o.Short {
 		n = 512
 	}
 	fabrics := []struct {
@@ -36,27 +34,46 @@ func AblationNetwork(o RunOpts) *Table {
 		{"InfiniBand (827MB/s)", simnet.DefaultParams()},
 		{"conventional (80MB/s)", pvfs.ConventionalConfig().Net},
 	}
+	pl := &Plan{}
 	for _, fab := range fabrics {
-		r := fig3RowOn(n, ib.DefaultParams(), fab.net)
-		lo, hi := r["multiple"], r["multiple"]
-		for _, k := range []string{"packnoreg", "gatherone"} {
-			if r[k] < lo {
-				lo = r[k]
-			}
-			if r[k] > hi {
-				hi = r[k]
-			}
-		}
-		t.Add(fab.name, r["multiple"], r["packnoreg"], r["gatherone"],
-			fmt.Sprintf("%.2f", hi/lo))
+		netP := fab.net
+		pl.Cells = append(pl.Cells, cell(fab.name, func() map[string]float64 {
+			return fig3RowOn(n, ib.DefaultParams(), netP)
+		}))
 	}
-	// Full-stack comparison: the paper's design vs. the TCP-era PVFS.
-	ibBW := networkCell(pvfs.DefaultConfig(), 8192)
-	tcpBW := networkCell(pvfs.ConventionalConfig(), 8192)
-	t.Add("PVFS verbs+hybrid", "", "", fmt.Sprintf("%.1f", ibBW), "")
-	t.Add("PVFS stream sockets", "", "", fmt.Sprintf("%.1f", tcpBW), "")
-	t.Note("scheme spread is large on InfiniBand and shrinks toward 1 on the conventional wire")
-	return t
+	pl.Cells = append(pl.Cells,
+		cell("pvfs-verbs", func() float64 { return networkCell(pvfs.DefaultConfig(), 8192) }),
+		cell("pvfs-sockets", func() float64 { return networkCell(pvfs.ConventionalConfig(), 8192) }),
+	)
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "ablation-network",
+			Title:  "Transmission schemes vs. network generation (MB/s)",
+			Header: []string{"network", "multiple", "pack", "gather_onereg", "best/worst"},
+		}
+		for i, fab := range fabrics {
+			r := results[i].(map[string]float64)
+			lo, hi := r["multiple"], r["multiple"]
+			for _, k := range []string{"packnoreg", "gatherone"} {
+				if r[k] < lo {
+					lo = r[k]
+				}
+				if r[k] > hi {
+					hi = r[k]
+				}
+			}
+			t.Add(fab.name, r["multiple"], r["packnoreg"], r["gatherone"],
+				fmt.Sprintf("%.2f", hi/lo))
+		}
+		// Full-stack comparison: the paper's design vs. the TCP-era PVFS.
+		ibBW := results[len(fabrics)].(float64)
+		tcpBW := results[len(fabrics)+1].(float64)
+		t.Add("PVFS verbs+hybrid", "", "", fmt.Sprintf("%.1f", ibBW), "")
+		t.Add("PVFS stream sockets", "", "", fmt.Sprintf("%.1f", tcpBW), "")
+		t.Note("scheme spread is large on InfiniBand and shrinks toward 1 on the conventional wire")
+		return t
+	}
+	return pl
 }
 
 // networkCell measures the full PVFS list-I/O stack: 4 ranks each writing
@@ -102,24 +119,48 @@ func networkCell(cfg pvfs.Config, segSize int64) float64 {
 // must be deregistered, [which] may lead to registration thrashing"): with
 // a small pinned-memory budget, per-buffer registration through the cache
 // thrashes while OGR's single grouped region still fits.
-func AblationRegThrash(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "ablation-regthrash",
-		Title:  "Registration thrashing under a pinned-memory limit (write bandwidth, MB/s)",
-		Header: []string{"cache_entries", "individual+cache", "ogr+cache", "ogr_hits", "indiv_hits"},
-	}
+func AblationRegThrash(o RunOpts) *Table { return AblationRegThrashPlan(o).Table(o.Parallel) }
+
+// thrashResult carries one thrashCell measurement.
+type thrashResult struct {
+	bw   float64
+	hits int64
+}
+
+// AblationRegThrashPlan is one cell per (cache size, grouping mode).
+func AblationRegThrashPlan(o RunOpts) *Plan {
 	entries := []int{8, 64, 2048}
-	if short {
+	if o.Short {
 		entries = []int{8, 2048}
 	}
+	pl := &Plan{}
 	for _, e := range entries {
-		indivBW, indivHits := thrashCell(e, true)
-		ogrBW, ogrHits := thrashCell(e, false)
-		t.Add(e, indivBW, ogrBW, ogrHits, indivHits)
+		pl.Cells = append(pl.Cells,
+			cell(fmt.Sprintf("%d/indiv", e), func() thrashResult {
+				b, h := thrashCell(e, true)
+				return thrashResult{b, h}
+			}),
+			cell(fmt.Sprintf("%d/ogr", e), func() thrashResult {
+				b, h := thrashCell(e, false)
+				return thrashResult{b, h}
+			}),
+		)
 	}
-	t.Note("1024 buffers per op: per-buffer caching needs 1024 entries to ever hit; OGR needs one")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "ablation-regthrash",
+			Title:  "Registration thrashing under a pinned-memory limit (write bandwidth, MB/s)",
+			Header: []string{"cache_entries", "individual+cache", "ogr+cache", "ogr_hits", "indiv_hits"},
+		}
+		for i, e := range entries {
+			indiv := results[2*i].(thrashResult)
+			ogr := results[2*i+1].(thrashResult)
+			t.Add(e, indiv.bw, ogr.bw, ogr.hits, indiv.hits)
+		}
+		t.Note("1024 buffers per op: per-buffer caching needs 1024 entries to ever hit; OGR needs one")
+		return t
+	}
+	return pl
 }
 
 // thrashCell writes a 1024-row subarray twice through a bounded pin-down

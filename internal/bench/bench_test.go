@@ -314,7 +314,7 @@ func TestRegistryLookup(t *testing.T) {
 			t.Errorf("duplicate experiment id %s", e.ID)
 		}
 		seen[e.ID] = true
-		if e.Run == nil || e.Title == "" {
+		if e.Plan == nil || e.Title == "" {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pvfsib/internal/mpi"
@@ -95,58 +96,90 @@ func btioSpec(short bool) workload.BTIOSpec {
 
 // btioMemo caches full runs: Table 5 and Table 6 report the same six runs,
 // and the simulation is deterministic, so recomputing them would only
-// double the cost.
-var btioMemo = map[bool][]btioResult{}
+// double the cost. The mutex covers concurrent cells; a rare double
+// computation of the same key is harmless because every run of a cell
+// produces identical results.
+var (
+	btioMu   sync.Mutex
+	btioMemo = map[string]btioResult{}
+)
 
-// btioAll runs every method once on a fresh cluster (clean counters),
-// memoizing the results per sweep size.
-func btioAll(short bool) []btioResult {
-	if r, ok := btioMemo[short]; ok {
+// btioCell runs (or reuses) the BTIO run for btioMethods[i].
+func btioCell(short bool, i int) btioResult {
+	key := fmt.Sprintf("%v/%d", short, i)
+	btioMu.Lock()
+	r, ok := btioMemo[key]
+	btioMu.Unlock()
+	if ok {
 		return r
 	}
-	spec := btioSpec(short)
-	var out []btioResult
-	for _, m := range btioMethods {
-		r := runBTIO(spec, m.method, m.noIO)
-		r.label = m.label
-		out = append(out, r)
+	m := btioMethods[i]
+	r = runBTIO(btioSpec(short), m.method, m.noIO)
+	r.label = m.label
+	btioMu.Lock()
+	btioMemo[key] = r
+	btioMu.Unlock()
+	return r
+}
+
+// btioPlan builds the shared six-cell decomposition of Tables 5 and 6.
+func btioPlan(short bool, merge func(results []btioResult) *Table) *Plan {
+	pl := &Plan{}
+	for i, m := range btioMethods {
+		pl.Cells = append(pl.Cells, cell(m.label, func() btioResult { return btioCell(short, i) }))
 	}
-	btioMemo[short] = out
-	return out
+	pl.Merge = func(results []any) *Table {
+		rs := make([]btioResult, len(results))
+		for i := range results {
+			rs[i] = results[i].(btioResult)
+		}
+		return merge(rs)
+	}
+	return pl
 }
 
 // Table5 reproduces the paper's Table 5: NAS BTIO class A total execution
 // time and I/O overhead for every access method.
-func Table5(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "table5",
-		Title:  "BTIO class A (paper: noio 165.6s; Multiple 180.0/14.4; Collective 169.6/4.0; List 168.2/2.6; List+ADS 167.7/2.1; DS 177.3/11.7)",
-		Header: []string{"case", "time_s", "io_overhead_s"},
-	}
-	results := btioAll(short)
-	base := results[0].totalS
-	for _, r := range results {
-		over := r.totalS - base
-		if r.ioS > over {
-			over = r.ioS
+func Table5(o RunOpts) *Table { return Table5Plan(o).Table(o.Parallel) }
+
+// Table5Plan decomposes Table 5 into one cell per access method.
+func Table5Plan(o RunOpts) *Plan {
+	return btioPlan(o.Short, func(results []btioResult) *Table {
+		t := &Table{
+			ID:     "table5",
+			Title:  "BTIO class A (paper: noio 165.6s; Multiple 180.0/14.4; Collective 169.6/4.0; List 168.2/2.6; List+ADS 167.7/2.1; DS 177.3/11.7)",
+			Header: []string{"case", "time_s", "io_overhead_s"},
 		}
-		t.Add(r.label, r.totalS, over)
-	}
-	return t
+		base := results[0].totalS
+		for _, r := range results {
+			over := r.totalS - base
+			if r.ioS > over {
+				over = r.ioS
+			}
+			t.Add(r.label, r.totalS, over)
+		}
+		return t
+	})
 }
 
 // Table6 reproduces the paper's Table 6: BTIO request, registration,
 // cache-hit, and file-access characteristics per method, plus bytes moved
 // between node classes.
-func Table6(o RunOpts) *Table {
-	short := o.Short
+func Table6(o RunOpts) *Table { return Table6Plan(o).Table(o.Parallel) }
+
+// Table6Plan decomposes Table 6 into the same six cells as Table 5; the
+// memo means a combined run computes each only once.
+func Table6Plan(o RunOpts) *Plan {
+	return btioPlan(o.Short, table6Merge)
+}
+
+func table6Merge(all []btioResult) *Table {
 	t := &Table{
 		ID:     "table6",
 		Title:  "BTIO characteristics per method",
 		Header: []string{"metric", "Mult.", "Coll.", "List", "ADS", "DS"},
 	}
-	results := btioAll(short)[1:] // skip no-I/O
+	results := all[1:] // skip no-I/O
 	row := func(name string, get func(stats.Snapshot) int64) {
 		cells := []any{name}
 		for _, r := range results {

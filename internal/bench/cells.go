@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is one independent unit of an experiment: a fully self-contained
+// simulation (its own Engine, fabric, and cluster) producing one opaque
+// result. Cells share nothing mutable — that is what makes the worker pool
+// below correct: any execution interleaving computes the same values.
+type Cell struct {
+	// Key canonically identifies the cell within its experiment, for panic
+	// reports and debugging.
+	Key string
+	// Run executes the cell's simulation and returns its result.
+	Run func() any
+}
+
+// cell wraps a typed cell function as a Cell.
+func cell[T any](key string, fn func() T) Cell {
+	return Cell{Key: key, Run: func() any { return fn() }}
+}
+
+// Plan is one experiment decomposed into independent cells plus a merge
+// step. Merge receives results indexed exactly like Cells — canonical
+// order — so the assembled table is identical for every worker count.
+type Plan struct {
+	Cells []Cell
+	Merge func(results []any) *Table
+}
+
+// Table executes the plan's cells on up to parallel workers (0 or negative
+// means GOMAXPROCS) and merges the results in canonical cell order. The
+// output is byte-identical for every parallel value; TestParallelIdentical
+// enforces that as an invariant, not an accident.
+func (pl *Plan) Table(parallel int) *Table {
+	return pl.Merge(runCells(pl.Cells, parallel))
+}
+
+// runCells executes cells on a bounded worker pool and returns results in
+// cell order. A panic in any cell is re-raised on the caller's goroutine
+// once the pool has drained, so no worker leaks.
+func runCells(cells []Cell, parallel int) []any {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(cells) {
+		parallel = len(cells)
+	}
+	results := make([]any, len(cells))
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	if parallel <= 1 {
+		for i := range cells {
+			runOneCell(cells[i], results, i, &panicMu, &panicked)
+			if panicked != nil {
+				//pvfslint:ok nopanic re-raising a cell's panic with its key attached
+				panic(panicked)
+			}
+		}
+		return results
+	}
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				runOneCell(cells[i], results, i, &panicMu, &panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		//pvfslint:ok nopanic re-raising a cell's panic on the caller's goroutine, as the serial path would
+		panic(panicked)
+	}
+	return results
+}
+
+// runOneCell executes a single cell, converting a panic into a recorded
+// first-failure so sibling workers can drain before the caller re-panics.
+func runOneCell(c Cell, results []any, i int, mu *sync.Mutex, panicked *any) {
+	defer func() {
+		if r := recover(); r != nil {
+			mu.Lock()
+			if *panicked == nil {
+				*panicked = fmt.Sprintf("bench: cell %q: %v", c.Key, r)
+			}
+			mu.Unlock()
+		}
+	}()
+	results[i] = c.Run()
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
 	"pvfsib/internal/mpi"
@@ -18,32 +20,49 @@ import (
 // pattern — veclen elements of elemsize bytes out of every nprocs*veclen —
 // through each access method. The pattern is the pathological case the
 // paper's introduction cites for PVFS-over-TCP performance problems.
-func ExtraNoncontig(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "extra-noncontig",
-		Title:  "ROMIO noncontig benchmark, aggregate bandwidth (MB/s)",
-		Header: []string{"veclen", "op", "multiple", "datasieving", "listio", "listio+ads"},
-	}
+func ExtraNoncontig(o RunOpts) *Table { return ExtraNoncontigPlan(o).Table(o.Parallel) }
+
+// ExtraNoncontigPlan is one cell per (veclen, method); each cell carries
+// both the write and read bandwidth.
+func ExtraNoncontigPlan(o RunOpts) *Plan {
 	veclens := []int64{8, 64, 512}
-	if short {
+	if o.Short {
 		veclens = []int64{64}
 	}
 	const elem = 8 // doubles, as in the original benchmark
 	const count = 2048
+	pl := &Plan{}
 	for _, veclen := range veclens {
-		wRow := []any{veclen, "write"}
-		rRow := []any{veclen, "read"}
 		for _, m := range methodList {
-			w, r := noncontigCell(veclen, elem, count, m)
-			wRow = append(wRow, w)
-			rRow = append(rRow, r)
+			pl.Cells = append(pl.Cells, cell(fmt.Sprintf("%d/%d", veclen, m), func() wrPair {
+				w, r := noncontigCell(veclen, elem, count, m)
+				return wrPair{w, r}
+			}))
 		}
-		t.Add(wRow...)
-		t.Add(rRow...)
 	}
-	t.Note("vector of count blocks, each veclen*8 bytes, strided by nprocs; smaller veclen = finer fragmentation")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "extra-noncontig",
+			Title:  "ROMIO noncontig benchmark, aggregate bandwidth (MB/s)",
+			Header: []string{"veclen", "op", "multiple", "datasieving", "listio", "listio+ads"},
+		}
+		i := 0
+		for _, veclen := range veclens {
+			wRow := []any{veclen, "write"}
+			rRow := []any{veclen, "read"}
+			for range methodList {
+				pair := results[i].(wrPair)
+				i++
+				wRow = append(wRow, pair.w)
+				rRow = append(rRow, pair.r)
+			}
+			t.Add(wRow...)
+			t.Add(rRow...)
+		}
+		t.Note("vector of count blocks, each veclen*8 bytes, strided by nprocs; smaller veclen = finer fragmentation")
+		return t
+	}
+	return pl
 }
 
 // noncontigCell runs the noncontig pattern with 4 ranks and one method.
@@ -84,15 +103,19 @@ func noncontigCell(veclen, elem, count int64, m mpiio.Method) (wBW, rBW float64)
 // sieve/individual decision adapts to the storage generation without
 // retuning — seek-bound disks favour sieving, near-seekless devices favour
 // individual access. Sync writes of the block-column pattern.
-func ExtraDiskSpeed(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "extra-diskspeed",
-		Title:  "ADS decision vs. storage profile, block-column sync write (MB/s)",
-		Header: []string{"disk", "never", "always", "model(auto)", "auto_sieved_windows"},
-	}
+func ExtraDiskSpeed(o RunOpts) *Table { return ExtraDiskSpeedPlan(o).Table(o.Parallel) }
+
+// autoResult carries the auto cell's bandwidth and sieve-decision count.
+type autoResult struct {
+	bw   float64
+	wins int64
+}
+
+// ExtraDiskSpeedPlan is three cells (never/always/auto) per storage
+// profile.
+func ExtraDiskSpeedPlan(o RunOpts) *Plan {
 	n := int64(2048)
-	if short {
+	if o.Short {
 		n = 1024
 	}
 	type profile struct {
@@ -105,14 +128,32 @@ func ExtraDiskSpeed(o RunOpts) *Table {
 		{"4x ATA", diskSpeedConfig(4, false)},
 		{"SSD-like (no seek)", diskSpeedConfig(8, true)},
 	}
+	pl := &Plan{}
 	for _, pr := range profiles {
-		never := diskSpeedCell(pr.cfg, n, sieve.Never)
-		always := diskSpeedCell(pr.cfg, n, sieve.Always)
-		auto, wins := diskSpeedCellAuto(pr.cfg, n)
-		t.Add(pr.name, never, always, auto, wins)
+		cfg := pr.cfg
+		pl.Cells = append(pl.Cells,
+			cell(pr.name+"/never", func() float64 { return diskSpeedCell(cfg, n, sieve.Never) }),
+			cell(pr.name+"/always", func() float64 { return diskSpeedCell(cfg, n, sieve.Always) }),
+			cell(pr.name+"/auto", func() autoResult {
+				bwv, wins := diskSpeedCellAuto(cfg, n)
+				return autoResult{bwv, wins}
+			}),
+		)
 	}
-	t.Note("auto should track the better forced mode on every profile; the SSD-like row flips the decision to individual access")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "extra-diskspeed",
+			Title:  "ADS decision vs. storage profile, block-column sync write (MB/s)",
+			Header: []string{"disk", "never", "always", "model(auto)", "auto_sieved_windows"},
+		}
+		for i, pr := range profiles {
+			auto := results[3*i+2].(autoResult)
+			t.Add(pr.name, results[3*i].(float64), results[3*i+1].(float64), auto.bw, auto.wins)
+		}
+		t.Note("auto should track the better forced mode on every profile; the SSD-like row flips the decision to individual access")
+		return t
+	}
+	return pl
 }
 
 // diskSpeedConfig scales the disk bandwidth; fastSeek additionally collapses
@@ -166,23 +207,40 @@ func diskSpeedCellAuto(cfg pvfs.Config, n int64) (float64, int64) {
 // ExtraScaling measures aggregate list-I/O bandwidth as the server count
 // grows — the striping-scalability property PVFS exists for (the paper's
 // prior work [31] evaluates it on the same testbed).
-func ExtraScaling(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "extra-scaling",
-		Title:  "Aggregate bandwidth vs. I/O server count (4 clients, MB/s)",
-		Header: []string{"servers", "contig_write", "contig_read", "list_write", "list_read"},
-	}
+func ExtraScaling(o RunOpts) *Table { return ExtraScalingPlan(o).Table(o.Parallel) }
+
+// scalingResult carries one server count's four bandwidths.
+type scalingResult struct {
+	cw, cr, lw, lr float64
+}
+
+// ExtraScalingPlan is one cell per server count.
+func ExtraScalingPlan(o RunOpts) *Plan {
 	counts := []int{1, 2, 4, 8}
-	if short {
+	if o.Short {
 		counts = []int{1, 4}
 	}
+	pl := &Plan{}
 	for _, ns := range counts {
-		cw, cr, lw, lr := scalingCell(ns)
-		t.Add(ns, cw, cr, lw, lr)
+		pl.Cells = append(pl.Cells, cell(fmt.Sprintf("servers-%d", ns), func() scalingResult {
+			cw, cr, lw, lr := scalingCell(ns)
+			return scalingResult{cw, cr, lw, lr}
+		}))
 	}
-	t.Note("striping should scale bandwidth until the clients' links saturate")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "extra-scaling",
+			Title:  "Aggregate bandwidth vs. I/O server count (4 clients, MB/s)",
+			Header: []string{"servers", "contig_write", "contig_read", "list_write", "list_read"},
+		}
+		for i, ns := range counts {
+			r := results[i].(scalingResult)
+			t.Add(ns, r.cw, r.cr, r.lw, r.lr)
+		}
+		t.Note("striping should scale bandwidth until the clients' links saturate")
+		return t
+	}
+	return pl
 }
 
 func scalingCell(nServers int) (cw, cr, lw, lr float64) {
@@ -231,18 +289,21 @@ func scalingCell(nServers int) (cw, cr, lw, lr float64) {
 // application-controlled registration (explicit) and declared-allocation
 // registration — against the transparent Optimistic Group Registration the
 // paper chose. The subarray write of Table 4, steady state.
-func ExtraAppAware(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "extra-appaware",
-		Title:  "Application-aware registration alternatives, subarray write (MB/s)",
-		Header: []string{"scheme", "agg_MB_s", "regs", "app_changes"},
-	}
+func ExtraAppAware(o RunOpts) *Table { return ExtraAppAwarePlan(o).Table(o.Parallel) }
+
+// appAwareResult carries one registration scheme's measurements.
+type appAwareResult struct {
+	bw   float64
+	regs int64
+}
+
+// ExtraAppAwarePlan is one cell per registration scheme.
+func ExtraAppAwarePlan(o RunOpts) *Plan {
 	n := int64(2048)
-	if short {
+	if o.Short {
 		n = 1024
 	}
-	for _, sc := range []struct {
+	schemes := []struct {
 		name    string
 		reg     pvfs.RegPolicy
 		changes string
@@ -251,12 +312,29 @@ func ExtraAppAware(o RunOpts) *Table {
 		{"declared (4.2.1-2)", pvfs.RegDeclared, "declare allocation"},
 		{"OGR (chosen)", pvfs.RegOGR, "none"},
 		{"OGR + cache", pvfs.RegCached, "none"},
-	} {
-		bwv, regs := appAwareCell(n, sc.reg)
-		t.Add(sc.name, bwv, regs, sc.changes)
 	}
-	t.Note("OGR reaches the app-aware schemes' performance without any application change — the design argument of Section 4.2")
-	return t
+	pl := &Plan{}
+	for _, sc := range schemes {
+		reg := sc.reg
+		pl.Cells = append(pl.Cells, cell(sc.name, func() appAwareResult {
+			bwv, regs := appAwareCell(n, reg)
+			return appAwareResult{bwv, regs}
+		}))
+	}
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "extra-appaware",
+			Title:  "Application-aware registration alternatives, subarray write (MB/s)",
+			Header: []string{"scheme", "agg_MB_s", "regs", "app_changes"},
+		}
+		for i, sc := range schemes {
+			r := results[i].(appAwareResult)
+			t.Add(sc.name, r.bw, r.regs, sc.changes)
+		}
+		t.Note("OGR reaches the app-aware schemes' performance without any application change — the design argument of Section 4.2")
+		return t
+	}
+	return pl
 }
 
 func appAwareCell(n int64, reg pvfs.RegPolicy) (float64, int64) {
@@ -322,30 +400,50 @@ func appAwareCell(n int64, reg pvfs.RegPolicy) (float64, int64) {
 // discusses for OGR's fallback (Section 4.3): the custom system call
 // (≈70 µs per 1000 holes), reading /proc/$pid/maps (≈1100 µs), and a
 // mincore-style per-page probe. The OGR+Q scenario of Table 4.
-func ExtraQueryMethod(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "extra-querymethod",
-		Title:  "OS hole-query mechanisms in OGR's fallback (registration time, µs)",
-		Header: []string{"method", "reg_time_us", "regs"},
-	}
+func ExtraQueryMethod(o RunOpts) *Table { return ExtraQueryMethodPlan(o).Table(o.Parallel) }
+
+// queryResult carries one hole-query mechanism's measurements.
+type queryResult struct {
+	us   float64
+	regs int
+}
+
+// ExtraQueryMethodPlan is one cell per query mechanism.
+func ExtraQueryMethodPlan(o RunOpts) *Plan {
 	nseg := 1024
-	if short {
+	if o.Short {
 		nseg = 256
 	}
-	for _, m := range []struct {
+	methods := []struct {
 		name   string
 		method mem.QueryMethod
 	}{
 		{"custom syscall", mem.QuerySyscall},
 		{"/proc/pid/maps", mem.QueryProcMaps},
 		{"mincore probe", mem.QueryMincore},
-	} {
-		us, regs := queryMethodCell(nseg, m.method)
-		t.Add(m.name, us, regs)
 	}
-	t.Note("paper: ~70µs per 1000 holes via the kernel walk vs ~1100µs via /proc")
-	return t
+	pl := &Plan{}
+	for _, m := range methods {
+		method := m.method
+		pl.Cells = append(pl.Cells, cell(m.name, func() queryResult {
+			us, regs := queryMethodCell(nseg, method)
+			return queryResult{us, regs}
+		}))
+	}
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "extra-querymethod",
+			Title:  "OS hole-query mechanisms in OGR's fallback (registration time, µs)",
+			Header: []string{"method", "reg_time_us", "regs"},
+		}
+		for i, m := range methods {
+			r := results[i].(queryResult)
+			t.Add(m.name, r.us, r.regs)
+		}
+		t.Note("paper: ~70µs per 1000 holes via the kernel walk vs ~1100µs via /proc")
+		return t
+	}
+	return pl
 }
 
 func queryMethodCell(nseg int, method mem.QueryMethod) (float64, int) {

@@ -21,40 +21,56 @@ import (
 // row only appears if no data was lost. The table reports completion time
 // and the recovery layer's counters instead of bandwidth: the interesting
 // quantity is the price of each fault class, not the fabric's peak.
-func Faults(o RunOpts) *Table {
-	t := &Table{
-		ID:    "faults",
-		Title: "Recovery under injected faults: completion time and recovery work (4+4, 64x4kB per rank)",
-		Header: []string{"scenario", "wr_rate",
-			"time_ms", "retries", "timeouts", "fallbacks", "aborts", "qp_resets"},
-	}
+func Faults(o RunOpts) *Table { return FaultsPlan(o).Table(o.Parallel) }
+
+// FaultsPlan is one cell per error rate plus the storm cell; each cell
+// builds its own fault plan so nothing is shared across engines.
+func FaultsPlan(o RunOpts) *Plan {
 	rates := []float64{0, 0.005, 0.02, 0.05}
 	if o.Short {
 		rates = []float64{0, 0.02}
 	}
+	seed := o.Seed
+	pl := &Plan{}
 	for _, rate := range rates {
-		plan := &fault.Plan{Seed: o.Seed, WRErrorRate: rate}
-		if rate == 0 {
-			plan = nil
+		pl.Cells = append(pl.Cells, cell(fmt.Sprintf("wr-%.3f", rate), func() faultsResult {
+			var plan *fault.Plan
+			if rate != 0 {
+				plan = &fault.Plan{Seed: seed, WRErrorRate: rate}
+			}
+			return faultsCell(plan)
+		}))
+	}
+	pl.Cells = append(pl.Cells, cell("storm", func() faultsResult {
+		return faultsCell(&fault.Plan{
+			Seed:        seed,
+			WRErrorRate: 0.02,
+			RegFailRate: 0.2,
+			Cuts: []fault.Cut{
+				{A: 4, B: 1, At: 200 * time.Microsecond, Dur: 400 * time.Microsecond},
+			},
+			Crashes: []fault.Crash{
+				{Server: 2, At: 300 * time.Microsecond, Down: 600 * time.Microsecond},
+			},
+		})
+	}))
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:    "faults",
+			Title: "Recovery under injected faults: completion time and recovery work (4+4, 64x4kB per rank)",
+			Header: []string{"scenario", "wr_rate",
+				"time_ms", "retries", "timeouts", "fallbacks", "aborts", "qp_resets"},
 		}
-		r := faultsCell(plan)
-		t.Add("wr-errors", fmt.Sprintf("%.3f", rate), r.ms, r.s.Retries, r.s.Timeouts, r.s.Fallbacks, r.s.ServerAborts, r.s.QPResets)
+		for i, rate := range rates {
+			r := results[i].(faultsResult)
+			t.Add("wr-errors", fmt.Sprintf("%.3f", rate), r.ms, r.s.Retries, r.s.Timeouts, r.s.Fallbacks, r.s.ServerAborts, r.s.QPResets)
+		}
+		r := results[len(rates)].(faultsResult)
+		t.Add("storm", "0.020", r.ms, r.s.Retries, r.s.Timeouts, r.s.Fallbacks, r.s.ServerAborts, r.s.QPResets)
+		t.Note("all cells verified byte-identical read-back; time grows with fault rate while the data stays intact")
+		return t
 	}
-	storm := &fault.Plan{
-		Seed:        o.Seed,
-		WRErrorRate: 0.02,
-		RegFailRate: 0.2,
-		Cuts: []fault.Cut{
-			{A: 4, B: 1, At: 200 * time.Microsecond, Dur: 400 * time.Microsecond},
-		},
-		Crashes: []fault.Crash{
-			{Server: 2, At: 300 * time.Microsecond, Down: 600 * time.Microsecond},
-		},
-	}
-	r := faultsCell(storm)
-	t.Add("storm", "0.020", r.ms, r.s.Retries, r.s.Timeouts, r.s.Fallbacks, r.s.ServerAborts, r.s.QPResets)
-	t.Note("all cells verified byte-identical read-back; time grows with fault rate while the data stays intact")
-	return t
+	return pl
 }
 
 type faultsResult struct {

@@ -23,25 +23,36 @@ import (
 //	pack,reg          — ditto, but register/deregister the staging buffer
 //	gather,mult reg   — register every row separately, one gather write
 //	gather,one reg    — Optimistic Group Registration, one gather write
-func Fig3(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:    "fig3",
-		Title: "Noncontiguous transfer schemes, subarray write bandwidth (MB/s)",
-		Header: []string{"array", "contig_noreg", "multiple_noreg",
-			"pack_noreg", "pack_reg", "gather_multreg", "gather_onereg"},
-	}
+func Fig3(o RunOpts) *Table { return Fig3Plan(o).Table(o.Parallel) }
+
+// Fig3Plan decomposes Figure 3 into one cell per array size.
+func Fig3Plan(o RunOpts) *Plan {
 	sizes := []int64{256, 512, 1024, 2048, 4096}
-	if short {
+	if o.Short {
 		sizes = []int64{256, 1024}
 	}
+	pl := &Plan{}
 	for _, n := range sizes {
-		r := fig3Row(n, ib.DefaultParams())
-		t.Add(fmt.Sprintf("%dx%d", n, n),
-			r["contig"], r["multiple"], r["packnoreg"], r["packreg"], r["gathermult"], r["gatherone"])
+		pl.Cells = append(pl.Cells, cell(fmt.Sprintf("%dx%d", n, n), func() map[string]float64 {
+			return fig3Row(n, ib.DefaultParams())
+		}))
 	}
-	t.Note("paper shape: pack wins small arrays; gather,one reg approaches contiguous for large; gather,mult reg pays per-row registration")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:    "fig3",
+			Title: "Noncontiguous transfer schemes, subarray write bandwidth (MB/s)",
+			Header: []string{"array", "contig_noreg", "multiple_noreg",
+				"pack_noreg", "pack_reg", "gather_multreg", "gather_onereg"},
+		}
+		for i, n := range sizes {
+			r := results[i].(map[string]float64)
+			t.Add(fmt.Sprintf("%dx%d", n, n),
+				r["contig"], r["multiple"], r["packnoreg"], r["packreg"], r["gathermult"], r["gatherone"])
+		}
+		t.Note("paper shape: pack wins small arrays; gather,one reg approaches contiguous for large; gather,mult reg pays per-row registration")
+		return t
+	}
+	return pl
 }
 
 // fig3Row measures every scheme for one array size and returns bandwidths.

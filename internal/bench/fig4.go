@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mpi"
 	"pvfsib/internal/pvfs"
@@ -13,29 +15,49 @@ import (
 // in the final design. Four clients and four servers; each operation moves
 // 128 noncontiguous segments whose size sweeps 128 B .. 8 kB. Cache effects
 // are left in (the paper's first experiment set stresses the network).
-func Fig4(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:    "fig4",
-		Title: "List I/O transfer schemes, 128 segments, aggregate bandwidth (MB/s)",
-		Header: []string{"seg_bytes", "op",
-			"pack", "gather", "hybrid"},
-	}
+func Fig4(o RunOpts) *Table { return Fig4Plan(o).Table(o.Parallel) }
+
+// wrPair is a cell result carrying one write and one read bandwidth.
+type wrPair struct{ w, r float64 }
+
+// Fig4Plan decomposes Figure 4 into one cell per (segment size, scheme).
+func Fig4Plan(o RunOpts) *Plan {
 	sizes := []int64{128, 256, 512, 1024, 2048, 4096, 8192}
-	if short {
+	if o.Short {
 		sizes = []int64{128, 2048, 8192}
 	}
+	transfers := []pvfs.Transfer{pvfs.ForcePack, pvfs.ForceGather, pvfs.Hybrid}
+	pl := &Plan{}
 	for _, s := range sizes {
-		w := map[pvfs.Transfer]float64{}
-		r := map[pvfs.Transfer]float64{}
-		for _, tr := range []pvfs.Transfer{pvfs.ForcePack, pvfs.ForceGather, pvfs.Hybrid} {
-			w[tr], r[tr] = fig4Cell(s, tr)
+		for _, tr := range transfers {
+			pl.Cells = append(pl.Cells, cell(fmt.Sprintf("%dB/%d", s, tr), func() wrPair {
+				w, r := fig4Cell(s, tr)
+				return wrPair{w, r}
+			}))
 		}
-		t.Add(s, "write", w[pvfs.ForcePack], w[pvfs.ForceGather], w[pvfs.Hybrid])
-		t.Add(s, "read", r[pvfs.ForcePack], r[pvfs.ForceGather], r[pvfs.Hybrid])
 	}
-	t.Note("paper shape: pack wins small totals, gather wins large, hybrid tracks the winner (crossover at the 64kB stripe size)")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:    "fig4",
+			Title: "List I/O transfer schemes, 128 segments, aggregate bandwidth (MB/s)",
+			Header: []string{"seg_bytes", "op",
+				"pack", "gather", "hybrid"},
+		}
+		i := 0
+		for _, s := range sizes {
+			var w, r [3]float64
+			for j := range transfers {
+				pr := results[i].(wrPair)
+				i++
+				w[j], r[j] = pr.w, pr.r
+			}
+			t.Add(s, "write", w[0], w[1], w[2])
+			t.Add(s, "read", r[0], r[1], r[2])
+		}
+		t.Note("paper shape: pack wins small totals, gather wins large, hybrid tracks the winner (crossover at the 64kB stripe size)")
+		return t
+	}
+	return pl
 }
 
 // fig4Cell measures one (segment size, scheme) cell and returns write and

@@ -14,45 +14,66 @@ import (
 // block-column file view (each of 4 processes accesses 1 unit out of every
 // 4), for array sizes 512..8192, with the four access methods, with and
 // without sync. ROMIO Data Sieving degenerates to Multiple I/O for writes.
-func Fig6(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "fig6",
-		Title:  "Block-column WRITE bandwidth (MB/s)",
-		Header: []string{"array", "sync", "multiple", "datasieving", "listio", "listio+ads"},
-	}
-	for _, n := range blockColumnSizes(short) {
-		for _, withSync := range []bool{false, true} {
-			row := []any{fmt.Sprintf("%d", n), label(withSync, "sync", "nosync")}
-			for _, m := range methodList {
-				row = append(row, blockColumnWrite(n, m, withSync))
-			}
-			t.Add(row...)
-		}
-	}
-	t.Note("paper shape: list I/O beats ROMIO DS by 3.5-12x; ADS helps small arrays and merges with plain list I/O at 2048+")
-	return t
+func Fig6(o RunOpts) *Table { return Fig6Plan(o).Table(o.Parallel) }
+
+// Fig6Plan decomposes Figure 6 into one cell per (size, sync, method).
+func Fig6Plan(o RunOpts) *Plan {
+	return blockColumnPlan(o, "fig6", "Block-column WRITE bandwidth (MB/s)", "sync",
+		[]string{"nosync", "sync"},
+		func(n int64, variant int, m mpiio.Method) float64 {
+			return blockColumnWrite(n, m, variant == 1)
+		},
+		"paper shape: list I/O beats ROMIO DS by 3.5-12x; ADS helps small arrays and merges with plain list I/O at 2048+")
 }
 
 // Fig7 reproduces Figure 7: block-column reads, cached and uncached.
-func Fig7(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "fig7",
-		Title:  "Block-column READ bandwidth (MB/s)",
-		Header: []string{"array", "cache", "multiple", "datasieving", "listio", "listio+ads"},
-	}
-	for _, n := range blockColumnSizes(short) {
-		for _, cached := range []bool{true, false} {
-			row := []any{fmt.Sprintf("%d", n), label(cached, "cached", "uncached")}
+func Fig7(o RunOpts) *Table { return Fig7Plan(o).Table(o.Parallel) }
+
+// Fig7Plan decomposes Figure 7 into one cell per (size, cache, method).
+func Fig7Plan(o RunOpts) *Plan {
+	return blockColumnPlan(o, "fig7", "Block-column READ bandwidth (MB/s)", "cache",
+		[]string{"cached", "uncached"},
+		func(n int64, variant int, m mpiio.Method) float64 {
+			return blockColumnRead(n, m, variant == 0)
+		},
+		"paper shape: cached, ADS wins small arrays; uncached, DS is competitive until transfer overheads catch up at large sizes")
+}
+
+// blockColumnPlan is the shared (size x variant x method) decomposition of
+// Figures 6 and 7.
+func blockColumnPlan(o RunOpts, id, title, varCol string, variants []string,
+	run func(n int64, variant int, m mpiio.Method) float64, note string) *Plan {
+	sizes := blockColumnSizes(o.Short)
+	pl := &Plan{}
+	for _, n := range sizes {
+		for v := range variants {
 			for _, m := range methodList {
-				row = append(row, blockColumnRead(n, m, cached))
+				pl.Cells = append(pl.Cells, cell(fmt.Sprintf("%d/%s/%d", n, variants[v], m),
+					func() float64 { return run(n, v, m) }))
 			}
-			t.Add(row...)
 		}
 	}
-	t.Note("paper shape: cached, ADS wins small arrays; uncached, DS is competitive until transfer overheads catch up at large sizes")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     id,
+			Title:  title,
+			Header: []string{"array", varCol, "multiple", "datasieving", "listio", "listio+ads"},
+		}
+		i := 0
+		for _, n := range sizes {
+			for _, v := range variants {
+				row := []any{fmt.Sprintf("%d", n), v}
+				for range methodList {
+					row = append(row, results[i].(float64))
+					i++
+				}
+				t.Add(row...)
+			}
+		}
+		t.Note("%s", note)
+		return t
+	}
+	return pl
 }
 
 func blockColumnSizes(short bool) []int64 {
@@ -60,13 +81,6 @@ func blockColumnSizes(short bool) []int64 {
 		return []int64{512, 1024}
 	}
 	return []int64{512, 1024, 2048, 4096, 8192}
-}
-
-func label(b bool, yes, no string) string {
-	if b {
-		return yes
-	}
-	return no
 }
 
 // blockColumnWrite measures aggregate write bandwidth for one cell.

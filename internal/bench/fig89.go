@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"pvfsib/internal/mpi"
 	"pvfsib/internal/mpiio"
 	"pvfsib/internal/pvfs"
@@ -11,42 +13,54 @@ import (
 // Fig8 reproduces the paper's Figure 8: mpi-tile-io (2x2 display of
 // 1024x768 24-bit tiles, a 9 MB file) without disk effects — writes are not
 // synced and reads come from the servers' file caches.
-func Fig8(o RunOpts) *Table {
-	t := tileTable("fig8", "Tiled I/O without disk effects, bandwidth (MB/s)")
-	tileRows(t, false)
-	t.Note("paper shape: List+ADS ~5.7x Multiple for write, ~8.8x for read; 8.4%%/45%% over plain List I/O")
-	return t
+func Fig8(o RunOpts) *Table { return Fig8Plan(o).Table(o.Parallel) }
+
+// Fig8Plan decomposes Figure 8 into one cell per (op, method).
+func Fig8Plan(o RunOpts) *Plan {
+	return tilePlan("fig8", "Tiled I/O without disk effects, bandwidth (MB/s)", false,
+		"paper shape: List+ADS ~5.7x Multiple for write, ~8.8x for read; 8.4%/45% over plain List I/O")
 }
 
 // Fig9 reproduces Figure 9: the same accesses with disk effects — writes
 // synced to disk, reads from dropped caches.
-func Fig9(o RunOpts) *Table {
-	t := tileTable("fig9", "Tiled I/O with disk effects, bandwidth (MB/s)")
-	tileRows(t, true)
-	t.Note("paper shape: ADS still wins writes; for reads ROMIO DS overtakes when the disk dominates")
-	return t
+func Fig9(o RunOpts) *Table { return Fig9Plan(o).Table(o.Parallel) }
+
+// Fig9Plan decomposes Figure 9 into one cell per (op, method).
+func Fig9Plan(o RunOpts) *Plan {
+	return tilePlan("fig9", "Tiled I/O with disk effects, bandwidth (MB/s)", true,
+		"paper shape: ADS still wins writes; for reads ROMIO DS overtakes when the disk dominates")
 }
 
-func tileTable(id, title string) *Table {
-	return &Table{
-		ID:     id,
-		Title:  title,
-		Header: []string{"op", "multiple", "datasieving", "listio", "listio+ads"},
-	}
-}
-
-func tileRows(t *Table, diskEffects bool) {
-	wRow := []any{"write"}
-	rRow := []any{"read"}
+// tilePlan builds the shared write-row/read-row decomposition: one cell per
+// method for writes, then one per method for reads.
+func tilePlan(id, title string, diskEffects bool, note string) *Plan {
+	pl := &Plan{}
 	for _, m := range methodList {
-		wRow = append(wRow, tileWrite(m, diskEffects))
+		pl.Cells = append(pl.Cells, cell(fmt.Sprintf("write/%d", m),
+			func() float64 { return tileWrite(m, diskEffects) }))
 	}
 	for _, m := range methodList {
-		rRow = append(rRow, tileRead(m, !diskEffects))
+		pl.Cells = append(pl.Cells, cell(fmt.Sprintf("read/%d", m),
+			func() float64 { return tileRead(m, !diskEffects) }))
 	}
-	t.Rows = nil
-	t.Add(wRow...)
-	t.Add(rRow...)
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     id,
+			Title:  title,
+			Header: []string{"op", "multiple", "datasieving", "listio", "listio+ads"},
+		}
+		wRow := []any{"write"}
+		rRow := []any{"read"}
+		for i := range methodList {
+			wRow = append(wRow, results[i].(float64))
+			rRow = append(rRow, results[len(methodList)+i].(float64))
+		}
+		t.Add(wRow...)
+		t.Add(rRow...)
+		t.Note("%s", note)
+		return t
+	}
+	return pl
 }
 
 func tileWrite(m mpiio.Method, withSync bool) float64 {

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelIdentical pins the scheduler's core invariant: a table is a
+// function of (experiment, Short, Seed) only — the worker count changes
+// wall-clock time, never a byte of output. Cells run on private engines and
+// merge in canonical order, so -parallel 1 and -parallel 8 must agree
+// exactly, not approximately.
+func TestParallelIdentical(t *testing.T) {
+	for _, id := range []string{"fig4", "table4", "faults", "ablation-hybrid"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := e.Run(RunOpts{Short: true, Seed: 42, Parallel: 1}).JSON()
+		wide := e.Run(RunOpts{Short: true, Seed: 42, Parallel: 8}).JSON()
+		if serial != wide {
+			t.Errorf("%s: -parallel 1 and -parallel 8 output differ:\n%s", id, firstDiff(serial, wide))
+		}
+	}
+}
+
+// firstDiff returns the first differing line pair for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "serial: " + al[i] + "\nwide:   " + bl[i]
+		}
+	}
+	return "outputs have different lengths"
+}
+
+// TestCellPanicPropagates checks that a cell panic surfaces on the caller's
+// goroutine with the cell's key, on both the serial and pooled paths.
+func TestCellPanicPropagates(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		pl := &Plan{
+			Cells: []Cell{
+				cell("ok", func() int { return 1 }),
+				cell("boom", func() int { panic("cell exploded") }),
+				cell("ok2", func() int { return 2 }),
+			},
+			Merge: func(results []any) *Table { return &Table{ID: "x"} },
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallel=%d: expected panic", parallel)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, `cell "boom"`) {
+					t.Errorf("parallel=%d: panic %v should name the cell", parallel, r)
+				}
+			}()
+			pl.Table(parallel)
+		}()
+	}
+}

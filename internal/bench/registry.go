@@ -13,40 +13,47 @@ type RunOpts struct {
 	// fault plane); deterministic sweeps ignore it. The same seed always
 	// reproduces the same tables.
 	Seed int64
+	// Parallel bounds the cell worker pool; 0 or less means GOMAXPROCS.
+	// Every experiment's output is byte-identical for every value.
+	Parallel int
 }
 
-// Experiment is one reproducible table or figure.
+// Experiment is one reproducible table or figure, decomposed into
+// independent cells by its Plan.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(o RunOpts) *Table
+	Plan  func(o RunOpts) *Plan
 }
+
+// Run builds the experiment's plan and executes it on o.Parallel workers.
+func (e Experiment) Run(o RunOpts) *Table { return e.Plan(o).Table(o.Parallel) }
 
 // Registry lists every experiment in paper order, then the ablations.
 var Registry = []Experiment{
-	{"table2", "Network performance (Table 2)", Table2},
-	{"table3", "Local file system performance (Table 3)", Table3},
-	{"fig3", "Noncontiguous transfer schemes (Figure 3)", Fig3},
-	{"fig4", "List I/O transfer schemes (Figure 4)", Fig4},
-	{"table4", "Optimistic Group Registration impact (Table 4)", Table4},
-	{"fig6", "Block-column writes (Figure 6)", Fig6},
-	{"fig7", "Block-column reads (Figure 7)", Fig7},
-	{"fig8", "Tiled I/O without disk effects (Figure 8)", Fig8},
-	{"fig9", "Tiled I/O with disk effects (Figure 9)", Fig9},
-	{"table5", "NAS BTIO class A (Table 5)", Table5},
-	{"table6", "BTIO characteristics (Table 6)", Table6},
-	{"ablation-sge", "SGE limit sensitivity", AblationSGELimit},
-	{"ablation-hybrid", "Hybrid threshold sweep", AblationHybridThreshold},
-	{"ablation-adsmodel", "ADS cost-model decision quality", AblationADSModel},
-	{"ablation-ogrgroup", "OGR grouping strategies", AblationOGRGrouping},
-	{"ablation-network", "Transmission schemes vs. network generation", AblationNetwork},
-	{"ablation-regthrash", "Registration thrashing under pin limits", AblationRegThrash},
-	{"extra-noncontig", "ROMIO noncontig benchmark (paper ref [15])", ExtraNoncontig},
-	{"extra-diskspeed", "ADS decisions adapt to disk speed", ExtraDiskSpeed},
-	{"extra-scaling", "Bandwidth scaling with server count", ExtraScaling},
-	{"extra-appaware", "App-aware registration alternatives (Section 4.2.1)", ExtraAppAware},
-	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethod},
-	{"faults", "Recovery under injected faults (fault-plane sweep)", Faults},
+	{"table2", "Network performance (Table 2)", Table2Plan},
+	{"table3", "Local file system performance (Table 3)", Table3Plan},
+	{"fig3", "Noncontiguous transfer schemes (Figure 3)", Fig3Plan},
+	{"fig4", "List I/O transfer schemes (Figure 4)", Fig4Plan},
+	{"table4", "Optimistic Group Registration impact (Table 4)", Table4Plan},
+	{"fig6", "Block-column writes (Figure 6)", Fig6Plan},
+	{"fig7", "Block-column reads (Figure 7)", Fig7Plan},
+	{"fig8", "Tiled I/O without disk effects (Figure 8)", Fig8Plan},
+	{"fig9", "Tiled I/O with disk effects (Figure 9)", Fig9Plan},
+	{"table5", "NAS BTIO class A (Table 5)", Table5Plan},
+	{"table6", "BTIO characteristics (Table 6)", Table6Plan},
+	{"ablation-sge", "SGE limit sensitivity", AblationSGELimitPlan},
+	{"ablation-hybrid", "Hybrid threshold sweep", AblationHybridThresholdPlan},
+	{"ablation-adsmodel", "ADS cost-model decision quality", AblationADSModelPlan},
+	{"ablation-ogrgroup", "OGR grouping strategies", AblationOGRGroupingPlan},
+	{"ablation-network", "Transmission schemes vs. network generation", AblationNetworkPlan},
+	{"ablation-regthrash", "Registration thrashing under pin limits", AblationRegThrashPlan},
+	{"extra-noncontig", "ROMIO noncontig benchmark (paper ref [15])", ExtraNoncontigPlan},
+	{"extra-diskspeed", "ADS decisions adapt to disk speed", ExtraDiskSpeedPlan},
+	{"extra-scaling", "Bandwidth scaling with server count", ExtraScalingPlan},
+	{"extra-appaware", "App-aware registration alternatives (Section 4.2.1)", ExtraAppAwarePlan},
+	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethodPlan},
+	{"faults", "Recovery under injected faults (fault-plane sweep)", FaultsPlan},
 }
 
 // Lookup finds an experiment by id.

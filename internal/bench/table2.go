@@ -11,103 +11,125 @@ import (
 // Table2 reproduces the paper's Table 2: raw network performance — 4-byte
 // one-way latency and large-message bandwidth for VAPI RDMA write, VAPI
 // RDMA read, and the MPI layer (the paper's MVAPICH).
-func Table2(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "table2",
-		Title:  "Network performance (paper: write 6.0µs/827MB/s, read 12.4µs/816MB/s, MPI 6.8µs/822MB/s)",
-		Header: []string{"transport", "latency_us", "bandwidth_MB_s"},
-	}
+func Table2(o RunOpts) *Table { return Table2Plan(o).Table(o.Parallel) }
+
+// latBW is a cell result carrying one latency (µs) and one bandwidth (MB/s).
+type latBW struct{ latUS, bw float64 }
+
+// Table2Plan decomposes Table 2 into one cell per transport.
+func Table2Plan(o RunOpts) *Plan {
 	bigSize := int64(64 * MB)
-	if short {
+	if o.Short {
 		bigSize = 8 * MB
 	}
-
-	// VAPI RDMA write: one-way latency via the delivery hook, bandwidth
-	// from initiator completion of one large write.
-	{
-		eng := sim.NewEngine()
-		net := simnet.New(eng, simnet.DefaultParams())
-		a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
-		b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
-		qa, _ := ib.Connect(a, b)
-		src := a.Space().Malloc(bigSize)
-		dst := b.Space().Malloc(bigSize)
-		var lat, elapsed sim.Duration
-		eng.Go("app", func(p *sim.Proc) {
-			mrB, err := b.Register(p, mem.Extent{Addr: dst, Len: bigSize})
-			sim.Must(err)
-			mrA, err := a.Register(p, mem.Extent{Addr: src, Len: bigSize})
-			sim.Must(err)
-			t0 := p.Now()
-			b.OnRDMAWriteApplied = func(mem.Addr, int64) { lat = p.Engine().Now().Sub(t0) }
-			sim.Must(qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: 4}}, dst, mrB.Key))
-			p.Sleep(sim.Duration(100) * 1000) // drain
-			b.OnRDMAWriteApplied = nil
-			t0 = p.Now()
-			sim.Must(qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: bigSize}}, dst, mrB.Key))
-			elapsed = p.Now().Sub(t0)
-			sim.Must(a.Deregister(p, mrA))
-			sim.Must(b.Deregister(p, mrB))
-		})
-		runTolerant(eng)
-		t.Add("VAPI RDMA Write", float64(lat.Nanoseconds())/1000, bw(bigSize, elapsed))
+	pl := &Plan{
+		Cells: []Cell{
+			cell("rdma-write", func() latBW { return table2Write(bigSize) }),
+			cell("rdma-read", func() latBW { return table2Read(bigSize) }),
+			cell("mpi", func() latBW { return table2MPI(bigSize) }),
+		},
 	}
-
-	// VAPI RDMA read: latency and bandwidth from initiator completion.
-	{
-		eng := sim.NewEngine()
-		net := simnet.New(eng, simnet.DefaultParams())
-		a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
-		b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
-		qa, _ := ib.Connect(a, b)
-		dst := a.Space().Malloc(bigSize)
-		src := b.Space().Malloc(bigSize)
-		var lat, elapsed sim.Duration
-		eng.Go("app", func(p *sim.Proc) {
-			mrB, err := b.Register(p, mem.Extent{Addr: src, Len: bigSize})
-			sim.Must(err)
-			mrA, err := a.Register(p, mem.Extent{Addr: dst, Len: bigSize})
-			sim.Must(err)
-			t0 := p.Now()
-			sim.Must(qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: 4}}, src, mrB.Key))
-			lat = p.Now().Sub(t0)
-			t0 = p.Now()
-			sim.Must(qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: bigSize}}, src, mrB.Key))
-			elapsed = p.Now().Sub(t0)
-			sim.Must(a.Deregister(p, mrA))
-			sim.Must(b.Deregister(p, mrB))
-		})
-		runTolerant(eng)
-		t.Add("VAPI RDMA Read", float64(lat.Nanoseconds())/1000, bw(bigSize, elapsed))
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "table2",
+			Title:  "Network performance (paper: write 6.0µs/827MB/s, read 12.4µs/816MB/s, MPI 6.8µs/822MB/s)",
+			Header: []string{"transport", "latency_us", "bandwidth_MB_s"},
+		}
+		labels := []string{"VAPI RDMA Write", "VAPI RDMA Read", "MVAPICH (MPI)"}
+		for i, label := range labels {
+			r := results[i].(latBW)
+			t.Add(label, r.latUS, r.bw)
+		}
+		return t
 	}
+	return pl
+}
 
-	// MPI (MVAPICH): one-way latency and bandwidth at the receiver.
-	{
-		eng := sim.NewEngine()
-		net := simnet.New(eng, simnet.DefaultParams())
-		a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
-		b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
-		w := mpi.NewWorld(eng, []*ib.HCA{a, b}, nil)
-		var lat, elapsed sim.Duration
-		eng.Go("send", func(p *sim.Proc) {
-			w.Rank(0).Send(p, 1, []byte{1, 2, 3, 4})
-			w.Rank(0).Recv(p, 1) // sync before bandwidth phase
-			w.Rank(0).Send(p, 1, make([]byte, bigSize))
-		})
-		eng.Go("recv", func(p *sim.Proc) {
-			w.Rank(1).Recv(p, 0)
-			lat = sim.Duration(p.Now())
-			t0 := p.Now()
-			w.Rank(1).Send(p, 0, nil)
-			t0 = p.Now()
-			w.Rank(1).Recv(p, 0)
-			elapsed = p.Now().Sub(t0)
-		})
-		runTolerant(eng)
-		t.Add("MVAPICH (MPI)", float64(lat.Nanoseconds())/1000, bw(bigSize, elapsed))
-	}
-	return t
+// table2Write measures VAPI RDMA write: one-way latency via the delivery
+// hook, bandwidth from initiator completion of one large write.
+func table2Write(bigSize int64) latBW {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
+	b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
+	qa, _ := ib.Connect(a, b)
+	src := a.Space().Malloc(bigSize)
+	dst := b.Space().Malloc(bigSize)
+	var lat, elapsed sim.Duration
+	eng.Go("app", func(p *sim.Proc) {
+		mrB, err := b.Register(p, mem.Extent{Addr: dst, Len: bigSize})
+		sim.Must(err)
+		mrA, err := a.Register(p, mem.Extent{Addr: src, Len: bigSize})
+		sim.Must(err)
+		t0 := p.Now()
+		b.OnRDMAWriteApplied = func(mem.Addr, int64) { lat = p.Engine().Now().Sub(t0) }
+		sim.Must(qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: 4}}, dst, mrB.Key))
+		p.Sleep(sim.Duration(100) * 1000) // drain
+		b.OnRDMAWriteApplied = nil
+		t0 = p.Now()
+		sim.Must(qa.RDMAWrite(p, []ib.SGE{{Addr: src, Len: bigSize}}, dst, mrB.Key))
+		elapsed = p.Now().Sub(t0)
+		sim.Must(a.Deregister(p, mrA))
+		sim.Must(b.Deregister(p, mrB))
+	})
+	runTolerant(eng)
+	return latBW{float64(lat.Nanoseconds()) / 1000, bw(bigSize, elapsed)}
+}
+
+// table2Read measures VAPI RDMA read: latency and bandwidth from initiator
+// completion.
+func table2Read(bigSize int64) latBW {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
+	b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
+	qa, _ := ib.Connect(a, b)
+	dst := a.Space().Malloc(bigSize)
+	src := b.Space().Malloc(bigSize)
+	var lat, elapsed sim.Duration
+	eng.Go("app", func(p *sim.Proc) {
+		mrB, err := b.Register(p, mem.Extent{Addr: src, Len: bigSize})
+		sim.Must(err)
+		mrA, err := a.Register(p, mem.Extent{Addr: dst, Len: bigSize})
+		sim.Must(err)
+		t0 := p.Now()
+		sim.Must(qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: 4}}, src, mrB.Key))
+		lat = p.Now().Sub(t0)
+		t0 = p.Now()
+		sim.Must(qa.RDMARead(p, []ib.SGE{{Addr: dst, Len: bigSize}}, src, mrB.Key))
+		elapsed = p.Now().Sub(t0)
+		sim.Must(a.Deregister(p, mrA))
+		sim.Must(b.Deregister(p, mrB))
+	})
+	runTolerant(eng)
+	return latBW{float64(lat.Nanoseconds()) / 1000, bw(bigSize, elapsed)}
+}
+
+// table2MPI measures the MPI layer: one-way latency and bandwidth at the
+// receiver.
+func table2MPI(bigSize int64) latBW {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
+	b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
+	w := mpi.NewWorld(eng, []*ib.HCA{a, b}, nil)
+	var lat, elapsed sim.Duration
+	eng.Go("send", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, []byte{1, 2, 3, 4})
+		w.Rank(0).Recv(p, 1) // sync before bandwidth phase
+		w.Rank(0).Send(p, 1, make([]byte, bigSize))
+	})
+	eng.Go("recv", func(p *sim.Proc) {
+		w.Rank(1).Recv(p, 0)
+		lat = sim.Duration(p.Now())
+		t0 := p.Now()
+		w.Rank(1).Send(p, 0, nil)
+		t0 = p.Now()
+		w.Rank(1).Recv(p, 0)
+		elapsed = p.Now().Sub(t0)
+	})
+	runTolerant(eng)
+	return latBW{float64(lat.Nanoseconds()) / 1000, bw(bigSize, elapsed)}
 }
 
 // runTolerant drives an engine, ignoring forever-parked infrastructure,

@@ -22,23 +22,43 @@ import (
 //	OGR    — Optimistic Group Registration (one registration)
 //	OGR+Q  — buffers from 11 separate arrays with 10 unallocated holes,
 //	         forcing the optimistic attempt to fail and query the OS
-func Table4(o RunOpts) *Table {
-	short := o.Short
-	t := &Table{
-		ID:     "table4",
-		Title:  "Optimistic Group Registration impact (paper: Ideal 1010/82, Indiv 424/73, OGR 950/~82, OGR+Q 879/~82 MB/s; regs 0/1024/1/11)",
-		Header: []string{"case", "nosync_MB_s", "sync_MB_s", "regs", "overhead_us"},
-	}
+func Table4(o RunOpts) *Table { return Table4Plan(o).Table(o.Parallel) }
+
+// table4Result carries one registration case's measurements.
+type table4Result struct {
+	nosync, syncBW float64
+	regs           int64
+	overheadUS     float64
+}
+
+// Table4Plan decomposes Table 4 into one cell per registration case.
+func Table4Plan(o RunOpts) *Plan {
 	n := int64(2048)
-	if short {
+	if o.Short {
 		n = 1024
 	}
-	for _, c := range []string{"Ideal", "Indiv.", "OGR", "OGR+Q"} {
-		nosync, syncBW, regs, overhead := table4Case(c, n)
-		t.Add(c, nosync, syncBW, regs, overhead)
+	cases := []string{"Ideal", "Indiv.", "OGR", "OGR+Q"}
+	pl := &Plan{}
+	for _, c := range cases {
+		pl.Cells = append(pl.Cells, cell(c, func() table4Result {
+			nosync, syncBW, regs, overhead := table4Case(c, n)
+			return table4Result{nosync, syncBW, regs, overhead}
+		}))
 	}
-	t.Note("regs counts actual pin operations per run; overhead is registration+deregistration virtual time per run")
-	return t
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "table4",
+			Title:  "Optimistic Group Registration impact (paper: Ideal 1010/82, Indiv 424/73, OGR 950/~82, OGR+Q 879/~82 MB/s; regs 0/1024/1/11)",
+			Header: []string{"case", "nosync_MB_s", "sync_MB_s", "regs", "overhead_us"},
+		}
+		for i, c := range cases {
+			r := results[i].(table4Result)
+			t.Add(c, r.nosync, r.syncBW, r.regs, r.overheadUS)
+		}
+		t.Note("regs counts actual pin operations per run; overhead is registration+deregistration virtual time per run")
+		return t
+	}
+	return pl
 }
 
 func table4Case(kind string, n int64) (nosync, syncBW float64, regs int64, overheadUS float64) {

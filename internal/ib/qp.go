@@ -40,6 +40,7 @@ type HCA struct {
 	nextQPNum  uint32
 	nextReadID uint64
 	reads      map[uint64]*sim.Mailbox
+	readMBFree []*sim.Mailbox // drained reply mailboxes, reused across reads
 
 	faults FaultInjector
 	down   bool
@@ -154,61 +155,87 @@ type wireRDMAReadResp struct {
 // are discarded instead of failing the simulation. A down adapter discards
 // everything: in-flight requests to a crashed daemon die silently.
 func (h *HCA) dispatch(p *sim.Proc) {
+	net := h.node.Network()
 	for {
 		m := h.node.Inbox.Recv(p).(*simnet.Message)
 		if h.down {
-			continue
+			h.discard(m)
+		} else {
+			h.handleWire(p, m)
 		}
-		switch w := m.Payload.(type) {
-		case *wireSend:
-			q, ok := h.qps[w.dstQP]
-			if !ok {
-				sim.Failf("ib: %s: send to unknown QP %d", h.node.Name, w.dstQP)
-			}
-			q.inbox.Send(w)
-		case *wireRDMAWrite:
-			mr := h.lookup(w.rkey)
-			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
-				if h.faults != nil {
-					continue // stale write from a failed epoch; NAK and drop
-				}
-				sim.Failf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey)
-			}
-			if err := h.space.Write(w.raddr, w.data); err != nil {
-				sim.Failf("ib: %s: RDMA write fault: %v", h.node.Name, err)
-			}
-			if h.OnRDMAWriteApplied != nil {
-				h.OnRDMAWriteApplied(w.raddr, int64(len(w.data)))
-			}
-		case *wireRDMAReadReq:
-			mr := h.lookup(w.rkey)
-			if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
-				if h.faults != nil {
-					continue // stale read from a failed epoch; initiator times out
-				}
-				sim.Failf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey)
-			}
-			data, err := h.space.Read(w.raddr, w.size)
-			if err != nil {
-				sim.Failf("ib: %s: RDMA read fault: %v", h.node.Name, err)
-			}
-			p.Sleep(h.params.ReadTurnaround)
-			if err := h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data}); err != nil {
-				continue // partitioned mid-read; the initiator times out
-			}
-		case *wireRDMAReadResp:
-			mb, ok := h.reads[w.id]
-			if !ok {
-				if h.faults != nil {
-					continue // response for a read that already timed out
-				}
-				sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
-			}
-			delete(h.reads, w.id)
-			mb.Send(w.data)
-		default:
-			sim.Failf("ib: %s: unknown wire message %T", h.node.Name, m.Payload)
+		net.Recycle(m)
+	}
+}
+
+// scratch is the cell-wide staging-buffer pool shared by every HCA on the
+// fabric (single-threaded under the cell's engine).
+func (h *HCA) scratch() *mem.ScratchPool { return &h.node.Network().Scratch }
+
+// discard frees the pooled staging of a message a down adapter throws away.
+func (h *HCA) discard(m *simnet.Message) {
+	switch w := m.Payload.(type) {
+	case *wireRDMAWrite:
+		h.scratch().Put(w.data)
+	case *wireRDMAReadResp:
+		h.scratch().Put(w.data)
+	}
+}
+
+// handleWire processes one inbound wire message on a live adapter.
+func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
+	switch w := m.Payload.(type) {
+	case *wireSend:
+		q, ok := h.qps[w.dstQP]
+		if !ok {
+			sim.Failf("ib: %s: send to unknown QP %d", h.node.Name, w.dstQP)
 		}
+		q.inbox.Send(w)
+	case *wireRDMAWrite:
+		mr := h.lookup(w.rkey)
+		if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
+			if h.faults != nil {
+				h.scratch().Put(w.data)
+				return // stale write from a failed epoch; NAK and drop
+			}
+			sim.Failf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey)
+		}
+		if err := h.space.Write(w.raddr, w.data); err != nil {
+			sim.Failf("ib: %s: RDMA write fault: %v", h.node.Name, err)
+		}
+		if h.OnRDMAWriteApplied != nil {
+			h.OnRDMAWriteApplied(w.raddr, int64(len(w.data)))
+		}
+		h.scratch().Put(w.data)
+	case *wireRDMAReadReq:
+		mr := h.lookup(w.rkey)
+		if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
+			if h.faults != nil {
+				return // stale read from a failed epoch; initiator times out
+			}
+			sim.Failf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey)
+		}
+		data := h.scratch().Get(int(w.size))
+		if err := h.space.ReadInto(w.raddr, data); err != nil {
+			sim.Failf("ib: %s: RDMA read fault: %v", h.node.Name, err)
+		}
+		p.Sleep(h.params.ReadTurnaround)
+		if err := h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data}); err != nil {
+			h.scratch().Put(data)
+			return // partitioned mid-read; the initiator times out
+		}
+	case *wireRDMAReadResp:
+		mb, ok := h.reads[w.id]
+		if !ok {
+			if h.faults != nil {
+				h.scratch().Put(w.data)
+				return // response for a read that already timed out
+			}
+			sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
+		}
+		delete(h.reads, w.id)
+		mb.Send(w.data)
+	default:
+		sim.Failf("ib: %s: unknown wire message %T", h.node.Name, m.Payload)
 	}
 }
 
@@ -251,6 +278,22 @@ func (q *QP) RecvTimeout(p *sim.Proc, d sim.Duration) (int, any, bool) {
 	w := v.(*wireSend)
 	return w.size, w.payload, true
 }
+
+// getReadMB returns a drained reply mailbox from the free list, or a fresh
+// one. Each outstanding RDMA read holds one until its response (or timeout).
+func (h *HCA) getReadMB() *sim.Mailbox {
+	if n := len(h.readMBFree); n > 0 {
+		mb := h.readMBFree[n-1]
+		h.readMBFree[n-1] = nil
+		h.readMBFree = h.readMBFree[:n-1]
+		return mb
+	}
+	return h.engine().NewMailbox(fmt.Sprintf("read[%s]", h.node.Name))
+}
+
+// putReadMB recycles a reply mailbox. The caller must guarantee it is empty
+// and unreferenced by h.reads, so no late sender can reach it.
+func (h *HCA) putReadMB(mb *sim.Mailbox) { h.readMBFree = append(h.readMBFree, mb) }
 
 // sgeCost returns the initiator-side DMA setup time for a gather list.
 func (h *HCA) sgeCost(sges []SGE) sim.Duration {
@@ -299,15 +342,19 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 		wr := sges[:n]
 		sges = sges[n:]
 		size := TotalLen(wr)
-		data := make([]byte, 0, size)
+		// Gather into one pooled staging buffer; the receiving dispatch
+		// recycles it after scattering into host memory.
+		data := h.scratch().Get(int(size))
+		off := 0
 		for _, s := range wr {
-			b, err := h.space.Read(s.Addr, s.Len)
-			if err != nil {
+			if err := h.space.ReadInto(s.Addr, data[off:off+int(s.Len)]); err != nil {
+				h.scratch().Put(data)
 				return fmt.Errorf("ib: %s: RDMA write gather fault: %w", h.node.Name, err)
 			}
-			data = append(data, b...)
+			off += int(s.Len)
 		}
 		if err := q.wrFault(p, "rdma-write"); err != nil {
+			h.scratch().Put(data)
 			return err
 		}
 		p.Sleep(h.sgeCost(wr))
@@ -316,6 +363,7 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 		err := h.node.Send(p, q.remote, int(size)+wireHeader,
 			&wireRDMAWrite{raddr: raddr + mem.Addr(offset), rkey: rkey, data: data})
 		if err != nil {
+			h.scratch().Put(data) // dropped on the wire; never reached the peer
 			return q.wireFault("rdma-write", err)
 		}
 		p.Sleep(h.params.WROverhead)
@@ -348,7 +396,7 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		}
 		h.nextReadID++
 		id := h.nextReadID
-		mb := h.engine().NewMailbox(fmt.Sprintf("read[%s.%d]", h.node.Name, id))
+		mb := h.getReadMB()
 		h.reads[id] = mb
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAReads++
@@ -365,7 +413,10 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 			// or the return path partitioned): bound the wait.
 			v, ok := mb.RecvTimeout(p, h.params.WRTimeout)
 			if !ok {
+				// The reads entry is gone, so a late response is discarded
+				// in dispatch and never lands in the recycled mailbox.
 				delete(h.reads, id)
+				h.putReadMB(mb)
 				q.state = QPError
 				h.Counters.WRErrors++
 				return &WCError{Status: WCResponseTimeout, Op: "rdma-read"}
@@ -374,12 +425,16 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		} else {
 			data = mb.Recv(p).([]byte)
 		}
+		h.putReadMB(mb)
+		buf := data
 		for _, s := range wr {
 			if err := h.space.Write(s.Addr, data[:s.Len]); err != nil {
+				h.scratch().Put(buf)
 				return fmt.Errorf("ib: %s: RDMA read scatter fault: %w", h.node.Name, err)
 			}
 			data = data[s.Len:]
 		}
+		h.scratch().Put(buf)
 		offset += size
 	}
 	return nil

@@ -256,3 +256,66 @@ func (s *AddrSpace) ReadInto(addr Addr, dst []byte) error {
 
 // AllocatedPages reports the number of currently allocated pages.
 func (s *AddrSpace) AllocatedPages() int { return len(s.pages) }
+
+// ScratchPool recycles transient byte buffers by power-of-two size class:
+// RDMA gather staging, read responses, and similar copies that live only for
+// one hop. It is not safe for concurrent use; each simulation cell owns its
+// own pool, serialized by the engine's one-process-at-a-time execution.
+const (
+	scratchMinBits   = 6  // 64 B smallest class
+	scratchMaxBits   = 26 // 64 MiB largest pooled class
+	scratchClasses   = scratchMaxBits - scratchMinBits + 1
+	scratchClassKeep = 64 // buffers retained per class
+)
+
+type ScratchPool struct {
+	classes [scratchClasses][][]byte
+
+	// Gets and Hits count requests and free-list hits, for tests and the
+	// allocation-trajectory numbers in BENCH_smoke.json.
+	Gets, Hits int64
+}
+
+// scratchClass returns the index of the smallest class holding n bytes.
+func scratchClass(n int) int {
+	c := 0
+	for sz := 1 << scratchMinBits; sz < n; sz <<= 1 {
+		c++
+	}
+	return c
+}
+
+// Get returns a length-n buffer with undefined contents. Requests beyond the
+// largest class fall back to a plain allocation that Put will decline.
+func (p *ScratchPool) Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	p.Gets++
+	if n > 1<<scratchMaxBits {
+		return make([]byte, n)
+	}
+	c := scratchClass(n)
+	if l := p.classes[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.classes[c] = l[:len(l)-1]
+		p.Hits++
+		return b[:n]
+	}
+	return make([]byte, n, 1<<(scratchMinBits+c))
+}
+
+// Put returns a buffer obtained from Get to its size class. Ownership must
+// be unique: recycling a buffer still referenced elsewhere corrupts a later
+// Get. Buffers that are not pool-shaped (wrong capacity) are left to the GC.
+func (p *ScratchPool) Put(b []byte) {
+	c := cap(b)
+	if c < 1<<scratchMinBits || c > 1<<scratchMaxBits || c&(c-1) != 0 {
+		return
+	}
+	cl := scratchClass(c)
+	if len(p.classes[cl]) < scratchClassKeep {
+		p.classes[cl] = append(p.classes[cl], b[:0])
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventHeap measures the engine's raw event turnover: a chain of
+// timed callbacks, each scheduling its successor. Exercises the event free
+// list and the heap push/pop path.
+func BenchmarkEventHeap(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(time.Microsecond, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventHeapReady measures the zero-delay fast path: callbacks due
+// at the current instant go through the ready FIFO, not the heap.
+func BenchmarkEventHeapReady(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(0, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMailbox measures a ping-pong between two processes over two
+// mailboxes: each round trip is two sends, two receives, and two
+// park/wake cycles.
+func BenchmarkMailbox(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	req := e.NewMailbox("req")
+	rsp := e.NewMailbox("rsp")
+	e.Go("server", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			rsp.Send(req.Recv(p))
+		}
+	})
+	b.ResetTimer()
+	e.Go("client", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			req.Send(i)
+			rsp.Recv(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResource measures contended acquire/release: two processes
+// sharing a capacity-1 resource, so every acquisition after the first
+// parks and is woken by the peer's release.
+func BenchmarkResource(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	r := e.NewResource("lock", 1)
+	worker := func(p *Proc) {
+		for i := 0; i < b.N/2; i++ {
+			r.Acquire(p)
+			p.Yield()
+			r.Release()
+		}
+	}
+	b.ResetTimer()
+	e.Go("a", worker)
+	e.Go("b", worker)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -19,6 +19,11 @@
 //
 // Synchronization primitives (Mailbox, Resource, WaitGroup, Cond) are built
 // on the park/wake mechanism and never consume virtual time by themselves.
+//
+// The inner loop is allocation-free in steady state: event structs are
+// recycled through a free list, every process carries its own reusable wake
+// event (a parked process has at most one pending resume), and events due at
+// the current instant bypass the heap through a FIFO ready queue.
 package sim
 
 import (
@@ -48,11 +53,17 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration between t and u (t - u).
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Exactly one of fn, afn, or proc is set: fn
+// is a plain closure, afn+arg is the closure-free form (AfterCall), and proc
+// marks a process wake event living inside its Proc (never recycled here).
 type event struct {
-	t   Time
-	seq uint64 // tie-break so equal-time events run FIFO
-	fn  func()
+	t    Time
+	seq  uint64 // tie-break so equal-time events run FIFO
+	fn   func()
+	afn  func(any)
+	arg  any
+	proc *Proc
+	next *event // free-list link
 }
 
 type eventHeap []*event
@@ -64,10 +75,16 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)      { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() *event     { return h[0] }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
 func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
 func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
 
@@ -75,10 +92,19 @@ func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
 type Engine struct {
 	now    Time
 	events eventHeap
-	seq    uint64
+	// ready holds events due at the current instant, in seq order. Any
+	// event created for t == now necessarily carries a larger seq than
+	// every pending event, so FIFO append preserves (t, seq) order while
+	// skipping the heap's log-n push/pop — the common case for wakes,
+	// zero-delay yields, and same-instant handoffs.
+	ready     []*event
+	readyHead int
+	seq       uint64
+	free      *event // recycled fn/afn events
 
 	yield   chan struct{} // a running proc signals here when it parks or exits
-	parked  map[*Proc]struct{}
+	procs   []*Proc       // spawned and not yet finished
+	nParked int
 	live    int // processes spawned and not yet finished
 	stopped bool
 	killed  bool
@@ -89,31 +115,68 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and no events.
 func NewEngine() *Engine {
 	return &Engine{
-		yield:  make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Schedule runs fn at time t (not before the current time).
-func (e *Engine) Schedule(t Time, fn func()) {
+// alloc returns a recycled event or a fresh one.
+func (e *Engine) alloc() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{}
+}
+
+// scheduleEv stamps the event's time and sequence and enqueues it.
+func (e *Engine) scheduleEv(ev *event, t Time) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	e.events.pushEv(&event{t: t, seq: e.seq, fn: fn})
+	ev.t, ev.seq = t, e.seq
+	if t == e.now {
+		e.ready = append(e.ready, ev)
+	} else {
+		e.events.pushEv(ev)
+	}
+}
+
+// Schedule runs fn at time t (not before the current time).
+func (e *Engine) Schedule(t Time, fn func()) {
+	ev := e.alloc()
+	ev.fn = fn
+	e.scheduleEv(ev, t)
 }
 
 // After runs fn d from now.
 func (e *Engine) After(d Duration, fn func()) { e.Schedule(e.now.Add(d), fn) }
+
+// AfterCall runs fn(arg) d from now. Passing a package-level function and an
+// already-live argument keeps hot paths free of per-call closure allocations;
+// it is otherwise identical to After.
+func (e *Engine) AfterCall(d Duration, fn func(any), arg any) {
+	ev := e.alloc()
+	ev.afn, ev.arg = fn, arg
+	e.scheduleEv(ev, e.now.Add(d))
+}
 
 // Proc is the handle a simulation process uses to interact with virtual time.
 type Proc struct {
 	eng    *Engine
 	name   string
 	resume chan struct{}
+	// wakeEv is the process's reusable wake slot: a blocked process has at
+	// most one pending resume, so its transfer event never needs the
+	// engine's free list, let alone a fresh allocation.
+	wakeEv   event
+	parked   bool
+	sleeping bool // parked with the wake slot already queued (Sleep)
+	idx      int  // position in eng.procs, for O(1) removal
 }
 
 // Engine returns the engine this process runs on.
@@ -134,6 +197,9 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 // GoAt spawns a new process that begins executing at time t.
 func (e *Engine) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p.wakeEv.proc = p
+	p.idx = len(e.procs)
+	e.procs = append(e.procs, p)
 	e.live++
 	go func() {
 		<-p.resume // wait for the engine to hand us the run token
@@ -142,12 +208,24 @@ func (e *Engine) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 				e.panicked = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
 			}
 			e.live--
+			e.unregister(p)
 			e.yield <- struct{}{}
 		}()
 		fn(p)
 	}()
-	e.Schedule(t, func() { e.transferTo(p) })
+	e.scheduleEv(&p.wakeEv, t)
 	return p
+}
+
+// unregister removes a finished process from the live list. It runs on the
+// process's goroutine while the engine is blocked on the yield handshake, so
+// the mutation is ordered before the engine resumes.
+func (e *Engine) unregister(p *Proc) {
+	last := len(e.procs) - 1
+	e.procs[p.idx] = e.procs[last]
+	e.procs[p.idx].idx = p.idx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
 }
 
 // transferTo hands the run token to p and waits for it to park or finish.
@@ -159,10 +237,12 @@ func (e *Engine) transferTo(p *Proc) {
 // park suspends the calling process until something wakes it. It must only
 // be called from within the process's own goroutine.
 func (p *Proc) park() {
-	p.eng.parked[p] = struct{}{}
-	p.eng.yield <- struct{}{}
+	e := p.eng
+	p.parked = true
+	e.nParked++
+	e.yield <- struct{}{}
 	<-p.resume
-	if p.eng.killed {
+	if e.killed {
 		runtime.Goexit() // deferred wrapper signals the engine
 	}
 }
@@ -170,11 +250,17 @@ func (p *Proc) park() {
 // wake schedules p to resume at the current virtual time. It is an error to
 // wake a process that is not parked.
 func (e *Engine) wake(p *Proc) {
-	if _, ok := e.parked[p]; !ok {
+	if !p.parked {
 		panic(fmt.Sprintf("sim: wake of non-parked process %q", p.name))
 	}
-	delete(e.parked, p)
-	e.Schedule(e.now, func() { e.transferTo(p) })
+	if p.sleeping {
+		// The wake slot is already queued for the sleep expiry; enqueueing
+		// it twice would corrupt the timeline.
+		panic(fmt.Sprintf("sim: wake of sleeping process %q", p.name))
+	}
+	p.parked = false
+	e.nParked--
+	e.scheduleEv(&p.wakeEv, e.now)
 }
 
 // Sleep advances the process's virtual time by d. Negative durations are
@@ -184,11 +270,10 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	e := p.eng
-	e.parked[p] = struct{}{}
-	e.Schedule(e.now.Add(d), func() {
-		delete(e.parked, p)
-		e.transferTo(p)
-	})
+	p.parked = true
+	p.sleeping = true
+	e.nParked++
+	e.scheduleEv(&p.wakeEv, e.now.Add(d))
 	e.yield <- struct{}{}
 	<-p.resume
 	if e.killed {
@@ -219,25 +304,73 @@ func (e *Engine) Run() error {
 	return e.RunUntil(Time(1<<62 - 1))
 }
 
+// next pops the earliest pending event across the ready queue and the heap.
+// The caller has checked that at least one event is pending.
+func (e *Engine) next() *event {
+	if e.readyHead < len(e.ready) {
+		r := e.ready[e.readyHead]
+		if len(e.events) > 0 {
+			if h := e.events[0]; h.t < r.t || (h.t == r.t && h.seq < r.seq) {
+				return e.events.popEv()
+			}
+		}
+		e.ready[e.readyHead] = nil
+		e.readyHead++
+		if e.readyHead == len(e.ready) {
+			e.ready = e.ready[:0]
+			e.readyHead = 0
+		}
+		return r
+	}
+	return e.events.popEv()
+}
+
+// exec runs one event. fn/afn events are recycled before their callback runs
+// so the callback's own scheduling can reuse the struct.
+func (e *Engine) exec(ev *event) {
+	if p := ev.proc; p != nil {
+		if p.parked { // a Sleep expiring (wake() already cleared the flag)
+			p.parked = false
+			p.sleeping = false
+			e.nParked--
+		}
+		e.transferTo(p)
+		return
+	}
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.next = e.free
+	e.free = ev
+	if afn != nil {
+		afn(arg)
+		return
+	}
+	fn()
+}
+
 // RunUntil executes events with timestamps <= limit. It stops early on
 // deadlock or an empty queue.
 func (e *Engine) RunUntil(limit Time) error {
-	for len(e.events) > 0 && !e.stopped {
-		if e.events.peek().t > limit {
+	for e.Pending() > 0 && !e.stopped {
+		// Ready events are always due at the current instant; only the
+		// heap can hold events beyond the limit.
+		if e.readyHead == len(e.ready) && e.events[0].t > limit {
 			e.now = limit
 			return nil
 		}
-		ev := e.events.popEv()
+		ev := e.next()
 		e.now = ev.t
-		ev.fn()
+		e.exec(ev)
 		if e.panicked != nil {
 			panic(e.panicked)
 		}
 	}
-	if len(e.parked) > 0 {
-		names := make([]string, 0, len(e.parked))
-		for p := range e.parked {
-			names = append(names, p.name)
+	if e.nParked > 0 {
+		names := make([]string, 0, e.nParked)
+		for _, p := range e.procs {
+			if p.parked {
+				names = append(names, p.name)
+			}
 		}
 		sort.Strings(names)
 		return &DeadlockError{Time: e.now, Parked: names}
@@ -258,17 +391,24 @@ func (e *Engine) Stop() { e.stopped = true }
 // must not be used afterwards.
 func (e *Engine) Shutdown() {
 	e.killed = true
-	procs := make([]*Proc, 0, len(e.parked))
-	for p := range e.parked {
-		procs = append(procs, p)
+	procs := make([]*Proc, 0, e.nParked)
+	for _, p := range e.procs {
+		if p.parked {
+			procs = append(procs, p)
+		}
 	}
-	e.parked = make(map[*Proc]struct{})
 	for _, p := range procs {
+		p.parked = false
+		p.sleeping = false
+		e.nParked--
 		p.resume <- struct{}{} // park() sees killed and exits the goroutine
 		<-e.yield              // its deferred wrapper signals completion
 	}
 	e.events = nil
+	e.ready = nil
+	e.readyHead = 0
+	e.free = nil
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + len(e.ready) - e.readyHead }

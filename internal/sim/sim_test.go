@@ -417,8 +417,8 @@ func TestShutdownTerminatesParkedProcs(t *testing.T) {
 	if !cleanupRan {
 		t.Error("daemon's deferred cleanup did not run on Shutdown")
 	}
-	if len(e.parked) != 0 {
-		t.Errorf("%d processes still parked after Shutdown", len(e.parked))
+	if e.nParked != 0 {
+		t.Errorf("%d processes still parked after Shutdown", e.nParked)
 	}
 	if e.live != 0 {
 		t.Errorf("live = %d after Shutdown, want 0", e.live)

@@ -1,12 +1,72 @@
 package sim
 
+// procQueue is a FIFO of parked processes. Pops advance a head index instead
+// of reslicing so the backing array is reused: the ubiquitous
+// park-wake-park cycle of device engines and mailboxes costs no allocations
+// in steady state.
+type procQueue struct {
+	items []*Proc
+	head  int
+}
+
+func (q *procQueue) len() int     { return len(q.items) - q.head }
+func (q *procQueue) push(p *Proc) { q.items = append(q.items, p) }
+func (q *procQueue) compactIfDry() {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
+func (q *procQueue) pop() *Proc {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.compactIfDry()
+	return p
+}
+
+// remove deletes the first occurrence of p, preserving order. It reports
+// whether p was queued.
+func (q *procQueue) remove(p *Proc) bool {
+	for i := q.head; i < len(q.items); i++ {
+		if q.items[i] == p {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			q.compactIfDry()
+			return true
+		}
+	}
+	return false
+}
+
+// anyQueue is the same ring discipline for message payloads.
+type anyQueue struct {
+	items []any
+	head  int
+}
+
+func (q *anyQueue) len() int   { return len(q.items) - q.head }
+func (q *anyQueue) push(v any) { q.items = append(q.items, v) }
+func (q *anyQueue) pop() any {
+	v := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Mailbox is an unbounded FIFO message queue between simulation processes.
 // Send never blocks; Recv blocks (in virtual time) until a message arrives.
 type Mailbox struct {
 	eng     *Engine
 	name    string
-	queue   []any
-	waiters []*Proc // processes parked in Recv, FIFO
+	queue   anyQueue
+	waiters procQueue // processes parked in Recv, FIFO
 }
 
 // NewMailbox creates an empty mailbox. The name is used in diagnostics.
@@ -17,11 +77,9 @@ func (e *Engine) NewMailbox(name string) *Mailbox {
 // Send enqueues v and wakes the oldest waiting receiver, if any. It may be
 // called from a process or from a scheduled event callback.
 func (m *Mailbox) Send(v any) {
-	m.queue = append(m.queue, v)
-	if len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.eng.wake(w)
+	m.queue.push(v)
+	if m.waiters.len() > 0 {
+		m.eng.wake(m.waiters.pop())
 	}
 }
 
@@ -29,13 +87,11 @@ func (m *Mailbox) Send(v any) {
 // one is available. Messages are delivered in send order; when several
 // receivers wait, they are served FIFO.
 func (m *Mailbox) Recv(p *Proc) any {
-	for len(m.queue) == 0 {
-		m.waiters = append(m.waiters, p)
+	for m.queue.len() == 0 {
+		m.waiters.push(p)
 		p.park()
 	}
-	v := m.queue[0]
-	m.queue = m.queue[1:]
-	return v
+	return m.queue.pop()
 }
 
 // RecvTimeout is Recv with a deadline: it returns the oldest queued message,
@@ -44,7 +100,7 @@ func (m *Mailbox) Recv(p *Proc) any {
 // and costs nothing. Timeouts are the foundation of the fault-recovery layer;
 // code on the no-fault path should use Recv, which schedules no timer events.
 func (m *Mailbox) RecvTimeout(p *Proc, d Duration) (v any, ok bool) {
-	for len(m.queue) == 0 {
+	for m.queue.len() == 0 {
 		// armed distinguishes this wait from any later wait by the same
 		// process on the same mailbox; timedOut records that the timer, not
 		// a Send, woke us. The timer only fires for a process still in the
@@ -57,40 +113,32 @@ func (m *Mailbox) RecvTimeout(p *Proc, d Duration) (v any, ok bool) {
 			if !armed {
 				return
 			}
-			for i, w := range m.waiters {
-				if w == waiter {
-					m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
-					timedOut = true
-					m.eng.wake(waiter)
-					return
-				}
+			if m.waiters.remove(waiter) {
+				timedOut = true
+				m.eng.wake(waiter)
 			}
 		})
-		m.waiters = append(m.waiters, p)
+		m.waiters.push(p)
 		p.park()
 		armed = false
 		if timedOut {
 			return nil, false
 		}
 	}
-	v = m.queue[0]
-	m.queue = m.queue[1:]
-	return v, true
+	return m.queue.pop(), true
 }
 
 // TryRecv returns the oldest queued message without blocking. ok is false if
 // the mailbox is empty.
 func (m *Mailbox) TryRecv() (v any, ok bool) {
-	if len(m.queue) == 0 {
+	if m.queue.len() == 0 {
 		return nil, false
 	}
-	v = m.queue[0]
-	m.queue = m.queue[1:]
-	return v, true
+	return m.queue.pop(), true
 }
 
 // Len reports the number of queued messages.
-func (m *Mailbox) Len() int { return len(m.queue) }
+func (m *Mailbox) Len() int { return m.queue.len() }
 
 // Resource is a counted resource (a semaphore) served FIFO. A Resource with
 // capacity 1 models a serially-reusable device such as a disk arm or a NIC
@@ -100,7 +148,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  procQueue
 }
 
 // NewResource creates a resource with the given capacity (must be >= 1).
@@ -114,11 +162,11 @@ func (e *Engine) NewResource(name string, capacity int) *Resource {
 // Acquire obtains one unit, blocking in FIFO order while the resource is
 // fully in use.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.len() == 0 {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters.push(p)
 	p.park()
 	// The releaser incremented inUse on our behalf before waking us.
 }
@@ -129,10 +177,8 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		r.eng.wake(w) // unit passes straight to w; inUse unchanged
+	if r.waiters.len() > 0 {
+		r.eng.wake(r.waiters.pop()) // unit passes straight to waiter; inUse unchanged
 		return
 	}
 	r.inUse--
@@ -154,7 +200,7 @@ func (r *Resource) InUse() int { return r.inUse }
 type WaitGroup struct {
 	eng     *Engine
 	count   int
-	waiters []*Proc
+	waiters procQueue
 }
 
 // NewWaitGroup creates a wait group with count zero.
@@ -167,10 +213,9 @@ func (w *WaitGroup) Add(delta int) {
 		panic("sim: negative WaitGroup count")
 	}
 	if w.count == 0 {
-		for _, p := range w.waiters {
-			w.eng.wake(p)
+		for w.waiters.len() > 0 {
+			w.eng.wake(w.waiters.pop())
 		}
-		w.waiters = nil
 	}
 }
 
@@ -180,7 +225,7 @@ func (w *WaitGroup) Done() { w.Add(-1) }
 // Wait blocks the calling process until the count is zero.
 func (w *WaitGroup) Wait(p *Proc) {
 	for w.count > 0 {
-		w.waiters = append(w.waiters, p)
+		w.waiters.push(p)
 		p.park()
 	}
 }
@@ -190,7 +235,7 @@ func (w *WaitGroup) Wait(p *Proc) {
 // at-a-time execution already makes state changes atomic.
 type Cond struct {
 	eng     *Engine
-	waiters []*Proc
+	waiters procQueue
 }
 
 // NewCond creates a condition variable.
@@ -199,24 +244,21 @@ func (e *Engine) NewCond() *Cond { return &Cond{eng: e} }
 // Wait parks the calling process until signaled. As with sync.Cond, callers
 // should re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.push(p)
 	p.park()
 }
 
 // Signal wakes the oldest waiter, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.waiters.len() == 0 {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.eng.wake(w)
+	c.eng.wake(c.waiters.pop())
 }
 
 // Broadcast wakes every waiter.
 func (c *Cond) Broadcast() {
-	for _, w := range c.waiters {
-		c.eng.wake(w)
+	for c.waiters.len() > 0 {
+		c.eng.wake(c.waiters.pop())
 	}
-	c.waiters = nil
 }

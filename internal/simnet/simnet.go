@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
 )
 
@@ -54,12 +55,17 @@ func (p Params) SerializationTime(size int) sim.Duration {
 type NodeID int
 
 // Message is one fabric transfer. Payload is opaque to the network.
+// Messages are pooled: the Inbox consumer hands a finished message back via
+// Network.Recycle instead of leaving it to the garbage collector.
 type Message struct {
 	From, To NodeID
 	Size     int
 	Payload  any
 	SentAt   sim.Time // when transmission began
 	ArriveAt sim.Time // when the last byte reached the receiver
+
+	dst  *Node    // delivery target, set while in flight
+	next *Message // free-list link
 }
 
 // Node is one port on the fabric.
@@ -89,14 +95,40 @@ var ErrDropped = errors.New("simnet: message dropped (link partitioned)")
 
 // Network is the crossbar plus all attached nodes.
 type Network struct {
-	eng    *sim.Engine
-	params Params
-	nodes  []*Node
-	faults FaultPolicy
+	eng      *sim.Engine
+	params   Params
+	nodes    []*Node
+	faults   FaultPolicy
+	freeMsgs *Message
+
+	// Scratch recycles staging buffers for the hosts on this fabric (the ib
+	// layer's RDMA gather and read-response copies). One pool per network
+	// keeps every buffer inside its cell, serialized by the cell's engine.
+	Scratch mem.ScratchPool
 
 	// BytesSent accumulates all payload bytes accepted for transmission,
 	// indexed by sender.
 	BytesSent []int64
+}
+
+// allocMsg returns a recycled message or a fresh one.
+func (n *Network) allocMsg() *Message {
+	if m := n.freeMsgs; m != nil {
+		n.freeMsgs = m.next
+		m.next = nil
+		return m
+	}
+	return &Message{}
+}
+
+// Recycle returns a delivered message to the fabric's free list. The Inbox
+// consumer calls it once the payload has been handed off; the message must
+// not be touched afterwards.
+func (n *Network) Recycle(m *Message) {
+	m.Payload = nil
+	m.dst = nil
+	m.next = n.freeMsgs
+	n.freeMsgs = m
 }
 
 // SetFaults attaches (or, with nil, detaches) the fault policy. With no
@@ -186,16 +218,26 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 			return ErrDropped
 		}
 	}
-	m := &Message{From: node.ID, To: dst, Size: size, Payload: payload}
+	n := node.net
+	m := n.allocMsg()
+	m.From, m.To, m.Size, m.Payload = node.ID, dst, size, payload
+	m.ArriveAt = 0
 	node.tx.Acquire(p)
 	m.SentAt = p.Now()
-	n := node.net
 	n.BytesSent[node.ID] += int64(size)
-	target := n.nodes[dst]
+	m.dst = n.nodes[dst]
 	// The head of the message reaches the receiver one latency after
 	// transmission starts; receive-side serialization happens there.
-	n.eng.After(n.params.Latency, func() { target.stage.Send(m) })
+	// deliverStage is package-level so the hot path allocates no closure.
+	n.eng.AfterCall(n.params.Latency, deliverStage, m)
 	p.Sleep(n.params.SerializationTime(size))
 	node.tx.Release()
 	return nil
+}
+
+// deliverStage is the closure-free arrival callback: the message joins the
+// receiver's staging queue one path latency after transmission started.
+func deliverStage(v any) {
+	m := v.(*Message)
+	m.dst.stage.Send(m)
 }
