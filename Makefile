@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json vet check bench-smoke bench-go fuzz clean
+.PHONY: all build test race lint lint-json vet check bench-smoke bench-go trace-smoke fuzz clean
 
 all: build
 
@@ -25,8 +25,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own analyzers (sgelimit, regcheck, simblock,
-# nopanic, mrlife, errflow, lockorder, okreason) through the go vet driver,
-# covering test files too.
+# nopanic, mrlife, errflow, lockorder, okreason, engescape, tracecheck)
+# through the go vet driver, covering test files too.
 lint: $(BIN)
 	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
 
@@ -45,6 +45,14 @@ check: build vet lint race
 bench-smoke:
 	$(GO) run ./cmd/pvfsbench -short -seed 1 -parallel 4 -format json -hostmeta -run faults,fig4 > BENCH_smoke.json
 	@echo "wrote BENCH_smoke.json"
+
+# trace-smoke runs the traced breakdown workload (ListIO+ADS, short) and
+# archives the Perfetto trace (open in ui.perfetto.dev or chrome://tracing)
+# plus the machine-readable stage-breakdown profile. Deterministic: the
+# same source tree always writes byte-identical files.
+trace-smoke:
+	$(GO) run ./cmd/pvfsbench -short -trace TRACE_smoke.json
+	@echo "wrote TRACE_smoke.json and TRACE_smoke.json.breakdown.json"
 
 # bench-go runs the engine microbenchmarks (event turnover, mailbox
 # ping-pong, contended resource, one full Figure 3 cell) with allocation

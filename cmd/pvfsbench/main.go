@@ -12,6 +12,9 @@
 //	pvfsbench -parallel 4           run independent cells on 4 workers
 //	pvfsbench -format json ...      machine-readable output (one JSON object per table)
 //	pvfsbench -hostmeta ...         append a host-side JSON record (wall clock, allocs)
+//	pvfsbench -trace out.json       run a traced workload, write a Perfetto trace
+//	                                (plus out.json.breakdown.json) and print the
+//	                                critical-path breakdown
 //	pvfsbench -cpuprofile cpu.pb    write a CPU profile of the run
 //	pvfsbench -memprofile mem.pb    write a heap profile at exit
 //
@@ -46,6 +49,38 @@ type hostMeta struct {
 	Experiments map[string]float64 `json:"experiment_wall_s"`
 }
 
+// writeTrace runs the traced breakdown workload, writes its Perfetto
+// trace to path and the profile JSON to path.breakdown.json, and prints
+// the critical-path breakdown table.
+func writeTrace(path string, short bool) error {
+	tr := bench.TraceRun(short)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	prof := tr.Profile()
+	bf, err := os.Create(path + ".breakdown.json")
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteJSON(bf); err != nil {
+		bf.Close()
+		return err
+	}
+	if err := bf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d spans, %d requests -> %s\n", tr.Len(), tr.Requests(), path)
+	return prof.WriteBreakdown(os.Stdout)
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
@@ -58,8 +93,17 @@ func main() {
 		hostmeta = flag.Bool("hostmeta", false, "append a JSON host record (wall clock, allocs) after the tables")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tracef   = flag.String("trace", "", "run a traced workload and write a Perfetto (Chrome trace-event) JSON file")
 	)
 	flag.Parse()
+
+	if *tracef != "" {
+		if err := writeTrace(*tracef, *short); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Registry {

@@ -4,8 +4,10 @@
 // held), nopanic (no panic in library packages), mrlife (registrations are
 // released exactly once on every path), errflow (repo-API errors are
 // checked, not dropped), lockorder (sim.Resource pairs acquire in one
-// consistent order), and okreason (every suppression names its analyzer
-// and gives a reason).
+// consistent order), okreason (every suppression names its analyzer
+// and gives a reason), engescape (no per-event allocations escape into the
+// engine hot path), and tracecheck (spans are ended exactly once on every
+// normal path).
 //
 // Two modes:
 //

@@ -13,6 +13,7 @@ import (
 	"pvfsib/internal/analysis/regcheck"
 	"pvfsib/internal/analysis/sgelimit"
 	"pvfsib/internal/analysis/simblock"
+	"pvfsib/internal/analysis/tracecheck"
 )
 
 // All returns every analyzer in the suite.
@@ -27,5 +28,6 @@ func All() []*analysis.Analyzer {
 		lockorder.Analyzer,
 		okreason.Analyzer,
 		engescape.Analyzer,
+		tracecheck.Analyzer,
 	}
 }

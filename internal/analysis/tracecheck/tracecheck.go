@@ -1,0 +1,565 @@
+// Package tracecheck defines a flow-sensitive analyzer for span
+// lifetimes: every span opened by trace.Tracer.Start or
+// trace.Tracer.NewRequest must be ended (End or EndErr) exactly once on
+// every path that completes normally. An unended span records no
+// duration — it silently vanishes from profiles and renders as an
+// unclosed bar in Perfetto — and a double End overwrites the first
+// close, corrupting the stage accounting.
+//
+// The analyzer runs the dataflow engine over each function's CFG,
+// tracking a state per span-holding local:
+//
+//	open     the span was started on this path and not yet ended
+//	ended    End/EndErr ran on this path
+//	escaped  the handle left the function: returned, stored into a
+//	         field, slice, map, or composite literal, passed to a call,
+//	         or captured by a function literal — ownership moved with it
+//	mixed    paths disagree; the analyzer stays silent
+//
+// It reports:
+//
+//   - a span still definitely open at a return statement or at the end
+//     of the function, unless a deferred call ends it;
+//   - a second End/EndErr on a definitely-ended span.
+//
+// Intra-package helpers that return a trace.Span (the startDispatch /
+// startWindowSpan pattern) count as origins at their call sites, so the
+// obligation follows the handle to the caller. Test files are skipped —
+// tests exercise misuse on purpose.
+package tracecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/cfg"
+	"pvfsib/internal/analysis/dataflow"
+)
+
+// Analyzer flags spans that are never ended on some path and spans ended
+// twice.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracecheck",
+	Doc:  "spans from trace.Tracer.Start/NewRequest must be ended exactly once on every normal path",
+	Run:  run,
+}
+
+// state is one span variable's lifecycle state.
+type state uint8
+
+const (
+	open state = iota
+	ended
+	escaped
+	mixed
+)
+
+// varState is the per-variable fact: the lifecycle state plus the origin
+// position for diagnostics.
+type varState struct {
+	st     state
+	origin token.Pos
+}
+
+// fact maps tracked span variables to their state. Facts are persistent:
+// every transfer that changes anything copies first.
+type fact map[types.Object]varState
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	a := &tracecheck{pass: pass}
+	a.summaries = dataflow.Summarize(pass.TypesInfo, pass.Files, func(fn dataflow.FuncInfo) bool {
+		return returnsSpan(fn.Obj.Type().(*types.Signature))
+	})
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				if d.Body != nil {
+					a.checkFunc(d.Body)
+				}
+				return false // literals inside are found by checkFunc
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type tracecheck struct {
+	pass *analysis.Pass
+	// summaries marks intra-package functions whose signature returns a
+	// trace.Span: origins at their call sites.
+	summaries map[*types.Func]bool
+}
+
+// checkFunc analyzes one function body, then recurses into every function
+// literal it contains (each literal is its own lifetime scope).
+func (a *tracecheck) checkFunc(body *ast.BlockStmt) {
+	g := cfg.Build(body, a.pass.TypesInfo)
+	prob := &problem{a: a, deferEnded: a.deferEnded(body)}
+	res := dataflow.Fixpoint(g, prob)
+
+	// Reporting pass: replay each reachable block with reporting on.
+	prob.report = true
+	res.Replay(prob, func(blk *cfg.Block, n ast.Node, before dataflow.Fact) {})
+	prob.report = false
+
+	// Function-end leaks: a span still definitely open once every path
+	// (after the defer chain) has merged into the exit was never ended.
+	if exit, ok := res.In[g.Exit].(fact); ok {
+		for obj, vs := range exit {
+			if vs.st == open && !prob.reported[obj] && !prob.deferEnded[obj] {
+				a.pass.Reportf(vs.origin, "span %s is never ended on some path to the end of the function", obj.Name())
+			}
+		}
+	}
+
+	// Nested literals.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			a.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// deferEnded collects the spans ended by deferred calls anywhere in the
+// body (including inside deferred closures): these are exempt from the
+// return-site check, since the defer runs on that exit too.
+func (a *tracecheck) deferEnded(body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		mark := func(n ast.Node) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if target, ok := a.endTarget(call); ok {
+						if obj := a.identObj(target); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		mark(d.Call)
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			mark(lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// problem implements dataflow.Problem for one function.
+type problem struct {
+	a          *tracecheck
+	deferEnded map[types.Object]bool
+	report     bool
+	reported   map[types.Object]bool
+}
+
+func (p *problem) Entry() dataflow.Fact { return fact{} }
+
+func (p *problem) Join(x, y dataflow.Fact) dataflow.Fact {
+	fx, fy := x.(fact), y.(fact)
+	out := make(fact, len(fx)+len(fy))
+	for k, v := range fx {
+		if w, ok := fy[k]; ok {
+			if v.st != w.st {
+				v.st = mixed
+			}
+			out[k] = v
+		} else {
+			out[k] = v // declared on one arm only: keep its obligation
+		}
+	}
+	for k, w := range fy {
+		if _, ok := fx[k]; !ok {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+func (p *problem) Equal(x, y dataflow.Fact) bool {
+	fx, fy := x.(fact), y.(fact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for k, v := range fx {
+		if w, ok := fy[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// TransferEdge is the identity: spans need no branch-edge refinement —
+// Start cannot fail, so there is no error gate to split on.
+func (p *problem) TransferEdge(e cfg.Edge, out dataflow.Fact) dataflow.Fact { return out }
+
+// Transfer applies one node: End/EndErr calls, origin assignments,
+// escapes, and return-site leaks.
+func (p *problem) Transfer(n ast.Node, in dataflow.Fact) dataflow.Fact {
+	f := in.(fact)
+	out := f // copy-on-write
+	cloned := false
+	mutate := func() fact {
+		if !cloned {
+			out = f.clone()
+			cloned = true
+		}
+		return out
+	}
+
+	// Deferred End calls are replayed on the exit chain; the DeferStmt
+	// node itself only marks the registration point.
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return out
+	}
+
+	// The range head holds the whole RangeStmt, but its body's statements
+	// live in their own blocks — only the range expression is evaluated
+	// here. Without this, an End inside the body would be seen once at the
+	// head and once in the body: a phantom double end.
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X
+	}
+
+	// 1. Ends anywhere in this node (not inside function literals).
+	endedHere := make(map[*ast.Ident]bool)
+	forEachCall(n, func(call *ast.CallExpr) {
+		target, ok := p.a.endTarget(call)
+		if !ok {
+			return
+		}
+		id, _ := ast.Unparen(target).(*ast.Ident)
+		obj := p.a.identObj(target)
+		if obj == nil {
+			return
+		}
+		if id != nil {
+			endedHere[id] = true
+		}
+		vs, tracked := out[obj]
+		if !tracked {
+			return
+		}
+		switch vs.st {
+		case ended:
+			p.reportf(obj, call.Pos(), "double end of span %s (started at %s, already ended)", obj.Name(), p.a.pos(vs.origin))
+		case open, mixed:
+			vs.st = ended
+			mutate()[obj] = vs
+		}
+	})
+
+	// 2. Origins and ownership moves.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		p.transferAssign(as, &out, mutate)
+	}
+
+	// 3. Escapes of tracked spans.
+	p.scanEscapes(n, out, mutate, endedHere)
+
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		p.transferReturn(ret, &out, mutate)
+	}
+	return out
+}
+
+// transferAssign tracks origin assignments ("sp := tr.Start(...)",
+// including helpers returning a span) and ownership moves between plain
+// locals.
+func (p *problem) transferAssign(stmt *ast.AssignStmt, out *fact, mutate func() fact) {
+	if len(stmt.Rhs) == 1 {
+		if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok && p.a.isOrigin(call) {
+			// The span result is the first span-typed LHS (helpers may
+			// return (Span, other) tuples).
+			for i, lhs := range stmt.Lhs {
+				if !p.a.resultIsSpan(call, i, len(stmt.Lhs)) {
+					continue
+				}
+				if obj := p.a.identObj(lhs); obj != nil && !isBlank(lhs) {
+					mutate()[obj] = varState{st: open, origin: call.Pos()}
+				}
+			}
+			return
+		}
+	}
+
+	// Ownership move: dst = src where src is tracked and dst is a plain
+	// local. The obligation follows the new name.
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		for i := range stmt.Lhs {
+			src := p.a.identObj(stmt.Rhs[i])
+			if src == nil {
+				continue
+			}
+			vs, ok := (*out)[src]
+			if !ok {
+				continue
+			}
+			dst := p.a.identObj(stmt.Lhs[i])
+			m := mutate()
+			delete(m, src)
+			if dst != nil && !isBlank(stmt.Lhs[i]) {
+				m[dst] = vs
+			}
+		}
+	}
+}
+
+// scanEscapes marks spans whose handle leaves the function's control: as
+// a call argument, inside a composite literal, sent on a channel,
+// returned, stored through a non-ident lvalue, or captured by a closure.
+// Method calls ON the span (sp.SetBytes, sp.Annotate, sp.Ctx) are uses,
+// not escapes.
+func (p *problem) scanEscapes(n ast.Node, out fact, mutate func() fact, endedHere map[*ast.Ident]bool) {
+	writes := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				writes[id] = true
+			}
+		}
+	}
+	direct := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		if id, ok := e.(*ast.Ident); ok && !endedHere[id] && !writes[id] {
+			p.escape(id, out, mutate)
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Captured by a closure: the closure may end it on another
+			// schedule; hand the obligation over.
+			for _, id := range identsIn(m.Body) {
+				p.escape(id, out, mutate)
+			}
+			return false
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				direct(arg)
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					direct(kv.Value)
+				} else {
+					direct(el)
+				}
+			}
+		case *ast.SendStmt:
+			direct(m.Value)
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				direct(r)
+			}
+		}
+		return true
+	})
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+				direct(as.Rhs[i])
+			}
+		}
+	}
+}
+
+func (p *problem) escape(id *ast.Ident, out fact, mutate func() fact) {
+	obj := p.a.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	if vs, ok := out[obj]; ok && vs.st != ended {
+		vs.st = escaped
+		mutate()[obj] = vs
+	}
+}
+
+// transferReturn reports return-site leaks: every tracked span that is
+// definitely open here, not returned, and not covered by a deferred End
+// vanishes unended on this path.
+func (p *problem) transferReturn(ret *ast.ReturnStmt, out *fact, mutate func() fact) {
+	returned := make(map[types.Object]bool)
+	for _, r := range ret.Results {
+		ast.Inspect(r, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := p.a.pass.TypesInfo.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for obj, vs := range *out {
+		if vs.st != open || returned[obj] || p.deferEnded[obj] {
+			continue
+		}
+		p.reportf(obj, ret.Pos(), "return leaves span %s unended (started at %s): end it before returning", obj.Name(), p.a.pos(vs.origin))
+	}
+}
+
+func (p *problem) reportf(obj types.Object, pos token.Pos, format string, args ...any) {
+	if !p.report {
+		return
+	}
+	if p.reported == nil {
+		p.reported = make(map[types.Object]bool)
+	}
+	p.reported[obj] = true
+	p.a.pass.Reportf(pos, format, args...)
+}
+
+// ---- recognizers ----
+
+// isOrigin reports whether the call opens a span the caller now owns:
+// Tracer.Start / Tracer.NewRequest from internal/trace, or an
+// intra-package helper whose signature returns a trace.Span.
+func (a *tracecheck) isOrigin(call *ast.CallExpr) bool {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if a.summaries[fn] {
+		return true
+	}
+	if fn.Name() != "Start" && fn.Name() != "NewRequest" {
+		return false
+	}
+	return fromTracePkg(fn) && returnsSpan(fn.Type().(*types.Signature))
+}
+
+// endTarget returns the expression whose span the call ends, when it is
+// a recognized End/EndErr method call on a span value.
+func (a *tracecheck) endTarget(call *ast.CallExpr) (ast.Expr, bool) {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil || !fromTracePkg(fn) {
+		return nil, false
+	}
+	if fn.Name() != "End" && fn.Name() != "EndErr" {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// resultIsSpan reports whether result i of the call has type trace.Span
+// (single-result calls report i==0 when nresults is 1).
+func (a *tracecheck) resultIsSpan(call *ast.CallExpr, i, nresults int) bool {
+	fn := dataflow.Callee(a.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if nresults == 1 && res.Len() == 1 {
+		i = 0
+	}
+	if i >= res.Len() {
+		return false
+	}
+	return isSpanType(res.At(i).Type())
+}
+
+// identObj resolves a plain identifier expression to its object, nil for
+// anything else.
+func (a *tracecheck) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return a.pass.TypesInfo.Defs[id]
+}
+
+func (a *tracecheck) pos(p token.Pos) token.Position {
+	pos := a.pass.Fset.Position(p)
+	pos.Column = 0 // keep messages short: file:line
+	return pos
+}
+
+// fromTracePkg reports whether fn is declared in internal/trace (under
+// any module prefix).
+func fromTracePkg(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return analysis.PathHasSuffix(pkg.Path(), "internal/trace")
+}
+
+// returnsSpan reports whether the signature returns a trace.Span.
+func returnsSpan(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isSpanType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSpanType(t types.Type) bool {
+	return analysis.NamedFrom(t, "internal/trace", "Span")
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// forEachCall visits every call expression in n, not descending into
+// function literals.
+func forEachCall(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(m)
+		}
+		return true
+	})
+}
+
+// identsIn collects the identifiers read in a subtree.
+func identsIn(n ast.Node) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

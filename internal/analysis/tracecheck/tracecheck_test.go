@@ -1,0 +1,12 @@
+package tracecheck_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/tracecheck"
+)
+
+func TestTracecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", tracecheck.Analyzer, "a")
+}

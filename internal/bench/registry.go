@@ -54,6 +54,7 @@ var Registry = []Experiment{
 	{"extra-appaware", "App-aware registration alternatives (Section 4.2.1)", ExtraAppAwarePlan},
 	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethodPlan},
 	{"faults", "Recovery under injected faults (fault-plane sweep)", FaultsPlan},
+	{"breakdown", "Per-stage time decomposition by access method (span tracing)", BreakdownPlan},
 }
 
 // Lookup finds an experiment by id.

@@ -19,6 +19,13 @@
 //	fault list
 //	fault clear
 //
+// The span plane records request-scoped traces on the virtual clock:
+//
+//	trace spans                    enable span tracing (before the workload)
+//	trace profile                  print the per-stage breakdown so far
+//	trace export file=out.json     write a Perfetto (Chrome trace-event) file
+//	trace off                      detach the span tracer
+//
 // Commands run sequentially, each as one application process in virtual
 // time. Lines starting with '#' and blank lines are ignored.
 package ctl
@@ -27,6 +34,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -615,11 +623,49 @@ func describePlan(pl *fault.Plan) string {
 	return strings.Join(parts, ", ")
 }
 
+// cmdTrace controls both observability planes: the flat event recorder
+// ('on'/'dump', unchanged) and the request-scoped span plane ('spans'
+// enables it, 'profile' prints the critical-path breakdown, 'export'
+// writes a Perfetto trace, 'off' detaches the tracer).
 func (in *Interp) cmdTrace(a args) error {
 	if in.cluster == nil {
 		return fmt.Errorf("no cluster")
 	}
 	switch a.name {
+	case "spans":
+		in.cluster.EnableSpans()
+		fmt.Fprintln(in.out, "span tracing on")
+		return nil
+	case "off":
+		in.cluster.DisableSpans()
+		fmt.Fprintln(in.out, "span tracing off")
+		return nil
+	case "profile":
+		if in.cluster.Spans == nil {
+			return fmt.Errorf("span tracing not enabled (run 'trace spans')")
+		}
+		return in.cluster.Spans.Profile().WriteBreakdown(in.out)
+	case "export":
+		if in.cluster.Spans == nil {
+			return fmt.Errorf("span tracing not enabled (run 'trace spans')")
+		}
+		path := a.str("file", "")
+		if path == "" {
+			return fmt.Errorf("export wants file=PATH")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := in.cluster.Spans.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(in.out, "exported %d spans to %s\n", in.cluster.Spans.Len(), path)
+		return nil
 	case "on":
 		n, err := a.num("cap", 1024)
 		if err != nil {
@@ -645,7 +691,7 @@ func (in *Interp) cmdTrace(a args) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("trace wants 'on' or 'dump'")
+		return fmt.Errorf("trace wants 'on', 'dump', 'spans', 'profile', 'export', or 'off'")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
+	"pvfsib/internal/trace"
 )
 
 // Params is the device timing model.
@@ -109,9 +110,11 @@ type FaultInjector interface {
 // Disk is one simulated device.
 type Disk struct {
 	params Params
+	name   string
 	res    *sim.Resource
 	head   int64 // byte position after the last transfer
 	faults FaultInjector
+	tracer *trace.Tracer
 
 	// Counters accumulates this device's activity.
 	Counters Counters
@@ -120,9 +123,13 @@ type Disk struct {
 // SetFaults attaches (or, with nil, detaches) the fault injector.
 func (d *Disk) SetFaults(f FaultInjector) { d.faults = f }
 
+// SetTracer attaches (or, with nil, detaches) the span tracer. Without
+// one, transfers record nothing and allocate nothing.
+func (d *Disk) SetTracer(tr *trace.Tracer) { d.tracer = tr }
+
 // New creates a disk on the engine.
 func New(eng *sim.Engine, name string, params Params) *Disk {
-	return &Disk{params: params, res: eng.NewResource(name, 1), head: -1}
+	return &Disk{params: params, name: name, res: eng.NewResource(name, 1), head: -1}
 }
 
 // Params returns the timing model.
@@ -142,7 +149,15 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 	if size <= 0 {
 		return
 	}
+	qsp := d.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), d.name, "disk.queue", trace.StageQueue)
 	d.res.Acquire(p)
+	qsp.End(p.Now())
+	kind := "disk.write"
+	if read {
+		kind = "disk.read"
+	}
+	sp := d.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), d.name, kind, trace.StageDisk)
+	sp.SetBytes(size)
 	seek := d.head != off
 	var dur sim.Duration
 	if read {
@@ -156,6 +171,7 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 	}
 	if seek {
 		d.Counters.Seeks++
+		sp.Annotate("seek=1")
 	}
 	if d.faults != nil {
 		dur += d.faults.DiskFault(p.Now(), read, size)
@@ -164,4 +180,5 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 	p.Sleep(dur)
 	d.head = off + size
 	d.res.Release()
+	sp.End(p.Now())
 }

@@ -6,6 +6,7 @@ import (
 
 	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
 )
 
 // Key names a registered memory region. A single key stands in for the
@@ -54,6 +55,8 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 	if e.Len <= 0 {
 		return nil, fmt.Errorf("ib: register empty extent %v", e)
 	}
+	sp := h.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), h.node.Name, "ib.reg", trace.StageReg)
+	sp.SetBytes(e.Len)
 	pages := e.Pages()
 	cost := h.params.RegCost(pages)
 	if h.faults != nil && h.faults.RegFail(p.Now(), h.node.Name) {
@@ -61,6 +64,7 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 		// attempt cost, as for any failed registration.
 		p.Sleep(cost)
 		h.Counters.RegFailures++
+		sp.EndErr(p.Now(), ErrRegPressure)
 		return nil, ErrRegPressure
 	}
 	if !h.space.Allocated(e) {
@@ -69,11 +73,13 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 		fail := h.params.RegPerOp + (cost-h.params.RegPerOp)/2
 		p.Sleep(fail)
 		h.Counters.RegFailures++
+		sp.EndErr(p.Now(), ErrNotAllocated)
 		return nil, ErrNotAllocated
 	}
 	if h.pinnedBytes+pages*mem.PageSize > h.params.MaxPinnedBytes ||
 		len(h.mrs) >= h.params.MaxMRs {
 		h.Counters.RegFailures++
+		sp.EndErr(p.Now(), ErrPinLimit)
 		return nil, ErrPinLimit
 	}
 	p.Sleep(cost)
@@ -83,6 +89,10 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 	mr := &MR{Key: h.nextKey, Extent: e, hca: h, valid: true}
 	h.mrs[mr.Key] = mr
 	h.pinnedBytes += pages * mem.PageSize
+	if sp.Recording() {
+		sp.Annotate("pages=%d", pages)
+	}
+	sp.End(p.Now())
 	return mr, nil
 }
 
@@ -111,8 +121,11 @@ func (h *HCA) Deregister(p *sim.Proc, mr *MR) error {
 	if !mr.Valid() {
 		return ErrInvalidMR
 	}
+	sp := h.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), h.node.Name, "ib.dereg", trace.StageReg)
+	sp.SetBytes(mr.Extent.Len)
 	cost := h.params.DeregCost(mr.Extent.Pages())
 	p.Sleep(cost)
+	sp.End(p.Now())
 	mr.valid = false
 	delete(h.mrs, mr.Key)
 	h.pinnedBytes -= mr.Extent.Pages() * mem.PageSize

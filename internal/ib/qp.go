@@ -6,6 +6,7 @@ import (
 	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
+	"pvfsib/internal/trace"
 )
 
 // SGE is one scatter/gather entry: a contiguous segment of local memory.
@@ -43,6 +44,7 @@ type HCA struct {
 	readMBFree []*sim.Mailbox // drained reply mailboxes, reused across reads
 
 	faults FaultInjector
+	tracer *trace.Tracer
 	down   bool
 
 	// Counters accumulates operation counts for this HCA.
@@ -250,13 +252,18 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 	if err := q.wrFault(p, "send"); err != nil {
 		return err
 	}
+	sp := h.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), h.node.Name, "ib.send", trace.StageWire)
+	sp.SetBytes(int64(size))
 	h.Counters.SendMsgs++
 	h.Counters.BytesOut += int64(size)
 	err := h.node.Send(p, q.remote, size+wireHeader, &wireSend{dstQP: q.remoteNum, size: size, payload: payload})
 	if err != nil {
-		return q.wireFault("send", err)
+		err = q.wireFault("send", err)
+		sp.EndErr(p.Now(), err)
+		return err
 	}
 	p.Sleep(h.params.WROverhead)
+	sp.End(p.Now())
 	return nil
 }
 
@@ -333,6 +340,11 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 	if err := h.checkLocal("RDMA write", sges); err != nil {
 		return err
 	}
+	sp := h.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), h.node.Name, "ib.rdma-write", trace.StageWire)
+	if sp.Recording() {
+		sp.SetBytes(TotalLen(sges))
+		sp.Annotate("sges=%d", len(sges))
+	}
 	offset := int64(0)
 	for len(sges) > 0 {
 		n := len(sges)
@@ -349,12 +361,15 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 		for _, s := range wr {
 			if err := h.space.ReadInto(s.Addr, data[off:off+int(s.Len)]); err != nil {
 				h.scratch().Put(data)
-				return fmt.Errorf("ib: %s: RDMA write gather fault: %w", h.node.Name, err)
+				err = fmt.Errorf("ib: %s: RDMA write gather fault: %w", h.node.Name, err)
+				sp.EndErr(p.Now(), err)
+				return err
 			}
 			off += int(s.Len)
 		}
 		if err := q.wrFault(p, "rdma-write"); err != nil {
 			h.scratch().Put(data)
+			sp.EndErr(p.Now(), err)
 			return err
 		}
 		p.Sleep(h.sgeCost(wr))
@@ -364,11 +379,14 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 			&wireRDMAWrite{raddr: raddr + mem.Addr(offset), rkey: rkey, data: data})
 		if err != nil {
 			h.scratch().Put(data) // dropped on the wire; never reached the peer
-			return q.wireFault("rdma-write", err)
+			err = q.wireFault("rdma-write", err)
+			sp.EndErr(p.Now(), err)
+			return err
 		}
 		p.Sleep(h.params.WROverhead)
 		offset += size
 	}
+	sp.End(p.Now())
 	return nil
 }
 
@@ -382,6 +400,11 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 	if err := h.checkLocal("RDMA read", sges); err != nil {
 		return err
 	}
+	sp := h.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), h.node.Name, "ib.rdma-read", trace.StageWire)
+	if sp.Recording() {
+		sp.SetBytes(TotalLen(sges))
+		sp.Annotate("sges=%d", len(sges))
+	}
 	offset := int64(0)
 	for len(sges) > 0 {
 		n := len(sges)
@@ -392,6 +415,7 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		sges = sges[n:]
 		size := TotalLen(wr)
 		if err := q.wrFault(p, "rdma-read"); err != nil {
+			sp.EndErr(p.Now(), err)
 			return err
 		}
 		h.nextReadID++
@@ -405,7 +429,9 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		})
 		if err != nil {
 			delete(h.reads, id)
-			return q.wireFault("rdma-read", err)
+			err = q.wireFault("rdma-read", err)
+			sp.EndErr(p.Now(), err)
+			return err
 		}
 		var data []byte
 		if h.faults != nil {
@@ -419,7 +445,9 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 				h.putReadMB(mb)
 				q.state = QPError
 				h.Counters.WRErrors++
-				return &WCError{Status: WCResponseTimeout, Op: "rdma-read"}
+				wcErr := &WCError{Status: WCResponseTimeout, Op: "rdma-read"}
+				sp.EndErr(p.Now(), wcErr)
+				return wcErr
 			}
 			data = v.([]byte)
 		} else {
@@ -430,12 +458,15 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		for _, s := range wr {
 			if err := h.space.Write(s.Addr, data[:s.Len]); err != nil {
 				h.scratch().Put(buf)
-				return fmt.Errorf("ib: %s: RDMA read scatter fault: %w", h.node.Name, err)
+				err = fmt.Errorf("ib: %s: RDMA read scatter fault: %w", h.node.Name, err)
+				sp.EndErr(p.Now(), err)
+				return err
 			}
 			data = data[s.Len:]
 		}
 		h.scratch().Put(buf)
 		offset += size
 	}
+	sp.End(p.Now())
 	return nil
 }

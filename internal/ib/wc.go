@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
 )
 
 // WCStatus is a work-completion status code, the CQ-entry field real verbs
@@ -72,6 +73,10 @@ type FaultInjector interface {
 // one, no fault checks run anywhere in the adapter.
 func (h *HCA) SetFaults(f FaultInjector) { h.faults = f }
 
+// SetTracer attaches (or, with nil, detaches) the span tracer. Without
+// one the adapter's hot paths record nothing and allocate nothing.
+func (h *HCA) SetTracer(tr *trace.Tracer) { h.tracer = tr }
+
 // SetDown marks the adapter dead or alive. A down adapter discards all
 // inbound traffic (in-flight requests to its host die silently, exactly
 // what a daemon crash looks like from the far end) and fails all posted
@@ -107,6 +112,7 @@ func (q *QP) MarkControl() { q.control = true }
 // the reconnect latency — the collapsed cost of the real
 // ERR→RESET→INIT→RTR→RTS transition plus connection re-establishment.
 func (q *QP) Reset(p *sim.Proc) {
+	sp := q.hca.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), q.hca.node.Name, "ib.qp-reset", trace.StageOther)
 	p.Sleep(q.hca.params.QPResetLatency)
 	for {
 		if _, ok := q.inbox.TryRecv(); !ok {
@@ -115,6 +121,7 @@ func (q *QP) Reset(p *sim.Proc) {
 	}
 	q.state = QPReady
 	q.hca.Counters.QPResets++
+	sp.End(p.Now())
 }
 
 // wrFault consults the fault plane for one posted work request; on

@@ -9,6 +9,7 @@ import (
 	"pvfsib/internal/pvfs"
 	"pvfsib/internal/sieve"
 	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
 )
 
 // Method selects one of ROMIO's ways to service a noncontiguous access.
@@ -132,9 +133,35 @@ func (f *File) ReadView(p *sim.Proc, method Method, memSegs []ib.SGE, viewOff, n
 // Sync flushes the file on all servers.
 func (f *File) Sync(p *sim.Proc) { f.fh.Sync(p) }
 
+// startAccess mints the request-scoped root span for one MPI-IO access.
+// The request ID is assigned here — the topmost layer that knows the
+// access method — so every PVFS attempt, wire hop, sieve window, and
+// disk transfer the access triggers shares one ID in the trace. Returns
+// the span and the process's previous context for the caller to restore.
+func (f *File) startAccess(p *sim.Proc, method Method, dir string, memSegs []ib.SGE) (trace.Span, uint64) {
+	tr := f.client.Cluster().Spans
+	prev := p.TraceCtx()
+	if tr == nil {
+		return trace.Span{}, prev
+	}
+	sp := tr.NewRequest(p.Now(), f.client.Node().Name, fmt.Sprintf("%s-%s", method, dir))
+	sp.SetBytes(ib.TotalLen(memSegs))
+	sp.Annotate("segs=%d", len(memSegs))
+	p.SetTraceCtx(uint64(sp.Ctx()))
+	return sp, prev
+}
+
 // Write performs a noncontiguous write with the given method. memSegs and
 // fileAccs are flattened streams describing the same bytes in order.
 func (f *File) Write(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
+	sp, prev := f.startAccess(p, method, "write", memSegs)
+	err := f.writeMethod(p, method, memSegs, fileAccs)
+	p.SetTraceCtx(prev)
+	sp.EndErr(p.Now(), err)
+	return err
+}
+
+func (f *File) writeMethod(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
 	switch method {
 	case MultipleIO, DataSieving:
 		// ROMIO data sieving cannot write-sieve over PVFS (no client
@@ -152,6 +179,14 @@ func (f *File) Write(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pv
 
 // Read performs a noncontiguous read with the given method.
 func (f *File) Read(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
+	sp, prev := f.startAccess(p, method, "read", memSegs)
+	err := f.readMethod(p, method, memSegs, fileAccs)
+	p.SetTraceCtx(prev)
+	sp.EndErr(p.Now(), err)
+	return err
+}
+
+func (f *File) readMethod(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs []pvfs.OffLen) error {
 	switch method {
 	case MultipleIO:
 		return f.multiple(p, memSegs, fileAccs, false)

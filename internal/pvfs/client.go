@@ -9,6 +9,7 @@ import (
 	"pvfsib/internal/sieve"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
+	"pvfsib/internal/trace"
 )
 
 // Client is the PVFS library on one compute node.
@@ -214,6 +215,7 @@ func (fh *FileHandle) Stat(p *sim.Proc) int64 {
 	c := fh.client
 	n := len(c.conns)
 	sizes := make([]int64, n)
+	parentCtx := p.TraceCtx()
 	wg := c.cluster.Eng.NewWaitGroup()
 	for i := range c.conns {
 		i := i
@@ -221,6 +223,7 @@ func (fh *FileHandle) Stat(p *sim.Proc) int64 {
 		wg.Add(1)
 		c.cluster.Eng.Go(fmt.Sprintf("stat[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
 			defer wg.Done()
+			q.SetTraceCtx(parentCtx)
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
 			resp, err := c.rpc(q, conn, reqSize(0), func(seq int64) any {
@@ -281,17 +284,19 @@ func (c *Client) Remove(p *sim.Proc, name string) {
 // Sync flushes the file on every I/O server, like fsync.
 func (fh *FileHandle) Sync(p *sim.Proc) {
 	c := fh.client
+	parentCtx := p.TraceCtx()
 	wg := c.cluster.Eng.NewWaitGroup()
 	for i := range c.conns {
 		conn := c.conns[i]
 		wg.Add(1)
 		c.cluster.Eng.Go(fmt.Sprintf("sync[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
 			defer wg.Done()
+			q.SetTraceCtx(parentCtx)
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
 			c.cluster.Acct.SyncReqs++
 			_, err := c.rpc(q, conn, reqSize(0), func(seq int64) any {
-				return &reqSync{Seq: seq, FileID: fh.id}
+				return &reqSync{Seq: seq, FileID: fh.id, Ctx: q.TraceCtx()}
 			})
 			sim.Must(err)
 		})
@@ -299,7 +304,38 @@ func (fh *FileHandle) Sync(p *sim.Proc) {
 	wg.Wait(p)
 }
 
-// listOp fans a list operation out across the servers, running the
+// listOp is the traced entry point for one list operation: it opens the
+// operation's span (minting a fresh request ID when no MPI-IO layer
+// already did) and points the calling process's trace context at it, so
+// registration, per-server attempts, and everything they trigger nest
+// underneath. With tracing off this is one nil check.
+func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, opts OpOptions, write bool) error {
+	c := fh.client
+	tr := c.cluster.Spans
+	if tr == nil {
+		return fh.doListOp(p, memSegs, fileAccs, opts, write)
+	}
+	kind := "pvfs.readlist"
+	if write {
+		kind = "pvfs.writelist"
+	}
+	var sp trace.Span
+	if ctx := trace.Ctx(p.TraceCtx()); ctx != 0 {
+		sp = tr.Start(p.Now(), ctx, c.node.Name, kind, trace.StageOther)
+	} else {
+		sp = tr.NewRequest(p.Now(), c.node.Name, kind)
+	}
+	sp.SetBytes(ib.TotalLen(memSegs))
+	sp.Annotate("segs=%d accs=%d", len(memSegs), len(fileAccs))
+	prev := p.TraceCtx()
+	p.SetTraceCtx(uint64(sp.Ctx()))
+	err := fh.doListOp(p, memSegs, fileAccs, opts, write)
+	p.SetTraceCtx(prev)
+	sp.EndErr(p.Now(), err)
+	return err
+}
+
+// doListOp fans a list operation out across the servers, running the
 // per-server chunks in parallel.
 //
 // The transfer scheme is chosen once per operation (Section 4.3's hybrid
@@ -308,7 +344,7 @@ func (fh *FileHandle) Sync(p *sim.Proc) {
 // are registered once, up front, via the configured registration policy —
 // matching the paper's design, where e.g. Table 4's OGR case performs a
 // single registration for a whole subarray write.
-func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, opts OpOptions, write bool) error {
+func (fh *FileHandle) doListOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, opts OpOptions, write bool) error {
 	c := fh.client
 	cfg := c.cluster.Cfg
 	parts, err := splitOp(memSegs, fileAccs, fh.stripeSize, len(c.conns))
@@ -366,12 +402,14 @@ func (fh *FileHandle) listOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen, o
 		}
 	}
 	var firstErr error
+	opCtx := p.TraceCtx()
 	wg := c.cluster.Eng.NewWaitGroup()
 	for _, part := range parts {
 		part := part
 		wg.Add(1)
 		c.cluster.Eng.Go(fmt.Sprintf("op[cn%d-io%d]", c.idx, part.srv), func(q *sim.Proc) {
 			defer wg.Done()
+			q.SetTraceCtx(opCtx)
 			if err := c.runPart(q, fh.id, part, pack, opts, write); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -412,6 +450,17 @@ restart:
 	for _, ch := range chunkPart(part, cfg.MaxListCount, maxBytes) {
 		gatherFails := 0
 		for attempt := 0; ; attempt++ {
+			// Every attempt — including re-issues after a timeout or a
+			// completion error — is its own span, a sibling of the other
+			// attempts under the operation, so retries are visible as
+			// repeated bars on the same request row.
+			prevCtx := p.TraceCtx()
+			sp := c.cluster.Spans.Start(p.Now(), trace.Ctx(prevCtx), c.node.Name, "pvfs.attempt", trace.StageOther)
+			if sp.Recording() {
+				sp.SetBytes(ch.total)
+				sp.Annotate("io%d attempt=%d pack=%t", part.srv, attempt+1, pack)
+				p.SetTraceCtx(uint64(sp.Ctx()))
+			}
 			conn.mu.Acquire(p)
 			var err error
 			if write {
@@ -420,6 +469,8 @@ restart:
 				err = c.readChunk(p, conn, fileID, ch, pack, opts)
 			}
 			conn.mu.Release()
+			p.SetTraceCtx(prevCtx)
+			sp.EndErr(p.Now(), err)
 			if err == nil {
 				break
 			}
@@ -450,6 +501,18 @@ restart:
 	return nil
 }
 
+// cpuCopy charges one staging copy (pack or unpack) on the client's copy
+// processor, recorded as a StagePack span on the current request. Note
+// the span brackets the Use call, so CPU contention between concurrent
+// operations shows up inside the pack span — that wait is part of the
+// copy's cost, not separate queueing.
+func (c *Client) cpuCopy(p *sim.Proc, kind string, n int64, cost sim.Duration) {
+	sp := c.cluster.Spans.Start(p.Now(), trace.Ctx(p.TraceCtx()), c.node.Name, kind, trace.StagePack)
+	sp.SetBytes(n)
+	c.cpu.Use(p, cost)
+	sp.End(p.Now())
+}
+
 // registrar returns the registration strategy and OGR config for the policy.
 func (c *Client) registrar(policy RegPolicy) (ogr.Registrar, ogr.Config) {
 	cfg := c.cluster.Cfg.OGR
@@ -472,7 +535,7 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 	cl.Trace.Recordf(p.Now(), c.node.Name, "write-req", ch.total,
 		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
 	seq := c.seq()
-	req := &reqWrite{Seq: seq, FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
+	req := &reqWrite{Seq: seq, FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve, Ctx: p.TraceCtx()}
 	if cl.Cfg.Wire == WireStream {
 		// Stream sockets: the payload rides in the request. The gather
 		// into the socket is one user-to-kernel copy.
@@ -484,7 +547,7 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 			}
 			data = append(data, b...)
 		}
-		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
+		c.cpuCopy(p, "pvfs.pack", ch.total, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
 		req.Stream = true
 		req.Data = data
 		if err := conn.qp.Send(p, reqSize(len(ch.accs))+int(ch.total), req); err != nil {
@@ -507,7 +570,7 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 			}
 			packed = append(packed, b...)
 		}
-		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total))
+		c.cpuCopy(p, "pvfs.pack", ch.total, cl.Cfg.IB.MemcpyTime(ch.total))
 		if err := c.space.Write(conn.fastBuf.Addr, packed); err != nil {
 			return err
 		}
@@ -554,7 +617,7 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 	cl.Trace.Recordf(p.Now(), c.node.Name, "read-req", ch.total,
 		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
 	seq := c.seq()
-	req := &reqRead{Seq: seq, FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve}
+	req := &reqRead{Seq: seq, FileID: fileID, Accs: ch.accs, Total: ch.total, SchemePack: pack, Sieve: opts.Sieve, Ctx: p.TraceCtx()}
 	if cl.Cfg.Wire == WireStream {
 		req.Stream = true
 		p.Sleep(cl.Cfg.StreamOverhead)
@@ -570,7 +633,7 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 			return fmt.Errorf("pvfs: expected stream ReadResp, got %T", resp)
 		}
 		// Kernel-to-user copy plus the scatter into the segments.
-		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
+		c.cpuCopy(p, "pvfs.unpack", ch.total, cl.Cfg.IB.MemcpyTime(ch.total)+cl.Cfg.StreamOverhead)
 		data := r.Data
 		for _, s := range ch.segs {
 			if err := c.space.Write(s.Addr, data[:s.Len]); err != nil {
@@ -592,7 +655,7 @@ func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk
 		if err != nil {
 			return err
 		}
-		c.cpu.Use(p, cl.Cfg.IB.MemcpyTime(ch.total))
+		c.cpuCopy(p, "pvfs.unpack", ch.total, cl.Cfg.IB.MemcpyTime(ch.total))
 		for _, s := range ch.segs {
 			if err := c.space.Write(s.Addr, data[:s.Len]); err != nil {
 				return fmt.Errorf("pvfs: unpack scatter: %w", err)

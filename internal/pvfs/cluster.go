@@ -52,6 +52,11 @@ type Cluster struct {
 	// (attach with EnableTracing).
 	Trace *trace.Recorder
 
+	// Spans, when non-nil, is the request-scoped span tracer wired into
+	// every layer (attach with EnableSpans). Nil keeps every hot path
+	// allocation-free.
+	Spans *trace.Tracer
+
 	// Faults is the attached fault injector, nil for fault-free runs
 	// (attach with Cfg.Faults or AttachFaults).
 	Faults *fault.Injector
@@ -62,6 +67,37 @@ type Cluster struct {
 func (c *Cluster) EnableTracing(capacity int) *trace.Recorder {
 	c.Trace = trace.NewRecorder(capacity)
 	return c.Trace
+}
+
+// EnableSpans attaches a span tracer to every layer of the cluster — the
+// fabric, every adapter, every disk, and every daemon's sieve — so each
+// request's journey is recorded as one span tree on the virtual clock.
+// Call it before running workloads; attaching replaces any previous
+// tracer. The same pattern as AttachFaults: one structural hook per
+// substrate, detachable with DisableSpans.
+func (c *Cluster) EnableSpans() *trace.Tracer {
+	tr := trace.NewTracer()
+	c.attachTracer(tr)
+	return tr
+}
+
+// DisableSpans detaches the span tracer from every layer, restoring the
+// allocation-free untraced paths. The old tracer (and its recorded
+// spans) stays readable.
+func (c *Cluster) DisableSpans() { c.attachTracer(nil) }
+
+func (c *Cluster) attachTracer(tr *trace.Tracer) {
+	c.Spans = tr
+	c.Net.SetTracer(tr)
+	for _, s := range c.Servers {
+		s.hca.SetTracer(tr)
+		s.dsk.SetTracer(tr)
+		s.sieveParams.Tracer = tr
+		s.sieveParams.Node = s.node.Name
+	}
+	for _, cl := range c.Clients {
+		cl.hca.SetTracer(tr)
+	}
 }
 
 // NewCluster builds a cluster with the given server and client counts. All
@@ -149,6 +185,16 @@ func (c *Cluster) Snapshot() stats.Snapshot {
 		s.DeviceWrites += dc.WriteOps
 		s.SieveWindows += srv.SieveStats.Windows
 		s.SieveWins += srv.SieveStats.SievedWins
+	}
+	if c.Spans != nil {
+		p := c.Spans.Profile()
+		s.MaxInflight = int64(p.MaxInflight())
+		s.StageRegNs = p.Stage[trace.StageReg].Ns
+		s.StagePackNs = p.Stage[trace.StagePack].Ns
+		s.StageWireNs = p.Stage[trace.StageWire].Ns
+		s.StageQueueNs = p.Stage[trace.StageQueue].Ns
+		s.StageSieveNs = p.Stage[trace.StageSieve].Ns
+		s.StageDiskNs = p.Stage[trace.StageDisk].Ns
 	}
 	return s
 }

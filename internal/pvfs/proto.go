@@ -42,6 +42,9 @@ type reqWrite struct {
 	Total      int64
 	SchemePack bool
 	Sieve      sieve.Mode
+	// Ctx is the sender's packed trace context; server-side spans for
+	// this request become children of it. Zero when tracing is off.
+	Ctx uint64
 	// Stream carries the payload inline (stream-socket transport).
 	Stream bool
 	Data   []byte
@@ -70,6 +73,8 @@ type reqRead struct {
 	Total      int64
 	SchemePack bool
 	Sieve      sieve.Mode
+	// Ctx is the sender's packed trace context (see reqWrite.Ctx).
+	Ctx uint64
 	// Stream asks for the payload inline in the reply.
 	Stream bool
 }
@@ -91,6 +96,8 @@ type reqReadDone struct{ Seq int64 }
 type reqSync struct {
 	Seq    int64
 	FileID int64
+	// Ctx is the sender's packed trace context (see reqWrite.Ctx).
+	Ctx uint64
 }
 
 type respSync struct{ Seq int64 }

@@ -10,6 +10,7 @@ import (
 	"pvfsib/internal/sieve"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
+	"pvfsib/internal/trace"
 )
 
 // Server is one PVFS I/O daemon: an HCA, a local file system on a private
@@ -124,11 +125,16 @@ func (sc *serverConn) serve(p *sim.Proc) {
 		}
 		switch req := payload.(type) {
 		case *reqWrite:
+			sp := s.startDispatch(p, req.Ctx, req.Total)
 			pending = sc.handleWrite(p, req)
+			sp.End(p.Now())
 		case *reqRead:
+			sp := s.startDispatch(p, req.Ctx, req.Total)
 			pending = sc.handleRead(p, req)
+			sp.End(p.Now())
 		case *reqSync:
-			s.ioMu.Acquire(p)
+			p.SetTraceCtx(req.Ctx)
+			s.acquireIO(p)
 			s.file(p, req.FileID).Sync(p)
 			s.ioMu.Release()
 			sc.send(p, smallReplyBytes, &respSync{Seq: req.Seq})
@@ -139,7 +145,7 @@ func (sc *serverConn) serve(p *sim.Proc) {
 			}
 			sc.send(p, smallReplyBytes, &respStat{Seq: req.Seq, LocalSize: size})
 		case *reqRemove:
-			s.ioMu.Acquire(p)
+			s.acquireIO(p)
 			if _, ok := s.files[req.FileID]; ok {
 				delete(s.files, req.FileID)
 				s.fs.Remove(p, fmt.Sprintf("f%06d", req.FileID))
@@ -149,7 +155,27 @@ func (sc *serverConn) serve(p *sim.Proc) {
 		default:
 			sim.Failf("pvfs: server %d: unexpected message %T", s.idx, payload)
 		}
+		p.SetTraceCtx(0)
 	}
+}
+
+// startDispatch opens the per-request dispatch span under the client's
+// wire context and points the handler process's trace context at it, so
+// queue, sieve, and disk spans nest underneath. With tracing off both
+// the span and the context are zero.
+func (s *Server) startDispatch(p *sim.Proc, ctx uint64, bytes int64) trace.Span {
+	sp := s.cluster.Spans.Start(p.Now(), trace.Ctx(ctx), s.node.Name, "srv.dispatch", trace.StageOther)
+	sp.SetBytes(bytes)
+	p.SetTraceCtx(uint64(sp.Ctx()))
+	return sp
+}
+
+// acquireIO takes the daemon's I/O mutex, accounting the wait as queue
+// time on the current request.
+func (s *Server) acquireIO(p *sim.Proc) {
+	sp := s.cluster.Spans.Start(p.Now(), trace.Ctx(p.TraceCtx()), s.node.Name, "srv.queue", trace.StageQueue)
+	s.ioMu.Acquire(p)
+	sp.End(p.Now())
 }
 
 // send replies to the client. A send can only fail under the fault plane
@@ -219,7 +245,9 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) (next any) {
 	var data []byte
 	if req.Stream {
 		// Stream sockets: kernel-to-user copy of the inline payload.
+		sp := s.cluster.Spans.Start(p.Now(), trace.Ctx(p.TraceCtx()), s.node.Name, "srv.unpack", trace.StagePack)
 		p.Sleep(s.cluster.Cfg.IB.MemcpyTime(req.Total) + s.cluster.Cfg.StreamOverhead)
+		sp.End(p.Now())
 		data = req.Data
 	} else if req.SchemePack {
 		// Data already landed in the connection receive buffer.
@@ -250,7 +278,7 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) (next any) {
 		data = b
 		buf.Put()
 	}
-	s.ioMu.Acquire(p)
+	s.acquireIO(p)
 	decs := sieve.Write(p, f, toSieveAccs(req.Accs), data, s.sieveParams, req.Sieve, &s.SieveStats)
 	s.ioMu.Release()
 	s.traceDecisions(p, "write", decs)
@@ -263,13 +291,15 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) (next any) {
 func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) (next any) {
 	s := sc.srv
 	f := s.file(p, req.FileID)
-	s.ioMu.Acquire(p)
+	s.acquireIO(p)
 	data, decs := sieve.Read(p, f, toSieveAccs(req.Accs), s.sieveParams, req.Sieve, &s.SieveStats)
 	s.ioMu.Release()
 	s.traceDecisions(p, "read", decs)
 	if req.Stream {
 		// Stream sockets: payload rides in the reply (user-to-kernel copy).
+		sp := s.cluster.Spans.Start(p.Now(), trace.Ctx(p.TraceCtx()), s.node.Name, "srv.pack", trace.StagePack)
 		p.Sleep(s.cluster.Cfg.IB.MemcpyTime(req.Total) + s.cluster.Cfg.StreamOverhead)
+		sp.End(p.Now())
 		if !sc.send(p, smallReplyBytes+int(req.Total), &respRead{Seq: req.Seq, Data: data}) {
 			sc.abort(p, "read", req.Seq, "stream reply lost")
 		}

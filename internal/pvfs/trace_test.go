@@ -1,0 +1,85 @@
+package pvfs
+
+import (
+	"testing"
+
+	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
+)
+
+// TestRetrySpansAreSiblings runs the fault storm with tracing on and
+// checks the retry shape in the span tree: when a chunk RPC is re-issued
+// after a WR error or timeout, each attempt records its own
+// "pvfs.attempt" span, and the attempts sit side by side under the same
+// parent list-operation span of the same request.
+func TestRetrySpansAreSiblings(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = stormPlan(7)
+	c := NewCluster(sim.NewEngine(), cfg, 4, 4)
+	tr := c.EnableSpans()
+	stormWorkload(t, c)
+
+	if s := c.Snapshot(); s.Retries == 0 {
+		t.Fatal("storm produced no retries; sibling shape not exercised")
+	}
+
+	// Group attempt spans by (request, parent).
+	type key struct {
+		req    trace.ReqID
+		parent trace.SpanID
+	}
+	groups := make(map[key]int)
+	for _, s := range tr.Spans() {
+		if s.Kind != "pvfs.attempt" {
+			continue
+		}
+		if !s.Ended {
+			t.Errorf("attempt span %d never ended", s.ID)
+		}
+		if s.Parent == 0 || s.Req == 0 {
+			t.Errorf("attempt span %d detached: parent=%d req=%d", s.ID, s.Parent, s.Req)
+			continue
+		}
+		groups[key{s.Req, s.Parent}]++
+	}
+	if len(groups) == 0 {
+		t.Fatal("no pvfs.attempt spans recorded")
+	}
+	retried := 0
+	for _, n := range groups {
+		if n > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Error("retries happened but no request shows sibling attempt spans")
+	}
+
+	// The failed attempts must carry the error that killed them.
+	var failed int
+	for _, s := range tr.Spans() {
+		if s.Kind == "pvfs.attempt" && s.Err != "" {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("no attempt span recorded an error despite injected faults")
+	}
+}
+
+// TestSpansDisabledByDefault: a cluster without EnableSpans records
+// nothing and reports no span-derived gauges.
+func TestSpansDisabledByDefault(t *testing.T) {
+	c := NewCluster(sim.NewEngine(), DefaultConfig(), 2, 2)
+	if c.Spans != nil {
+		t.Fatal("tracer attached without EnableSpans")
+	}
+	app(t, c, func(p *sim.Proc) {
+		fh := c.Clients[0].Open(p, "quiet")
+		addr, _ := fill(c.Clients[0], 4096, 1)
+		sim.Must(fh.Write(p, addr, 4096, 0, OpOptions{}))
+	})
+	if s := c.Snapshot(); s.MaxInflight != 0 {
+		t.Errorf("span gauges moved with tracing off: %+v", s)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"pvfsib/internal/localfs"
 	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
 )
 
 // Access is one contiguous file region of a noncontiguous request.
@@ -47,6 +48,12 @@ type Params struct {
 	// MaxBuffer caps the sieve staging buffer; larger spans are split
 	// into windows decided independently.
 	MaxBuffer int64
+
+	// Tracer, when set, records one span per window carrying the cost
+	// model's verdict; Node labels those spans with the serving daemon.
+	// Both are optional and cost nothing when unset.
+	Tracer *trace.Tracer
+	Node   string
 }
 
 // ModelFromFS derives the cost model from a local file system's measured
@@ -193,6 +200,7 @@ func Read(p *sim.Proc, f *localfs.File, accs []Access, params Params, mode Mode,
 		applyMode(&d, mode)
 		decisions = append(decisions, d)
 		record(stats, d)
+		sp := startWindowSpan(p, params, d)
 		if d.UseSieve {
 			buf := readPadded(p, f, w.span.Off, w.span.Len)
 			for _, a := range w.accs {
@@ -205,6 +213,7 @@ func Read(p *sim.Proc, f *localfs.File, accs []Access, params Params, mode Mode,
 				placePiece(out, pos, a, piece)
 			}
 		}
+		sp.End(p.Now())
 	}
 	return out, decisions
 }
@@ -244,6 +253,7 @@ func Write(p *sim.Proc, f *localfs.File, accs []Access, data []byte, params Para
 		applyMode(&d, mode)
 		decisions = append(decisions, d)
 		record(stats, d)
+		sp := startWindowSpan(p, params, d)
 		if d.UseSieve {
 			f.Lock(p, w.span.Off, w.span.Len)
 			buf := readPadded(p, f, w.span.Off, w.span.Len)
@@ -258,8 +268,21 @@ func Write(p *sim.Proc, f *localfs.File, accs []Access, data []byte, params Para
 				f.WriteAt(p, a.Off, take(a))
 			}
 		}
+		sp.End(p.Now())
 	}
 	return decisions
+}
+
+// startWindowSpan opens a span for one serviced window, annotated with
+// the cost model's verdict. It returns the zero Span when no tracer is
+// attached.
+func startWindowSpan(p *sim.Proc, params Params, d Decision) trace.Span {
+	sp := params.Tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), params.Node, "sieve.window", trace.StageSieve)
+	sp.SetBytes(d.Wanted)
+	if sp.Recording() {
+		sp.Annotate("sieve=%t n=%d span=%d t_ds=%v t_indiv=%v", d.UseSieve, d.N, d.Span, d.Tds, d.Tindiv)
+	}
+	return sp
 }
 
 func applyMode(d *Decision, mode Mode) {

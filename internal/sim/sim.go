@@ -177,7 +177,19 @@ type Proc struct {
 	parked   bool
 	sleeping bool // parked with the wake slot already queued (Sleep)
 	idx      int  // position in eng.procs, for O(1) removal
+	// traceCtx is the packed trace context (request + span IDs) the
+	// process is currently working under. The engine never interprets it
+	// — it is an opaque word the trace layer threads through spawns and
+	// wire messages so child work lands under the right request.
+	traceCtx uint64
 }
+
+// TraceCtx returns the process's packed trace context (zero = untraced).
+func (p *Proc) TraceCtx() uint64 { return p.traceCtx }
+
+// SetTraceCtx installs the packed trace context for subsequent work on
+// this process.
+func (p *Proc) SetTraceCtx(ctx uint64) { p.traceCtx = ctx }
 
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }

@@ -22,6 +22,7 @@ import (
 
 	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
+	"pvfsib/internal/trace"
 )
 
 // MB is 2^20 bytes, the paper's definition of a megabyte.
@@ -63,6 +64,9 @@ type Message struct {
 	Payload  any
 	SentAt   sim.Time // when transmission began
 	ArriveAt sim.Time // when the last byte reached the receiver
+	// Ctx carries the sender's packed trace context across the wire so
+	// receive-side work lands under the same request.
+	Ctx uint64
 
 	dst  *Node    // delivery target, set while in flight
 	next *Message // free-list link
@@ -99,6 +103,7 @@ type Network struct {
 	params   Params
 	nodes    []*Node
 	faults   FaultPolicy
+	tracer   *trace.Tracer
 	freeMsgs *Message
 
 	// Scratch recycles staging buffers for the hosts on this fabric (the ib
@@ -127,6 +132,7 @@ func (n *Network) allocMsg() *Message {
 func (n *Network) Recycle(m *Message) {
 	m.Payload = nil
 	m.dst = nil
+	m.Ctx = 0
 	m.next = n.freeMsgs
 	n.freeMsgs = m
 }
@@ -135,6 +141,11 @@ func (n *Network) Recycle(m *Message) {
 // policy Send consults nothing and schedules nothing extra — the zero-
 // overhead guarantee for fault-free runs.
 func (n *Network) SetFaults(f FaultPolicy) { n.faults = f }
+
+// SetTracer attaches (or, with nil, detaches) the span tracer. With no
+// tracer Send and the receive engines record nothing and allocate
+// nothing — the same zero-overhead contract the fault hook keeps.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
 
 // New creates a fabric on the engine with the given parameters.
 func New(eng *sim.Engine, params Params) *Network {
@@ -184,10 +195,13 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 func (node *Node) rxEngine(p *sim.Proc) {
 	for {
 		m := node.stage.Recv(p).(*Message)
+		sp := node.net.tracer.Start(p.Now(), trace.Ctx(m.Ctx), node.Name, "net.rx", trace.StageWire)
+		sp.SetBytes(int64(m.Size))
 		node.rx.Acquire(p)
 		p.Sleep(node.net.params.SerializationTime(m.Size))
 		node.rx.Release()
 		m.ArriveAt = p.Now()
+		sp.End(p.Now())
 		node.Inbox.Send(m)
 	}
 }
@@ -204,6 +218,8 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	if dst < 0 || int(dst) >= len(node.net.nodes) {
 		sim.Failf("simnet: send to unknown node %d", dst)
 	}
+	sp := node.net.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), node.Name, "net.tx", trace.StageWire)
+	sp.SetBytes(int64(size))
 	if fp := node.net.faults; fp != nil {
 		drop, extra := fp.SendVerdict(p.Now(), int(node.ID), int(dst), size)
 		if extra > 0 {
@@ -215,6 +231,7 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 			node.tx.Acquire(p)
 			p.Sleep(node.net.params.SerializationTime(size))
 			node.tx.Release()
+			sp.EndErr(p.Now(), ErrDropped)
 			return ErrDropped
 		}
 	}
@@ -222,6 +239,10 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	m := n.allocMsg()
 	m.From, m.To, m.Size, m.Payload = node.ID, dst, size, payload
 	m.ArriveAt = 0
+	m.Ctx = uint64(sp.Ctx())
+	if m.Ctx == 0 {
+		m.Ctx = p.TraceCtx()
+	}
 	node.tx.Acquire(p)
 	m.SentAt = p.Now()
 	n.BytesSent[node.ID] += int64(size)
@@ -232,6 +253,7 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	n.eng.AfterCall(n.params.Latency, deliverStage, m)
 	p.Sleep(n.params.SerializationTime(size))
 	node.tx.Release()
+	sp.End(p.Now())
 	return nil
 }
 

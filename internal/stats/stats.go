@@ -49,6 +49,17 @@ type Snapshot struct {
 	FaultDrops       int64 // messages dropped by partitions
 	FaultDiskErrors  int64 // injected disk errors and slowdowns
 	FaultRegFailures int64 // injected registration rejections
+
+	// Span-derived gauges (all zero unless span tracing was enabled): the
+	// per-stage self-time decomposition of the trace plane, and the peak
+	// number of requests simultaneously in dispatch on the busiest server.
+	MaxInflight  int64
+	StageRegNs   int64 // registration / deregistration
+	StagePackNs  int64 // pack/unpack staging copies
+	StageWireNs  int64 // fabric serialization, flight, RDMA engines
+	StageQueueNs int64 // contended-resource waits (I/O mutex, disk arm)
+	StageSieveNs int64 // sieve planning and RMW overhead
+	StageDiskNs  int64 // device transfers
 }
 
 // IOReqs returns the total read+write+sync request count.
@@ -85,20 +96,39 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		FaultDrops:        s.FaultDrops - t.FaultDrops,
 		FaultDiskErrors:   s.FaultDiskErrors - t.FaultDiskErrors,
 		FaultRegFailures:  s.FaultRegFailures - t.FaultRegFailures,
+		// MaxInflight is a high-water mark, not a counter: the delta of a
+		// peak is meaningless, so keep the later snapshot's reading.
+		MaxInflight:  s.MaxInflight,
+		StageRegNs:   s.StageRegNs - t.StageRegNs,
+		StagePackNs:  s.StagePackNs - t.StagePackNs,
+		StageWireNs:  s.StageWireNs - t.StageWireNs,
+		StageQueueNs: s.StageQueueNs - t.StageQueueNs,
+		StageSieveNs: s.StageSieveNs - t.StageSieveNs,
+		StageDiskNs:  s.StageDiskNs - t.StageDiskNs,
 	}
 }
 
 // String formats the snapshot as the rows of Table 6, with a recovery
-// suffix when the fault plane saw any action.
+// suffix when the fault plane saw any action and a span suffix when the
+// trace plane recorded stage time.
 func (s Snapshot) String() string {
 	out := fmt.Sprintf(
 		"req#=%d reg#=%d hit=%d read#=%d write#=%d c/s=%.1fMB c/c=%.1fMB",
 		s.IOReqs(), s.RegLookups, s.RegCacheHits,
 		s.FSReadCalls, s.FSWriteCalls,
 		float64(s.BytesClientServer)/(1<<20), float64(s.BytesClientClient)/(1<<20))
-	if s.Retries+s.Timeouts+s.Fallbacks+s.Crashes+s.FaultWRErrors+s.FaultDrops > 0 {
-		out += fmt.Sprintf(" retry#=%d timeout#=%d fallback#=%d abort#=%d crash#=%d",
-			s.Retries, s.Timeouts, s.Fallbacks, s.ServerAborts, s.Crashes)
+	if s.Retries+s.Timeouts+s.Fallbacks+s.ServerAborts+s.Crashes+s.Restarts+s.QPResets+
+		s.FaultWRErrors+s.FaultDrops+s.FaultDiskErrors+s.FaultRegFailures > 0 {
+		out += fmt.Sprintf(" retry#=%d timeout#=%d fallback#=%d abort#=%d crash#=%d restart#=%d qpreset#=%d",
+			s.Retries, s.Timeouts, s.Fallbacks, s.ServerAborts, s.Crashes, s.Restarts, s.QPResets)
+		out += fmt.Sprintf(" inj(wr#=%d drop#=%d disk#=%d reg#=%d)",
+			s.FaultWRErrors, s.FaultDrops, s.FaultDiskErrors, s.FaultRegFailures)
+	}
+	if stage := s.StageRegNs + s.StagePackNs + s.StageWireNs + s.StageQueueNs + s.StageSieveNs + s.StageDiskNs; stage > 0 {
+		out += fmt.Sprintf(" inflight=%d stage(reg=%.2fms pack=%.2fms wire=%.2fms queue=%.2fms sieve=%.2fms disk=%.2fms)",
+			s.MaxInflight,
+			float64(s.StageRegNs)/1e6, float64(s.StagePackNs)/1e6, float64(s.StageWireNs)/1e6,
+			float64(s.StageQueueNs)/1e6, float64(s.StageSieveNs)/1e6, float64(s.StageDiskNs)/1e6)
 	}
 	return out
 }

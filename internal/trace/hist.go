@@ -1,0 +1,115 @@
+package trace
+
+// HistBuckets is the number of fixed power-of-two buckets in a
+// Histogram. Bucket i counts durations in [2^i, 2^(i+1)) nanoseconds;
+// bucket 0 additionally absorbs zero. 48 buckets cover up to ~3.2
+// virtual days, far beyond any simulated run.
+const HistBuckets = 48
+
+// Histogram is a fixed-bucket latency histogram. The bucket layout is a
+// compile-time constant, so merging and quantile extraction are exact
+// set operations with no configuration to disagree on — two histograms
+// from different runs always merge bucket-for-bucket. The zero value is
+// ready to use.
+type Histogram struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Min     int64 // valid only when Count > 0
+	Max     int64
+	Buckets [HistBuckets]int64
+}
+
+// bucketOf returns the bucket index for a duration in nanoseconds.
+func bucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	b := 0
+	for v := ns; v > 1; v >>= 1 {
+		b++
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration in nanoseconds; negative values count as
+// zero.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	if h.Count == 0 || ns < h.Min {
+		h.Min = ns
+	}
+	if ns > h.Max {
+		h.Max = ns
+	}
+	h.Count++
+	h.Sum += ns
+	h.Buckets[bucketOf(ns)]++
+}
+
+// Merge folds o into h bucket-for-bucket.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the mean observed duration in nanoseconds, zero when
+// empty.
+func (h *Histogram) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) in
+// nanoseconds: the exclusive upper edge of the bucket holding the
+// q*Count-th observation, clamped to the observed Max. The bound is
+// deterministic and at most 2x the true value — adequate for the
+// order-of-magnitude breakdowns the traces feed.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			upper := int64(1) << uint(i+1)
+			if upper > h.Max {
+				upper = h.Max
+			}
+			if upper < h.Min {
+				upper = h.Min
+			}
+			return upper
+		}
+	}
+	return h.Max
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePerfetto emits the span table as Chrome trace-event JSON, the
+// format ui.perfetto.dev and chrome://tracing load directly. Every span
+// becomes one complete ("X") event; processes are simulated nodes and
+// threads are request IDs, so one horizontal track shows one request's
+// journey across the cluster.
+//
+// The writer is hand-rolled on purpose: event order is span-table order,
+// process IDs are first-appearance order, and timestamps are fixed-point
+// microseconds — no map iteration, no float formatting ambiguity — so
+// the same (workload, seed) produces byte-identical files.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	pids := map[string]int{}
+	var order []string
+	for i := range t.Spans() {
+		n := t.spans[i].Node
+		if _, ok := pids[n]; !ok {
+			pids[n] = len(order) + 1
+			order = append(order, n)
+		}
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err := fmt.Fprintf(w, sep+format, args...)
+		return err
+	}
+	for _, n := range order {
+		if err := emit("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+			pids[n], jsonString(n)); err != nil {
+			return err
+		}
+	}
+	for i := range t.Spans() {
+		s := &t.spans[i]
+		dur := s.Dur()
+		if err := emit("{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"span\":%d,\"parent\":%d",
+			jsonString(s.Kind), jsonString(s.Stage.String()),
+			microString(int64(s.Start)), microString(dur),
+			pids[s.Node], s.Req, s.ID, s.Parent); err != nil {
+			return err
+		}
+		if s.Bytes > 0 {
+			if _, err := fmt.Fprintf(w, ",\"bytes\":%d", s.Bytes); err != nil {
+				return err
+			}
+		}
+		if s.Attrs != "" {
+			if _, err := fmt.Fprintf(w, ",\"attrs\":%s", jsonString(s.Attrs)); err != nil {
+				return err
+			}
+		}
+		if s.Err != "" {
+			if _, err := fmt.Fprintf(w, ",\"err\":%s", jsonString(s.Err)); err != nil {
+				return err
+			}
+		}
+		if !s.Ended {
+			if _, err := io.WriteString(w, ",\"open\":1"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}}"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// microString renders nanoseconds as fixed-point microseconds with three
+// decimals — exact, locale-free, and stable across runs.
+func microString(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jsonString quotes s as a JSON string, escaping the characters our
+// span vocabulary can produce.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"fmt"
+
+	"pvfsib/internal/sim"
+)
+
+// The span plane records hierarchical, request-scoped intervals on the
+// virtual clock. A Tracer owns an append-only span table; a Span is a
+// small by-value handle into it. Every method is safe on the zero Span
+// and on a nil *Tracer, so the hot path carries no conditionals and no
+// allocations when tracing is off — the same contract the flat Recorder
+// has kept since the beginning.
+//
+// Spans form trees rooted at a request: the MPI-IO layer (or the PVFS
+// client, when used directly) mints a ReqID, and every child span —
+// client RPC attempts, wire serialization, registration, server
+// dispatch, sieve windows, disk transfers — carries that ReqID plus its
+// parent SpanID. Context crosses process boundaries as a packed Ctx
+// stored on sim.Proc, and crosses the simulated wire as an explicit
+// field on request messages.
+
+// ReqID identifies one application-level request (one MPI-IO access or
+// one direct PVFS list operation). IDs are minted sequentially by the
+// Tracer, so identical workloads mint identical IDs.
+type ReqID uint32
+
+// SpanID identifies a span within its Tracer: index into the span table
+// plus one, so the zero SpanID means "no span".
+type SpanID uint32
+
+// Ctx packs a (ReqID, SpanID) pair into one word so it can ride on
+// sim.Proc and on wire messages without those packages importing trace.
+// The zero Ctx means "untraced".
+type Ctx uint64
+
+// PackCtx builds a Ctx from its parts.
+func PackCtx(req ReqID, span SpanID) Ctx { return Ctx(req)<<32 | Ctx(span) }
+
+// Req extracts the request ID.
+func (c Ctx) Req() ReqID { return ReqID(c >> 32) }
+
+// Span extracts the span ID.
+func (c Ctx) Span() SpanID { return SpanID(c) }
+
+// Stage classifies where a span's time is accounted in the cost-model
+// decomposition: the T_reg / T_transfer / T_read split of the paper's
+// §4–5, refined with the queueing and sieve terms the simulator can
+// observe directly.
+type Stage uint8
+
+const (
+	// StageOther is control-flow time not attributed to a specific
+	// resource: RPC round-trip framing, dispatch, bookkeeping.
+	StageOther Stage = iota
+	// StageReg is memory registration and deregistration (T_reg).
+	StageReg
+	// StagePack is pack/unpack staging copies on client or server.
+	StagePack
+	// StageWire is fabric time: tx/rx serialization, flight, and the
+	// RDMA gather/scatter engines.
+	StageWire
+	// StageQueue is time spent waiting for a contended resource (the
+	// server's I/O mutex, a busy disk arm).
+	StageQueue
+	// StageSieve is data-sieving window planning and RMW overhead.
+	StageSieve
+	// StageDisk is device transfer time (T_read / T_write).
+	StageDisk
+
+	// NumStages sizes stage-indexed arrays.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"other", "reg", "pack", "wire", "queue", "sieve", "disk"}
+
+// String returns the stage's short name.
+func (st Stage) String() string {
+	if int(st) < len(stageNames) {
+		return stageNames[st]
+	}
+	return fmt.Sprintf("stage(%d)", int(st))
+}
+
+// SpanRec is one recorded span. Exported so exporters and tests can walk
+// the table; mutate only through Span methods.
+type SpanRec struct {
+	ID     SpanID
+	Parent SpanID
+	Req    ReqID
+	Node   string
+	Kind   string
+	Stage  Stage
+	Start  sim.Time
+	End    sim.Time // valid only when Ended
+	Ended  bool
+	Bytes  int64
+	Attrs  string // "k=v k=v" annotations, appended in call order
+	Err    string // non-empty when the span ended in error
+}
+
+// Dur returns the span's duration in nanoseconds (zero while open).
+func (s *SpanRec) Dur() int64 {
+	if !s.Ended {
+		return 0
+	}
+	return int64(s.End - s.Start)
+}
+
+// Tracer owns the span table for one cluster. It is not safe for
+// concurrent use — the simulation engine runs one process at a time, so
+// append order (and therefore every derived artifact) is deterministic.
+// A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	spans   []SpanRec
+	nextReq uint32
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is a by-value handle to one recorded span. The zero Span (and any
+// Span from a nil Tracer) is valid: every method no-ops and Ctx returns
+// zero.
+type Span struct {
+	t   *Tracer
+	id  SpanID
+	req ReqID
+}
+
+// NewRequest mints a fresh ReqID and opens its root span. Kind names the
+// access method or operation ("listio-write", "datasieving-read").
+func (t *Tracer) NewRequest(now sim.Time, node, kind string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.nextReq++
+	req := ReqID(t.nextReq)
+	return t.open(now, 0, req, node, kind, StageOther)
+}
+
+// Start opens a child span under ctx. When ctx is zero the span becomes
+// a detached root with no request ID — recorded, but excluded from
+// request accounting.
+func (t *Tracer) Start(now sim.Time, ctx Ctx, node, kind string, stage Stage) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.open(now, ctx.Span(), ctx.Req(), node, kind, stage)
+}
+
+func (t *Tracer) open(now sim.Time, parent SpanID, req ReqID, node, kind string, stage Stage) Span {
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, SpanRec{
+		ID: id, Parent: parent, Req: req,
+		Node: node, Kind: kind, Stage: stage, Start: now,
+	})
+	return Span{t: t, id: id, req: req}
+}
+
+// End closes the span at the given virtual time. Ending a span twice is
+// a bug (the tracecheck analyzer flags it statically); at runtime the
+// second End wins so a trace is still produced for inspection.
+func (s Span) End(now sim.Time) {
+	if s.t == nil {
+		return
+	}
+	r := &s.t.spans[s.id-1]
+	r.End = now
+	r.Ended = true
+}
+
+// EndErr closes the span and records the error that terminated it; a nil
+// error is equivalent to End.
+func (s Span) EndErr(now sim.Time, err error) {
+	if s.t == nil {
+		return
+	}
+	r := &s.t.spans[s.id-1]
+	r.End = now
+	r.Ended = true
+	if err != nil {
+		r.Err = err.Error()
+	}
+}
+
+// SetBytes records the payload size the span moved.
+func (s Span) SetBytes(n int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.spans[s.id-1].Bytes = n
+}
+
+// Annotate appends a formatted "key=value" attribute to the span.
+func (s Span) Annotate(format string, args ...any) {
+	if s.t == nil {
+		return
+	}
+	r := &s.t.spans[s.id-1]
+	if r.Attrs != "" {
+		r.Attrs += " "
+	}
+	r.Attrs += fmt.Sprintf(format, args...)
+}
+
+// Recording reports whether the span records anything. Hot paths guard
+// Annotate calls that box arguments behind it, so a disabled tracer
+// allocates nothing.
+func (s Span) Recording() bool { return s.t != nil }
+
+// Ctx returns the packed context naming this span as parent, for handing
+// to children across process or wire boundaries.
+func (s Span) Ctx() Ctx {
+	if s.t == nil {
+		return 0
+	}
+	return PackCtx(s.req, s.id)
+}
+
+// Req returns the span's request ID (zero for detached spans).
+func (s Span) Req() ReqID { return s.req }
+
+// Spans returns the recorded span table in creation order. The returned
+// slice is the tracer's own storage — callers must not mutate it.
+func (t *Tracer) Spans() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Requests reports how many request IDs have been minted.
+func (t *Tracer) Requests() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.nextReq)
+}
