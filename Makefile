@@ -2,7 +2,11 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json vet check bench-smoke bench-go trace-smoke fuzz clean
+.PHONY: all build test race lint lint-json lint-time vet check bench-smoke bench-go trace-smoke fuzz clean
+
+# LINT_BUDGET caps the whole analyzer suite's wall time in lint-time; the
+# interprocedural pass (callgraph + detcheck) must not silently blow up CI.
+LINT_BUDGET ?= 30s
 
 all: build
 
@@ -25,15 +29,21 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own analyzers (sgelimit, regcheck, simblock,
-# nopanic, mrlife, errflow, lockorder, okreason, engescape, tracecheck)
-# through the go vet driver, covering test files too.
+# nopanic, mrlife, errflow, lockorder, okreason, engescape, tracecheck,
+# detcheck) through the go vet driver, covering test files too.
 lint: $(BIN)
 	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
 
 # lint-json runs the standalone driver and archives the findings as JSON
-# (pvfslint.json); it fails when any unsuppressed finding remains.
+# (pvfslint.json) and SARIF (pvfslint.sarif); it fails when any
+# unsuppressed finding remains.
 lint-json: $(BIN)
-	$(BIN) -json ./... > pvfslint.json
+	$(BIN) -json -sarif pvfslint.sarif ./... > pvfslint.json
+
+# lint-time reports per-analyzer wall time and fails if the whole suite
+# exceeds LINT_BUDGET.
+lint-time: $(BIN)
+	$(BIN) -time -budget $(LINT_BUDGET) ./...
 
 # check is the full CI gate: build, vet, pvfslint, race tests.
 check: build vet lint race

@@ -142,14 +142,14 @@ func main() {
 
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	start := time.Now()
+	start := time.Now() //pvfslint:ok detcheck -hostmeta wall time is host diagnostics, never part of results
 	perExp := make(map[string]float64, len(todo))
 
 	opts := bench.RunOpts{Short: *short, Seed: *seed, Parallel: *parallel}
 	for _, e := range todo {
-		t0 := time.Now()
+		t0 := time.Now() //pvfslint:ok detcheck per-experiment wall time is host diagnostics, never part of results
 		tbl := e.Run(opts)
-		perExp[e.ID] = time.Since(t0).Seconds()
+		perExp[e.ID] = time.Since(t0).Seconds() //pvfslint:ok detcheck -hostmeta timing is host diagnostics, never compared across runs
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
@@ -160,6 +160,7 @@ func main() {
 		}
 		fmt.Println(tbl)
 		if *timings {
+			//pvfslint:ok detcheck -timings prints host wall time on request, outside the result tables
 			fmt.Printf("(%s took %.1fs host time)\n\n", e.ID, time.Since(t0).Seconds())
 		}
 	}
@@ -170,7 +171,7 @@ func main() {
 		meta := hostMeta{
 			Parallel:    *parallel,
 			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			WallSeconds: time.Since(start).Seconds(),
+			WallSeconds: time.Since(start).Seconds(), //pvfslint:ok detcheck -hostmeta wall time is host diagnostics, never part of results
 			Mallocs:     m1.Mallocs - m0.Mallocs,
 			TotalAlloc:  m1.TotalAlloc - m0.TotalAlloc,
 			Experiments: perExp,

@@ -6,29 +6,42 @@
 // checked, not dropped), lockorder (sim.Resource pairs acquire in one
 // consistent order), okreason (every suppression names its analyzer
 // and gives a reason), engescape (no per-event allocations escape into the
-// engine hot path), and tracecheck (spans are ended exactly once on every
-// normal path).
+// engine hot path), tracecheck (spans are ended exactly once on every
+// normal path), and detcheck (nondeterminism sources must not reach
+// deterministic outputs — interprocedural, over the callgraph layer).
 //
 // Two modes:
 //
 //	pvfslint ./...                      # standalone, loads packages via go list
 //	go vet -vettool=$(pwd)/pvfslint ./...  # driven by go vet, covers test files too
 //
-// In standalone mode, -json writes the findings to stdout as a JSON array
-// (one object per finding: file, line, column, analyzer, message) for CI
-// artifacts and tooling; the human-readable lines still go to stderr.
+// Standalone flags:
+//
+//	-json          findings to stdout as a JSON array (file, line, column,
+//	               analyzer, message); human-readable lines still go to stderr
+//	-sarif FILE    also write the findings as SARIF 2.1.0 to FILE
+//	-time          report per-analyzer wall time to stderr
+//	-budget DUR    fail (exit 1) if the whole suite takes longer than DUR,
+//	               even with no findings — the CI guard that keeps the
+//	               interprocedural pass from silently blowing up lint time
 //
 // In vet mode the tool speaks the cmd/go vet-tool protocol (-V=full, -flags,
-// and a *.cfg compilation-unit file per package).
+// and a *.cfg compilation-unit file per package). Interprocedural analyzers
+// see cross-package summaries only in standalone mode; under go vet each
+// compilation unit is a separate process, so they degrade to per-package
+// analysis.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"pvfsib/internal/analysis/load"
+	"pvfsib/internal/analysis/sarif"
 	"pvfsib/internal/analysis/suite"
 	"pvfsib/internal/analysis/unit"
 )
@@ -49,24 +62,62 @@ type jsonFinding struct {
 func run(args []string) int {
 	analyzers := suite.All()
 
-	// -json is ours; any other flag (or a .cfg operand) means go vet is
-	// driving and the whole command line belongs to the vet-tool protocol.
-	jsonOut := false
-	var patterns []string
-	for _, a := range args {
-		if a == "-json" {
+	// -json/-sarif/-time/-budget are ours; any other flag (or a .cfg
+	// operand) means go vet is driving and the whole command line belongs
+	// to the vet-tool protocol.
+	var (
+		jsonOut   bool
+		timeOut   bool
+		sarifFile string
+		budget    time.Duration
+		patterns  []string
+	)
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		takeValue := func(name string) (string, bool) {
+			if v, ok := strings.CutPrefix(a, "-"+name+"="); ok {
+				return v, true
+			}
+			if a == "-"+name && i+1 < len(args) {
+				i++
+				return args[i], true
+			}
+			return "", false
+		}
+		switch {
+		case a == "-json":
 			jsonOut = true
-			continue
-		}
-		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+		case a == "-time":
+			timeOut = true
+		case strings.HasPrefix(a, "-sarif"):
+			v, ok := takeValue("sarif")
+			if !ok {
+				fmt.Fprintln(os.Stderr, "pvfslint: -sarif needs a file argument")
+				return 2
+			}
+			sarifFile = v
+		case strings.HasPrefix(a, "-budget"):
+			v, ok := takeValue("budget")
+			if !ok {
+				fmt.Fprintln(os.Stderr, "pvfslint: -budget needs a duration argument")
+				return 2
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pvfslint: bad -budget: %v\n", err)
+				return 2
+			}
+			budget = d
+		case strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg"):
 			return unit.Main(args, analyzers, os.Stdout, os.Stderr)
+		default:
+			patterns = append(patterns, a)
 		}
-		patterns = append(patterns, a)
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := load.Packages(".", patterns, analyzers)
+	findings, timing, err := load.PackagesTimed(".", patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pvfslint: %v\n", err)
 		return 1
@@ -92,9 +143,54 @@ func run(args []string) int {
 			return 1
 		}
 	}
+	if sarifFile != "" {
+		wd, _ := os.Getwd()
+		f, err := os.Create(sarifFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvfslint: %v\n", err)
+			return 1
+		}
+		werr := sarif.Build(analyzers, findings, wd).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "pvfslint: writing SARIF: %v\n", werr)
+			return 1
+		}
+	}
+
+	var total time.Duration
+	for _, d := range timing {
+		total += d
+	}
+	if timeOut {
+		names := make([]string, 0, len(timing))
+		for name := range timing {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if timing[names[i]] != timing[names[j]] {
+				return timing[names[i]] > timing[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		fmt.Fprintln(os.Stderr, "analyzer wall time:")
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", name, float64(timing[name].Microseconds())/1000)
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", "total", float64(total.Microseconds())/1000)
+	}
+
+	status := 0
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "pvfslint: %d finding(s)\n", len(findings))
-		return 1
+		status = 1
 	}
-	return 0
+	if budget > 0 && total > budget {
+		fmt.Fprintf(os.Stderr, "pvfslint: suite took %s, over the %s budget\n",
+			total.Round(time.Millisecond), budget)
+		status = 1
+	}
+	return status
 }

@@ -24,6 +24,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"time"
 )
 
 // Analyzer describes one named check.
@@ -46,6 +47,14 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Repo is the driver-run-wide store shared by every pass of one driver
+	// invocation. Interprocedural analyzers (detcheck) stash cross-package
+	// state here — the call-graph program and function summaries — relying
+	// on the standalone loader's dependency-first package order. Drivers
+	// always set it; in go vet mode each compilation unit gets a fresh
+	// store, so cross-package summaries are only available standalone.
+	Repo *Repo
+
 	// Report delivers a finding. Drivers set it; suppressed findings are
 	// filtered before it is called.
 	Report func(Diagnostic)
@@ -54,6 +63,25 @@ type Pass struct {
 	// pvfslint:ok directive covering that line. Built lazily.
 	suppress map[int]map[string]bool
 }
+
+// Repo carries state across the packages of one driver run: a keyed store
+// for interprocedural analyzers plus per-analyzer wall-clock totals (the
+// numbers behind pvfslint -time and the lint-time CI budget).
+type Repo struct {
+	state  map[string]any
+	Timing map[string]time.Duration
+}
+
+// NewRepo returns an empty run-wide store.
+func NewRepo() *Repo {
+	return &Repo{state: make(map[string]any), Timing: make(map[string]time.Duration)}
+}
+
+// Get returns the value stored under key, or nil.
+func (r *Repo) Get(key string) any { return r.state[key] }
+
+// Set stores v under key.
+func (r *Repo) Set(key string, v any) { r.state[key] = v }
 
 // Diagnostic is one finding at a source position.
 type Diagnostic struct {

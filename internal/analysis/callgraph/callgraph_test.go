@@ -1,0 +1,400 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+
+	"pvfsib/internal/analysis"
+)
+
+// checked is one type-checked in-memory package.
+type checked struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// memImporter resolves imports against previously checked in-memory
+// packages, falling back to the compiler importer for the standard library.
+type memImporter struct {
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func (m *memImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// checker type-checks source strings as packages that can import each other.
+type checker struct {
+	t    *testing.T
+	fset *token.FileSet
+	imp  *memImporter
+}
+
+func newChecker(t *testing.T) *checker {
+	return &checker{
+		t:    t,
+		fset: token.NewFileSet(),
+		imp:  &memImporter{pkgs: make(map[string]*types.Package), std: importer.Default()},
+	}
+}
+
+func (c *checker) check(path, src string) checked {
+	c.t.Helper()
+	f, err := parser.ParseFile(c.fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		c.t.Fatalf("parse %s: %v", path, err)
+	}
+	info := analysis.NewInfo()
+	conf := &types.Config{Importer: c.imp}
+	pkg, err := conf.Check(path, c.fset, []*ast.File{f}, info)
+	if err != nil {
+		c.t.Fatalf("typecheck %s: %v", path, err)
+	}
+	c.imp.pkgs[path] = pkg
+	return checked{files: []*ast.File{f}, pkg: pkg, info: info}
+}
+
+// targets flattens a node's resolved call targets.
+func targets(p *Program, n *Node) []string {
+	var out []string
+	for _, call := range n.Calls {
+		out = append(out, p.TargetsOf(call)...)
+	}
+	return out
+}
+
+func TestStaticCallsAndIDs(t *testing.T) {
+	c := newChecker(t)
+	pkg := c.check("example.com/a", `package a
+
+type T struct{}
+
+func (t *T) M() {}
+
+func F() {
+	var t T
+	t.M()
+	G()
+}
+
+func G() {}
+`)
+	p := NewProgram()
+	g := p.AddPackage(pkg.files, pkg.pkg, pkg.info)
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(g.Nodes))
+	}
+	f := p.Node("example.com/a.F")
+	if f == nil {
+		t.Fatal("no node for example.com/a.F")
+	}
+	got := targets(p, f)
+	want := []string{"(example.com/a.T).M", "example.com/a.G"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("F targets = %v, want %v", got, want)
+	}
+}
+
+func TestMutualRecursionSCCOrder(t *testing.T) {
+	c := newChecker(t)
+	pkg := c.check("example.com/scc", `package scc
+
+func Leaf() {}
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	Leaf()
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+func Top() { Even(4) }
+`)
+	p := NewProgram()
+	g := p.AddPackage(pkg.files, pkg.pkg, pkg.info)
+	var order [][]string
+	for _, scc := range g.SCCs {
+		var ids []string
+		for _, n := range scc {
+			ids = append(ids, n.ID)
+		}
+		order = append(order, ids)
+	}
+	// Tarjan emits callees first: Leaf, then the Even/Odd component, then Top.
+	if len(order) != 3 {
+		t.Fatalf("SCCs = %v, want 3 components", order)
+	}
+	if !reflect.DeepEqual(order[0], []string{"example.com/scc.Leaf"}) {
+		t.Fatalf("first SCC = %v, want Leaf", order[0])
+	}
+	comp := map[string]bool{}
+	for _, id := range order[1] {
+		comp[id] = true
+	}
+	if len(order[1]) != 2 || !comp["example.com/scc.Even"] || !comp["example.com/scc.Odd"] {
+		t.Fatalf("second SCC = %v, want {Even, Odd}", order[1])
+	}
+	if !reflect.DeepEqual(order[2], []string{"example.com/scc.Top"}) {
+		t.Fatalf("last SCC = %v, want Top", order[2])
+	}
+}
+
+func TestInterfaceDispatchByName(t *testing.T) {
+	c := newChecker(t)
+	// The fault/simnet shape: a structural interface with two concrete
+	// implementations, dispatched through an interface-typed value.
+	impls := c.check("example.com/impls", `package impls
+
+type DropAll struct{}
+
+func (DropAll) Deliver(seq int) bool { return false }
+
+type KeepAll struct{}
+
+func (*KeepAll) Deliver(seq int) bool { return true }
+
+// Decoy has a Deliver with the right name only; name-set CHA still counts
+// it — documented imprecision, never unsoundness.
+type Unrelated struct{}
+
+func (Unrelated) Other() {}
+`)
+	use := c.check("example.com/use", `package use
+
+import "example.com/impls"
+
+type Policy interface {
+	Deliver(seq int) bool
+}
+
+func Drive(p Policy) bool {
+	return p.Deliver(1)
+}
+
+var _ = impls.DropAll{}
+`)
+	p := NewProgram()
+	p.AddPackage(impls.files, impls.pkg, impls.info)
+	p.AddPackage(use.files, use.pkg, use.info)
+	drive := p.Node("example.com/use.Drive")
+	if drive == nil {
+		t.Fatal("no node for Drive")
+	}
+	if len(drive.Calls) != 1 || !drive.Calls[0].Dynamic {
+		t.Fatalf("Drive calls = %+v, want one dynamic call", drive.Calls)
+	}
+	got := targets(p, drive)
+	want := []string{"(example.com/impls.DropAll).Deliver", "(example.com/impls.KeepAll).Deliver"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Drive targets = %v, want %v", got, want)
+	}
+}
+
+func TestMethodValueEdge(t *testing.T) {
+	c := newChecker(t)
+	pkg := c.check("example.com/mv", `package mv
+
+type Server struct{}
+
+func (s *Server) Serve() {}
+
+func Spawn(run func()) { run() }
+
+func Boot(s *Server) {
+	Spawn(s.Serve)
+}
+`)
+	p := NewProgram()
+	p.AddPackage(pkg.files, pkg.pkg, pkg.info)
+	boot := p.Node("example.com/mv.Boot")
+	got := targets(p, boot)
+	want := []string{"example.com/mv.Spawn", "(example.com/mv.Server).Serve"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Boot targets = %v, want %v", got, want)
+	}
+	// Inside Spawn, run() is a func-value call: dynamic, no targets.
+	spawn := p.Node("example.com/mv.Spawn")
+	if len(spawn.Calls) != 1 || !spawn.Calls[0].Dynamic || spawn.Calls[0].Iface != nil {
+		t.Fatalf("Spawn calls = %+v, want one non-interface dynamic call", spawn.Calls)
+	}
+	if ts := targets(p, spawn); len(ts) != 0 {
+		t.Fatalf("Spawn targets = %v, want none", ts)
+	}
+}
+
+func TestFuncLitAttributedToEnclosingDecl(t *testing.T) {
+	c := newChecker(t)
+	pkg := c.check("example.com/lit", `package lit
+
+func Helper() {}
+
+func Outer(spawn func(func())) {
+	spawn(func() {
+		Helper()
+	})
+}
+`)
+	p := NewProgram()
+	p.AddPackage(pkg.files, pkg.pkg, pkg.info)
+	outer := p.Node("example.com/lit.Outer")
+	got := targets(p, outer)
+	found := false
+	for _, id := range got {
+		if id == "example.com/lit.Helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Outer targets = %v, want Helper via the literal's body", got)
+	}
+}
+
+func TestCrossPackageStaticCall(t *testing.T) {
+	c := newChecker(t)
+	dep := c.check("example.com/dep", `package dep
+
+func Exported() {}
+`)
+	top := c.check("example.com/top", `package top
+
+import "example.com/dep"
+
+func Use() { dep.Exported() }
+`)
+	p := NewProgram()
+	p.AddPackage(dep.files, dep.pkg, dep.info)
+	p.AddPackage(top.files, top.pkg, top.info)
+	use := p.Node("example.com/top.Use")
+	got := targets(p, use)
+	want := []string{"example.com/dep.Exported"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Use targets = %v, want %v", got, want)
+	}
+	if p.Node("example.com/dep.Exported") == nil {
+		t.Fatal("dep.Exported should have a node: its package was added")
+	}
+}
+
+func TestFixpointThroughSCC(t *testing.T) {
+	c := newChecker(t)
+	pkg := c.check("example.com/fx", `package fx
+
+func Source() int { return 1 }
+
+func Even(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) int {
+	if n == 0 {
+		return Source()
+	}
+	return Even(n - 1)
+}
+
+func Clean(n int) int { return n }
+
+func Top() int { return Even(3) + Clean(2) }
+`)
+	p := NewProgram()
+	g := p.AddPackage(pkg.files, pkg.pkg, pkg.info)
+	// Summary: does the function (transitively) call Source?
+	sums := make(map[string]bool)
+	Fixpoint(g.SCCs, sums, func(a, b bool) bool { return a == b }, func(n *Node, sums map[string]bool) bool {
+		if n.ID == "example.com/fx.Source" {
+			return true
+		}
+		for _, call := range n.Calls {
+			for _, id := range p.TargetsOf(call) {
+				if sums[id] {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	want := map[string]bool{
+		"example.com/fx.Source": true,
+		"example.com/fx.Even":   true,
+		"example.com/fx.Odd":    true,
+		"example.com/fx.Clean":  false,
+		"example.com/fx.Top":    true,
+	}
+	for id, w := range want {
+		if sums[id] != w {
+			t.Errorf("summary[%s] = %v, want %v", id, sums[id], w)
+		}
+	}
+}
+
+func TestIDOfGenericOrigin(t *testing.T) {
+	c := newChecker(t)
+	pkg := c.check("example.com/gen", `package gen
+
+func Map[T any](xs []T, f func(T) T) []T {
+	out := make([]T, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+func Use() {
+	Map([]int{1}, func(x int) int { return x })
+}
+`)
+	p := NewProgram()
+	p.AddPackage(pkg.files, pkg.pkg, pkg.info)
+	use := p.Node("example.com/gen.Use")
+	got := targets(p, use)
+	found := false
+	for _, id := range got {
+		if id == "example.com/gen.Map" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Use targets = %v, want the generic origin example.com/gen.Map", got)
+	}
+}
+
+func ExampleIDOf() {
+	c := newChecker(&testing.T{})
+	pkg := c.check("example.com/ids", `package ids
+
+type T struct{}
+
+func (t *T) M() {}
+func F()       {}
+`)
+	scope := pkg.pkg.Scope()
+	f := scope.Lookup("F").(*types.Func)
+	m, _, _ := types.LookupFieldOrMethod(scope.Lookup("T").Type(), true, pkg.pkg, "M")
+	fmt.Println(IDOf(f))
+	fmt.Println(IDOf(m.(*types.Func)))
+	// Output:
+	// example.com/ids.F
+	// (example.com/ids.T).M
+}

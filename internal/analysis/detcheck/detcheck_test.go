@@ -1,0 +1,12 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/detcheck"
+)
+
+func TestDetcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", detcheck.Analyzer, "a")
+}

@@ -1,0 +1,209 @@
+// Package a exercises detcheck: nondeterminism sources flowing into
+// deterministic outputs, the sanitizer idioms that clean them, returned
+// taint, interprocedural (SCC and interface-dispatch) sink reachability,
+// and suppression.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pvfsib/internal/sim"
+)
+
+// ---- map iteration ----
+
+func MapRangeToSink(eng *sim.Engine, m map[string]int) {
+	for k := range m { // want `map iteration in a function that reaches deterministic output`
+		eng.Go(k, func(p *sim.Proc) {})
+	}
+}
+
+// Collect then stable sort sanitizes.
+func SortedKeysClean(eng *sim.Engine, m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		eng.Go(k, func(p *sim.Proc) {})
+	}
+}
+
+// sort.Slice is unstable: ties keep random map order.
+func UnstableSortPrint(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return len(ks[i]) < len(ks[j]) }) // want `map-collected data sorted with sort\.Slice`
+	fmt.Println(ks)
+}
+
+// Order-insensitive bodies are clean: counters, deletes, exists-checks.
+
+func CountClean(eng *sim.Engine, m map[string]int) {
+	n := 0
+	for range m {
+		n++
+	}
+	eng.Go("count", nil)
+	_ = n
+}
+
+func DeleteClean(eng *sim.Engine, m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+	eng.Go("clear", nil)
+}
+
+func ExistsSink(eng *sim.Engine, m map[string]bool) bool {
+	for _, v := range m {
+		if v {
+			return true
+		}
+	}
+	eng.Go("exists", nil)
+	return false
+}
+
+func PtrKeyed(eng *sim.Engine, m map[*Conn]int) {
+	for c := range m { // want `iteration over a pointer-keyed map`
+		eng.Go(c.name, nil)
+	}
+}
+
+type Conn struct{ name string }
+
+// A dynamic call with unknown targets is conservatively sink-reaching.
+func CallbackUnknown(m map[string]int, f func(string)) {
+	for k := range m { // want `map iteration`
+		f(k)
+	}
+}
+
+// A reasoned suppression on the source kills the chain.
+func AuditedRange(eng *sim.Engine, m map[string]int) {
+	//pvfslint:ok detcheck shutdown path, order observed only in aggregate
+	for k := range m {
+		eng.Go(k, nil)
+	}
+}
+
+// ---- wall clock and rand ----
+
+func WallClock(eng *sim.Engine) {
+	t := time.Now() // want `wall-clock time\.Now`
+	_ = t
+	eng.Go("tick", nil)
+}
+
+func AuditedWallClock(eng *sim.Engine) {
+	t := time.Now() //pvfslint:ok detcheck host metadata only, never compared across runs
+	_ = t
+	eng.Go("meta", nil)
+}
+
+func GlobalRand(eng *sim.Engine) {
+	n := rand.Intn(8) // want `global math/rand\.Intn`
+	_ = n
+	eng.Go("jitter", nil)
+}
+
+func SeededRandClean(eng *sim.Engine, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	n := r.Intn(8)
+	_ = n
+	eng.Go("jitter", nil)
+}
+
+// ---- racing select ----
+
+func RacySelect(eng *sim.Engine, a, b chan int) {
+	select { // want `select racing 2 communications`
+	case <-a:
+	case <-b:
+	}
+	eng.Go("race", nil)
+}
+
+// ---- interprocedural: transitive sinks, SCCs, dispatch ----
+
+func spawn(eng *sim.Engine, name string) {
+	eng.Go(name, nil)
+}
+
+func TransitiveMapRange(eng *sim.Engine, m map[string]int) {
+	for k := range m { // want `map iteration in a function that reaches deterministic output \(calls a\.spawn`
+		spawn(eng, k)
+	}
+}
+
+// Mutual recursion: sink reachability converges through the SCC.
+
+func pingPong(eng *sim.Engine, n int) {
+	if n == 0 {
+		return
+	}
+	pong(eng, n)
+}
+
+func pong(eng *sim.Engine, n int) {
+	eng.Go("p", nil)
+	pingPong(eng, n-1)
+}
+
+func RecursiveMapRange(eng *sim.Engine, m map[string]int) {
+	for k := range m { // want `map iteration`
+		pingPong(eng, len(k))
+	}
+}
+
+// Interface dispatch: one implementation reaches a sink, so call sites
+// through the interface do too.
+
+type policy interface{ deliver(n int) bool }
+
+type dropper struct{}
+
+func (dropper) deliver(n int) bool { return false }
+
+type logger struct{ eng *sim.Engine }
+
+func (l logger) deliver(n int) bool { l.eng.Go("d", nil); return true }
+
+func Dispatch(p policy, m map[int]int) {
+	for k := range m { // want `map iteration`
+		p.deliver(k)
+	}
+}
+
+var _ = []policy{dropper{}, logger{}}
+
+// ---- returned taint ----
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func UseKeys(eng *sim.Engine, m map[string]int) {
+	for _, k := range keys(m) { // want `call to a\.keys returns nondeterministically ordered data`
+		eng.Go(k, nil)
+	}
+}
+
+func UseKeysSorted(eng *sim.Engine, m map[string]int) {
+	ks := keys(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		eng.Go(k, nil)
+	}
+}

@@ -1,0 +1,6 @@
+// Package fmt is a corpus stub: Print* are detcheck sinks, Sprintf is not.
+package fmt
+
+func Println(a ...any) (int, error)               { return 0, nil }
+func Printf(format string, a ...any) (int, error) { return 0, nil }
+func Sprintf(format string, a ...any) string      { return "" }

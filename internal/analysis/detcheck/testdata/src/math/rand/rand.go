@@ -1,0 +1,16 @@
+// Package rand is a corpus stub mirroring the math/rand surface detcheck
+// matches by import path: global functions are sources, instance methods
+// and constructors are not.
+package rand
+
+type Source interface{ Int63() int64 }
+
+func NewSource(seed int64) Source { return nil }
+
+type Rand struct{}
+
+func New(src Source) *Rand     { return &Rand{} }
+func (r *Rand) Intn(n int) int { return 0 }
+
+func Intn(n int) int { return 0 }
+func Int63() int64   { return 0 }

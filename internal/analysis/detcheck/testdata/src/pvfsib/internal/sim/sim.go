@@ -1,0 +1,14 @@
+// Package sim is a test stub: just enough of the simulator's surface for
+// the analyzers' type checks to engage. No stdlib imports (the analysistest
+// loader resolves imports only within the corpus).
+package sim
+
+type Engine struct{}
+
+func NewEngine() *Engine                                 { return &Engine{} }
+func (e *Engine) Run() error                             { return nil }
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc { return nil }
+
+type Proc struct{}
+
+func (p *Proc) Now() int64 { return 0 }

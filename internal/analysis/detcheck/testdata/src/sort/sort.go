@@ -1,0 +1,16 @@
+// Package sort is a corpus stub mirroring the sanitizer surface detcheck
+// matches by import path: key and stable sorts sanitize, Slice/Sort do not.
+package sort
+
+type Interface interface {
+	Len() int
+	Less(i, j int) bool
+	Swap(i, j int)
+}
+
+func Strings(x []string)                            {}
+func Ints(x []int)                                  {}
+func Sort(data Interface)                           {}
+func Stable(data Interface)                         {}
+func Slice(x any, less func(i, j int) bool)         {}
+func SliceStable(x any, less func(i, j int) bool)   {}

@@ -1,0 +1,14 @@
+// Package time is a corpus stub mirroring the wall-clock surface detcheck
+// matches by import path.
+package time
+
+type Time struct{}
+
+func (Time) UnixNano() int64 { return 0 }
+
+type Duration int64
+
+func Now() Time              { return Time{} }
+func Since(t Time) Duration  { return 0 }
+func Until(t Time) Duration  { return 0 }
+func Sleep(d Duration)       {}

@@ -24,6 +24,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"pvfsib/internal/analysis"
 )
@@ -54,6 +55,18 @@ func (f Finding) String() string {
 // Packages runs the analyzers over every main-module package matching the
 // go list patterns, in dir. It returns all findings sorted by position.
 func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := PackagesTimed(dir, patterns, analyzers)
+	return findings, err
+}
+
+// PackagesTimed is Packages plus the per-analyzer wall-clock totals for the
+// whole run (the numbers behind pvfslint -time and the lint-time budget).
+//
+// One analysis.Repo is shared by every package, and "go list -deps" emits
+// dependencies before dependents, so interprocedural analyzers (detcheck)
+// see every in-module callee's summary before the caller's package —
+// provided the patterns cover the dependency (as ./... does).
+func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, map[string]time.Duration, error) {
 	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Standard,Export,GoFiles,Imports,Module"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -61,7 +74,7 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
 	pkgs := make(map[string]*listPackage)
@@ -72,7 +85,7 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list output: %v", err)
+			return nil, nil, fmt.Errorf("go list output: %v", err)
 		}
 		pkgs[p.ImportPath] = p
 		order = append(order, p)
@@ -93,7 +106,7 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 	cmd.Stdout = &targetOut
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 	targets := make(map[string]bool)
 	for _, line := range bytes.Fields(targetOut.Bytes()) {
@@ -113,6 +126,7 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
 	}
 
+	repo := analysis.NewRepo()
 	var findings []Finding
 	for _, p := range order {
 		// Deps are in the list only for their export data; analyze the
@@ -124,18 +138,18 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			files = append(files, f)
 		}
 		info := analysis.NewInfo()
 		pkg, err := tc.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+			return nil, nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 		}
-		diags, err := analysis.RunAll(analyzers, fset, files, pkg, info)
+		diags, err := analysis.RunAllRepo(analyzers, fset, files, pkg, info, repo)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, d := range diags {
 			findings = append(findings, Finding{
@@ -155,5 +169,5 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 		}
 		return a.Column < b.Column
 	})
-	return findings, nil
+	return findings, repo.Timing, nil
 }

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"time"
 )
 
 // NewInfo returns a types.Info with every map drivers and analyzers need.
@@ -21,8 +22,22 @@ func NewInfo() *types.Info {
 }
 
 // RunAll runs every analyzer over one type-checked package and returns the
-// combined diagnostics.
+// combined diagnostics. Each call gets a fresh Repo, so interprocedural
+// analyzers see only this package; drivers that analyze many packages use
+// RunAllRepo with one shared Repo instead.
 func RunAll(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return RunAllRepo(analyzers, fset, files, pkg, info, nil)
+}
+
+// RunAllRepo is RunAll with an explicit run-wide store. Drivers that walk a
+// whole module in dependency order (the standalone loader) pass the same
+// Repo for every package, giving interprocedural analyzers their
+// cross-package summaries; nil makes a fresh store. Per-analyzer wall time
+// is accumulated into repo.Timing.
+func RunAllRepo(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, repo *Repo) ([]Diagnostic, error) {
+	if repo == nil {
+		repo = NewRepo()
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -31,9 +46,13 @@ func RunAll(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Repo:      repo,
 			Report:    func(d Diagnostic) { out = append(out, d) },
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		repo.Timing[a.Name] += time.Since(start)
+		if err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
 		}
 	}

@@ -1,0 +1,131 @@
+// Package sarif renders pvfslint findings as SARIF 2.1.0, the static
+// analysis interchange format GitHub code scanning and most lint viewers
+// ingest. Only the required core of the schema is emitted: one run, the
+// tool driver with one reportingDescriptor per analyzer, and one result
+// per finding with a physical location.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/load"
+)
+
+// SchemaURI and Version identify SARIF 2.1.0.
+const (
+	SchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver names the tool and enumerates its rules (one per analyzer).
+type Driver struct {
+	Name  string `json:"name"`
+	Rules []Rule `json:"rules"`
+}
+
+// Rule is one reportingDescriptor.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	RuleIndex int        `json:"ruleIndex"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Location wraps the physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file URI plus a region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation holds the (repo-relative when possible) file path.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the 1-based start position.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Build assembles the SARIF log for one pvfslint run. baseDir, when
+// non-empty, is stripped from finding paths so artifact URIs are
+// repo-relative — the form code-scanning uploads expect.
+func Build(analyzers []*analysis.Analyzer, findings []load.Finding, baseDir string) *Log {
+	driver := Driver{Name: "pvfslint", Rules: make([]Rule, 0, len(analyzers))}
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		index[a.Name] = i
+		driver.Rules = append(driver.Rules, Rule{
+			ID:               a.Name,
+			ShortDescription: Message{Text: a.Doc},
+		})
+	}
+	results := make([]Result, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Position.Filename
+		if baseDir != "" {
+			uri = strings.TrimPrefix(uri, strings.TrimSuffix(baseDir, "/")+"/")
+		}
+		results = append(results, Result{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "warning",
+			Message:   Message{Text: f.Message},
+			Locations: []Location{{PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: uri},
+				Region:           Region{StartLine: f.Position.Line, StartColumn: f.Position.Column},
+			}}},
+		})
+	}
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs:    []Run{{Tool: Tool{Driver: driver}, Results: results}},
+	}
+}
+
+// Write emits the log as indented JSON.
+func (l *Log) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}

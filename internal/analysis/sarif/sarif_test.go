@@ -1,0 +1,96 @@
+package sarif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"pvfsib/internal/analysis/load"
+	"pvfsib/internal/analysis/sarif"
+	"pvfsib/internal/analysis/suite"
+)
+
+// TestShape round-trips a log through JSON and checks every field SARIF
+// 2.1.0 requires of a minimal document.
+func TestShape(t *testing.T) {
+	analyzers := suite.All()
+	findings := []load.Finding{
+		{
+			Position: token.Position{Filename: "/repo/internal/ib/cache.go", Line: 53, Column: 2},
+			Message:  "map iteration in a function that reaches deterministic output",
+			Analyzer: "detcheck",
+		},
+		{
+			Position: token.Position{Filename: "/repo/internal/pvfs/client.go", Line: 10, Column: 1},
+			Message:  "panic in library package",
+			Analyzer: "nopanic",
+		},
+	}
+	var buf bytes.Buffer
+	if err := sarif.Build(analyzers, findings, "/repo").Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := doc["$schema"]; got != sarif.SchemaURI {
+		t.Errorf("$schema = %v", got)
+	}
+	if got := doc["version"]; got != "2.1.0" {
+		t.Errorf("version = %v", got)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want one run", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "pvfslint" {
+		t.Errorf("driver.name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != len(analyzers) {
+		t.Fatalf("rules = %d, want one per analyzer (%d)", len(rules), len(analyzers))
+	}
+	ruleIDs := make(map[string]int)
+	for i, r := range rules {
+		rm := r.(map[string]any)
+		id := rm["id"].(string)
+		ruleIDs[id] = i
+		if rm["shortDescription"].(map[string]any)["text"] == "" {
+			t.Errorf("rule %s has no description", id)
+		}
+	}
+	if _, ok := ruleIDs["detcheck"]; !ok {
+		t.Error("no detcheck rule")
+	}
+
+	results := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(results), len(findings))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "detcheck" {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	if int(first["ruleIndex"].(float64)) != ruleIDs["detcheck"] {
+		t.Errorf("ruleIndex = %v, want %d", first["ruleIndex"], ruleIDs["detcheck"])
+	}
+	if first["level"] != "warning" {
+		t.Errorf("level = %v", first["level"])
+	}
+	if first["message"].(map[string]any)["text"] == "" {
+		t.Error("empty message text")
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/ib/cache.go" {
+		t.Errorf("uri = %v, want repo-relative internal/ib/cache.go", uri)
+	}
+	region := loc["region"].(map[string]any)
+	if int(region["startLine"].(float64)) != 53 || int(region["startColumn"].(float64)) != 2 {
+		t.Errorf("region = %v", region)
+	}
+}

@@ -4,6 +4,7 @@ package suite
 
 import (
 	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/detcheck"
 	"pvfsib/internal/analysis/engescape"
 	"pvfsib/internal/analysis/errflow"
 	"pvfsib/internal/analysis/lockorder"
@@ -29,5 +30,6 @@ func All() []*analysis.Analyzer {
 		okreason.Analyzer,
 		engescape.Analyzer,
 		tracecheck.Analyzer,
+		detcheck.Analyzer,
 	}
 }

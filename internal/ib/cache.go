@@ -24,13 +24,19 @@ type RegCache struct {
 
 	entries map[Key]*cacheEntry
 	lru     *list.List // front = most recent; only refs==0 entries are evictable
-	bytes   int64
+	// all holds every entry in registration order. Lookups scan it instead
+	// of the entries map so that which covering region a hit returns — and
+	// with it the hit/miss counters and eviction pattern — is identical on
+	// every run.
+	all   *list.List
+	bytes int64
 }
 
 type cacheEntry struct {
-	mr   *MR
-	refs int
-	elem *list.Element // non-nil while on the LRU (refs == 0)
+	mr    *MR
+	refs  int
+	elem  *list.Element // non-nil while on the LRU (refs == 0)
+	aelem *list.Element // position on the registration-order list
 }
 
 // NewRegCache creates a pin-down cache over the HCA's registrations.
@@ -43,6 +49,7 @@ func NewRegCache(h *HCA, maxBytes int64, maxEntries int) *RegCache {
 		maxEntries: maxEntries,
 		entries:    make(map[Key]*cacheEntry),
 		lru:        list.New(),
+		all:        list.New(),
 	}
 }
 
@@ -50,7 +57,8 @@ func NewRegCache(h *HCA, maxBytes int64, maxEntries int) *RegCache {
 // region covers it. The returned MR is referenced and must be released with
 // Put. A cache hit costs no virtual time.
 func (c *RegCache) Get(p *sim.Proc, e mem.Extent) (*MR, error) {
-	for _, ent := range c.entries {
+	for el := c.all.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
 		if ent.mr.Covers(e) {
 			c.hca.Counters.RegCacheHits++
 			c.ref(ent)
@@ -74,6 +82,7 @@ func (c *RegCache) Get(p *sim.Proc, e mem.Extent) (*MR, error) {
 		return nil, err
 	}
 	ent := &cacheEntry{mr: mr, refs: 1}
+	ent.aelem = c.all.PushBack(ent)
 	c.entries[mr.Key] = ent
 	c.bytes += need
 	return mr, nil
@@ -127,6 +136,8 @@ func (c *RegCache) evictOne(p *sim.Proc) (bool, error) {
 	ent := back.Value.(*cacheEntry)
 	c.lru.Remove(back)
 	ent.elem = nil
+	c.all.Remove(ent.aelem)
+	ent.aelem = nil
 	delete(c.entries, ent.mr.Key)
 	c.bytes -= ent.mr.Extent.Pages() * mem.PageSize
 	if err := c.hca.Deregister(p, ent.mr); err != nil {

@@ -282,7 +282,7 @@ func (fs *FS) sortedFiles() []*File {
 	for _, f := range fs.files {
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
