@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json lint-time vet check bench-smoke bench-go trace-smoke fuzz clean
+.PHONY: all build test race lint lint-json lint-time lint-hotpath vet check bench-smoke bench-go trace-smoke fuzz clean
 
 # LINT_BUDGET caps the whole analyzer suite's wall time in lint-time; the
 # interprocedural pass (callgraph + detcheck) must not silently blow up CI.
@@ -29,10 +29,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own analyzers (sgelimit, regcheck, simblock,
-# nopanic, mrlife, errflow, lockorder, okreason, engescape, tracecheck,
+# nopanic, mrlife, errflow, lockorder, okreason, hotpath, tracecheck,
 # detcheck) through the go vet driver, covering test files too.
 lint: $(BIN)
 	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
+
+# lint-hotpath runs the standalone driver (interprocedural: whole-module
+# call graph, stale-entry detection) and archives the hotpath budget drift
+# as hotpath.budget.drift.json — {"new": [], "stale": []} when clean. It
+# fails on any drift; regeneration (pvfslint -write-budget) is a deliberate
+# local act, never automatic in CI.
+lint-hotpath: $(BIN)
+	$(BIN) -budget-drift hotpath.budget.drift.json ./...
 
 # lint-json runs the standalone driver and archives the findings as JSON
 # (pvfslint.json) and SARIF (pvfslint.sarif); it fails when any
@@ -45,8 +53,9 @@ lint-json: $(BIN)
 lint-time: $(BIN)
 	$(BIN) -time -budget $(LINT_BUDGET) ./...
 
-# check is the full CI gate: build, vet, pvfslint, race tests.
-check: build vet lint race
+# check is the full CI gate: build, vet, pvfslint (both drivers — the
+# standalone pass adds the interprocedural hotpath ratchet), race tests.
+check: build vet lint lint-hotpath race
 
 # bench-smoke runs the short fault-plane and list-I/O experiments on the
 # parallel cell scheduler and archives the tables as BENCH_smoke.json; the
@@ -66,10 +75,13 @@ trace-smoke:
 
 # bench-go runs the engine microbenchmarks (event turnover, mailbox
 # ping-pong, contended resource, one full Figure 3 cell) with allocation
-# reporting — the numbers the engine-hot-path work is graded on.
+# reporting — the numbers the engine-hot-path work is graded on — and the
+# AllocFree tests, which assert 0 allocs/op in steady state for every
+# declared //pvfslint:hotpath root.
 bench-go:
 	$(GO) test -run NONE -bench . -benchmem ./internal/sim/
 	$(GO) test -run NONE -bench BenchmarkFig3Cell -benchmem ./internal/bench/
+	$(GO) test -run AllocFree -count 1 -v ./internal/bench/
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFlattenDatatype -fuzztime=30s ./internal/mpiio/

@@ -4,9 +4,11 @@
 // held), nopanic (no panic in library packages), mrlife (registrations are
 // released exactly once on every path), errflow (repo-API errors are
 // checked, not dropped), lockorder (sim.Resource pairs acquire in one
-// consistent order), okreason (every suppression names its analyzer
-// and gives a reason), engescape (no per-event allocations escape into the
-// engine hot path), tracecheck (spans are ended exactly once on every
+// consistent order, interprocedurally over the callgraph), okreason (every
+// suppression names its analyzer and gives a reason), hotpath (effects
+// reachable from //pvfslint:hotpath roots are audited against
+// lint/hotpath.budget.json, and no sim handle escapes the engine's
+// single-threaded world), tracecheck (spans are ended exactly once on every
 // normal path), and detcheck (nondeterminism sources must not reach
 // deterministic outputs — interprocedural, over the callgraph layer).
 //
@@ -19,27 +21,50 @@
 //
 //	-json          findings to stdout as a JSON array (file, line, column,
 //	               analyzer, message); human-readable lines still go to stderr
-//	-sarif FILE    also write the findings as SARIF 2.1.0 to FILE
+//	-sarif FILE    also write the findings as SARIF 2.1.0 to FILE; "-sarif -"
+//	               writes the SARIF to stdout instead (incompatible with -json:
+//	               stdout carries exactly one machine-readable stream)
 //	-time          report per-analyzer wall time to stderr
 //	-budget DUR    fail (exit 1) if the whole suite takes longer than DUR,
 //	               even with no findings — the CI guard that keeps the
 //	               interprocedural pass from silently blowing up lint time
+//	-only NAMES    run only the comma-separated analyzers (unknown names are
+//	               a usage error)
+//	-write-budget[=FILE]
+//	               regenerate the hotpath budget from this run's effects,
+//	               carrying over the reasons of entries that survive; new
+//	               entries get an empty reason for a human to fill in.
+//	               Budget-diff findings are suppressed for the run (the file
+//	               being rewritten is the baseline they diff against); all
+//	               other findings still report and count
+//	-budget-drift FILE
+//	               write the hotpath budget drift — {"new": [...], "stale":
+//	               [...]} — to FILE (always written, empty lists when clean);
+//	               CI archives it next to the SARIF report
+//
+// Exit codes: 0 clean, 1 findings (or over the -budget time), 2 usage or
+// load error (bad flags, unresolvable patterns, type errors, unreadable
+// budget file).
 //
 // In vet mode the tool speaks the cmd/go vet-tool protocol (-V=full, -flags,
 // and a *.cfg compilation-unit file per package). Interprocedural analyzers
 // see cross-package summaries only in standalone mode; under go vet each
 // compilation unit is a separate process, so they degrade to per-package
-// analysis.
+// analysis (hotpath's vet-mode findings are a subset of standalone's, so
+// one budget serves both; stale-entry detection runs standalone only).
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/hotpath"
 	"pvfsib/internal/analysis/load"
 	"pvfsib/internal/analysis/sarif"
 	"pvfsib/internal/analysis/suite"
@@ -47,7 +72,7 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // jsonFinding is the stable JSON shape of one finding.
@@ -59,18 +84,28 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-func run(args []string) int {
+// budgetDrift is the JSON shape of the -budget-drift report.
+type budgetDrift struct {
+	New   []hotpath.Entry `json:"new"`
+	Stale []hotpath.Entry `json:"stale"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	analyzers := suite.All()
 
-	// -json/-sarif/-time/-budget are ours; any other flag (or a .cfg
-	// operand) means go vet is driving and the whole command line belongs
-	// to the vet-tool protocol.
+	// The flags below are ours; any other flag (or a .cfg operand) means go
+	// vet is driving and the whole command line belongs to the vet-tool
+	// protocol.
 	var (
-		jsonOut   bool
-		timeOut   bool
-		sarifFile string
-		budget    time.Duration
-		patterns  []string
+		jsonOut     bool
+		timeOut     bool
+		sarifFile   string
+		budget      time.Duration
+		only        string
+		writeBudget bool
+		budgetFile  string
+		driftFile   string
+		patterns    []string
 	)
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -89,41 +124,126 @@ func run(args []string) int {
 			jsonOut = true
 		case a == "-time":
 			timeOut = true
+		case a == "-write-budget" || strings.HasPrefix(a, "-write-budget="):
+			// The value is optional, so only the -write-budget=FILE form
+			// carries one; a bare -write-budget must not swallow a pattern.
+			writeBudget = true
+			budgetFile = strings.TrimPrefix(strings.TrimPrefix(a, "-write-budget"), "=")
+		case strings.HasPrefix(a, "-budget-drift"):
+			v, ok := takeValue("budget-drift")
+			if !ok {
+				fmt.Fprintln(stderr, "pvfslint: -budget-drift needs a file argument")
+				return 2
+			}
+			driftFile = v
 		case strings.HasPrefix(a, "-sarif"):
 			v, ok := takeValue("sarif")
 			if !ok {
-				fmt.Fprintln(os.Stderr, "pvfslint: -sarif needs a file argument")
+				fmt.Fprintln(stderr, "pvfslint: -sarif needs a file argument")
 				return 2
 			}
 			sarifFile = v
+		case strings.HasPrefix(a, "-only"):
+			v, ok := takeValue("only")
+			if !ok {
+				fmt.Fprintln(stderr, "pvfslint: -only needs a comma-separated analyzer list")
+				return 2
+			}
+			only = v
 		case strings.HasPrefix(a, "-budget"):
 			v, ok := takeValue("budget")
 			if !ok {
-				fmt.Fprintln(os.Stderr, "pvfslint: -budget needs a duration argument")
+				fmt.Fprintln(stderr, "pvfslint: -budget needs a duration argument")
 				return 2
 			}
 			d, err := time.ParseDuration(v)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "pvfslint: bad -budget: %v\n", err)
+				fmt.Fprintf(stderr, "pvfslint: bad -budget: %v\n", err)
 				return 2
 			}
 			budget = d
 		case strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg"):
-			return unit.Main(args, analyzers, os.Stdout, os.Stderr)
+			return unit.Main(args, analyzers, stdout, stderr)
 		default:
 			patterns = append(patterns, a)
 		}
 	}
+	if sarifFile == "-" && jsonOut {
+		fmt.Fprintln(stderr, "pvfslint: -json and -sarif - both claim stdout; pick one")
+		return 2
+	}
+	if only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "pvfslint: -only: unknown analyzer %q\n", strings.TrimSpace(name))
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, timing, err := load.PackagesTimed(".", patterns, analyzers)
+	repo := analysis.NewRepo()
+	findings, err := load.PackagesRepo(".", patterns, analyzers, repo)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pvfslint: %v\n", err)
-		return 1
+		fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+		return 2
+	}
+	if writeBudget {
+		// The baseline is being rewritten, so diffs against the old one are
+		// noise this run; everything else (escape checks, other analyzers)
+		// still counts.
+		kept := findings[:0]
+		for _, f := range findings {
+			if f.Analyzer == "hotpath" &&
+				(strings.HasPrefix(f.Message, "hot path ") || strings.HasPrefix(f.Message, "hotpath budget entry")) {
+				continue
+			}
+			kept = append(kept, f)
+		}
+		findings = kept
+		path := budgetFile
+		if path == "" {
+			path = hotpath.BudgetPath(repo)
+		}
+		if path == "" {
+			path = hotpath.DefaultPath(".")
+		}
+		if err := hotpath.WriteBudget(path, hotpath.Produced(repo), hotpath.LoadedBudget(repo)); err != nil {
+			fmt.Fprintf(stderr, "pvfslint: writing budget: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pvfslint: wrote %d budget entr%s to %s\n",
+			len(hotpath.Produced(repo)), plural(len(hotpath.Produced(repo)), "y", "ies"), path)
+	}
+	if driftFile != "" {
+		fresh, stale := hotpath.Drift(repo)
+		drift := budgetDrift{New: fresh, Stale: stale}
+		if drift.New == nil {
+			drift.New = []hotpath.Entry{}
+		}
+		if drift.Stale == nil {
+			drift.Stale = []hotpath.Entry{}
+		}
+		data, err := json.MarshalIndent(drift, "", "  ")
+		if err == nil {
+			err = os.WriteFile(driftFile, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "pvfslint: writing budget drift: %v\n", err)
+			return 2
+		}
 	}
 	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+		fmt.Fprintln(stderr, f)
 	}
 	if jsonOut {
 		out := make([]jsonFinding, 0, len(findings))
@@ -136,35 +256,44 @@ func run(args []string) int {
 				Message:  f.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "pvfslint: encoding findings: %v\n", err)
-			return 1
+			fmt.Fprintf(stderr, "pvfslint: encoding findings: %v\n", err)
+			return 2
 		}
 	}
 	if sarifFile != "" {
 		wd, _ := os.Getwd()
-		f, err := os.Create(sarifFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pvfslint: %v\n", err)
-			return 1
-		}
-		werr := sarif.Build(analyzers, findings, wd).Write(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintf(os.Stderr, "pvfslint: writing SARIF: %v\n", werr)
-			return 1
+		report := sarif.Build(analyzers, findings, wd)
+		if sarifFile == "-" {
+			if err := report.Write(stdout); err != nil {
+				fmt.Fprintf(stderr, "pvfslint: writing SARIF: %v\n", err)
+				return 2
+			}
+		} else {
+			f, err := os.Create(sarifFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "pvfslint: %v\n", err)
+				return 2
+			}
+			werr := report.Write(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(stderr, "pvfslint: writing SARIF: %v\n", werr)
+				return 2
+			}
 		}
 	}
 
 	var total time.Duration
-	for _, d := range timing {
+	for _, d := range repo.Timing {
 		total += d
 	}
 	if timeOut {
+		timing := repo.Timing
 		names := make([]string, 0, len(timing))
 		for name := range timing {
 			names = append(names, name)
@@ -175,22 +304,29 @@ func run(args []string) int {
 			}
 			return names[i] < names[j]
 		})
-		fmt.Fprintln(os.Stderr, "analyzer wall time:")
+		fmt.Fprintln(stderr, "analyzer wall time:")
 		for _, name := range names {
-			fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", name, float64(timing[name].Microseconds())/1000)
+			fmt.Fprintf(stderr, "  %-12s %8.1fms\n", name, float64(timing[name].Microseconds())/1000)
 		}
-		fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", "total", float64(total.Microseconds())/1000)
+		fmt.Fprintf(stderr, "  %-12s %8.1fms\n", "total", float64(total.Microseconds())/1000)
 	}
 
 	status := 0
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "pvfslint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "pvfslint: %d finding(s)\n", len(findings))
 		status = 1
 	}
 	if budget > 0 && total > budget {
-		fmt.Fprintf(os.Stderr, "pvfslint: suite took %s, over the %s budget\n",
+		fmt.Fprintf(stderr, "pvfslint: suite took %s, over the %s budget\n",
 			total.Round(time.Millisecond), budget)
 		status = 1
 	}
 	return status
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestUsageErrors checks the flag contract: usage problems are exit 2 and
+// never reach package loading.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"json and sarif stdout conflict", []string{"-json", "-sarif", "-"}},
+		{"unknown -only analyzer", []string{"-only", "nosuch"}},
+		{"bad -budget duration", []string{"-budget", "banana"}},
+		{"-sarif without a file", []string{"-sarif"}},
+		{"-only without a list", []string{"-only"}},
+		{"-budget-drift without a file", []string{"-budget-drift"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != 2 {
+				t.Errorf("run(%v) = %d, want 2\nstderr: %s", tc.args, got, stderr.String())
+			}
+		})
+	}
+}
+
+// writeModule lays out a throwaway module and chdirs into it for the test.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module m\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+// TestExitCodes drives the standalone mode end to end over tiny modules:
+// 0 for a clean module, 1 for findings, 2 for an unresolvable pattern.
+func TestExitCodes(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		writeModule(t, map[string]string{
+			"lib/lib.go": "package lib\n\nfunc Add(a, b int) int { return a + b }\n",
+		})
+		var stdout, stderr bytes.Buffer
+		if got := run([]string{"./..."}, &stdout, &stderr); got != 0 {
+			t.Errorf("exit = %d, want 0\nstderr: %s", got, stderr.String())
+		}
+	})
+	t.Run("findings", func(t *testing.T) {
+		writeModule(t, map[string]string{
+			"lib/lib.go": "package lib\n\nfunc Boom() { panic(\"no\") }\n",
+		})
+		var stdout, stderr bytes.Buffer
+		if got := run([]string{"./..."}, &stdout, &stderr); got != 1 {
+			t.Errorf("exit = %d, want 1\nstderr: %s", got, stderr.String())
+		}
+	})
+	t.Run("load error", func(t *testing.T) {
+		writeModule(t, map[string]string{
+			"lib/lib.go": "package lib\n",
+		})
+		var stdout, stderr bytes.Buffer
+		if got := run([]string{"./nosuchdir"}, &stdout, &stderr); got != 2 {
+			t.Errorf("exit = %d, want 2\nstderr: %s", got, stderr.String())
+		}
+	})
+}
+
+// TestStdoutModes checks output-mode precedence: -json puts exactly one JSON
+// array on stdout, "-sarif -" puts exactly one SARIF document there, and the
+// human-readable findings stay on stderr either way.
+func TestStdoutModes(t *testing.T) {
+	files := map[string]string{
+		"lib/lib.go": "package lib\n\nfunc Boom() { panic(\"no\") }\n",
+	}
+	t.Run("json", func(t *testing.T) {
+		writeModule(t, files)
+		var stdout, stderr bytes.Buffer
+		if got := run([]string{"-json", "./..."}, &stdout, &stderr); got != 1 {
+			t.Fatalf("exit = %d, want 1\nstderr: %s", got, stderr.String())
+		}
+		var out []jsonFinding
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatalf("stdout is not a JSON finding array: %v\n%s", err, stdout.String())
+		}
+		if len(out) == 0 || out[0].Analyzer != "nopanic" {
+			t.Errorf("findings = %+v, want a nopanic finding", out)
+		}
+		if !bytes.Contains(stderr.Bytes(), []byte("nopanic")) {
+			t.Errorf("human-readable finding missing from stderr:\n%s", stderr.String())
+		}
+	})
+	t.Run("sarif stdout", func(t *testing.T) {
+		writeModule(t, files)
+		var stdout, stderr bytes.Buffer
+		if got := run([]string{"-sarif", "-", "./..."}, &stdout, &stderr); got != 1 {
+			t.Fatalf("exit = %d, want 1\nstderr: %s", got, stderr.String())
+		}
+		var doc struct {
+			Version string `json:"version"`
+		}
+		if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+			t.Fatalf("stdout is not a SARIF document: %v\n%s", err, stdout.String())
+		}
+		if doc.Version != "2.1.0" {
+			t.Errorf("SARIF version = %q, want 2.1.0", doc.Version)
+		}
+	})
+}
+
+// TestWriteBudgetAndDrift checks the ratchet plumbing end to end on a module
+// with a hotpath root: the first run reports the fresh effect and writes the
+// drift, -write-budget regenerates the baseline and suppresses the diff, and
+// a rerun against the written baseline still fails only for the missing
+// reason.
+func TestWriteBudgetAndDrift(t *testing.T) {
+	files := map[string]string{
+		"lib/lib.go": "package lib\n\n//pvfslint:hotpath\nfunc Hot() []byte { return make([]byte, 8) }\n",
+	}
+	writeModule(t, files)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-budget-drift", "drift.json", "./..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("fresh effect: exit = %d, want 1\nstderr: %s", got, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("hot path lib.Hot")) {
+		t.Fatalf("missing hot path finding:\n%s", stderr.String())
+	}
+	driftData, err := os.ReadFile("drift.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drift budgetDrift
+	if err := json.Unmarshal(driftData, &drift); err != nil {
+		t.Fatal(err)
+	}
+	if len(drift.New) != 1 || len(drift.Stale) != 0 {
+		t.Fatalf("drift = %d new, %d stale, want 1/0:\n%s", len(drift.New), len(drift.Stale), driftData)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-write-budget", "./..."}, &stdout, &stderr); got != 0 {
+		t.Fatalf("-write-budget: exit = %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	if _, err := os.Stat("lint/hotpath.budget.json"); err != nil {
+		t.Fatalf("budget not written: %v", err)
+	}
+
+	// The regenerated entry has no reason yet, so the rerun flags exactly
+	// that — not the effect itself.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-budget-drift", "drift.json", "./..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("unreasoned entry: exit = %d, want 1\nstderr: %s", got, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("carries no reason")) ||
+		bytes.Contains(stderr.Bytes(), []byte("not in the hotpath budget")) {
+		t.Fatalf("want only the no-reason finding:\n%s", stderr.String())
+	}
+	if driftData, err = os.ReadFile("drift.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(driftData, &drift); err != nil {
+		t.Fatal(err)
+	}
+	if len(drift.New) != 0 || len(drift.Stale) != 0 {
+		t.Fatalf("drift after regeneration = %d new, %d stale, want 0/0:\n%s", len(drift.New), len(drift.Stale), driftData)
+	}
+}

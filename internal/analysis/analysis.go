@@ -37,6 +37,15 @@ type Analyzer struct {
 	// Run inspects the package in pass and reports findings via
 	// pass.Report or pass.Reportf.
 	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once after every package of a driver run has
+	// been analyzed, with the run-wide store. Whole-program checks that only
+	// make sense when the analysis has seen everything — hotpath's
+	// stale-budget detection — live here. Only drivers that walk a complete
+	// module with one shared Repo invoke it (the standalone loader and
+	// analysistest); the go vet driver sees one compilation unit per process
+	// and never calls Finish. Finish diagnostics bypass pvfslint:ok
+	// suppression: they have no source line of their own to carry one.
+	Finish func(repo *Repo, report func(Diagnostic)) error
 }
 
 // Pass is one analyzer's view of one type-checked package.

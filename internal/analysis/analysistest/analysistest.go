@@ -35,6 +35,14 @@ import (
 
 // Run analyzes the package at import path pkgPath under dir/src and checks
 // // want expectations in its files.
+//
+// The whole import closure of the target package is analyzed, dependencies
+// first, with one shared analysis.Repo — the standalone loader's contract —
+// so interprocedural analyzers see their stub callees' summaries (a corpus
+// sim.Mailbox.Recv with a channel-op body propagates a may-block fact into
+// the target package). The analyzer's Finish hook, if any, runs after the
+// last package. Expectations are still checked only against the target
+// package: diagnostics landing in stub files are discarded.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
 	ld := &loader{
@@ -47,16 +55,36 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 		t.Fatalf("loading %s: %v", pkgPath, err)
 	}
 
-	diags, err := analysis.RunAll([]*analysis.Analyzer{a}, ld.fset, lp.files, lp.pkg, lp.info)
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+	repo := analysis.NewRepo()
+	var diags []analysis.Diagnostic
+	for _, dep := range ld.order {
+		ds, err := analysis.RunAllRepo([]*analysis.Analyzer{a}, ld.fset, dep.files, dep.pkg, dep.info, repo)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dep.pkg.Path(), err)
+		}
+		diags = append(diags, ds...)
 	}
+	final, err := analysis.RunFinish([]*analysis.Analyzer{a}, repo)
+	if err != nil {
+		t.Fatalf("running %s finish: %v", a.Name, err)
+	}
+	diags = append(diags, final...)
 
 	wants := collectWants(t, ld.fset, lp.files)
+
+	// Only diagnostics in the target package's own files face the // want
+	// check; stub packages exist to be typed against, not to be clean.
+	targetFiles := make(map[string]bool, len(lp.files))
+	for _, f := range lp.files {
+		targetFiles[ld.fset.Position(f.Package).Filename] = true
+	}
 
 	got := make(map[key][]string)
 	for _, d := range diags {
 		pos := ld.fset.Position(d.Pos)
+		if !targetFiles[pos.Filename] {
+			continue
+		}
 		k := key{pos.Filename, pos.Line}
 		got[k] = append(got[k], d.Message)
 	}
@@ -152,6 +180,10 @@ type loader struct {
 	root string
 	fset *token.FileSet
 	pkgs map[string]*loadedPkg
+	// order lists packages in completion order of the import recursion —
+	// dependencies before dependents, the order interprocedural analysis
+	// wants.
+	order []*loadedPkg
 }
 
 func (ld *loader) load(path string) (*loadedPkg, error) {
@@ -191,6 +223,7 @@ func (ld *loader) load(path string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{pkg: pkg, files: files, info: info}
 	ld.pkgs[path] = lp
+	ld.order = append(ld.order, lp)
 	return lp, nil
 }
 

@@ -77,30 +77,17 @@ type summary struct {
 	NondetWhy     string
 }
 
-// Repo keys for the cross-package program and summary store.
-const (
-	progKey = "detcheck.prog"
-	sumsKey = "detcheck.sums"
-)
+// sumsKey is the Repo key of the cross-package summary store (the program
+// itself is the run-wide shared one, see callgraph.Of).
+const sumsKey = "detcheck.sums"
 
 func run(pass *analysis.Pass) error {
 	if skipPkg(pass.Pkg) {
 		return nil
 	}
-	var files []*ast.File
-	for _, f := range pass.Files {
-		if !strings.HasSuffix(pass.Fset.Position(f.Package).Filename, "_test.go") {
-			files = append(files, f)
-		}
-	}
 	repo := pass.Repo
 	if repo == nil {
 		repo = analysis.NewRepo()
-	}
-	prog, _ := repo.Get(progKey).(*callgraph.Program)
-	if prog == nil {
-		prog = callgraph.NewProgram()
-		repo.Set(progKey, prog)
 	}
 	sums, _ := repo.Get(sumsKey).(map[string]summary)
 	if sums == nil {
@@ -108,7 +95,7 @@ func run(pass *analysis.Pass) error {
 		repo.Set(sumsKey, sums)
 	}
 
-	g := prog.AddPackage(files, pass.Pkg, pass.TypesInfo)
+	prog, g := callgraph.Of(pass)
 	d := &detcheck{pass: pass, prog: prog, facts: make(map[*callgraph.Node]*nodeFacts)}
 	callgraph.Fixpoint(g.SCCs, sums,
 		func(a, b summary) bool {

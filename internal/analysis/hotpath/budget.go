@@ -1,0 +1,192 @@
+package hotpath
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pvfsib/internal/analysis"
+)
+
+// BudgetFile is the baseline's path relative to the module root.
+const BudgetFile = "lint/hotpath.budget.json"
+
+// Entry is one audited effect. Root, Effect, Func, and What form the key;
+// Chain is informational (a refactor that reroutes the path to an audited
+// effect does not invalidate the audit); Reason is the human argument for
+// why the effect is acceptable on the hot path, and must be non-empty.
+type Entry struct {
+	Root   string   `json:"root"`
+	Effect string   `json:"effect"`
+	Func   string   `json:"func"`
+	What   string   `json:"what"`
+	Chain  []string `json:"chain,omitempty"`
+	Reason string   `json:"reason"`
+}
+
+func (e Entry) key() string { return e.Root + "|" + e.Effect + "|" + e.Func + "|" + e.What }
+
+// Budget is the checked-in baseline: the full audited effect set of every
+// hot-path root.
+type Budget struct {
+	Entries []Entry `json:"entries"`
+}
+
+func (b *Budget) index() map[string]int {
+	idx := make(map[string]int, len(b.Entries))
+	for i, e := range b.Entries {
+		idx[e.key()] = i
+	}
+	return idx
+}
+
+// BudgetOverride, when non-empty, bypasses budget discovery — the corpus
+// tests' hook (each corpus pins its own baseline, or a nonexistent path for
+// an empty one).
+var BudgetOverride string
+
+// LoadBudget reads a budget file. A missing file is an empty budget — the
+// bootstrap state, where every effect is fresh; a malformed file is an
+// error, which the driver turns into exit 2 rather than a finding.
+func LoadBudget(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Budget{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := new(Budget)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// discoverBudget locates the baseline for the package being analyzed by
+// walking from its first file's directory up to the module root (go.mod).
+// Falling off the top without finding one yields a path that does not
+// exist, i.e. the empty budget.
+func discoverBudget(pass *analysis.Pass) string {
+	dir := "."
+	if len(pass.Files) > 0 {
+		dir = filepath.Dir(pass.Fset.Position(pass.Files[0].Package).Filename)
+	}
+	return DefaultPath(dir)
+}
+
+// DefaultPath resolves the budget path for a directory inside the module:
+// <module root>/lint/hotpath.budget.json.
+func DefaultPath(dir string) string {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.Join(dir, filepath.FromSlash(BudgetFile))
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, filepath.FromSlash(BudgetFile))
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return filepath.Join(dir, filepath.FromSlash(BudgetFile))
+		}
+		d = parent
+	}
+}
+
+// Produced returns the effect entries the last run computed, sorted — the
+// input to -write-budget.
+func Produced(repo *analysis.Repo) []Entry {
+	st, _ := repo.Get(stateKey).(*state)
+	if st == nil {
+		return nil
+	}
+	out := append([]Entry(nil), st.produced...)
+	sortEntries(out)
+	return out
+}
+
+// Drift returns the run's budget drift: effects produced but not budgeted
+// (fresh) and budgeted entries no longer produced (stale). CI archives this
+// next to the SARIF report when the ratchet fails.
+func Drift(repo *analysis.Repo) (fresh, stale []Entry) {
+	st, _ := repo.Get(stateKey).(*state)
+	if st == nil {
+		return nil, nil
+	}
+	fresh = append([]Entry(nil), st.fresh...)
+	stale = append([]Entry(nil), st.stale...)
+	sortEntries(fresh)
+	sortEntries(stale)
+	return fresh, stale
+}
+
+// WriteBudget writes the produced entries as the new baseline at path,
+// carrying over the Reason of every entry whose key already exists in prev.
+// New entries get an empty reason, which the next lint run flags until a
+// human fills it in — regeneration never self-audits.
+func WriteBudget(path string, produced []Entry, prev *Budget) error {
+	var prevIdx map[string]int
+	if prev != nil {
+		prevIdx = prev.index()
+	}
+	entries := append([]Entry(nil), produced...)
+	for i := range entries {
+		if j, ok := prevIdx[entries[i].key()]; ok {
+			entries[i].Reason = prev.Entries[j].Reason
+		}
+	}
+	sortEntries(entries)
+	data, err := json.MarshalIndent(&Budget{Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BudgetPath reports the baseline path the last run resolved (empty if the
+// hotpath analyzer never loaded one).
+func BudgetPath(repo *analysis.Repo) string {
+	st, _ := repo.Get(stateKey).(*state)
+	if st == nil {
+		return ""
+	}
+	return st.budgetPath
+}
+
+// LoadedBudget reports the baseline the last run diffed against.
+func LoadedBudget(repo *analysis.Repo) *Budget {
+	st, _ := repo.Get(stateKey).(*state)
+	if st == nil {
+		return nil
+	}
+	return st.budget
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Root != b.Root {
+			return a.Root < b.Root
+		}
+		if a.Effect != b.Effect {
+			return a.Effect < b.Effect
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.What < b.What
+	})
+}
+
+// String renders an entry for drift summaries.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s: %s %q in %s", e.Root, e.Effect, e.What, e.Func)
+}

@@ -1,25 +1,4 @@
-// Package engescape defines an analyzer that flags *sim.Proc and
-// *sim.Engine values escaping the engine's single-threaded discipline.
-//
-// The simulation engine drives exactly one process at a time, which is why
-// simulation code needs no locking and stays deterministic. That property
-// holds only while every touch of an engine (or of a Proc, which embeds the
-// engine's wake slot) happens on the goroutine the engine is currently
-// driving. Two escape routes break it:
-//
-//   - a real goroutine (`go` statement) that captures or receives a Proc or
-//     Engine races the engine's own event loop — the cell scheduler runs
-//     whole engines on worker goroutines, so a leaked handle is a data race
-//     that -race only catches if the schedule happens to interleave;
-//   - a package-level variable holding a Proc or Engine outlives the cell
-//     that created it, silently sharing one cell's world with the next and
-//     destroying the "cells are independent" invariant the parallel bench
-//     harness depends on.
-//
-// The engine package itself is exempt: spawning the per-process goroutine
-// is the engine's job. A deliberate exception elsewhere must carry a
-// "//pvfslint:ok engescape <reason>" directive.
-package engescape
+package hotpath
 
 import (
 	"go/ast"
@@ -28,17 +7,30 @@ import (
 	"pvfsib/internal/analysis"
 )
 
-// Analyzer flags sim.Proc/sim.Engine values that leak out of the engine's
-// single-threaded world.
-var Analyzer = &analysis.Analyzer{
-	Name: "engescape",
-	Doc:  "no *sim.Proc or *sim.Engine captured by a real goroutine or stored in a package-level variable — cells must stay single-threaded and independent",
-	Run:  run,
-}
+// This file is the former engescape analyzer, folded into hotpath: the
+// escape checks are the degenerate zero-budget case of the same property —
+// engine handles must not cross the boundary of the single-threaded world —
+// so they live with the analyzer that owns that world. The checks, message
+// texts, and suppression behavior are unchanged except for the directive
+// name ("//pvfslint:ok hotpath <reason>").
+//
+// The simulation engine drives exactly one process at a time, which is why
+// simulation code needs no locking and stays deterministic. That property
+// holds only while every touch of an engine (or of a Proc, which embeds the
+// engine's wake slot) happens on the goroutine the engine is currently
+// driving. Two escape routes break it:
+//
+//   - a real goroutine (`go` statement) that captures or receives a Proc or
+//     Engine races the engine's own event loop;
+//   - a package-level variable holding a Proc or Engine outlives the cell
+//     that created it, silently sharing one cell's world with the next.
+//
+// The engine package itself is exempt: spawning the per-process goroutine
+// is the engine's job.
 
-func run(pass *analysis.Pass) error {
+func checkEscapes(pass *analysis.Pass) {
 	if analysis.IsPkg(pass.Pkg, "internal/sim") {
-		return nil // the engine spawns process goroutines by design
+		return // the engine spawns process goroutines by design
 	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -51,12 +43,11 @@ func run(pass *analysis.Pass) error {
 			case *ast.GoStmt:
 				checkGoStmt(pass, n)
 			case *ast.AssignStmt:
-				checkAssign(pass, n)
+				checkEscapeAssign(pass, n)
 			}
 			return true
 		})
 	}
-	return nil
 }
 
 // simTypeName returns "Proc" or "Engine" if t is (a pointer to) one of the
@@ -115,9 +106,10 @@ func checkPackageVars(pass *analysis.Pass, gd *ast.GenDecl) {
 	}
 }
 
-// checkAssign flags stores of engine values into package-level variables
-// (covers `var global any` escape hatches the declaration check misses).
-func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+// checkEscapeAssign flags stores of engine values into package-level
+// variables (covers `var global any` escape hatches the declaration check
+// misses).
+func checkEscapeAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 	for i, lhs := range as.Lhs {
 		ident, ok := lhs.(*ast.Ident)
 		if !ok {

@@ -1,0 +1,39 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"pvfsib/internal/analysis/analysistest"
+	"pvfsib/internal/analysis/hotpath"
+)
+
+// pinBudget points the analyzer at a corpus-local baseline for one test.
+// A path that does not exist is the empty budget (every effect fresh).
+func pinBudget(t *testing.T, path string) {
+	t.Helper()
+	old := hotpath.BudgetOverride
+	hotpath.BudgetOverride = path
+	t.Cleanup(func() { hotpath.BudgetOverride = old })
+}
+
+// TestEffects checks effect detection against an empty budget: allocation
+// kinds, blocking primitives, devirtualization, SCC recursion, intrinsics,
+// the class filter, and the directive parser.
+func TestEffects(t *testing.T) {
+	pinBudget(t, "testdata/nonexistent.budget.json")
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "a")
+}
+
+// TestBudgetRatchet checks the baseline diff: matched reasoned entries are
+// silent, stale and unreasoned entries are errors.
+func TestBudgetRatchet(t *testing.T) {
+	pinBudget(t, "testdata/b.budget.json")
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "b")
+}
+
+// TestEscapes checks the checks inherited from engescape, including the
+// suppression directive under the hotpath name.
+func TestEscapes(t *testing.T) {
+	pinBudget(t, "testdata/nonexistent.budget.json")
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "esc")
+}

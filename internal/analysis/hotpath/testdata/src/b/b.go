@@ -1,0 +1,25 @@
+// Package b exercises the budget ratchet against testdata/b.budget.json:
+// a matched reasoned entry is silent, a stale entry and an unreasoned entry
+// are errors at the root's declaration.
+package b
+
+// audited's make is in the budget with a reason: silent.
+//
+//pvfslint:hotpath
+func audited(n int) []byte {
+	return make([]byte, n)
+}
+
+// outgrown's body lost the allocation its budget entry still audits.
+//
+//pvfslint:hotpath
+func outgrown() int { // want `hotpath budget entry is stale: root b\.outgrown no longer yields allocation "make" in b\.outgrown`
+	return 0
+}
+
+// unreasoned's make is budgeted, but the entry carries no reason.
+//
+//pvfslint:hotpath
+func unreasoned(n int) []byte { // want `hotpath budget entry for root b\.unreasoned \(allocation "make" in b\.unreasoned\) carries no reason`
+	return make([]byte, n)
+}

@@ -1,5 +1,7 @@
-// Package a exercises the engescape analyzer.
-package a
+// Package esc exercises the escape checks hotpath inherited from the
+// retired engescape analyzer: no *sim.Proc or *sim.Engine captured by a
+// real goroutine or stored in a package-level variable.
+package esc
 
 import "pvfsib/internal/sim"
 
@@ -50,10 +52,11 @@ func localUse(e *sim.Engine) {
 	e.Go("p", func(p *sim.Proc) { p.Now() })
 }
 
-// declaredEscape documents a deliberate exception.
+// declaredEscape documents a deliberate exception under the analyzer's new
+// name.
 func declaredEscape(p *sim.Proc, done chan struct{}) {
 	go func() {
-		//pvfslint:ok engescape test-only inspection after the engine stopped
+		//pvfslint:ok hotpath test-only inspection after the engine stopped
 		p.Now()
 		close(done)
 	}()

@@ -1,0 +1,6 @@
+// Package fmt is a corpus stub; bodies are empty so that classification
+// comes from the hotpath intrinsic table alone.
+package fmt
+
+func Sprintf(format string, args ...any) string { return "" }
+func Errorf(format string, args ...any) error   { return nil }

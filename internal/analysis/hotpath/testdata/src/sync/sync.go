@@ -1,0 +1,9 @@
+// Package sync is a corpus stub. The bodies are empty on purpose: the
+// hotpath analyzer must classify sync.Lock by its intrinsic table, not by
+// what a stub body happens to contain.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}

@@ -61,12 +61,25 @@ func Packages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]
 
 // PackagesTimed is Packages plus the per-analyzer wall-clock totals for the
 // whole run (the numbers behind pvfslint -time and the lint-time budget).
+func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, map[string]time.Duration, error) {
+	repo := analysis.NewRepo()
+	findings, err := PackagesRepo(dir, patterns, analyzers, repo)
+	return findings, repo.Timing, err
+}
+
+// PackagesRepo is the full-control variant: the caller supplies the run-wide
+// store and keeps it afterwards — how cmd/pvfslint reaches the entries
+// hotpath produced when regenerating the budget (-write-budget) or writing
+// the drift report (-budget-drift).
 //
 // One analysis.Repo is shared by every package, and "go list -deps" emits
-// dependencies before dependents, so interprocedural analyzers (detcheck)
-// see every in-module callee's summary before the caller's package —
-// provided the patterns cover the dependency (as ./... does).
-func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, map[string]time.Duration, error) {
+// dependencies before dependents, so interprocedural analyzers (detcheck,
+// lockorder, hotpath) see every in-module callee's summary before the
+// caller's package — provided the patterns cover the dependency (as ./...
+// does). After the last package, each analyzer's Finish hook runs once with
+// the same store; its diagnostics (hotpath's stale-budget errors) join the
+// findings.
+func PackagesRepo(dir string, patterns []string, analyzers []*analysis.Analyzer, repo *analysis.Repo) ([]Finding, error) {
 	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Standard,Export,GoFiles,Imports,Module"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -74,7 +87,7 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
 	pkgs := make(map[string]*listPackage)
@@ -85,7 +98,7 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, nil, fmt.Errorf("go list output: %v", err)
+			return nil, fmt.Errorf("go list output: %v", err)
 		}
 		pkgs[p.ImportPath] = p
 		order = append(order, p)
@@ -106,7 +119,7 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 	cmd.Stdout = &targetOut
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 	targets := make(map[string]bool)
 	for _, line := range bytes.Fields(targetOut.Bytes()) {
@@ -126,7 +139,6 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
 	}
 
-	repo := analysis.NewRepo()
 	var findings []Finding
 	for _, p := range order {
 		// Deps are in the list only for their export data; analyze the
@@ -138,18 +150,18 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			files = append(files, f)
 		}
 		info := analysis.NewInfo()
 		pkg, err := tc.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 		}
 		diags, err := analysis.RunAllRepo(analyzers, fset, files, pkg, info, repo)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		for _, d := range diags {
 			findings = append(findings, Finding{
@@ -158,6 +170,17 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 				Analyzer: d.Analyzer,
 			})
 		}
+	}
+	final, err := analysis.RunFinish(analyzers, repo)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range final {
+		findings = append(findings, Finding{
+			Position: fset.Position(d.Pos),
+			Message:  d.Message,
+			Analyzer: d.Analyzer,
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Position, findings[j].Position
@@ -169,5 +192,5 @@ func PackagesTimed(dir string, patterns []string, analyzers []*analysis.Analyzer
 		}
 		return a.Column < b.Column
 	})
-	return findings, repo.Timing, nil
+	return findings, nil
 }

@@ -8,15 +8,21 @@
 // of resources currently held (a deferred Release keeps the resource held
 // through the body; the CFG's exit chain pops it). Every Acquire or Use
 // while holding adds acquired-after edges from each held resource to the
-// new one; a call to a function in the same package that may itself acquire
-// (known from its one-level summary) adds edges to everything it acquires.
+// new one; a call to a function with a known summary adds edges to
+// everything it may acquire transitively. Summaries are computed bottom-up
+// over the shared interprocedural call graph (the callgraph layer), so an
+// Acquire buried two helpers deep — in this package or an already-analyzed
+// one — still orders after the locks held at the call site.
 //
 // Resources are named by their canonical key: "Type.field" for a resource
 // stored in a struct field (all instances of a type share a key — lock
 // order is a per-type discipline), the variable name for package-level and
-// local resources. After the whole package is scanned, the analyzer reports
-// every edge that lies on a cycle in the acquired-after graph, and any
-// resource re-acquired through the same expression while already held.
+// local resources. The acquired-after graph accumulates across the
+// packages of one run; after each package the analyzer reports every
+// not-yet-reported edge that lies on a cycle, and any resource re-acquired
+// through the same expression while already held. Under go vet each
+// compilation unit is a separate process, so cycles spanning packages are
+// caught in standalone mode only.
 //
 // Test files are skipped.
 package lockorder
@@ -29,6 +35,7 @@ import (
 	"strings"
 
 	"pvfsib/internal/analysis"
+	"pvfsib/internal/analysis/callgraph"
 	"pvfsib/internal/analysis/cfg"
 	"pvfsib/internal/analysis/dataflow"
 )
@@ -57,14 +64,51 @@ type edge struct {
 	from, to string
 }
 
-func run(pass *analysis.Pass) error {
-	a := &lockorder{
-		pass:  pass,
-		edges: make(map[edge]token.Pos),
+// state carries the analysis across the packages of one driver run: the
+// transitive may-acquire summaries feeding call-site edges, the global
+// acquired-after graph, and the edges already reported (a cycle closed by a
+// later package must not re-report the edges of an earlier one).
+type state struct {
+	sums     map[string][]string
+	edges    map[edge]token.Pos
+	reported map[edge]bool
+}
+
+const stateKey = "lockorder.state"
+
+func getState(repo *analysis.Repo) *state {
+	if st, ok := repo.Get(stateKey).(*state); ok {
+		return st
 	}
-	a.summaries = dataflow.Summarize(pass.TypesInfo, pass.Files, func(fn dataflow.FuncInfo) []string {
-		return a.mayAcquire(fn.Decl)
-	})
+	st := &state{
+		sums:     make(map[string][]string),
+		edges:    make(map[edge]token.Pos),
+		reported: make(map[edge]bool),
+	}
+	repo.Set(stateKey, st)
+	return st
+}
+
+// skipPkg exempts the analysis tooling, keeping it out of the shared
+// call-graph program (the linter holds no sim.Resources).
+func skipPkg(pkg *types.Package) bool {
+	p := pkg.Path()
+	return strings.Contains(p, "internal/analysis") || strings.Contains(p, "cmd/pvfslint")
+}
+
+func run(pass *analysis.Pass) error {
+	if skipPkg(pass.Pkg) {
+		return nil
+	}
+	repo := pass.Repo
+	if repo == nil {
+		repo = analysis.NewRepo()
+	}
+	a := &lockorder{pass: pass, st: getState(repo)}
+
+	_, g := callgraph.Of(pass)
+	callgraph.Fixpoint(g.SCCs, a.st.sums, equalKeys, a.summarize)
+
 	for _, f := range pass.Files {
 		name := pass.Fset.Position(f.Package).Filename
 		if strings.HasSuffix(name, "_test.go") {
@@ -89,9 +133,68 @@ func run(pass *analysis.Pass) error {
 }
 
 type lockorder struct {
-	pass      *analysis.Pass
-	summaries map[*types.Func][]string
-	edges     map[edge]token.Pos
+	pass *analysis.Pass
+	st   *state
+}
+
+// summarize computes one function's transitive may-acquire set: its own
+// Acquire/Use keys plus everything its static callees may acquire. Sorted
+// for the deterministic equality Fixpoint iterates on.
+func (a *lockorder) summarize(n *callgraph.Node, sums map[string][]string) []string {
+	seen := make(map[string]bool)
+	for _, k := range a.directAcquires(n) {
+		seen[k] = true
+	}
+	for _, c := range n.Calls {
+		if c.Static == nil {
+			continue
+		}
+		for _, k := range sums[callgraph.IDOf(c.Static)] {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalKeys(x, y []string) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// directAcquires is the flow-insensitive base of the summary: the canonical
+// keys a function body (literals included — they are attributed to the
+// enclosing declaration) acquires itself.
+func (a *lockorder) directAcquires(n *callgraph.Node) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method := a.resourceCall(call)
+		if recv == nil || (method != "Acquire" && method != "Use") {
+			return true
+		}
+		if k := a.key(recv); k != "" && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+		return true
+	})
+	return out
 }
 
 // checkFunc records the acquisition edges of one function body, then
@@ -114,29 +217,6 @@ func (a *lockorder) checkFunc(body *ast.BlockStmt) {
 		}
 		return true
 	})
-}
-
-// mayAcquire is the one-level summary: the canonical keys a function may
-// acquire anywhere in its body (flow-insensitively, not chasing calls).
-func (a *lockorder) mayAcquire(fn *ast.FuncDecl) []string {
-	seen := make(map[string]bool)
-	var out []string
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		recv, method := a.resourceCall(call)
-		if recv == nil || (method != "Acquire" && method != "Use") {
-			return true
-		}
-		if k := a.key(recv); k != "" && !seen[k] {
-			seen[k] = true
-			out = append(out, k)
-		}
-		return true
-	})
-	return out
 }
 
 // resourceCall matches a call to a sim.Resource method and returns the
@@ -183,8 +263,8 @@ func (a *lockorder) addEdge(from, to string, pos token.Pos) {
 		return
 	}
 	e := edge{from, to}
-	if _, ok := a.edges[e]; !ok {
-		a.edges[e] = pos
+	if _, ok := a.st.edges[e]; !ok {
+		a.st.edges[e] = pos
 	}
 }
 
@@ -271,11 +351,12 @@ func (p *problem) Transfer(n ast.Node, in dataflow.Fact) dataflow.Fact {
 			}
 			return
 		}
-		// A same-package callee with a known summary: everything it may
-		// acquire is ordered after everything currently held.
+		// A callee with a known transitive summary: everything it may
+		// acquire, however deep, is ordered after everything currently
+		// held.
 		if p.record && len(out) > 0 {
 			if fn := dataflow.Callee(p.a.pass.TypesInfo, call); fn != nil {
-				for _, k := range p.a.summaries[fn] {
+				for _, k := range p.a.st.sums[callgraph.IDOf(fn)] {
 					for _, h := range out {
 						p.a.addEdge(h.key, k, call.Pos())
 					}
@@ -286,11 +367,13 @@ func (p *problem) Transfer(n ast.Node, in dataflow.Fact) dataflow.Fact {
 	return out
 }
 
-// reportCycles reports every recorded edge that lies on a cycle, rendering
-// the cycle path in the message.
+// reportCycles reports every recorded edge that lies on a cycle and has not
+// been reported after an earlier package, rendering the cycle path in the
+// message. The edge graph is global, so a cycle whose halves live in two
+// packages surfaces when the second half arrives.
 func (a *lockorder) reportCycles() {
 	succs := make(map[string][]string)
-	for e := range a.edges {
+	for e := range a.st.edges {
 		succs[e.from] = append(succs[e.from], e.to)
 	}
 	for _, tos := range succs {
@@ -298,7 +381,7 @@ func (a *lockorder) reportCycles() {
 	}
 
 	var keys []edge
-	for e := range a.edges {
+	for e := range a.st.edges {
 		keys = append(keys, e)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -309,9 +392,13 @@ func (a *lockorder) reportCycles() {
 	})
 
 	for _, e := range keys {
+		if a.st.reported[e] {
+			continue
+		}
 		if path := findPath(succs, e.to, e.from); path != nil {
+			a.st.reported[e] = true
 			cycle := append([]string{e.from}, path...)
-			a.pass.Reportf(a.edges[e], "acquiring %s while holding %s creates a lock-order cycle: %s",
+			a.pass.Reportf(a.st.edges[e], "acquiring %s while holding %s creates a lock-order cycle: %s",
 				e.to, e.from, strings.Join(cycle, " -> "))
 		}
 	}

@@ -97,6 +97,77 @@ func goodHandOver(p *sim.Proc, s *clean) {
 	s.mu.Release()
 }
 
+// deepchain exercises the transitive summaries: the second acquisition is
+// buried two calls below the site that holds the first lock, so only the
+// call-graph fixpoint (not a one-level summary) sees the edge.
+type deepchain struct {
+	disk sim.Resource
+	wire sim.Resource
+}
+
+// deepWire is the bottom of the chain: the only function that touches wire.
+func deepWire(p *sim.Proc, s *deepchain) {
+	s.wire.Use(p, 1)
+}
+
+// midWire only forwards: it acquires nothing itself, so a one-level summary
+// of midWire is empty and the edge below would be missed without the
+// transitive fixpoint.
+func midWire(p *sim.Proc, s *deepchain) {
+	deepWire(p, s)
+}
+
+// diskThenDeepWire holds disk across the two-deep chain to wire.
+func diskThenDeepWire(p *sim.Proc, s *deepchain) {
+	s.disk.Acquire(p)
+	defer s.disk.Release()
+	midWire(p, s) // want `acquiring deepchain.wire while holding deepchain.disk creates a lock-order cycle`
+}
+
+// wireThenDisk orders the pair the other way, closing the cycle.
+func wireThenDisk(p *sim.Proc, s *deepchain) {
+	s.wire.Acquire(p)
+	s.disk.Acquire(p) // want `acquiring deepchain.disk while holding deepchain.wire creates a lock-order cycle`
+	s.disk.Release()
+	s.wire.Release()
+}
+
+// recur is the SCC case: two mutually recursive functions, one of which
+// acquires. The fixpoint converges and callers still inherit the edge.
+type recur struct {
+	lo sim.Resource
+	hi sim.Resource
+}
+
+// pingAcq and pongAcq form a two-function cycle in the call graph; the
+// summary of both must include recur.hi.
+func pingAcq(p *sim.Proc, s *recur, depth int) {
+	if depth <= 0 {
+		s.hi.Use(p, 1)
+		return
+	}
+	pongAcq(p, s, depth-1)
+}
+
+func pongAcq(p *sim.Proc, s *recur, depth int) {
+	pingAcq(p, s, depth)
+}
+
+// loAroundRecursion holds lo across the recursive pair.
+func loAroundRecursion(p *sim.Proc, s *recur) {
+	s.lo.Acquire(p)
+	defer s.lo.Release()
+	pongAcq(p, s, 3) // want `acquiring recur.hi while holding recur.lo creates a lock-order cycle`
+}
+
+// hiThenLo closes the recur cycle from the other side.
+func hiThenLo(p *sim.Proc, s *recur) {
+	s.hi.Acquire(p)
+	s.lo.Acquire(p) // want `acquiring recur.lo while holding recur.hi creates a lock-order cycle`
+	s.lo.Release()
+	s.hi.Release()
+}
+
 // exempt is the audited pair: one direction is flagged, the other is
 // suppressed with a reason.
 type exempt struct {

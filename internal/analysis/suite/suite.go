@@ -5,8 +5,8 @@ package suite
 import (
 	"pvfsib/internal/analysis"
 	"pvfsib/internal/analysis/detcheck"
-	"pvfsib/internal/analysis/engescape"
 	"pvfsib/internal/analysis/errflow"
+	"pvfsib/internal/analysis/hotpath"
 	"pvfsib/internal/analysis/lockorder"
 	"pvfsib/internal/analysis/mrlife"
 	"pvfsib/internal/analysis/nopanic"
@@ -28,7 +28,7 @@ func All() []*analysis.Analyzer {
 		errflow.Analyzer,
 		lockorder.Analyzer,
 		okreason.Analyzer,
-		engescape.Analyzer,
+		hotpath.Analyzer,
 		tracecheck.Analyzer,
 		detcheck.Analyzer,
 	}

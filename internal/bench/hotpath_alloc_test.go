@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/sim"
+	"pvfsib/internal/simnet"
+	"pvfsib/internal/trace"
+)
+
+// These tests are the runtime teeth behind the hotpath analyzer: every
+// //pvfslint:hotpath root whose budget says "steady state allocates
+// nothing" is exercised here through testing.AllocsPerRun after a warm-up
+// that fills the free lists and queue backing arrays. A budget entry can
+// argue an allocation away as "free-list miss" or "error path only"; this
+// file checks the argument against the allocator.
+
+// stepHorizon bounds one measured step's virtual time; keepAlive is the
+// sleeper period that keeps a future event queued so RunUntil stops at the
+// horizon instead of minting a DeadlockError for the forever-parked
+// service processes.
+const (
+	stepHorizon = 50 * time.Millisecond
+	keepAlive   = 10 * time.Hour
+	warmups     = 3
+	runs        = 20
+)
+
+// sleeper parks with a far-future wake event so the engine never drains.
+func sleeper(eng *sim.Engine) {
+	eng.Go("keepalive", func(p *sim.Proc) {
+		for {
+			p.Sleep(keepAlive)
+		}
+	})
+}
+
+// measure warms step up, then asserts it allocates nothing.
+func measure(t *testing.T, name string, step func()) {
+	t.Helper()
+	for i := 0; i < warmups; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(runs, step); avg != 0 {
+		t.Errorf("%s: %.1f allocs per steady-state step, want 0", name, avg)
+	}
+}
+
+// TestEngineTurnoverAllocFree covers the (sim.Engine).RunUntil root: a
+// chain of timed callbacks through the event heap and the ready queue.
+func TestEngineTurnoverAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	var stepErr error
+	remaining := 0
+	var tick func()
+	tick = func() {
+		remaining--
+		if remaining > 0 {
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	measure(t, "engine turnover", func() {
+		remaining = 64
+		eng.After(time.Microsecond, tick)
+		if err := eng.RunUntil(eng.Now().Add(stepHorizon)); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+}
+
+// TestMailboxPingPongAllocFree covers the engine's park/wake machinery
+// under RunUntil: two processes trading one preboxed token.
+func TestMailboxPingPongAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	sleeper(eng)
+	ctl := eng.NewMailbox("ctl")
+	req := eng.NewMailbox("req")
+	rsp := eng.NewMailbox("rsp")
+	done := eng.NewMailbox("done")
+	var token any = 1
+	eng.Go("server", func(p *sim.Proc) {
+		for {
+			rsp.Send(req.Recv(p))
+		}
+	})
+	eng.Go("client", func(p *sim.Proc) {
+		for {
+			v := ctl.Recv(p)
+			for i := 0; i < 64; i++ {
+				req.Send(token)
+				rsp.Recv(p)
+			}
+			done.Send(v)
+		}
+	})
+	var stepErr error
+	missed := false
+	measure(t, "mailbox ping-pong", func() {
+		ctl.Send(token)
+		if err := eng.RunUntil(eng.Now().Add(stepHorizon)); err != nil {
+			stepErr = err
+		}
+		if _, ok := done.TryRecv(); !ok {
+			missed = true
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if missed {
+		t.Fatal("a step ended before the ping-pong batch completed")
+	}
+}
+
+// TestSimnetSendAllocFree covers the (simnet.Node).Send, deliverStage, and
+// (simnet.Node).rxEngine roots: pooled messages from one node's send
+// through the receiver's staging engine and back to the free list.
+func TestSimnetSendAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	sleeper(eng)
+	na := net.AddNode("a")
+	nb := net.AddNode("b")
+	ctl := eng.NewMailbox("ctl")
+	done := eng.NewMailbox("done")
+	var token any = 1
+	eng.Go("rx", func(p *sim.Proc) {
+		for {
+			m := nb.Inbox.Recv(p).(*simnet.Message)
+			net.Recycle(m)
+		}
+	})
+	eng.Go("tx", func(p *sim.Proc) {
+		for {
+			v := ctl.Recv(p)
+			for i := 0; i < 16; i++ {
+				if err := na.Send(p, nb.ID, 4096, token); err != nil {
+					sim.Failf("bench: send: %v", err)
+				}
+			}
+			done.Send(v)
+		}
+	})
+	var stepErr error
+	missed := false
+	measure(t, "simnet send", func() {
+		ctl.Send(token)
+		if err := eng.RunUntil(eng.Now().Add(stepHorizon)); err != nil {
+			stepErr = err
+		}
+		if _, ok := done.TryRecv(); !ok {
+			missed = true
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if missed {
+		t.Fatal("a step ended before the send batch completed")
+	}
+}
+
+// rdmaPair builds two HCA-equipped nodes with statically registered
+// buffers, ready for steady-state verbs traffic.
+func rdmaPair(t *testing.T) (eng *sim.Engine, qa, qb *ib.QP, sges []ib.SGE, raddr mem.Addr, rkey ib.Key) {
+	t.Helper()
+	eng = sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultParams())
+	a := ib.NewHCA(net.AddNode("a"), mem.NewAddrSpace("a"), ib.DefaultParams())
+	b := ib.NewHCA(net.AddNode("b"), mem.NewAddrSpace("b"), ib.DefaultParams())
+	qa, qb = ib.Connect(a, b)
+	const bufLen = 64 * 1024
+	la := a.Space().Malloc(bufLen)
+	lb := b.Space().Malloc(bufLen)
+	if _, err := a.RegisterStatic(mem.Extent{Addr: la, Len: bufLen}); err != nil {
+		t.Fatal(err)
+	}
+	mrB, err := b.RegisterStatic(mem.Extent{Addr: lb, Len: bufLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sges = []ib.SGE{{Addr: la, Len: 2048}, {Addr: la + 8192, Len: 2048}}
+	return eng, qa, qb, sges, lb, mrB.Key
+}
+
+// TestQPSendAllocFree covers the (ib.QP).Send and (ib.HCA).dispatch roots:
+// channel-semantics messages ride pooled wire structs end to end.
+func TestQPSendAllocFree(t *testing.T) {
+	eng, qa, qb, _, _, _ := rdmaPair(t)
+	sleeper(eng)
+	ctl := eng.NewMailbox("ctl")
+	done := eng.NewMailbox("done")
+	var token any = 1
+	eng.Go("rx", func(p *sim.Proc) {
+		for {
+			qb.Recv(p)
+		}
+	})
+	eng.Go("tx", func(p *sim.Proc) {
+		for {
+			v := ctl.Recv(p)
+			for i := 0; i < 16; i++ {
+				if err := qa.Send(p, 4096, token); err != nil {
+					sim.Failf("bench: qp send: %v", err)
+				}
+			}
+			done.Send(v)
+		}
+	})
+	var stepErr error
+	missed := false
+	measure(t, "qp send", func() {
+		ctl.Send(token)
+		if err := eng.RunUntil(eng.Now().Add(stepHorizon)); err != nil {
+			stepErr = err
+		}
+		if _, ok := done.TryRecv(); !ok {
+			missed = true
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if missed {
+		t.Fatal("a step ended before the send batch completed")
+	}
+}
+
+// TestRDMAAllocFree covers the (ib.QP).RDMAWrite, (ib.QP).RDMARead, and
+// (ib.HCA).dispatch roots: one-sided transfers with pooled wire structs,
+// pooled reply mailboxes, and pooled scratch buffers.
+func TestRDMAAllocFree(t *testing.T) {
+	eng, qa, _, sges, raddr, rkey := rdmaPair(t)
+	sleeper(eng)
+	ctl := eng.NewMailbox("ctl")
+	done := eng.NewMailbox("done")
+	var token any = 1
+	eng.Go("initiator", func(p *sim.Proc) {
+		for {
+			v := ctl.Recv(p)
+			for i := 0; i < 8; i++ {
+				if err := qa.RDMAWrite(p, sges, raddr, rkey); err != nil {
+					sim.Failf("bench: rdma write: %v", err)
+				}
+				if err := qa.RDMARead(p, sges, raddr, rkey); err != nil {
+					sim.Failf("bench: rdma read: %v", err)
+				}
+			}
+			done.Send(v)
+		}
+	})
+	var stepErr error
+	missed := false
+	measure(t, "rdma write+read", func() {
+		ctl.Send(token)
+		if err := eng.RunUntil(eng.Now().Add(stepHorizon)); err != nil {
+			stepErr = err
+		}
+		if _, ok := done.TryRecv(); !ok {
+			missed = true
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if missed {
+		t.Fatal("a step ended before the RDMA batch completed")
+	}
+}
+
+// TestDisabledTracerAllocFree covers the trace roots ((trace.Tracer).Start,
+// (trace.Span).End/EndErr/SetBytes, (trace.Recorder).Record is exercised
+// indirectly as a no-op): with no tracer attached the span API must cost
+// nothing, because every simulator hot path calls it unconditionally.
+func TestDisabledTracerAllocFree(t *testing.T) {
+	var tr *trace.Tracer
+	measure(t, "disabled tracer", func() {
+		for i := 0; i < 64; i++ {
+			sp := tr.Start(0, trace.Ctx(i), "node", "bench.span", trace.StageOther)
+			sp.SetBytes(4096)
+			sp.Annotate("i=%d", i)
+			sp.End(sim.Time(i))
+		}
+	})
+}

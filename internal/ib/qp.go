@@ -47,6 +47,17 @@ type HCA struct {
 	tracer *trace.Tracer
 	down   bool
 
+	// Wire-struct free lists. Wire messages are pooled per allocating HCA:
+	// the sender allocates, the consuming endpoint hands the struct back
+	// through its owner pointer once the fields are unwrapped. Both ends of
+	// every queue pair live in one cell under one engine, so the lists need
+	// no locking, and the verbs hot paths (Send/RDMAWrite/RDMARead and the
+	// dispatch engine) allocate no wire structs in steady state.
+	freeSends     *wireSend
+	freeWrites    *wireRDMAWrite
+	freeReadReqs  *wireRDMAReadReq
+	freeReadResps *wireRDMAReadResp
+
 	// Counters accumulates operation counts for this HCA.
 	Counters Counters
 
@@ -126,12 +137,18 @@ type wireSend struct {
 	dstQP   uint32
 	size    int
 	payload any
+
+	owner *HCA
+	next  *wireSend
 }
 
 type wireRDMAWrite struct {
 	raddr mem.Addr
 	rkey  Key
 	data  []byte
+
+	owner *HCA
+	next  *wireRDMAWrite
 }
 
 type wireRDMAReadReq struct {
@@ -140,11 +157,77 @@ type wireRDMAReadReq struct {
 	raddr     mem.Addr
 	rkey      Key
 	size      int64
+
+	owner *HCA
+	next  *wireRDMAReadReq
 }
 
 type wireRDMAReadResp struct {
 	id   uint64
 	data []byte
+
+	owner *HCA
+	next  *wireRDMAReadResp
+}
+
+// allocWireSend returns a recycled wire struct or a fresh one owned by h.
+func (h *HCA) allocWireSend() *wireSend {
+	if w := h.freeSends; w != nil {
+		h.freeSends = w.next
+		w.next = nil
+		return w
+	}
+	return &wireSend{owner: h}
+}
+
+func putWireSend(w *wireSend) {
+	w.payload = nil
+	w.next = w.owner.freeSends
+	w.owner.freeSends = w
+}
+
+func (h *HCA) allocWireWrite() *wireRDMAWrite {
+	if w := h.freeWrites; w != nil {
+		h.freeWrites = w.next
+		w.next = nil
+		return w
+	}
+	return &wireRDMAWrite{owner: h}
+}
+
+func putWireWrite(w *wireRDMAWrite) {
+	w.data = nil
+	w.next = w.owner.freeWrites
+	w.owner.freeWrites = w
+}
+
+func (h *HCA) allocWireReadReq() *wireRDMAReadReq {
+	if w := h.freeReadReqs; w != nil {
+		h.freeReadReqs = w.next
+		w.next = nil
+		return w
+	}
+	return &wireRDMAReadReq{owner: h}
+}
+
+func putWireReadReq(w *wireRDMAReadReq) {
+	w.next = w.owner.freeReadReqs
+	w.owner.freeReadReqs = w
+}
+
+func (h *HCA) allocWireReadResp() *wireRDMAReadResp {
+	if w := h.freeReadResps; w != nil {
+		h.freeReadResps = w.next
+		w.next = nil
+		return w
+	}
+	return &wireRDMAReadResp{owner: h}
+}
+
+func putWireReadResp(w *wireRDMAReadResp) {
+	w.data = nil
+	w.next = w.owner.freeReadResps
+	w.owner.freeReadResps = w
 }
 
 // dispatch is the adapter's inbound engine: it demultiplexes wire messages
@@ -156,6 +239,11 @@ type wireRDMAReadResp struct {
 // failed epoch (the peer timed out, reset, and released its buffers) and
 // are discarded instead of failing the simulation. A down adapter discards
 // everything: in-flight requests to a crashed daemon die silently.
+//
+// The dispatch engine blocks by design (Recv, read turnaround, the response
+// send), so only allocation and wall-clock effects are budgeted.
+//
+//pvfslint:hotpath alloc,syscall
 func (h *HCA) dispatch(p *sim.Proc) {
 	net := h.node.Network()
 	for {
@@ -173,13 +261,20 @@ func (h *HCA) dispatch(p *sim.Proc) {
 // fabric (single-threaded under the cell's engine).
 func (h *HCA) scratch() *mem.ScratchPool { return &h.node.Network().Scratch }
 
-// discard frees the pooled staging of a message a down adapter throws away.
+// discard frees the pooled staging and wire struct of a message a down
+// adapter throws away.
 func (h *HCA) discard(m *simnet.Message) {
 	switch w := m.Payload.(type) {
+	case *wireSend:
+		putWireSend(w)
 	case *wireRDMAWrite:
 		h.scratch().Put(w.data)
+		putWireWrite(w)
+	case *wireRDMAReadReq:
+		putWireReadReq(w)
 	case *wireRDMAReadResp:
 		h.scratch().Put(w.data)
+		putWireReadResp(w)
 	}
 }
 
@@ -197,6 +292,7 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 		if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
 			if h.faults != nil {
 				h.scratch().Put(w.data)
+				putWireWrite(w)
 				return // stale write from a failed epoch; NAK and drop
 			}
 			sim.Failf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey)
@@ -208,10 +304,12 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 			h.OnRDMAWriteApplied(w.raddr, int64(len(w.data)))
 		}
 		h.scratch().Put(w.data)
+		putWireWrite(w)
 	case *wireRDMAReadReq:
 		mr := h.lookup(w.rkey)
 		if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
 			if h.faults != nil {
+				putWireReadReq(w)
 				return // stale read from a failed epoch; initiator times out
 			}
 			sim.Failf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey)
@@ -221,8 +319,13 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 			sim.Failf("ib: %s: RDMA read fault: %v", h.node.Name, err)
 		}
 		p.Sleep(h.params.ReadTurnaround)
-		if err := h.node.Send(p, w.initiator, len(data)+wireHeader, &wireRDMAReadResp{id: w.id, data: data}); err != nil {
+		resp := h.allocWireReadResp()
+		resp.id, resp.data = w.id, data
+		initiator := w.initiator
+		putWireReadReq(w)
+		if err := h.node.Send(p, initiator, len(data)+wireHeader, resp); err != nil {
 			h.scratch().Put(data)
+			putWireReadResp(resp)
 			return // partitioned mid-read; the initiator times out
 		}
 	case *wireRDMAReadResp:
@@ -230,12 +333,16 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 		if !ok {
 			if h.faults != nil {
 				h.scratch().Put(w.data)
+				putWireReadResp(w)
 				return // response for a read that already timed out
 			}
 			sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
 		}
 		delete(h.reads, w.id)
-		mb.Send(w.data)
+		// The wire struct itself travels the last hop: a pointer crosses
+		// the mailbox without boxing, where the bare []byte would allocate
+		// an interface header per read. The initiator unwraps and recycles.
+		mb.Send(w)
 	default:
 		sim.Failf("ib: %s: unknown wire message %T", h.node.Name, m.Payload)
 	}
@@ -247,6 +354,8 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 // injected completion error or a partitioned link fails the send with a
 // *WCError and moves the QP to the error state; without a fault plane
 // attached Send never fails.
+//
+//pvfslint:hotpath alloc,syscall
 func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 	h := q.hca
 	if err := q.wrFault(p, "send"); err != nil {
@@ -256,8 +365,11 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 	sp.SetBytes(int64(size))
 	h.Counters.SendMsgs++
 	h.Counters.BytesOut += int64(size)
-	err := h.node.Send(p, q.remote, size+wireHeader, &wireSend{dstQP: q.remoteNum, size: size, payload: payload})
+	w := h.allocWireSend()
+	w.dstQP, w.size, w.payload = q.remoteNum, size, payload
+	err := h.node.Send(p, q.remote, size+wireHeader, w)
 	if err != nil {
+		putWireSend(w) // dropped on the wire; never reached the peer
 		err = q.wireFault("send", err)
 		sp.EndErr(p.Now(), err)
 		return err
@@ -271,7 +383,9 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 // payload and the sender-declared size.
 func (q *QP) Recv(p *sim.Proc) (int, any) {
 	w := q.inbox.Recv(p).(*wireSend)
-	return w.size, w.payload
+	size, payload := w.size, w.payload
+	putWireSend(w)
+	return size, payload
 }
 
 // RecvTimeout is Recv with a deadline; ok is false if nothing arrives
@@ -283,7 +397,9 @@ func (q *QP) RecvTimeout(p *sim.Proc, d sim.Duration) (int, any, bool) {
 		return 0, nil, false
 	}
 	w := v.(*wireSend)
-	return w.size, w.payload, true
+	size, payload := w.size, w.payload
+	putWireSend(w)
+	return size, payload, true
 }
 
 // getReadMB returns a drained reply mailbox from the free list, or a fresh
@@ -335,6 +451,8 @@ func (h *HCA) checkLocal(op string, sges []SGE) error {
 // data arrives on the wire (before any message the caller sends afterwards).
 // An unregistered or unreadable local segment fails the whole work request
 // before anything is sent.
+//
+//pvfslint:hotpath alloc,syscall
 func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 	h := q.hca
 	if err := h.checkLocal("RDMA write", sges); err != nil {
@@ -375,10 +493,12 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAWrites++
 		h.Counters.BytesOut += size
-		err := h.node.Send(p, q.remote, int(size)+wireHeader,
-			&wireRDMAWrite{raddr: raddr + mem.Addr(offset), rkey: rkey, data: data})
+		w := h.allocWireWrite()
+		w.raddr, w.rkey, w.data = raddr+mem.Addr(offset), rkey, data
+		err := h.node.Send(p, q.remote, int(size)+wireHeader, w)
 		if err != nil {
 			h.scratch().Put(data) // dropped on the wire; never reached the peer
+			putWireWrite(w)
 			err = q.wireFault("rdma-write", err)
 			sp.EndErr(p.Now(), err)
 			return err
@@ -395,6 +515,8 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 // Lists longer than MaxSGE split into multiple work requests. The caller
 // blocks until all data has arrived and been scattered. An unregistered or
 // unwritable local segment fails the work request.
+//
+//pvfslint:hotpath alloc,syscall
 func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 	h := q.hca
 	if err := h.checkLocal("RDMA read", sges); err != nil {
@@ -424,11 +546,13 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		h.reads[id] = mb
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAReads++
-		err := h.node.Send(p, q.remote, wireHeader, &wireRDMAReadReq{
-			id: id, initiator: h.node.ID, raddr: raddr + mem.Addr(offset), rkey: rkey, size: size,
-		})
+		req := h.allocWireReadReq()
+		req.id, req.initiator = id, h.node.ID
+		req.raddr, req.rkey, req.size = raddr+mem.Addr(offset), rkey, size
+		err := h.node.Send(p, q.remote, wireHeader, req)
 		if err != nil {
 			delete(h.reads, id)
+			putWireReadReq(req)
 			err = q.wireFault("rdma-read", err)
 			sp.EndErr(p.Now(), err)
 			return err
@@ -449,9 +573,13 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 				sp.EndErr(p.Now(), wcErr)
 				return wcErr
 			}
-			data = v.([]byte)
+			resp := v.(*wireRDMAReadResp)
+			data = resp.data
+			putWireReadResp(resp)
 		} else {
-			data = mb.Recv(p).([]byte)
+			resp := mb.Recv(p).(*wireRDMAReadResp)
+			data = resp.data
+			putWireReadResp(resp)
 		}
 		h.putReadMB(mb)
 		buf := data

@@ -115,8 +115,12 @@ func (q *QP) Reset(p *sim.Proc) {
 	sp := q.hca.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), q.hca.node.Name, "ib.qp-reset", trace.StageOther)
 	p.Sleep(q.hca.params.QPResetLatency)
 	for {
-		if _, ok := q.inbox.TryRecv(); !ok {
+		v, ok := q.inbox.TryRecv()
+		if !ok {
 			break
+		}
+		if w, ok := v.(*wireSend); ok {
+			putWireSend(w)
 		}
 	}
 	q.state = QPReady

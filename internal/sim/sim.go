@@ -362,6 +362,12 @@ func (e *Engine) exec(ev *event) {
 
 // RunUntil executes events with timestamps <= limit. It stops early on
 // deadlock or an empty queue.
+//
+// This is the simulator's innermost loop: every virtual nanosecond of every
+// experiment flows through it, so it is a declared hot path — any effect
+// reachable from here must be audited in lint/hotpath.budget.json.
+//
+//pvfslint:hotpath
 func (e *Engine) RunUntil(limit Time) error {
 	for e.Pending() > 0 && !e.stopped {
 		// Ready events are always due at the current instant; only the

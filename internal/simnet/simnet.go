@@ -192,6 +192,10 @@ func (node *Node) Network() *Network { return node.net }
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
 // rxEngine drains staged messages, charging receive-side serialization.
+// Parking (Recv, Acquire, Sleep) is this engine's job, so only allocation
+// and wall-clock effects are budgeted.
+//
+//pvfslint:hotpath alloc,syscall
 func (node *Node) rxEngine(p *sim.Proc) {
 	for {
 		m := node.stage.Recv(p).(*Message)
@@ -214,6 +218,11 @@ func (node *Node) rxEngine(p *sim.Proc) {
 // (latency spike) or drop the message, in which case Send returns
 // ErrDropped after charging the serialization time the failed retries
 // consumed; without a policy Send never fails.
+//
+// Send blocks by design (transmit engine, serialization time), so only
+// allocation and wall-clock effects are budgeted.
+//
+//pvfslint:hotpath alloc,syscall
 func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	if dst < 0 || int(dst) >= len(node.net.nodes) {
 		sim.Failf("simnet: send to unknown node %d", dst)
@@ -259,6 +268,8 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 
 // deliverStage is the closure-free arrival callback: the message joins the
 // receiver's staging queue one path latency after transmission started.
+//
+//pvfslint:hotpath
 func deliverStage(v any) {
 	m := v.(*Message)
 	m.dst.stage.Send(m)

@@ -143,6 +143,11 @@ func (t *Tracer) NewRequest(now sim.Time, node, kind string) Span {
 // Start opens a child span under ctx. When ctx is zero the span becomes
 // a detached root with no request ID — recorded, but excluded from
 // request accounting.
+//
+// Every traced operation calls Start, tracer attached or not; the nil-
+// tracer fast path must stay effect-free.
+//
+//pvfslint:hotpath
 func (t *Tracer) Start(now sim.Time, ctx Ctx, node, kind string, stage Stage) Span {
 	if t == nil {
 		return Span{}
@@ -162,6 +167,8 @@ func (t *Tracer) open(now sim.Time, parent SpanID, req ReqID, node, kind string,
 // End closes the span at the given virtual time. Ending a span twice is
 // a bug (the tracecheck analyzer flags it statically); at runtime the
 // second End wins so a trace is still produced for inspection.
+//
+//pvfslint:hotpath
 func (s Span) End(now sim.Time) {
 	if s.t == nil {
 		return
@@ -173,6 +180,8 @@ func (s Span) End(now sim.Time) {
 
 // EndErr closes the span and records the error that terminated it; a nil
 // error is equivalent to End.
+//
+//pvfslint:hotpath
 func (s Span) EndErr(now sim.Time, err error) {
 	if s.t == nil {
 		return
@@ -186,6 +195,8 @@ func (s Span) EndErr(now sim.Time, err error) {
 }
 
 // SetBytes records the payload size the span moved.
+//
+//pvfslint:hotpath
 func (s Span) SetBytes(n int64) {
 	if s.t == nil {
 		return

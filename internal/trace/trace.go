@@ -49,6 +49,8 @@ func NewRecorder(capacity int) *Recorder {
 
 // Record appends an event; the oldest event is dropped once the buffer is
 // full. A nil recorder ignores the call.
+//
+//pvfslint:hotpath
 func (r *Recorder) Record(t sim.Time, node, kind, detail string, bytes int64) {
 	if r == nil {
 		return
