@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json lint-time lint-hotpath vet check bench-smoke bench-go trace-smoke fuzz clean
+.PHONY: all build test race lint lint-json lint-time lint-hotpath vet check bench-smoke bench-cache bench-go trace-smoke fuzz clean
 
 # LINT_BUDGET caps the whole analyzer suite's wall time in lint-time; the
 # interprocedural pass (callgraph + detcheck) must not silently blow up CI.
@@ -62,8 +62,15 @@ check: build vet lint lint-hotpath race
 # trailing -hostmeta record adds wall-clock and allocation counts, so CI
 # runs expose both table regressions and host-side performance drift.
 bench-smoke:
-	$(GO) run ./cmd/pvfsbench -short -seed 1 -parallel 4 -format json -hostmeta -run faults,fig4 > BENCH_smoke.json
+	$(GO) run ./cmd/pvfsbench -short -seed 1 -parallel 4 -format json -hostmeta -run faults,fig4,cache > BENCH_smoke.json
 	@echo "wrote BENCH_smoke.json"
+
+# bench-cache runs the full client-page-cache ablation (reuse x hole
+# density x cache size, uncached / write-through / write-behind) and
+# archives the table as BENCH_cache.json. Deterministic at a fixed seed.
+bench-cache:
+	$(GO) run ./cmd/pvfsbench -seed 1 -parallel 4 -format json -run cache > BENCH_cache.json
+	@echo "wrote BENCH_cache.json"
 
 # trace-smoke runs the traced breakdown workload (ListIO+ADS, short) and
 # archives the Perfetto trace (open in ui.perfetto.dev or chrome://tracing)
@@ -86,6 +93,7 @@ bench-go:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFlattenDatatype -fuzztime=30s ./internal/mpiio/
 	$(GO) test -run=NONE -fuzz=FuzzGroupRegions -fuzztime=30s ./internal/ogr/
+	$(GO) test -run=NONE -fuzz=FuzzStrideDetect -fuzztime=30s ./internal/pcache/
 
 clean:
 	rm -f $(BIN)

@@ -8,7 +8,10 @@
 //	readlist data count=64 size=512 fstride=2048 verify=7
 //	stats" | pvfsctl
 //
-// See internal/ctl for the full command list.
+// Beyond file I/O, scripts drive the fault plane (fault inject/list/clear),
+// the trace plane (trace spans/profile/export), and the client-side page
+// cache (cache on/stats/flush/off). See internal/ctl for the full command
+// list.
 package main
 
 import (

@@ -6,6 +6,8 @@ import (
 
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
+	"pvfsib/internal/pcache"
+	"pvfsib/internal/pvfs"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
 	"pvfsib/internal/trace"
@@ -288,4 +290,62 @@ func TestDisabledTracerAllocFree(t *testing.T) {
 			sp.End(sim.Time(i))
 		}
 	})
+}
+
+// TestCacheHitAllocFree covers the (pcache.File).tryFast root: a
+// steady-state cache hit is a mutex handoff, page-table lookups, arena
+// copies, and one memcpy-time sleep — no allocator traffic. The operand
+// slices are built once and reused, as a real caller's inner loop would.
+func TestCacheHitAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	c := pvfs.NewCluster(eng, pvfs.DefaultConfig(), 2, 1)
+	sleeper(eng)
+	ctl := eng.NewMailbox("cachectl")
+	done := eng.NewMailbox("cachedone")
+	var token any = 1
+	const (
+		pageSize = 8 << 10
+		nPages   = 4
+		opLen    = 2048
+	)
+	cl := c.Clients[0]
+	rbuf := cl.Space().Malloc(opLen)
+	segs := make([]ib.SGE, 1)
+	accs := make([]pvfs.OffLen, 1)
+	eng.Go("cacheapp", func(p *sim.Proc) {
+		fh := cl.Open(p, "hot")
+		base := cl.Space().Malloc(nPages * pageSize)
+		sim.Must(fh.Write(p, base, nPages*pageSize, 0, pvfs.OpOptions{}))
+		cf := pcache.New(fh, pcache.Config{PageSize: pageSize, Pages: 2 * nPages})
+		segs[0] = ib.SGE{Addr: rbuf, Len: opLen}
+		for i := int64(0); i < nPages; i++ {
+			accs[0] = pvfs.OffLen{Off: i * pageSize, Len: opLen}
+			sim.Must(cf.ReadList(p, segs, accs))
+		}
+		for {
+			v := ctl.Recv(p)
+			for i := 0; i < 64; i++ {
+				accs[0] = pvfs.OffLen{Off: int64(i%nPages)*pageSize + 512, Len: opLen}
+				sim.Must(cf.ReadList(p, segs, accs))
+			}
+			done.Send(v)
+		}
+	})
+	var stepErr error
+	missed := false
+	measure(t, "cache hit", func() {
+		ctl.Send(token)
+		if err := eng.RunUntil(eng.Now().Add(stepHorizon)); err != nil {
+			stepErr = err
+		}
+		if _, ok := done.TryRecv(); !ok {
+			missed = true
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if missed {
+		t.Fatal("a step ended before the hit batch completed")
+	}
 }

@@ -11,7 +11,7 @@ import (
 // merge in canonical order, so -parallel 1 and -parallel 8 must agree
 // exactly, not approximately.
 func TestParallelIdentical(t *testing.T) {
-	for _, id := range []string{"fig4", "table4", "faults", "ablation-hybrid"} {
+	for _, id := range []string{"fig4", "table4", "faults", "ablation-hybrid", "cache"} {
 		e, err := Lookup(id)
 		if err != nil {
 			t.Fatal(err)

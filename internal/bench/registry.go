@@ -55,6 +55,7 @@ var Registry = []Experiment{
 	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethodPlan},
 	{"faults", "Recovery under injected faults (fault-plane sweep)", FaultsPlan},
 	{"breakdown", "Per-stage time decomposition by access method (span tracing)", BreakdownPlan},
+	{"cache", "Client page cache: write-behind and read-ahead ablation", CachePlan},
 }
 
 // Lookup finds an experiment by id.

@@ -26,6 +26,14 @@
 //	trace export file=out.json     write a Perfetto (Chrome trace-event) file
 //	trace off                      detach the span tracer
 //
+// The client-side page cache (write-behind, strided read-ahead, lease
+// coherence) wraps subsequent file commands once enabled:
+//
+//	cache on pages=64 pagesize=65536 highwater=32 readahead=4 wt=0
+//	cache stats                    print cache/lease counters and residency
+//	cache flush                    drain write-behind state everywhere
+//	cache off                      flush, release leases, detach
+//
 // Commands run sequentially, each as one application process in virtual
 // time. Lines starting with '#' and blank lines are ignored.
 package ctl
@@ -35,12 +43,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"pvfsib/internal/fault"
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
+	"pvfsib/internal/pcache"
 	"pvfsib/internal/pvfs"
 	"pvfsib/internal/sieve"
 	"pvfsib/internal/sim"
@@ -56,11 +66,19 @@ type Interp struct {
 	bufs    map[string]mem.Addr                 // named buffers (reserved)
 	plan    *fault.Plan                         // active fault plan (nil = none)
 	line    int
+
+	cacheCfg *pcache.Config                  // nil = caching off
+	caches   map[string]map[int]*pcache.File // name -> client -> cache
 }
 
 // New creates an interpreter writing results to out.
 func New(out io.Writer) *Interp {
-	return &Interp{out: out, files: make(map[string]map[int]*pvfs.FileHandle), bufs: map[string]mem.Addr{}}
+	return &Interp{
+		out:    out,
+		files:  make(map[string]map[int]*pvfs.FileHandle),
+		bufs:   map[string]mem.Addr{},
+		caches: make(map[string]map[int]*pcache.File),
+	}
 }
 
 // Run executes every command from src, stopping at the first error.
@@ -142,11 +160,22 @@ func (in *Interp) exec(line string) error {
 		return in.cmdList(cmd, rest)
 	case "sync":
 		return in.withFile(rest, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+			if cf := in.cached(fh); cf != nil {
+				return cf.Sync(p)
+			}
 			fh.Sync(p)
 			return nil
 		})
 	case "stat":
 		return in.withFile(rest, func(p *sim.Proc, fh *pvfs.FileHandle) error {
+			if cf := in.cached(fh); cf != nil {
+				size, err := cf.Stat(p)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(in.out, "%s: %d bytes\n", fh.Name(), size)
+				return nil
+			}
 			fmt.Fprintf(in.out, "%s: %d bytes\n", fh.Name(), fh.Stat(p))
 			return nil
 		})
@@ -179,6 +208,8 @@ func (in *Interp) exec(line string) error {
 		return in.cmdFault(rest)
 	case "trace":
 		return in.cmdTrace(rest)
+	case "cache":
+		return in.cmdCache(rest)
 	case "echo":
 		fmt.Fprintln(in.out, strings.TrimSpace(strings.TrimPrefix(line, "echo")))
 		return nil
@@ -293,6 +324,146 @@ func (in *Interp) handle(p *sim.Proc, cl *pvfs.Client, a args) (*pvfs.FileHandle
 	return fh, nil
 }
 
+// cached returns (creating on first use) the page cache wrapping fh when
+// caching is on, nil otherwise. Caches are per (file, client), like real
+// client-side buffer caches.
+func (in *Interp) cached(fh *pvfs.FileHandle) *pcache.File {
+	if in.cacheCfg == nil {
+		return nil
+	}
+	idx := 0
+	for i, c := range in.cluster.Clients {
+		if c == fh.Client() {
+			idx = i
+		}
+	}
+	byClient, ok := in.caches[fh.Name()]
+	if !ok {
+		byClient = map[int]*pcache.File{}
+		in.caches[fh.Name()] = byClient
+	}
+	if f, ok := byClient[idx]; ok {
+		return f
+	}
+	f := pcache.New(fh, *in.cacheCfg)
+	byClient[idx] = f
+	return f
+}
+
+// forEachCache visits every live cache in deterministic (name, client)
+// order.
+func (in *Interp) forEachCache(fn func(name string, idx int, f *pcache.File) error) error {
+	names := make([]string, 0, len(in.caches))
+	for name := range in.caches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		byClient := in.caches[name]
+		idxs := make([]int, 0, len(byClient))
+		for idx := range byClient {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			if err := fn(name, idx, byClient[idx]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cmdCache controls the client-side page cache plane: 'on' arms a
+// configuration that wraps every subsequent file command, 'stats' prints
+// the cache and lease counters plus per-cache residency, 'flush' drains
+// write-behind state, 'off' flushes, releases leases, and detaches.
+func (in *Interp) cmdCache(a args) error {
+	if in.cluster == nil {
+		return fmt.Errorf("no cluster")
+	}
+	switch a.name {
+	case "on":
+		cfg := pcache.DefaultConfig()
+		var err error
+		if cfg.PageSize, err = a.num("pagesize", cfg.PageSize); err != nil {
+			return err
+		}
+		pages, err := a.num("pages", int64(cfg.Pages))
+		if err != nil {
+			return err
+		}
+		cfg.Pages = int(pages)
+		hw, err := a.num("highwater", int64(cfg.DirtyHighWater))
+		if err != nil {
+			return err
+		}
+		cfg.DirtyHighWater = int(hw)
+		ra, err := a.num("readahead", int64(cfg.ReadAhead))
+		if err != nil {
+			return err
+		}
+		if ra <= 0 {
+			cfg.NoReadAhead = true
+		} else {
+			cfg.ReadAhead = int(ra)
+		}
+		wt, err := a.num("wt", 0)
+		if err != nil {
+			return err
+		}
+		cfg.WriteThrough = wt != 0
+		in.cacheCfg = &cfg
+		fmt.Fprintf(in.out, "caching on: %d x %dB pages, highwater %d, readahead %d, writethrough %v\n",
+			cfg.Pages, cfg.PageSize, cfg.DirtyHighWater, cfg.ReadAhead, cfg.WriteThrough)
+		return nil
+	case "stats":
+		s := in.cluster.Snapshot()
+		fmt.Fprintf(in.out, "cache: hit#=%d miss#=%d ra#=%d wb=%dB coalesce#=%d\n",
+			s.CacheHits, s.CacheMisses, s.CacheReadAheads, s.WriteBehindBytes, s.CoalescedFlushes)
+		fmt.Fprintf(in.out, "lease: req#=%d grant#=%d recall#=%d\n",
+			s.LeaseReqs, s.LeaseGrants, s.LeaseRecalls)
+		return in.forEachCache(func(name string, idx int, f *pcache.File) error {
+			pages, dirty := f.Resident()
+			fmt.Fprintf(in.out, "%s@cn%d: %d pages resident, %d dirty\n", name, idx, pages, dirty)
+			return nil
+		})
+	case "flush":
+		err := in.app(func(p *sim.Proc) error {
+			return in.forEachCache(func(_ string, _ int, f *pcache.File) error {
+				return f.Flush(p)
+			})
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(in.out, "caches flushed")
+		return nil
+	case "off":
+		if in.cacheCfg == nil && len(in.caches) == 0 {
+			fmt.Fprintln(in.out, "caching already off")
+			return nil
+		}
+		var err error
+		if len(in.caches) > 0 {
+			err = in.app(func(p *sim.Proc) error {
+				return in.forEachCache(func(_ string, _ int, f *pcache.File) error {
+					return f.Close(p)
+				})
+			})
+		}
+		in.caches = make(map[string]map[int]*pcache.File)
+		in.cacheCfg = nil
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(in.out, "caching off")
+		return nil
+	default:
+		return fmt.Errorf("cache wants 'on', 'stats', 'flush', or 'off'")
+	}
+}
+
 func (in *Interp) cmdOpen(a args) error {
 	return in.withFile(a, func(p *sim.Proc, fh *pvfs.FileHandle) error {
 		fmt.Fprintf(in.out, "opened %s (stripe %d)\n", fh.Name(), fh.StripeSize())
@@ -359,15 +530,26 @@ func (in *Interp) cmdContig(cmd string, a args) error {
 		}
 		addr := cl.Space().Malloc(length)
 		t0 := p.Now()
+		cf := in.cached(fh)
 		if cmd == "write" {
 			if err := cl.Space().Write(addr, pattern(length, seed)); err != nil {
 				return err
 			}
-			if err := fh.Write(p, addr, length, off, opts); err != nil {
+			if cf != nil {
+				err = cf.Write(p, addr, length, off)
+			} else {
+				err = fh.Write(p, addr, length, off, opts)
+			}
+			if err != nil {
 				return err
 			}
 		} else {
-			if err := fh.Read(p, addr, length, off, opts); err != nil {
+			if cf != nil {
+				err = cf.Read(p, addr, length, off)
+			} else {
+				err = fh.Read(p, addr, length, off, opts)
+			}
+			if err != nil {
 				return err
 			}
 			if hasVerify {
@@ -437,6 +619,7 @@ func (in *Interp) cmdList(cmd string, a args) error {
 		}
 		total := count * size
 		t0 := p.Now()
+		cf := in.cached(fh)
 		if cmd == "writelist" {
 			data := pattern(total, seed)
 			for i, s := range segs {
@@ -444,11 +627,21 @@ func (in *Interp) cmdList(cmd string, a args) error {
 					return err
 				}
 			}
-			if err := fh.WriteList(p, segs, accs, opts); err != nil {
+			if cf != nil {
+				err = cf.WriteList(p, segs, accs)
+			} else {
+				err = fh.WriteList(p, segs, accs, opts)
+			}
+			if err != nil {
 				return err
 			}
 		} else {
-			if err := fh.ReadList(p, segs, accs, opts); err != nil {
+			if cf != nil {
+				err = cf.ReadList(p, segs, accs)
+			} else {
+				err = fh.ReadList(p, segs, accs, opts)
+			}
+			if err != nil {
 				return err
 			}
 			if hasVerify {

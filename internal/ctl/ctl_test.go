@@ -189,3 +189,58 @@ func TestScriptFaultErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestScriptCachePlane(t *testing.T) {
+	out := run(t, `
+cluster servers=4 clients=2
+cache on pages=16 pagesize=8192 highwater=8 readahead=4
+writelist data count=64 size=512 fstride=2048 seed=7
+readlist data count=64 size=512 fstride=2048 verify=7
+cache stats
+cache flush
+sync data
+readlist data count=64 size=512 fstride=2048 verify=7 client=1
+stat data
+cache off
+readlist data count=64 size=512 fstride=2048 verify=7
+`)
+	for _, want := range []string{
+		"caching on: 16 x 8192B pages, highwater 8, readahead 4, writethrough false",
+		"cache: hit#=",
+		"lease: req#=",
+		"data@cn0:",
+		"caches flushed",
+		"caching off",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptCacheWriteThrough(t *testing.T) {
+	out := run(t, `
+cluster servers=2 clients=1
+cache on pages=8 pagesize=4096 wt=1
+write data len=4096 seed=3
+read data len=4096 verify=3
+cache off
+read data len=4096 verify=3
+`)
+	if !strings.Contains(out, "writethrough true") {
+		t.Errorf("output missing write-through banner:\n%s", out)
+	}
+}
+
+func TestScriptCacheErrors(t *testing.T) {
+	for _, tc := range []struct{ script, want string }{
+		{"cache stats", "no cluster"},
+		{"cluster servers=2 clients=1\ncache purge", "cache wants"},
+		{"cluster servers=2 clients=1\ncache on pages=x", "bad pages"},
+	} {
+		err := runErr(t, tc.script)
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("script %q: err = %v, want %q", tc.script, err, tc.want)
+		}
+	}
+}

@@ -254,6 +254,39 @@ func (s *AddrSpace) ReadInto(addr Addr, dst []byte) error {
 	return nil
 }
 
+// Copy moves n bytes from src to dst inside the address space without
+// allocating — the primitive behind cache-page fills and drains, where a
+// heap buffer per copy would dominate the client's steady state. The two
+// ranges must not overlap (cache frames and user buffers never do); both
+// must be fully allocated, and nothing is written on failure.
+func (s *AddrSpace) Copy(dst, src Addr, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if !s.Allocated(Extent{Addr: src, Len: n}) {
+		return &errRange{space: s.name, op: "read", e: Extent{Addr: src, Len: n}}
+	}
+	if !s.Allocated(Extent{Addr: dst, Len: n}) {
+		return &errRange{space: s.name, op: "write", e: Extent{Addr: dst, Len: n}}
+	}
+	for n > 0 {
+		so := int64(uint64(src) % PageSize)
+		do := int64(uint64(dst) % PageSize)
+		chunk := PageSize - so
+		if r := PageSize - do; r < chunk {
+			chunk = r
+		}
+		if chunk > n {
+			chunk = n
+		}
+		copy(s.pages[dst.PageOf()][do:do+chunk], s.pages[src.PageOf()][so:so+chunk])
+		src += Addr(chunk)
+		dst += Addr(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
 // AllocatedPages reports the number of currently allocated pages.
 func (s *AddrSpace) AllocatedPages() int { return len(s.pages) }
 

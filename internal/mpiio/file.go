@@ -6,6 +6,7 @@ import (
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
 	"pvfsib/internal/mpi"
+	"pvfsib/internal/pcache"
 	"pvfsib/internal/pvfs"
 	"pvfsib/internal/sieve"
 	"pvfsib/internal/sim"
@@ -72,6 +73,10 @@ type File struct {
 	// cbWindow overrides the per-rank collective buffering window
 	// (ROMIO's cb_buffer_size); zero means the default.
 	cbWindow int64
+
+	// cache, when non-nil, is the client-side page cache the independent
+	// list methods route through (see EnableCache).
+	cache *pcache.File
 }
 
 // SetCollectiveBuffer overrides the per-rank two-phase window size, like
@@ -130,8 +135,50 @@ func (f *File) ReadView(p *sim.Proc, method Method, memSegs []ib.SGE, viewOff, n
 	return f.Read(p, method, memSegs, accs)
 }
 
-// Sync flushes the file on all servers.
-func (f *File) Sync(p *sim.Proc) { f.fh.Sync(p) }
+// EnableCache attaches a client-side page cache (write-behind, strided
+// read-ahead, lease coherence — see internal/pcache) and returns it. The
+// independent per-rank methods (MultipleIO, ListIO, ListIOADS) route
+// through the cache; DataSieving reads and Collective operations keep
+// their own buffering strategies and go direct, after flushing the cache
+// so they never observe stale write-behind state.
+func (f *File) EnableCache(cfg pcache.Config) *pcache.File {
+	if f.cache == nil {
+		f.cache = pcache.New(f.fh, cfg)
+	}
+	return f.cache
+}
+
+// Cache returns the attached page cache, nil when caching is off.
+func (f *File) Cache() *pcache.File { return f.cache }
+
+// DisableCache flushes and detaches the page cache.
+func (f *File) DisableCache(p *sim.Proc) error {
+	if f.cache == nil {
+		return nil
+	}
+	err := f.cache.Close(p)
+	f.cache = nil
+	return err
+}
+
+// drainCache flushes write-behind state ahead of a path that bypasses the
+// cache; a clean (or absent) cache makes this a no-op.
+func (f *File) drainCache(p *sim.Proc) error {
+	if f.cache == nil {
+		return nil
+	}
+	return f.cache.Flush(p)
+}
+
+// Sync flushes cached dirty pages (if caching is on) and then the file on
+// all servers.
+func (f *File) Sync(p *sim.Proc) {
+	if f.cache != nil {
+		sim.Must(f.cache.Sync(p))
+		return
+	}
+	f.fh.Sync(p)
+}
 
 // startAccess mints the request-scoped root span for one MPI-IO access.
 // The request ID is assigned here — the topmost layer that knows the
@@ -168,10 +215,19 @@ func (f *File) writeMethod(p *sim.Proc, method Method, memSegs []ib.SGE, fileAcc
 		// locking): identical to Multiple I/O, as the paper notes.
 		return f.multiple(p, memSegs, fileAccs, true)
 	case ListIO:
+		if f.cache != nil {
+			return f.cache.WriteList(p, memSegs, fileAccs)
+		}
 		return f.fh.WriteList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Never})
 	case ListIOADS:
+		if f.cache != nil {
+			return f.cache.WriteList(p, memSegs, fileAccs)
+		}
 		return f.fh.WriteList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Auto})
 	case Collective:
+		if err := f.drainCache(p); err != nil {
+			return err
+		}
 		return f.collectiveWrite(p, memSegs, fileAccs)
 	}
 	return fmt.Errorf("mpiio: unknown method %d", method)
@@ -191,12 +247,24 @@ func (f *File) readMethod(p *sim.Proc, method Method, memSegs []ib.SGE, fileAccs
 	case MultipleIO:
 		return f.multiple(p, memSegs, fileAccs, false)
 	case DataSieving:
+		if err := f.drainCache(p); err != nil {
+			return err
+		}
 		return f.dsRead(p, memSegs, fileAccs)
 	case ListIO:
+		if f.cache != nil {
+			return f.cache.ReadList(p, memSegs, fileAccs)
+		}
 		return f.fh.ReadList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Never})
 	case ListIOADS:
+		if f.cache != nil {
+			return f.cache.ReadList(p, memSegs, fileAccs)
+		}
 		return f.fh.ReadList(p, memSegs, fileAccs, pvfs.OpOptions{Sieve: sieve.Auto})
 	case Collective:
+		if err := f.drainCache(p); err != nil {
+			return err
+		}
 		return f.collectiveRead(p, memSegs, fileAccs)
 	}
 	return fmt.Errorf("mpiio: unknown method %d", method)
@@ -234,9 +302,17 @@ func forEachPiece(memSegs []ib.SGE, fileAccs []pvfs.OffLen, fn func(acc pvfs.Off
 	return nil
 }
 
-// multiple issues one contiguous PVFS operation per file region.
+// multiple issues one contiguous PVFS operation per file region — or, with
+// a cache attached, one cache operation per region: exactly the Unix-style
+// call stream a client buffer cache is built to absorb.
 func (f *File) multiple(p *sim.Proc, memSegs []ib.SGE, fileAccs []pvfs.OffLen, write bool) error {
 	return forEachPiece(memSegs, fileAccs, func(acc pvfs.OffLen, segs []ib.SGE) error {
+		if f.cache != nil {
+			if write {
+				return f.cache.WriteList(p, segs, []pvfs.OffLen{acc})
+			}
+			return f.cache.ReadList(p, segs, []pvfs.OffLen{acc})
+		}
 		opts := pvfs.OpOptions{Sieve: sieve.Never}
 		if write {
 			return f.fh.WriteList(p, segs, []pvfs.OffLen{acc}, opts)

@@ -1,0 +1,83 @@
+package pcache
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzStrideDetect feeds arbitrary page-number streams to the stride
+// detector and checks its invariants:
+//
+//   - a confirmed stride is never zero;
+//   - after any three observations forming two equal nonzero deltas, the
+//     detector is confirmed with exactly that stride;
+//   - any delta different from the current stride drops confirmation;
+//   - Last always tracks the newest observation;
+//   - no input panics or overflows the streak counter.
+func FuzzStrideDetect(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{255, 254, 253})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Decode the raw bytes into a page-number stream: one byte per
+		// observation keeps deltas small enough that equal-delta runs (the
+		// interesting regime) actually occur under fuzzing; every 9th byte
+		// splices in a full int64 to also probe extreme values.
+		var pnos []int64
+		for i := 0; i < len(raw); i++ {
+			if i%9 == 8 && i+8 <= len(raw) {
+				pnos = append(pnos, int64(binary.LittleEndian.Uint64(raw[i:i+8])))
+				i += 7
+				continue
+			}
+			pnos = append(pnos, int64(raw[i]))
+		}
+
+		var d Detector
+		// mirror is the reference implementation: track the last delta run
+		// directly.
+		var last, stride int64
+		streak, primed := 0, false
+		for _, pno := range pnos {
+			d.Observe(pno)
+			if !primed {
+				primed = true
+				last = pno
+			} else if delta := pno - last; delta != 0 {
+				if delta == stride {
+					if streak < maxStreak {
+						streak++
+					}
+				} else {
+					stride = delta
+					streak = 1
+				}
+				last = pno
+			} else {
+				last = pno
+			}
+			if got := d.Last(); got != last {
+				t.Fatalf("Last() = %d, want %d", got, last)
+			}
+			s, ok := d.Stride()
+			wantOK := streak >= confirmStreak && stride != 0
+			if ok != wantOK {
+				t.Fatalf("confirmed = %v, want %v (stride=%d streak=%d)", ok, wantOK, stride, streak)
+			}
+			if ok && s == 0 {
+				t.Fatal("confirmed stride is zero")
+			}
+			if ok && s != stride {
+				t.Fatalf("Stride() = %d, want %d", s, stride)
+			}
+		}
+		d.Reset()
+		if _, ok := d.Stride(); ok {
+			t.Fatal("detector confirmed after Reset")
+		}
+		if d.Last() != 0 {
+			t.Fatal("Last() nonzero after Reset")
+		}
+	})
+}

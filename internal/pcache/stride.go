@@ -1,0 +1,60 @@
+package pcache
+
+// Detector recognizes constant-stride access in the stream of cache-miss
+// page numbers and drives read-ahead. Subarray2D/3D-style workloads touch
+// pages at a fixed stride (row length × element size); after two
+// consecutive equal nonzero deltas the detector is confident enough to
+// prefetch along the stride. A sequential scan is the stride-1 special
+// case. Repeated accesses to the same page (delta 0) are ignored rather
+// than breaking the streak: a re-miss of a just-evicted page says nothing
+// about the access pattern.
+type Detector struct {
+	last   int64
+	stride int64
+	streak int
+	primed bool
+}
+
+const (
+	// confirmStreak is how many consecutive equal nonzero deltas make the
+	// stride trustworthy: two deltas = three observations on a line.
+	confirmStreak = 2
+	// maxStreak caps the counter so adversarial input cannot overflow it.
+	maxStreak = 1 << 20
+)
+
+// Observe feeds one missed page number, in access order.
+func (d *Detector) Observe(pno int64) {
+	if !d.primed {
+		d.primed = true
+		d.last = pno
+		return
+	}
+	delta := pno - d.last
+	d.last = pno
+	if delta == 0 {
+		return
+	}
+	if delta == d.stride {
+		if d.streak < maxStreak {
+			d.streak++
+		}
+		return
+	}
+	d.stride = delta
+	d.streak = 1
+}
+
+// Stride returns the current stride and whether it is confirmed (at least
+// confirmStreak consecutive equal nonzero deltas). A confirmed stride is
+// never zero.
+func (d *Detector) Stride() (int64, bool) {
+	return d.stride, d.streak >= confirmStreak && d.stride != 0
+}
+
+// Last returns the most recently observed page number (zero before the
+// first observation).
+func (d *Detector) Last() int64 { return d.last }
+
+// Reset forgets all history; called when the cache is invalidated.
+func (d *Detector) Reset() { *d = Detector{} }

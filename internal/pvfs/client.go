@@ -29,6 +29,9 @@ type Client struct {
 	// nextSeq numbers this client's requests; a retry gets a fresh number
 	// so stale replies to abandoned attempts are recognizable.
 	nextSeq int64
+	// recallFns holds per-file lease recall callbacks (lease.go), run in
+	// registration order by the client's recall daemon.
+	recallFns map[int64][]*recallFn
 }
 
 // seq returns the next request sequence number.
@@ -122,6 +125,13 @@ func (c *Client) connect() {
 	mq.MarkControl()
 	c.mgr = &clientConn{qp: cq, mu: cl.Eng.NewResource(fmt.Sprintf("mgrconn[cn%d]", c.idx), 1)}
 	cl.Eng.Go(fmt.Sprintf("mgr[<-cn%d]", c.idx), func(p *sim.Proc) { cl.Manager.serve(p, mq) })
+	// Lease callback channel, manager → client: the manager pushes recalls,
+	// the client's daemon acks them. Control path like the metadata QP.
+	cbCli, cbMgr := ib.Connect(c.hca, cl.Manager.hca)
+	cbCli.MarkControl()
+	cbMgr.MarkControl()
+	cl.Manager.cbs[c.idx] = cbMgr
+	cl.Eng.Go(fmt.Sprintf("cb[cn%d]", c.idx), func(p *sim.Proc) { c.serveRecalls(p, cbCli) })
 }
 
 // FileHandle is an open PVFS file.
@@ -134,6 +144,9 @@ type FileHandle struct {
 
 // Name returns the file's cluster-wide name.
 func (fh *FileHandle) Name() string { return fh.name }
+
+// Client returns the client library instance the handle belongs to.
+func (fh *FileHandle) Client() *Client { return fh.client }
 
 // StripeSize returns the file's striping unit.
 func (fh *FileHandle) StripeSize() int64 { return fh.stripeSize }

@@ -32,6 +32,17 @@ type Acct struct {
 	Crashes          int64 // scheduled daemon crashes executed
 	Restarts         int64 // daemon restarts completed
 	IodRegistrations int64 // manager re-registrations after restart
+
+	// Client-side page-cache and lease activity (all zero without a
+	// pcache attached; see internal/pcache).
+	CacheHits        int64 // list operations served entirely from resident pages
+	CacheMisses      int64 // pages fetched from the servers on demand
+	CacheReadAheads  int64 // pages prefetched by the stride detector
+	WriteBehindBytes int64 // dirty bytes drained by write-behind flushes
+	CoalescedFlushes int64 // flushes merging 2+ dirty pages into one list write
+	LeaseReqs        int64 // lease acquisitions clients sent
+	LeaseGrants      int64 // leases the manager granted
+	LeaseRecalls     int64 // conflicting leases the manager recalled
 }
 
 // Cluster is one simulated PVFS deployment: I/O servers (one doubling as
@@ -155,6 +166,14 @@ func (c *Cluster) Snapshot() stats.Snapshot {
 		ServerAborts:      c.Acct.ServerAborts,
 		Crashes:           c.Acct.Crashes,
 		Restarts:          c.Acct.Restarts,
+		CacheHits:         c.Acct.CacheHits,
+		CacheMisses:       c.Acct.CacheMisses,
+		CacheReadAheads:   c.Acct.CacheReadAheads,
+		WriteBehindBytes:  c.Acct.WriteBehindBytes,
+		CoalescedFlushes:  c.Acct.CoalescedFlushes,
+		LeaseReqs:         c.Acct.LeaseReqs,
+		LeaseGrants:       c.Acct.LeaseGrants,
+		LeaseRecalls:      c.Acct.LeaseRecalls,
 	}
 	if c.Faults != nil {
 		fc := c.Faults.Counters
@@ -201,7 +220,7 @@ func (c *Cluster) Snapshot() stats.Snapshot {
 
 // infraPrefixes name the service processes that legitimately park forever
 // waiting for work.
-var infraPrefixes = []string{"hca[", "iod[", "mgr["}
+var infraPrefixes = []string{"hca[", "iod[", "mgr[", "cb["}
 
 func isInfra(name string) bool {
 	for _, p := range infraPrefixes {

@@ -22,17 +22,34 @@ type Manager struct {
 	space *mem.AddrSpace
 	hca   *ib.HCA
 
-	cfg    *Config
-	nextID int64
-	byName map[string]*fileMeta
+	cluster *Cluster
+	cfg     *Config
+	nextID  int64
+	byName  map[string]*fileMeta
 	// iods records each I/O daemon's last registration time. Daemons
 	// register at boot (statically, time zero) and re-register after a
 	// fault-plane restart.
 	iods map[int]sim.Time
+
+	// Lease coherence state (lease.go). leaseMu is held across a whole
+	// recall-then-grant sequence; cbs holds the manager side of each
+	// client's callback QP; recallSeq numbers manager-initiated recalls.
+	leases    map[int64]*leaseState
+	leaseMu   *sim.Resource
+	cbs       map[int]*ib.QP
+	recallSeq int64
 }
 
 func newManager(c *Cluster) *Manager {
-	m := &Manager{cfg: &c.Cfg, byName: make(map[string]*fileMeta), iods: make(map[int]sim.Time)}
+	m := &Manager{
+		cluster: c,
+		cfg:     &c.Cfg,
+		byName:  make(map[string]*fileMeta),
+		iods:    make(map[int]sim.Time),
+		leases:  make(map[int64]*leaseState),
+		leaseMu: c.Eng.NewResource("mgr.leases", 1),
+		cbs:     make(map[int]*ib.QP),
+	}
 	if len(c.Servers) > 0 {
 		// Co-located with the first I/O server.
 		m.node = c.Servers[0].node
@@ -74,6 +91,10 @@ func (m *Manager) serve(p *sim.Proc, qp *ib.QP) {
 		case *reqIodRegister:
 			m.iods[req.Server] = p.Now()
 			m.send(p, qp, &respIodRegister{})
+		case *reqLease:
+			m.handleLease(p, qp, req)
+		case *reqLeaseRelease:
+			m.handleLeaseRelease(p, qp, req)
 		default:
 			sim.Failf("pvfs: manager: unexpected message %T", payload)
 		}

@@ -143,6 +143,44 @@ type reqIodRegister struct {
 
 type respIodRegister struct{}
 
+// reqLease asks the manager for a per-file cache lease. A read lease lets
+// the client serve reads from cached pages; a write lease additionally
+// covers dirty write-behind pages. Any number of clients may hold read
+// leases; a write lease is exclusive. Conflicting holders are recalled
+// (reqLeaseRecall) before the grant reply is sent, so a granted lease is
+// immediately safe to act on.
+type reqLease struct {
+	Seq    int64
+	FileID int64
+	Client int // requesting client's index, the lease holder identity
+	Write  bool
+}
+
+type respLease struct{ Seq int64 }
+
+// reqLeaseRelease returns a lease voluntarily (cache close). Releasing a
+// lease the manager does not record — e.g. one already revoked by a recall —
+// is a no-op.
+type reqLeaseRelease struct {
+	Seq    int64
+	FileID int64
+	Client int
+}
+
+type respLeaseRelease struct{ Seq int64 }
+
+// reqLeaseRecall is the manager-to-client callback revoking a lease: the
+// client must flush dirty pages, invalidate the file's cached pages, and
+// ack. Recalls are idempotent — a resend after a lost ack re-runs a no-op
+// flush — and carry their own sequence numbers (manager-minted, so a
+// distinct space from client request numbers).
+type reqLeaseRecall struct {
+	Seq    int64
+	FileID int64
+}
+
+type respLeaseRecallAck struct{ Seq int64 }
+
 // seqer is implemented by every response that echoes its request's
 // sequence number. The recovery layer filters stale responses — replies to
 // an attempt the client already timed out and re-issued — by comparing
@@ -157,5 +195,8 @@ func (r *respRead) seqNum() int64       { return r.Seq }
 func (r *respSync) seqNum() int64       { return r.Seq }
 func (r *respStat) seqNum() int64       { return r.Seq }
 func (r *respRemove) seqNum() int64     { return r.Seq }
+func (r *respLease) seqNum() int64      { return r.Seq }
+
+func (r *respLeaseRelease) seqNum() int64 { return r.Seq }
 
 func reqSize(npairs int) int { return reqHeaderBytes + npairs*bytesPerPair }

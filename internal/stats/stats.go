@@ -50,6 +50,17 @@ type Snapshot struct {
 	FaultDiskErrors  int64 // injected disk errors and slowdowns
 	FaultRegFailures int64 // injected registration rejections
 
+	// Client-side page-cache and lease-coherence activity (all zero unless
+	// a pcache is attached).
+	CacheHits        int64 // list operations served entirely from resident pages
+	CacheMisses      int64 // pages fetched from the servers on demand
+	CacheReadAheads  int64 // pages prefetched by the stride detector
+	WriteBehindBytes int64 // dirty bytes drained by write-behind flushes
+	CoalescedFlushes int64 // flushes merging 2+ dirty pages into one list write
+	LeaseReqs        int64 // lease acquisitions clients sent
+	LeaseGrants      int64 // leases the manager granted
+	LeaseRecalls     int64 // conflicting leases the manager recalled
+
 	// Span-derived gauges (all zero unless span tracing was enabled): the
 	// per-stage self-time decomposition of the trace plane, and the peak
 	// number of requests simultaneously in dispatch on the busiest server.
@@ -96,6 +107,14 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		FaultDrops:        s.FaultDrops - t.FaultDrops,
 		FaultDiskErrors:   s.FaultDiskErrors - t.FaultDiskErrors,
 		FaultRegFailures:  s.FaultRegFailures - t.FaultRegFailures,
+		CacheHits:         s.CacheHits - t.CacheHits,
+		CacheMisses:       s.CacheMisses - t.CacheMisses,
+		CacheReadAheads:   s.CacheReadAheads - t.CacheReadAheads,
+		WriteBehindBytes:  s.WriteBehindBytes - t.WriteBehindBytes,
+		CoalescedFlushes:  s.CoalescedFlushes - t.CoalescedFlushes,
+		LeaseReqs:         s.LeaseReqs - t.LeaseReqs,
+		LeaseGrants:       s.LeaseGrants - t.LeaseGrants,
+		LeaseRecalls:      s.LeaseRecalls - t.LeaseRecalls,
 		// MaxInflight is a high-water mark, not a counter: the delta of a
 		// peak is meaningless, so keep the later snapshot's reading.
 		MaxInflight:  s.MaxInflight,
@@ -123,6 +142,13 @@ func (s Snapshot) String() string {
 			s.Retries, s.Timeouts, s.Fallbacks, s.ServerAborts, s.Crashes, s.Restarts, s.QPResets)
 		out += fmt.Sprintf(" inj(wr#=%d drop#=%d disk#=%d reg#=%d)",
 			s.FaultWRErrors, s.FaultDrops, s.FaultDiskErrors, s.FaultRegFailures)
+	}
+	if s.CacheHits+s.CacheMisses+s.CacheReadAheads+s.WriteBehindBytes+
+		s.CoalescedFlushes+s.LeaseReqs+s.LeaseGrants+s.LeaseRecalls > 0 {
+		out += fmt.Sprintf(" cache(hit#=%d miss#=%d ra#=%d wb=%.1fMB coalesce#=%d) lease(req#=%d grant#=%d recall#=%d)",
+			s.CacheHits, s.CacheMisses, s.CacheReadAheads,
+			float64(s.WriteBehindBytes)/(1<<20), s.CoalescedFlushes,
+			s.LeaseReqs, s.LeaseGrants, s.LeaseRecalls)
 	}
 	if stage := s.StageRegNs + s.StagePackNs + s.StageWireNs + s.StageQueueNs + s.StageSieveNs + s.StageDiskNs; stage > 0 {
 		out += fmt.Sprintf(" inflight=%d stage(reg=%.2fms pack=%.2fms wire=%.2fms queue=%.2fms sieve=%.2fms disk=%.2fms)",

@@ -40,6 +40,7 @@ import (
 	"pvfsib/internal/mem"
 	"pvfsib/internal/mpi"
 	"pvfsib/internal/mpiio"
+	"pvfsib/internal/pcache"
 	"pvfsib/internal/pvfs"
 	"pvfsib/internal/sieve"
 	"pvfsib/internal/sim"
@@ -103,6 +104,11 @@ type (
 	// Recovery tunes the client/server timeout-retry machinery active while
 	// a fault plan is attached.
 	Recovery = pvfs.Recovery
+	// CacheConfig sizes a client-side page cache (write-behind, strided
+	// read-ahead, lease-based coherence).
+	CacheConfig = pcache.Config
+	// CachedFile is a page cache attached to one open file.
+	CachedFile = pcache.File
 )
 
 // FaultWildcard matches any fabric node in a FaultSpike or FaultCut
@@ -274,6 +280,20 @@ func (ctx *Ctx) ReadMem(addr Addr, n int64) ([]byte, error) {
 // OpenFile opens (creating if needed) an MPI-IO file for the rank.
 func OpenFile(ctx *Ctx, name string) *File {
 	return mpiio.Open(ctx.Proc, ctx.Client, ctx.Rank, name)
+}
+
+// DefaultCacheConfig returns the production page-cache geometry: 64 KiB
+// pages (one stripe fragment each), 64 frames, flush at 32 dirty pages,
+// 4-page read-ahead.
+func DefaultCacheConfig() CacheConfig { return pcache.DefaultConfig() }
+
+// OpenCachedFile opens an MPI-IO file with a client-side page cache
+// attached: independent list operations are absorbed by write-behind and
+// strided read-ahead, with lease-based coherence across clients.
+func OpenCachedFile(ctx *Ctx, name string, cfg CacheConfig) *File {
+	f := OpenFile(ctx, name)
+	f.EnableCache(cfg)
+	return f
 }
 
 // Materialize allocates and fills a workload pattern's memory layout,
