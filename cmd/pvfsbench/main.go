@@ -10,6 +10,8 @@
 //	pvfsbench -short -run all       smaller sweeps for a quick look
 //	pvfsbench -seed 7 -run faults   reseed the fault plane (same seed, same table)
 //	pvfsbench -parallel 4           run independent cells on 4 workers
+//	pvfsbench -shards 4             partition each cell's engine into 4 parallel
+//	                                shards (same output, less wall clock)
 //	pvfsbench -format json ...      machine-readable output (one JSON object per table)
 //	pvfsbench -hostmeta ...         append a host-side JSON record (wall clock, allocs)
 //	pvfsbench -trace out.json       run a traced workload, write a Perfetto trace
@@ -88,6 +90,7 @@ func main() {
 		short    = flag.Bool("short", false, "reduced sweeps (faster)")
 		seed     = flag.Int64("seed", 1, "seed for randomized experiments (fault plane)")
 		parallel = flag.Int("parallel", 0, "cell workers per experiment (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "engine shards per cell (0 or 1 = single-threaded engine; output is identical for every value)")
 		timings  = flag.Bool("timings", true, "print real (host) runtime per experiment")
 		format   = flag.String("format", "table", "output format: table, csv, or json")
 		hostmeta = flag.Bool("hostmeta", false, "append a JSON host record (wall clock, allocs) after the tables")
@@ -145,7 +148,7 @@ func main() {
 	start := time.Now() //pvfslint:ok detcheck -hostmeta wall time is host diagnostics, never part of results
 	perExp := make(map[string]float64, len(todo))
 
-	opts := bench.RunOpts{Short: *short, Seed: *seed, Parallel: *parallel}
+	opts := bench.RunOpts{Short: *short, Seed: *seed, Parallel: *parallel, Shards: *shards}
 	for _, e := range todo {
 		t0 := time.Now() //pvfslint:ok detcheck per-experiment wall time is host diagnostics, never part of results
 		tbl := e.Run(opts)

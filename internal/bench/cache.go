@@ -56,7 +56,7 @@ func CachePlan(o RunOpts) *Plan {
 		for _, mode := range modes {
 			cs, mode := cs, mode
 			pl.Cells = append(pl.Cells, cell(cs.label()+"-"+mode, func() cacheResult {
-				return cacheCell(cs, mode)
+				return cacheCell(cs, mode, o.Shards)
 			}))
 		}
 	}
@@ -89,13 +89,15 @@ type cacheResult struct {
 
 // cacheCell runs one (geometry, mode) workload on a fresh cluster and
 // returns throughput, wire RPC count, and cache effectiveness.
-func cacheCell(cs cacheCase, mode string) cacheResult {
+func cacheCell(cs cacheCase, mode string, shards int) cacheResult {
 	const (
 		segSize  = 2 << 10
 		nSegs    = 64
 		pageSize = 8 << 10
 	)
-	f := newFixture(pvfs.DefaultConfig(), 4, 1)
+	cfg := pvfs.DefaultConfig()
+	cfg.Shards = shards
+	f := newFixture(cfg, 4, 1)
 	defer f.close()
 	stride := segSize * cs.density
 	pat := func(round int, i int64) []byte {

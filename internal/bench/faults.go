@@ -38,7 +38,7 @@ func FaultsPlan(o RunOpts) *Plan {
 			if rate != 0 {
 				plan = &fault.Plan{Seed: seed, WRErrorRate: rate}
 			}
-			return faultsCell(plan)
+			return faultsCell(plan, o.Shards)
 		}))
 	}
 	pl.Cells = append(pl.Cells, cell("storm", func() faultsResult {
@@ -52,7 +52,7 @@ func FaultsPlan(o RunOpts) *Plan {
 			Crashes: []fault.Crash{
 				{Server: 2, At: 300 * time.Microsecond, Down: 600 * time.Microsecond},
 			},
-		})
+		}, o.Shards)
 	}))
 	pl.Merge = func(results []any) *Table {
 		t := &Table{
@@ -81,8 +81,9 @@ type faultsResult struct {
 }
 
 // faultsCell runs the workload under one plan (nil = fault-free) and
-// returns completion time plus recovery counters.
-func faultsCell(plan *fault.Plan) faultsResult {
+// returns completion time plus recovery counters. shards partitions the
+// cell's engine; the result is byte-identical for every value.
+func faultsCell(plan *fault.Plan, shards int) faultsResult {
 	const (
 		nseg    = 64
 		segSize = 4 << 10
@@ -90,6 +91,7 @@ func faultsCell(plan *fault.Plan) faultsResult {
 	)
 	cfg := pvfs.DefaultConfig()
 	cfg.Faults = plan
+	cfg.Shards = shards
 	f := newFixture(cfg, 4, ranks)
 	defer f.close()
 

@@ -33,36 +33,43 @@ func newFixture(cfg pvfs.Config, nServers, nRanks int) *fixture {
 	for _, cl := range c.Clients {
 		hcas = append(hcas, cl.HCA())
 	}
-	w := mpi.NewWorld(c.Eng, hcas, func(n int64) { c.Acct.BytesClientClient += n })
+	w := mpi.NewWorld(c.Eng, hcas, func(rank int, n int64) { c.Clients[rank].Acct().BytesClientClient += n })
 	return &fixture{c: c, w: w}
 }
 
 // runRanks runs fn on every rank and drives the simulation; it returns the
 // wall-clock (virtual) time from the earliest start to the latest finish.
+// Each rank's process is spawned on its own client's node group, so a
+// sharded engine runs the ranks genuinely in parallel; finish times are
+// collected per rank (own cache line, own shard) and folded after the run.
 func (f *fixture) runRanks(fn func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client)) sim.Duration {
 	start := f.c.Eng.Now()
-	var end sim.Time
+	ends := make([]sim.Time, f.w.Size())
 	for i := 0; i < f.w.Size(); i++ {
-		r, cl := f.w.Rank(i), f.c.Clients[i]
-		f.c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		i, r, cl := i, f.w.Rank(i), f.c.Clients[i]
+		f.c.Eng.GoOn(cl.Node().Group(), fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			fn(p, r, cl)
-			if p.Now() > end {
-				end = p.Now()
-			}
+			ends[i] = p.Now()
 		})
 	}
 	if err := f.c.Run(); err != nil {
 		sim.Failf("bench: simulation failed: %v", err)
 	}
+	var end sim.Time
+	for _, e := range ends {
+		if e > end {
+			end = e
+		}
+	}
 	return end.Sub(start)
 }
 
-// runOne runs fn as a single application process and returns its elapsed
-// virtual time.
+// runOne runs fn as a single application process (on client 0's node
+// group) and returns its elapsed virtual time.
 func (f *fixture) runOne(fn func(p *sim.Proc, cl *pvfs.Client)) sim.Duration {
 	start := f.c.Eng.Now()
 	var end sim.Time
-	f.c.Eng.Go("app", func(p *sim.Proc) {
+	f.c.Eng.GoOn(f.c.Clients[0].Node().Group(), "app", func(p *sim.Proc) {
 		fn(p, f.c.Clients[0])
 		end = p.Now()
 	})

@@ -16,6 +16,12 @@ type RunOpts struct {
 	// Parallel bounds the cell worker pool; 0 or less means GOMAXPROCS.
 	// Every experiment's output is byte-identical for every value.
 	Parallel int
+	// Shards partitions each cell's simulation engine into that many
+	// parallel shards (see sim.Engine.SetShards). Cell output is
+	// byte-identical for every value; only host wall-clock changes.
+	// Zero or one keeps the single-threaded engine. Experiments that
+	// build sharded clusters (faults, cache, scale) honor it.
+	Shards int
 }
 
 // Experiment is one reproducible table or figure, decomposed into
@@ -54,6 +60,7 @@ var Registry = []Experiment{
 	{"extra-appaware", "App-aware registration alternatives (Section 4.2.1)", ExtraAppAwarePlan},
 	{"extra-querymethod", "OS hole-query mechanisms (Section 4.3)", ExtraQueryMethodPlan},
 	{"faults", "Recovery under injected faults (fault-plane sweep)", FaultsPlan},
+	{"scale", "Cell scaling: iods x clients x stripe with knee detection", ScalePlan},
 	{"breakdown", "Per-stage time decomposition by access method (span tracing)", BreakdownPlan},
 	{"cache", "Client page cache: write-behind and read-ahead ablation", CachePlan},
 }

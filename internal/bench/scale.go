@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+
+	"pvfsib/internal/ib"
+	"pvfsib/internal/mem"
+	"pvfsib/internal/mpi"
+	"pvfsib/internal/pvfs"
+	"pvfsib/internal/sim"
+)
+
+// Scale sweeps the cell geometry — I/O server count x client count x
+// stripe size — on a strided list-I/O workload and reports aggregate
+// bandwidth, with knee detection per (stripe, clients) series: the first
+// server count whose doubling stopped paying (under 15% aggregate gain).
+// The knee is the capacity-planning number the paper's scaling figures
+// imply but never tabulate: how many iods a cell of a given client
+// population can actually use.
+func Scale(o RunOpts) *Table { return ScalePlan(o).Table(o.Parallel) }
+
+// scaleCase is one grid point.
+type scaleCase struct {
+	iods    int
+	clients int
+	stripe  int64
+}
+
+type scaleResult struct {
+	wMBs, rMBs float64
+}
+
+// agg is the series value the knee detector watches.
+func (r scaleResult) agg() float64 { return r.wMBs + r.rMBs }
+
+// ScalePlan is one cell per grid point; each cell builds its own cluster,
+// so grid points share nothing and the plan parallelizes freely.
+func ScalePlan(o RunOpts) *Plan {
+	iods := []int{1, 2, 4, 8}
+	clients := []int{2, 4, 8}
+	stripes := []int64{16 << 10, 64 << 10, 256 << 10}
+	if o.Short {
+		iods = []int{1, 2, 4}
+		clients = []int{4}
+		stripes = []int64{64 << 10}
+	}
+	pl := &Plan{}
+	for _, st := range stripes {
+		for _, nc := range clients {
+			for _, ns := range iods {
+				cs := scaleCase{iods: ns, clients: nc, stripe: st}
+				pl.Cells = append(pl.Cells, cell(fmt.Sprintf("io%d-c%d-s%dk", cs.iods, cs.clients, cs.stripe>>10),
+					func() scaleResult { return scaleCell(cs, o.Shards) }))
+			}
+		}
+	}
+	pl.Merge = func(results []any) *Table {
+		t := &Table{
+			ID:     "scale",
+			Title:  "Cell scaling: aggregate list-I/O bandwidth by iods x clients x stripe (MB/s)",
+			Header: []string{"stripe_kb", "clients", "iods", "write_MBs", "read_MBs"},
+		}
+		idx := 0
+		for _, st := range stripes {
+			for _, nc := range clients {
+				prev, knee := 0.0, 0
+				for _, ns := range iods {
+					r := results[idx].(scaleResult)
+					idx++
+					t.Add(st>>10, nc, ns, r.wMBs, r.rMBs)
+					if knee == 0 && prev > 0 && r.agg() < prev*1.15 {
+						knee = ns
+					}
+					prev = r.agg()
+				}
+				if knee != 0 {
+					t.Note("knee s=%dk c=%d: under 15%% aggregate gain at %d iods", st>>10, nc, knee)
+				} else {
+					t.Note("knee s=%dk c=%d: none up to %d iods", st>>10, nc, iods[len(iods)-1])
+				}
+			}
+		}
+		return t
+	}
+	return pl
+}
+
+// scaleCell runs the strided list workload on one grid point: every rank
+// writes then reads back 64 interleaved 8 KiB segments through list I/O.
+// shards partitions the cell's engine; output is byte-identical for every
+// value.
+func scaleCell(cs scaleCase, shards int) scaleResult {
+	const (
+		nseg    = 64
+		segSize = 8 << 10
+	)
+	cfg := pvfs.DefaultConfig()
+	cfg.StripeSize = cs.stripe
+	cfg.Shards = shards
+	f := newFixture(cfg, cs.iods, cs.clients)
+	defer f.close()
+
+	segsOf := make([][]ib.SGE, cs.clients)
+	for i := range segsOf {
+		segsOf[i] = stridedSegs(f.c.Clients[i], nseg, segSize, byte(i))
+	}
+	accsOf := func(rank int) []pvfs.OffLen {
+		accs := make([]pvfs.OffLen, 0, nseg)
+		for j := int64(0); j < nseg; j++ {
+			accs = append(accs, pvfs.OffLen{Off: (j*int64(cs.clients) + int64(rank)) * segSize, Len: segSize})
+		}
+		return accs
+	}
+	total := int64(cs.clients) * nseg * segSize
+
+	elapsed := f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "scale-grid")
+		rank.Barrier(p)
+		sim.Must(fh.WriteList(p, segsOf[rank.ID()], accsOf(rank.ID()), pvfs.OpOptions{}))
+		fh.Sync(p)
+	})
+	w := bw(total, elapsed)
+
+	elapsed = f.runRanks(func(p *sim.Proc, rank *mpi.Rank, cl *pvfs.Client) {
+		fh := cl.Open(p, "scale-grid")
+		rd := cl.Space().Malloc(nseg * segSize)
+		segs := make([]ib.SGE, nseg)
+		for i := int64(0); i < nseg; i++ {
+			segs[i] = ib.SGE{Addr: rd + mem.Addr(i*segSize), Len: segSize}
+		}
+		rank.Barrier(p)
+		sim.Must(fh.ReadList(p, segs, accsOf(rank.ID()), pvfs.OpOptions{}))
+	})
+	return scaleResult{wMBs: w, rMBs: bw(total, elapsed)}
+}

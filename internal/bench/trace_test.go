@@ -42,6 +42,10 @@ func TestBreakdownCellSpans(t *testing.T) {
 	if len(spans) == 0 {
 		t.Fatal("no spans recorded")
 	}
+	byID := make(map[trace.SpanID]int, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = i
+	}
 	for i := range spans {
 		s := &spans[i]
 		if !s.Ended {
@@ -51,11 +55,12 @@ func TestBreakdownCellSpans(t *testing.T) {
 			t.Errorf("span %d ends before it starts: [%v,%v]", s.ID, s.Start, s.End)
 		}
 		if s.Parent != 0 {
-			if int(s.Parent) > len(spans) {
-				t.Errorf("span %d parent %d out of range", s.ID, s.Parent)
-			} else if spans[s.Parent-1].Req != s.Req {
+			pi, ok := byID[s.Parent]
+			if !ok {
+				t.Errorf("span %d parent %d unknown", s.ID, s.Parent)
+			} else if spans[pi].Req != s.Req {
 				t.Errorf("span %d crosses requests: req %d under parent req %d",
-					s.ID, s.Req, spans[s.Parent-1].Req)
+					s.ID, s.Req, spans[pi].Req)
 			}
 		}
 	}

@@ -701,7 +701,7 @@ func (in *Interp) cmdFault(a args) error {
 			return nil
 		}
 		fmt.Fprintf(in.out, "plan: %s\n", describePlan(in.plan))
-		fmt.Fprintf(in.out, "injected: %v\n", in.cluster.Faults.Counters)
+		fmt.Fprintf(in.out, "injected: %v\n", in.cluster.Faults.Totals())
 		return nil
 	default:
 		return fmt.Errorf("fault wants 'inject', 'clear', or 'list'")

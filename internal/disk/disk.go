@@ -104,7 +104,7 @@ type Counters struct {
 // device retries transient errors itself — as real drives do — so the
 // operation's outcome is unchanged and no caller signature grows an error.
 type FaultInjector interface {
-	DiskFault(now sim.Time, read bool, size int64) sim.Duration
+	DiskFault(now sim.Time, node string, read bool, size int64) sim.Duration
 }
 
 // Disk is one simulated device.
@@ -131,6 +131,9 @@ func (d *Disk) SetTracer(tr *trace.Tracer) { d.tracer = tr }
 func New(eng *sim.Engine, name string, params Params) *Disk {
 	return &Disk{params: params, name: name, res: eng.NewResource(name, 1), head: -1}
 }
+
+// Name returns the device name given at New.
+func (d *Disk) Name() string { return d.name }
 
 // Params returns the timing model.
 func (d *Disk) Params() Params { return d.params }
@@ -174,7 +177,7 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 		sp.Annotate("seek=1")
 	}
 	if d.faults != nil {
-		dur += d.faults.DiskFault(p.Now(), read, size)
+		dur += d.faults.DiskFault(p.Now(), d.name, read, size)
 	}
 	d.Counters.BusyTime += dur
 	p.Sleep(dur)

@@ -6,11 +6,14 @@
 // crashes). An Injector compiles a Plan into the runtime object the
 // substrate layers consult: simnet asks it about every message before
 // transmission, ib about every posted work request and registration
-// attempt, disk about every transfer. All probabilistic draws come from one
-// seeded generator, and because the simulation engine drives one process at
-// a time, the draw order — and therefore the whole fault schedule — is a
-// pure function of (workload, plan, seed). The same triple replays
-// byte-identically.
+// attempt, disk about every transfer. Each registered node draws from its
+// own seeded generator (seeded by plan seed and node name), so a node's
+// fault schedule is a pure function of (that node's workload, plan, seed)
+// — independent of how other nodes' events interleave, which is what keeps
+// the schedule byte-identical at any engine shard count. Unregistered
+// callers share a root stream, which is fine only under a single-shard
+// engine. Per-node state also means the injector needs no locks: every
+// stream and counter set is touched only from its node's shard.
 //
 // The package deliberately imports only internal/sim: the substrate layers
 // each declare the small interface they need (simnet.FaultPolicy,
@@ -119,14 +122,37 @@ func (c Counters) String() string {
 		c.WRErrors, c.Drops, c.Spiked, c.RegFailures, c.DiskErrors, c.DiskSlow)
 }
 
+// add accumulates o into c.
+func (c *Counters) add(o Counters) {
+	c.WRErrors += o.WRErrors
+	c.Drops += o.Drops
+	c.Spiked += o.Spiked
+	c.RegFailures += o.RegFailures
+	c.DiskErrors += o.DiskErrors
+	c.DiskSlow += o.DiskSlow
+}
+
+// stream is one node's private draw source and fault tally.
+type stream struct {
+	rng *rand.Rand
+	c   Counters
+}
+
 // Injector is a compiled Plan: the object the substrate layers consult.
-// All methods are called from simulation processes (one at a time), so no
-// locking is needed and the rng draw order is deterministic.
+// Register every node (and RegisterLinks the fabric) before the run
+// starts; after that the maps are read-only and each node's stream is
+// touched only from that node's events, so the injector is safe under a
+// sharded engine with no locking.
 type Injector struct {
 	plan Plan
-	rng  *rand.Rand
+	rng  *rand.Rand // root stream, for draws by unregistered nodes
 
-	// Counters tallies every injected fault.
+	streams map[string]*stream // per registered node, immutable at runtime
+	order   []*stream          // registration order, for Totals
+	links   []Counters         // drop/spike tallies per sender fabric id
+
+	// Counters tallies faults charged to the root stream (unregistered
+	// nodes and links). Registered runs should read Totals instead.
 	Counters Counters
 }
 
@@ -138,7 +164,73 @@ func NewInjector(plan Plan) *Injector {
 	if plan.DiskSlowPenalty == 0 {
 		plan.DiskSlowPenalty = time.Millisecond
 	}
-	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	return &Injector{
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		streams: make(map[string]*stream),
+	}
+}
+
+// fnv64 is FNV-1a, used to fold a node name into its stream seed.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Register gives node its own draw stream and counter set, seeded from the
+// plan seed and the node name. Call before the simulation runs (the stream
+// map is read-only afterwards); registering the same name twice is a no-op
+// so re-attaching a plan stays simple.
+func (in *Injector) Register(node string) {
+	if _, ok := in.streams[node]; ok {
+		return
+	}
+	st := &stream{rng: rand.New(rand.NewSource(in.plan.Seed ^ int64(fnv64(node))))}
+	in.streams[node] = st
+	in.order = append(in.order, st)
+}
+
+// RegisterLinks sizes the per-sender link counters for fabric node ids
+// [0, n). SendVerdict runs on the sender's shard, so tallying per sender
+// keeps partition and spike counts race-free.
+func (in *Injector) RegisterLinks(n int) {
+	if n > len(in.links) {
+		in.links = append(in.links, make([]Counters, n-len(in.links))...)
+	}
+}
+
+// Totals sums the fault tallies across the root stream, every registered
+// node, and every link — the ground truth a recovery test compares its
+// observed retries against.
+func (in *Injector) Totals() Counters {
+	t := in.Counters
+	for _, st := range in.order {
+		t.add(st.c)
+	}
+	for i := range in.links {
+		t.add(in.links[i])
+	}
+	return t
+}
+
+// draws returns the rng and counter set for one node's probabilistic draw.
+func (in *Injector) draws(node string) (*rand.Rand, *Counters) {
+	if st, ok := in.streams[node]; ok {
+		return st.rng, &st.c
+	}
+	return in.rng, &in.Counters
+}
+
+// linkCounters returns the tally for messages sent by fabric node `from`.
+func (in *Injector) linkCounters(from int) *Counters {
+	if from >= 0 && from < len(in.links) {
+		return &in.links[from]
+	}
+	return &in.Counters
 }
 
 // Plan returns the compiled plan.
@@ -163,13 +255,13 @@ func inWindow(now sim.Time, at, dur sim.Duration) bool {
 func (in *Injector) SendVerdict(now sim.Time, from, to int, size int) (drop bool, extra sim.Duration) {
 	for _, c := range in.plan.Cuts {
 		if inWindow(now, c.At, c.Dur) && matches(c.A, c.B, from, to) {
-			in.Counters.Drops++
+			in.linkCounters(from).Drops++
 			return true, 0
 		}
 	}
 	for _, s := range in.plan.Spikes {
 		if inWindow(now, s.At, s.Dur) && matches(s.From, s.To, from, to) {
-			in.Counters.Spiked++
+			in.linkCounters(from).Spiked++
 			extra += s.Extra
 		}
 	}
@@ -182,8 +274,9 @@ func (in *Injector) WRError(now sim.Time, node string) bool {
 	if in.plan.WRErrorRate <= 0 {
 		return false
 	}
-	if in.rng.Float64() < in.plan.WRErrorRate {
-		in.Counters.WRErrors++
+	rng, c := in.draws(node)
+	if rng.Float64() < in.plan.WRErrorRate {
+		c.WRErrors++
 		return true
 	}
 	return false
@@ -195,23 +288,26 @@ func (in *Injector) RegFail(now sim.Time, node string) bool {
 	if in.plan.RegFailRate <= 0 {
 		return false
 	}
-	if in.rng.Float64() < in.plan.RegFailRate {
-		in.Counters.RegFailures++
+	rng, c := in.draws(node)
+	if rng.Float64() < in.plan.RegFailRate {
+		c.RegFailures++
 		return true
 	}
 	return false
 }
 
 // DiskFault implements disk.FaultInjector: returns added device time for
-// one transfer (slowdowns plus internally-retried transient errors).
-func (in *Injector) DiskFault(now sim.Time, read bool, size int64) sim.Duration {
+// one transfer (slowdowns plus internally-retried transient errors) on the
+// named device.
+func (in *Injector) DiskFault(now sim.Time, node string, read bool, size int64) sim.Duration {
 	var extra sim.Duration
-	if in.plan.DiskErrorRate > 0 && in.rng.Float64() < in.plan.DiskErrorRate {
-		in.Counters.DiskErrors++
+	rng, c := in.draws(node)
+	if in.plan.DiskErrorRate > 0 && rng.Float64() < in.plan.DiskErrorRate {
+		c.DiskErrors++
 		extra += in.plan.DiskErrorPenalty
 	}
-	if in.plan.DiskSlowRate > 0 && in.rng.Float64() < in.plan.DiskSlowRate {
-		in.Counters.DiskSlow++
+	if in.plan.DiskSlowRate > 0 && rng.Float64() < in.plan.DiskSlowRate {
+		c.DiskSlow++
 		extra += in.plan.DiskSlowPenalty
 	}
 	return extra

@@ -70,7 +70,7 @@ func TestProbabilisticDrawsAreSeeded(t *testing.T) {
 
 func TestDiskFaultDefaultsAndCounters(t *testing.T) {
 	in := NewInjector(Plan{Seed: 7, DiskErrorRate: 1, DiskSlowRate: 1})
-	extra := in.DiskFault(0, true, 4096)
+	extra := in.DiskFault(0, "d", true, 4096)
 	if extra != 3*time.Millisecond {
 		t.Fatalf("extra = %v, want 3ms (2ms error + 1ms slow defaults)", extra)
 	}

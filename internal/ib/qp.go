@@ -47,16 +47,9 @@ type HCA struct {
 	tracer *trace.Tracer
 	down   bool
 
-	// Wire-struct free lists. Wire messages are pooled per allocating HCA:
-	// the sender allocates, the consuming endpoint hands the struct back
-	// through its owner pointer once the fields are unwrapped. Both ends of
-	// every queue pair live in one cell under one engine, so the lists need
-	// no locking, and the verbs hot paths (Send/RDMAWrite/RDMARead and the
-	// dispatch engine) allocate no wire structs in steady state.
-	freeSends     *wireSend
-	freeWrites    *wireRDMAWrite
-	freeReadReqs  *wireRDMAReadReq
-	freeReadResps *wireRDMAReadResp
+	// wp is this HCA's shard's pool bundle (wire structs + scratch
+	// buffers), shared by every HCA whose node runs on the same shard.
+	wp *wirePool
 
 	// Counters accumulates operation counts for this HCA.
 	Counters Counters
@@ -78,7 +71,12 @@ func NewHCA(node *simnet.Node, space *mem.AddrSpace, params Params) *HCA {
 		qps:    make(map[uint32]*QP),
 		reads:  make(map[uint64]*sim.Mailbox),
 	}
-	h.engine().Go(fmt.Sprintf("hca[%s]", node.Name), h.dispatch)
+	aux := node.Network().ShardAux(node.Group().ShardIndex())
+	if *aux == nil {
+		*aux = new(wirePool)
+	}
+	h.wp = (*aux).(*wirePool)
+	h.engine().GoOn(node.Group(), fmt.Sprintf("hca[%s]", node.Name), h.dispatch)
 	return h
 }
 
@@ -138,8 +136,7 @@ type wireSend struct {
 	size    int
 	payload any
 
-	owner *HCA
-	next  *wireSend
+	next *wireSend
 }
 
 type wireRDMAWrite struct {
@@ -147,8 +144,7 @@ type wireRDMAWrite struct {
 	rkey  Key
 	data  []byte
 
-	owner *HCA
-	next  *wireRDMAWrite
+	next *wireRDMAWrite
 }
 
 type wireRDMAReadReq struct {
@@ -158,76 +154,96 @@ type wireRDMAReadReq struct {
 	rkey      Key
 	size      int64
 
-	owner *HCA
-	next  *wireRDMAReadReq
+	next *wireRDMAReadReq
 }
 
 type wireRDMAReadResp struct {
 	id   uint64
 	data []byte
 
-	owner *HCA
-	next  *wireRDMAReadResp
+	next *wireRDMAReadResp
 }
 
-// allocWireSend returns a recycled wire struct or a fresh one owned by h.
+// wirePool is one shard's bundle of wire-struct free lists plus the scratch
+// pool for RDMA gather and read-response staging copies. It lives in the
+// fabric's per-shard aux slot, shared by every HCA on the shard: a wire
+// struct or buffer is allocated on the sender's shard and released on the
+// consumer's, and each list is only ever touched from its own shard's
+// worker thread, so no locking is needed. At one shard there is a single
+// bundle and every flow — including one-directional RDMA streams —
+// recirculates structs allocation-free, like the pre-shard owner pools. At
+// higher shard counts a strictly one-way flow migrates structs to the
+// consuming shard and the sender's allocations are the (accounted) price
+// of parallelism.
+type wirePool struct {
+	scratch       mem.ScratchPool
+	freeSends     *wireSend
+	freeWrites    *wireRDMAWrite
+	freeReadReqs  *wireRDMAReadReq
+	freeReadResps *wireRDMAReadResp
+}
+
+// allocWireSend returns a recycled wire struct from h's shard pool, or a
+// fresh one.
 func (h *HCA) allocWireSend() *wireSend {
-	if w := h.freeSends; w != nil {
-		h.freeSends = w.next
+	if w := h.wp.freeSends; w != nil {
+		h.wp.freeSends = w.next
 		w.next = nil
 		return w
 	}
-	return &wireSend{owner: h}
+	return &wireSend{}
 }
 
-func putWireSend(w *wireSend) {
+// putWireSend releases a consumed wire struct into h's shard pool. h must
+// be the HCA on whose shard the caller is executing.
+func (h *HCA) putWireSend(w *wireSend) {
 	w.payload = nil
-	w.next = w.owner.freeSends
-	w.owner.freeSends = w
+	w.next = h.wp.freeSends
+	h.wp.freeSends = w
 }
 
 func (h *HCA) allocWireWrite() *wireRDMAWrite {
-	if w := h.freeWrites; w != nil {
-		h.freeWrites = w.next
+	if w := h.wp.freeWrites; w != nil {
+		h.wp.freeWrites = w.next
 		w.next = nil
 		return w
 	}
-	return &wireRDMAWrite{owner: h}
+	return &wireRDMAWrite{}
 }
 
-func putWireWrite(w *wireRDMAWrite) {
+func (h *HCA) putWireWrite(w *wireRDMAWrite) {
 	w.data = nil
-	w.next = w.owner.freeWrites
-	w.owner.freeWrites = w
+	w.next = h.wp.freeWrites
+	h.wp.freeWrites = w
 }
 
 func (h *HCA) allocWireReadReq() *wireRDMAReadReq {
-	if w := h.freeReadReqs; w != nil {
-		h.freeReadReqs = w.next
+	if w := h.wp.freeReadReqs; w != nil {
+		h.wp.freeReadReqs = w.next
 		w.next = nil
 		return w
 	}
-	return &wireRDMAReadReq{owner: h}
+	return &wireRDMAReadReq{}
 }
 
-func putWireReadReq(w *wireRDMAReadReq) {
-	w.next = w.owner.freeReadReqs
-	w.owner.freeReadReqs = w
+func (h *HCA) putWireReadReq(w *wireRDMAReadReq) {
+	w.next = h.wp.freeReadReqs
+	h.wp.freeReadReqs = w
 }
 
 func (h *HCA) allocWireReadResp() *wireRDMAReadResp {
-	if w := h.freeReadResps; w != nil {
-		h.freeReadResps = w.next
+	if w := h.wp.freeReadResps; w != nil {
+		h.wp.freeReadResps = w.next
 		w.next = nil
 		return w
 	}
-	return &wireRDMAReadResp{owner: h}
+	return &wireRDMAReadResp{}
 }
 
-func putWireReadResp(w *wireRDMAReadResp) {
+func (h *HCA) putWireReadResp(w *wireRDMAReadResp) {
 	w.data = nil
-	w.next = w.owner.freeReadResps
-	w.owner.freeReadResps = w
+	w.next = h.wp.freeReadResps
+	h.wp.freeReadResps = w
 }
 
 // dispatch is the adapter's inbound engine: it demultiplexes wire messages
@@ -257,24 +273,24 @@ func (h *HCA) dispatch(p *sim.Proc) {
 	}
 }
 
-// scratch is the cell-wide staging-buffer pool shared by every HCA on the
-// fabric (single-threaded under the cell's engine).
-func (h *HCA) scratch() *mem.ScratchPool { return &h.node.Network().Scratch }
+// scratch is the staging-buffer pool of this HCA's shard, shared by every
+// HCA on the shard (single-threaded under the shard's worker).
+func (h *HCA) scratch() *mem.ScratchPool { return &h.wp.scratch }
 
 // discard frees the pooled staging and wire struct of a message a down
 // adapter throws away.
 func (h *HCA) discard(m *simnet.Message) {
 	switch w := m.Payload.(type) {
 	case *wireSend:
-		putWireSend(w)
+		h.putWireSend(w)
 	case *wireRDMAWrite:
 		h.scratch().Put(w.data)
-		putWireWrite(w)
+		h.putWireWrite(w)
 	case *wireRDMAReadReq:
-		putWireReadReq(w)
+		h.putWireReadReq(w)
 	case *wireRDMAReadResp:
 		h.scratch().Put(w.data)
-		putWireReadResp(w)
+		h.putWireReadResp(w)
 	}
 }
 
@@ -292,7 +308,7 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 		if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: int64(len(w.data))}) {
 			if h.faults != nil {
 				h.scratch().Put(w.data)
-				putWireWrite(w)
+				h.putWireWrite(w)
 				return // stale write from a failed epoch; NAK and drop
 			}
 			sim.Failf("ib: %s: RDMA write outside registered region (rkey %d)", h.node.Name, w.rkey)
@@ -304,12 +320,12 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 			h.OnRDMAWriteApplied(w.raddr, int64(len(w.data)))
 		}
 		h.scratch().Put(w.data)
-		putWireWrite(w)
+		h.putWireWrite(w)
 	case *wireRDMAReadReq:
 		mr := h.lookup(w.rkey)
 		if !mr.Valid() || !mr.Covers(mem.Extent{Addr: w.raddr, Len: w.size}) {
 			if h.faults != nil {
-				putWireReadReq(w)
+				h.putWireReadReq(w)
 				return // stale read from a failed epoch; initiator times out
 			}
 			sim.Failf("ib: %s: RDMA read outside registered region (rkey %d)", h.node.Name, w.rkey)
@@ -322,10 +338,10 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 		resp := h.allocWireReadResp()
 		resp.id, resp.data = w.id, data
 		initiator := w.initiator
-		putWireReadReq(w)
+		h.putWireReadReq(w)
 		if err := h.node.Send(p, initiator, len(data)+wireHeader, resp); err != nil {
 			h.scratch().Put(data)
-			putWireReadResp(resp)
+			h.putWireReadResp(resp)
 			return // partitioned mid-read; the initiator times out
 		}
 	case *wireRDMAReadResp:
@@ -333,7 +349,7 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 		if !ok {
 			if h.faults != nil {
 				h.scratch().Put(w.data)
-				putWireReadResp(w)
+				h.putWireReadResp(w)
 				return // response for a read that already timed out
 			}
 			sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
@@ -369,7 +385,7 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 	w.dstQP, w.size, w.payload = q.remoteNum, size, payload
 	err := h.node.Send(p, q.remote, size+wireHeader, w)
 	if err != nil {
-		putWireSend(w) // dropped on the wire; never reached the peer
+		h.putWireSend(w) // dropped on the wire; never reached the peer
 		err = q.wireFault("send", err)
 		sp.EndErr(p.Now(), err)
 		return err
@@ -384,7 +400,7 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 func (q *QP) Recv(p *sim.Proc) (int, any) {
 	w := q.inbox.Recv(p).(*wireSend)
 	size, payload := w.size, w.payload
-	putWireSend(w)
+	q.hca.putWireSend(w)
 	return size, payload
 }
 
@@ -398,7 +414,7 @@ func (q *QP) RecvTimeout(p *sim.Proc, d sim.Duration) (int, any, bool) {
 	}
 	w := v.(*wireSend)
 	size, payload := w.size, w.payload
-	putWireSend(w)
+	q.hca.putWireSend(w)
 	return size, payload, true
 }
 
@@ -498,7 +514,7 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 		err := h.node.Send(p, q.remote, int(size)+wireHeader, w)
 		if err != nil {
 			h.scratch().Put(data) // dropped on the wire; never reached the peer
-			putWireWrite(w)
+			h.putWireWrite(w)
 			err = q.wireFault("rdma-write", err)
 			sp.EndErr(p.Now(), err)
 			return err
@@ -552,7 +568,7 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		err := h.node.Send(p, q.remote, wireHeader, req)
 		if err != nil {
 			delete(h.reads, id)
-			putWireReadReq(req)
+			h.putWireReadReq(req)
 			err = q.wireFault("rdma-read", err)
 			sp.EndErr(p.Now(), err)
 			return err
@@ -575,11 +591,11 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 			}
 			resp := v.(*wireRDMAReadResp)
 			data = resp.data
-			putWireReadResp(resp)
+			h.putWireReadResp(resp)
 		} else {
 			resp := mb.Recv(p).(*wireRDMAReadResp)
 			data = resp.data
-			putWireReadResp(resp)
+			h.putWireReadResp(resp)
 		}
 		h.putReadMB(mb)
 		buf := data

@@ -120,7 +120,7 @@ func (q *QP) Reset(p *sim.Proc) {
 			break
 		}
 		if w, ok := v.(*wireSend); ok {
-			putWireSend(w)
+			q.hca.putWireSend(w)
 		}
 	}
 	q.state = QPReady

@@ -27,7 +27,7 @@ type World struct {
 	ranks []*Rank
 	// acct, when set, receives the payload byte count of every
 	// point-to-point message (client-to-client accounting).
-	acct func(bytes int64)
+	acct func(rank int, bytes int64)
 }
 
 // Rank is one MPI process.
@@ -39,7 +39,7 @@ type Rank struct {
 
 // NewWorld builds a world with one rank per HCA (rank i on hcas[i]) and
 // fully connects them. acct may be nil.
-func NewWorld(eng *sim.Engine, hcas []*ib.HCA, acct func(bytes int64)) *World {
+func NewWorld(eng *sim.Engine, hcas []*ib.HCA, acct func(rank int, bytes int64)) *World {
 	w := &World{eng: eng, acct: acct}
 	n := len(hcas)
 	for i := 0; i < n; i++ {
@@ -79,7 +79,7 @@ func (r *Rank) Send(p *sim.Proc, dst int, data []byte) {
 	}
 	p.Sleep(SoftwareOverhead)
 	if r.world.acct != nil {
-		r.world.acct(int64(len(data)))
+		r.world.acct(r.id, int64(len(data)))
 	}
 	// Control QPs never see injected completion errors; a failure here
 	// would mean a partition cut client-to-client links, which mini-MPI

@@ -13,7 +13,7 @@ import (
 )
 
 // world builds an n-rank MPI world on n fresh compute nodes.
-func world(t *testing.T, n int, acct func(int64)) (*sim.Engine, *World) {
+func world(t *testing.T, n int, acct func(rank int, bytes int64)) (*sim.Engine, *World) {
 	t.Helper()
 	eng := sim.NewEngine()
 	net := simnet.New(eng, simnet.DefaultParams())
@@ -171,7 +171,7 @@ func TestAlltoallv(t *testing.T) {
 
 func TestAcctCountsClientClientBytes(t *testing.T) {
 	var total int64
-	eng, w := world(t, 2, func(n int64) { total += n })
+	eng, w := world(t, 2, func(_ int, n int64) { total += n })
 	spawn(t, eng, w, func(p *sim.Proc, r *Rank) {
 		if r.ID() == 0 {
 			r.Send(p, 1, make([]byte, 1000))

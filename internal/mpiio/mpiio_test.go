@@ -21,7 +21,7 @@ func fixture(t *testing.T, nServers, nRanks int) (*pvfs.Cluster, *mpi.World) {
 	for _, cl := range c.Clients {
 		hcas = append(hcas, cl.HCA())
 	}
-	w := mpi.NewWorld(c.Eng, hcas, func(n int64) { c.Acct.BytesClientClient += n })
+	w := mpi.NewWorld(c.Eng, hcas, func(rank int, n int64) { c.Clients[rank].Acct().BytesClientClient += n })
 	return c, w
 }
 
@@ -264,8 +264,8 @@ func TestMultipleIOIssuesOneRequestPerPiece(t *testing.T) {
 		if err := f.Write(p, MultipleIO, segs, accs); err != nil {
 			t.Fatal(err)
 		}
-		if c.Acct.WriteReqs != 10 {
-			t.Errorf("WriteReqs = %d, want 10", c.Acct.WriteReqs)
+		if c.Acct().WriteReqs != 10 {
+			t.Errorf("WriteReqs = %d, want 10", c.Acct().WriteReqs)
 		}
 	})
 }
@@ -284,8 +284,8 @@ func TestListIOBatchesRequests(t *testing.T) {
 			t.Fatal(err)
 		}
 		// 100 pieces over 2 servers fit in one request per server.
-		if c.Acct.WriteReqs > 2 {
-			t.Errorf("WriteReqs = %d, want <=2", c.Acct.WriteReqs)
+		if c.Acct().WriteReqs > 2 {
+			t.Errorf("WriteReqs = %d, want <=2", c.Acct().WriteReqs)
 		}
 	})
 }
@@ -300,8 +300,8 @@ func TestDataSievingWriteFallsBackToMultiple(t *testing.T) {
 		if err := f.Write(p, DataSieving, segs, accs); err != nil {
 			t.Fatal(err)
 		}
-		if c.Acct.WriteReqs != 5 {
-			t.Errorf("DS write sent %d requests, want 5 (multiple-I/O fallback)", c.Acct.WriteReqs)
+		if c.Acct().WriteReqs != 5 {
+			t.Errorf("DS write sent %d requests, want 5 (multiple-I/O fallback)", c.Acct().WriteReqs)
 		}
 	})
 }
@@ -316,7 +316,7 @@ func TestDataSievingReadFetchesWholeExtent(t *testing.T) {
 		if err := f.fh.Write(p, src, 64<<10, 0, pvfs.OpOptions{}); err != nil {
 			t.Fatal(err)
 		}
-		before := c.Acct.BytesClientServer
+		before := c.Acct().BytesClientServer
 		// Want 4 x 100 bytes spread over 64k.
 		dst := cl.Space().Malloc(400)
 		segs := []ib.SGE{{Addr: dst, Len: 400}}
@@ -324,7 +324,7 @@ func TestDataSievingReadFetchesWholeExtent(t *testing.T) {
 		if err := f.Read(p, DataSieving, segs, accs); err != nil {
 			t.Fatal(err)
 		}
-		moved := c.Acct.BytesClientServer - before
+		moved := c.Acct().BytesClientServer - before
 		if moved < 60000 {
 			t.Errorf("DS read moved %d bytes, want the whole ~60k extent", moved)
 		}
@@ -345,14 +345,14 @@ func TestCollectiveUsesClientClientCommAndFewRequests(t *testing.T) {
 			t.Error(err)
 		}
 	})
-	if c.Acct.BytesClientClient == 0 {
+	if c.Acct().BytesClientClient == 0 {
 		t.Error("collective write moved no client-client bytes")
 	}
 	// Each rank writes one contiguous 256k domain, which stripes over the
 	// 4 servers: at most 4 request messages per rank — far fewer than the
 	// 1024 pieces each rank holds.
-	if c.Acct.WriteReqs > 16 {
-		t.Errorf("collective write sent %d requests, want <=16", c.Acct.WriteReqs)
+	if c.Acct().WriteReqs > 16 {
+		t.Errorf("collective write sent %d requests, want <=16", c.Acct().WriteReqs)
 	}
 }
 
@@ -661,8 +661,8 @@ func TestCollectiveWindowedRounds(t *testing.T) {
 	})
 	// 16 rounds x 4 ranks x (up to 4 servers): far more write requests
 	// than the single-round case, but each bounded by the window.
-	if c.Acct.WriteReqs < 32 {
-		t.Errorf("expected many windowed write requests, got %d", c.Acct.WriteReqs)
+	if c.Acct().WriteReqs < 32 {
+		t.Errorf("expected many windowed write requests, got %d", c.Acct().WriteReqs)
 	}
 }
 

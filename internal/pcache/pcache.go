@@ -124,10 +124,11 @@ type frame struct {
 // from simulation processes; a single mutex serializes cache state across
 // the application processes and the lease-recall daemon.
 type File struct {
-	fh  *pvfs.FileHandle
-	cl  *pvfs.Client
-	clu *pvfs.Cluster
-	cfg Config
+	fh   *pvfs.FileHandle
+	cl   *pvfs.Client
+	clu  *pvfs.Cluster
+	acct *pvfs.Acct // the owning client's counter set (shard-local)
+	cfg  Config
 
 	mu        *sim.Resource
 	arena     mem.Extent
@@ -163,6 +164,7 @@ func New(fh *pvfs.FileHandle, cfg Config) *File {
 		fh:     fh,
 		cl:     cl,
 		clu:    clu,
+		acct:   cl.Acct(),
 		cfg:    cfg,
 		arena:  mem.Extent{Addr: cl.Space().Malloc(size), Len: size},
 		frames: make([]frame, cfg.Pages),
@@ -430,7 +432,7 @@ func (f *File) tryFast(p *sim.Proc, segs []ib.SGE, accs []pvfs.OffLen, write boo
 			}
 		}
 	}
-	f.clu.Acct.CacheHits++
+	f.acct.CacheHits++
 	p.Sleep(f.ibp.MemcpyTime(total))
 	sp.End(p.Now())
 	f.mu.Release()
@@ -621,8 +623,8 @@ func (f *File) fetchLocked(p *sim.Proc, misses, ra int) error {
 		fr.dirty = false
 		f.table[pno] = frames[i]
 	}
-	f.clu.Acct.CacheMisses += int64(misses)
-	f.clu.Acct.CacheReadAheads += int64(ra)
+	f.acct.CacheMisses += int64(misses)
+	f.acct.CacheReadAheads += int64(ra)
 	return nil
 }
 
@@ -706,9 +708,9 @@ func (f *File) flushLocked(p *sim.Proc) error {
 		return fmt.Errorf("pcache: flush: %w", err)
 	}
 	if len(f.pnos) > 1 {
-		f.clu.Acct.CoalescedFlushes++
+		f.acct.CoalescedFlushes++
 	}
-	f.clu.Acct.WriteBehindBytes += nbytes
+	f.acct.WriteBehindBytes += nbytes
 	for _, i := range f.pnos {
 		f.frames[i].dirty = false
 	}

@@ -107,7 +107,7 @@ func TestRoundTripAndDurability(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	a := c.Acct
+	a := c.Acct()
 	if a.CacheHits == 0 {
 		t.Errorf("no cache hits recorded")
 	}
@@ -131,20 +131,20 @@ func TestWriteBehindCoalesces(t *testing.T) {
 		cl := c.Clients[1]
 		fh := cl.Open(p, "base")
 		addr, _ := fill(cl, segLen*nSegs, 9)
-		before := c.Acct.WriteReqs
+		before := c.Acct().WriteReqs
 		for i := int64(0); i < nSegs; i++ {
 			if err := fh.Write(p, addr+mem.Addr(i*segLen), segLen, i*stride, pvfs.OpOptions{}); err != nil {
 				t.Fatal(err)
 			}
 		}
-		uncachedWrites = c.Acct.WriteReqs - before
+		uncachedWrites = c.Acct().WriteReqs - before
 
 		// Cached: same pattern through write-behind.
 		cl0 := c.Clients[0]
 		fh0 := cl0.Open(p, "wb")
 		f := New(fh0, testCfg())
 		addr0, _ := fill(cl0, segLen*nSegs, 9)
-		before = c.Acct.WriteReqs
+		before = c.Acct().WriteReqs
 		for i := int64(0); i < nSegs; i++ {
 			if err := f.Write(p, addr0+mem.Addr(i*segLen), segLen, i*stride); err != nil {
 				t.Fatal(err)
@@ -153,7 +153,7 @@ func TestWriteBehindCoalesces(t *testing.T) {
 		if err := f.Flush(p); err != nil {
 			t.Fatal(err)
 		}
-		cachedWrites = c.Acct.WriteReqs - before
+		cachedWrites = c.Acct().WriteReqs - before
 		if err := f.Close(p); err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func TestWriteBehindCoalesces(t *testing.T) {
 		t.Errorf("write-behind sent %d write requests, uncached sent %d; want at least 4x reduction",
 			cachedWrites, uncachedWrites)
 	}
-	if c.Acct.CoalescedFlushes == 0 {
+	if c.Acct().CoalescedFlushes == 0 {
 		t.Errorf("no coalesced flushes recorded")
 	}
 }
@@ -193,16 +193,16 @@ func TestReadAhead(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if c.Acct.CacheReadAheads == 0 {
+	if c.Acct().CacheReadAheads == 0 {
 		t.Errorf("stride pattern triggered no read-ahead")
 	}
 	// Prefetched pages must convert later accesses into hits: misses plus
 	// prefetches should not exceed the touched page count, and hits prove
 	// prefetched pages were consumed.
-	if c.Acct.CacheMisses+c.Acct.CacheReadAheads > int64(nPages+testCfg().ReadAhead) {
-		t.Errorf("misses=%d ra=%d exceed touched pages", c.Acct.CacheMisses, c.Acct.CacheReadAheads)
+	if c.Acct().CacheMisses+c.Acct().CacheReadAheads > int64(nPages+testCfg().ReadAhead) {
+		t.Errorf("misses=%d ra=%d exceed touched pages", c.Acct().CacheMisses, c.Acct().CacheReadAheads)
 	}
-	if c.Acct.CacheHits == 0 {
+	if c.Acct().CacheHits == 0 {
 		t.Errorf("no hits from prefetched pages")
 	}
 }
@@ -369,7 +369,7 @@ func TestWriteThroughAblation(t *testing.T) {
 			fh := cl.Open(p, name)
 			f := New(fh, cfg)
 			addr, _ := fill(cl, segLen*nSegs, 2)
-			before := c.Acct.WriteReqs
+			before := c.Acct().WriteReqs
 			for i := int64(0); i < nSegs; i++ {
 				if err := f.Write(p, addr+mem.Addr(i*segLen), segLen, i*2048); err != nil {
 					t.Fatal(err)
@@ -378,7 +378,7 @@ func TestWriteThroughAblation(t *testing.T) {
 			if err := f.Flush(p); err != nil {
 				t.Fatal(err)
 			}
-			n := c.Acct.WriteReqs - before
+			n := c.Acct().WriteReqs - before
 			if err := f.Close(p); err != nil {
 				t.Fatal(err)
 			}
@@ -442,8 +442,8 @@ func TestLeaseCoherence(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if c.Acct.LeaseRecalls < 2 {
-		t.Errorf("LeaseRecalls = %d, want >= 2", c.Acct.LeaseRecalls)
+	if c.Acct().LeaseRecalls < 2 {
+		t.Errorf("LeaseRecalls = %d, want >= 2", c.Acct().LeaseRecalls)
 	}
 	readers, writer := c.Manager.LeaseHolders(0)
 	if len(readers) != 0 || writer != -1 {
@@ -487,10 +487,10 @@ func coherenceStorm(t *testing.T, seed int64) (string, sim.Time) {
 			t.Fatal(err)
 		}
 	})
-	if c.Acct.Crashes == 0 || c.Acct.Restarts == 0 {
-		t.Fatalf("fault plan did not execute: crashes=%d restarts=%d", c.Acct.Crashes, c.Acct.Restarts)
+	if c.Acct().Crashes == 0 || c.Acct().Restarts == 0 {
+		t.Fatalf("fault plan did not execute: crashes=%d restarts=%d", c.Acct().Crashes, c.Acct().Restarts)
 	}
-	if c.Acct.LeaseRecalls == 0 {
+	if c.Acct().LeaseRecalls == 0 {
 		t.Fatal("no lease recalls under the storm")
 	}
 	return fmt.Sprintf("%+v", c.Snapshot()), c.Eng.Now()

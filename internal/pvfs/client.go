@@ -32,7 +32,15 @@ type Client struct {
 	// recallFns holds per-file lease recall callbacks (lease.go), run in
 	// registration order by the client's recall daemon.
 	recallFns map[int64][]*recallFn
+
+	// acct tallies this client's protocol counters. Only the client's own
+	// group touches it; Cluster.Acct folds the per-entity sets together.
+	acct Acct
 }
+
+// Acct exposes the client's own protocol counters; higher layers that act
+// on a client's behalf (the page cache, MPI) tally here.
+func (c *Client) Acct() *Acct { return &c.acct }
 
 // seq returns the next request sequence number.
 func (c *Client) seq() int64 {
@@ -70,7 +78,8 @@ func (c *Client) RegCache() *ib.RegCache { return c.cache }
 func (c *Client) Cluster() *Cluster { return c.cluster }
 
 func newClient(cl *Cluster, idx int) *Client {
-	node := cl.Net.AddNode(fmt.Sprintf("cn%d", idx))
+	name := fmt.Sprintf("cn%d", idx)
+	node := cl.Net.AddNodeIn(cl.Eng.AddGroup(name), name)
 	space := mem.NewAddrSpace(node.Name)
 	c := &Client{
 		cluster: cl,
@@ -116,7 +125,7 @@ func (c *Client) connect() {
 			cliAddr: fastAddr,
 			cliKey:  fastMR.Key,
 		}
-		cl.Eng.Go(fmt.Sprintf("iod[io%d<-cn%d]", s.idx, c.idx), sconn.serve)
+		cl.Eng.GoOn(s.node.Group(), fmt.Sprintf("iod[io%d<-cn%d]", s.idx, c.idx), sconn.serve)
 	}
 	cq, mq := ib.Connect(c.hca, cl.Manager.hca)
 	// Metadata is a control path: the fault plane injects no completion
@@ -124,14 +133,16 @@ func (c *Client) connect() {
 	cq.MarkControl()
 	mq.MarkControl()
 	c.mgr = &clientConn{qp: cq, mu: cl.Eng.NewResource(fmt.Sprintf("mgrconn[cn%d]", c.idx), 1)}
-	cl.Eng.Go(fmt.Sprintf("mgr[<-cn%d]", c.idx), func(p *sim.Proc) { cl.Manager.serve(p, mq) })
+	cl.Eng.GoOn(cl.Manager.node.Group(), fmt.Sprintf("mgr[<-cn%d]", c.idx),
+		func(p *sim.Proc) { cl.Manager.serve(p, mq) })
 	// Lease callback channel, manager → client: the manager pushes recalls,
 	// the client's daemon acks them. Control path like the metadata QP.
 	cbCli, cbMgr := ib.Connect(c.hca, cl.Manager.hca)
 	cbCli.MarkControl()
 	cbMgr.MarkControl()
 	cl.Manager.cbs[c.idx] = cbMgr
-	cl.Eng.Go(fmt.Sprintf("cb[cn%d]", c.idx), func(p *sim.Proc) { c.serveRecalls(p, cbCli) })
+	cl.Eng.GoOn(c.node.Group(), fmt.Sprintf("cb[cn%d]", c.idx),
+		func(p *sim.Proc) { c.serveRecalls(p, cbCli) })
 }
 
 // FileHandle is an open PVFS file.
@@ -164,7 +175,7 @@ func (c *Client) Open(p *sim.Proc, name string) *FileHandle {
 func (c *Client) OpenStriped(p *sim.Proc, name string, stripeSize int64) *FileHandle {
 	c.mgr.mu.Acquire(p)
 	defer c.mgr.mu.Release()
-	c.cluster.Acct.OpenReqs++
+	c.acct.OpenReqs++
 	resp, err := c.rpc(p, c.mgr, reqSize(0), func(seq int64) any {
 		return &reqOpen{Seq: seq, Name: name, StripeSize: stripeSize}
 	})
@@ -234,7 +245,7 @@ func (fh *FileHandle) Stat(p *sim.Proc) int64 {
 		i := i
 		conn := c.conns[i]
 		wg.Add(1)
-		c.cluster.Eng.Go(fmt.Sprintf("stat[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
+		p.Go(fmt.Sprintf("stat[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
 			defer wg.Done()
 			q.SetTraceCtx(parentCtx)
 			conn.mu.Acquire(q)
@@ -281,7 +292,7 @@ func (c *Client) Remove(p *sim.Proc, name string) {
 	for i := range c.conns {
 		conn := c.conns[i]
 		wg.Add(1)
-		c.cluster.Eng.Go(fmt.Sprintf("rm[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
+		p.Go(fmt.Sprintf("rm[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
 			defer wg.Done()
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
@@ -302,12 +313,12 @@ func (fh *FileHandle) Sync(p *sim.Proc) {
 	for i := range c.conns {
 		conn := c.conns[i]
 		wg.Add(1)
-		c.cluster.Eng.Go(fmt.Sprintf("sync[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
+		p.Go(fmt.Sprintf("sync[cn%d-io%d]", c.idx, i), func(q *sim.Proc) {
 			defer wg.Done()
 			q.SetTraceCtx(parentCtx)
 			conn.mu.Acquire(q)
 			defer conn.mu.Release()
-			c.cluster.Acct.SyncReqs++
+			c.acct.SyncReqs++
 			_, err := c.rpc(q, conn, reqSize(0), func(seq int64) any {
 				return &reqSync{Seq: seq, FileID: fh.id, Ctx: q.TraceCtx()}
 			})
@@ -406,7 +417,7 @@ func (fh *FileHandle) doListOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen,
 				// Graceful degradation: pinning pressure keeps the user
 				// buffers out of RDMA reach, but the pre-registered
 				// Fast-RDMA buffers always work — fall back to Pack/Unpack.
-				c.cluster.Acct.Fallbacks++
+				c.acct.Fallbacks++
 				c.cluster.Trace.Recordf(p.Now(), c.node.Name, "fallback-pack", total,
 					"registration failed: %v", err)
 				pack = true
@@ -420,7 +431,7 @@ func (fh *FileHandle) doListOp(p *sim.Proc, memSegs []ib.SGE, fileAccs []OffLen,
 	for _, part := range parts {
 		part := part
 		wg.Add(1)
-		c.cluster.Eng.Go(fmt.Sprintf("op[cn%d-io%d]", c.idx, part.srv), func(q *sim.Proc) {
+		p.Go(fmt.Sprintf("op[cn%d-io%d]", c.idx, part.srv), func(q *sim.Proc) {
 			defer wg.Done()
 			q.SetTraceCtx(opCtx)
 			if err := c.runPart(q, fh.id, part, pack, opts, write); err != nil && firstErr == nil {
@@ -490,14 +501,14 @@ restart:
 			if rec == nil || !recoverable(err) {
 				return err
 			}
-			c.cluster.Acct.Retries++
+			c.acct.Retries++
 			c.resetConn(p, conn)
 			c.cluster.Trace.Recordf(p.Now(), c.node.Name, "retry", ch.total,
 				"io%d attempt=%d: %v", part.srv, attempt+1, err)
 			if !pack {
 				gatherFails++
 				if gatherFails >= rec.FallbackAfter {
-					c.cluster.Acct.Fallbacks++
+					c.acct.Fallbacks++
 					c.cluster.Trace.Recordf(p.Now(), c.node.Name, "fallback-pack", ch.total,
 						"io%d gather failed %d times", part.srv, gatherFails)
 					pack = true
@@ -543,8 +554,8 @@ func (c *Client) registrar(policy RegPolicy) (ogr.Registrar, ogr.Config) {
 
 func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk, pack bool, opts OpOptions) error {
 	cl := c.cluster
-	cl.Acct.WriteReqs++
-	cl.Acct.BytesClientServer += ch.total
+	c.acct.WriteReqs++
+	c.acct.BytesClientServer += ch.total
 	cl.Trace.Recordf(p.Now(), c.node.Name, "write-req", ch.total,
 		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
 	seq := c.seq()
@@ -625,8 +636,8 @@ func (c *Client) writeChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chun
 
 func (c *Client) readChunk(p *sim.Proc, conn *clientConn, fileID int64, ch chunk, pack bool, opts OpOptions) error {
 	cl := c.cluster
-	cl.Acct.ReadReqs++
-	cl.Acct.BytesClientServer += ch.total
+	c.acct.ReadReqs++
+	c.acct.BytesClientServer += ch.total
 	cl.Trace.Recordf(p.Now(), c.node.Name, "read-req", ch.total,
 		"io%d pairs=%d pack=%v", conn.srv, len(ch.accs), pack)
 	seq := c.seq()

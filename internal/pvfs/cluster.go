@@ -45,6 +45,31 @@ type Acct struct {
 	LeaseRecalls     int64 // conflicting leases the manager recalled
 }
 
+// add accumulates o into a.
+func (a *Acct) add(o Acct) {
+	a.OpenReqs += o.OpenReqs
+	a.ReadReqs += o.ReadReqs
+	a.WriteReqs += o.WriteReqs
+	a.SyncReqs += o.SyncReqs
+	a.BytesClientServer += o.BytesClientServer
+	a.BytesClientClient += o.BytesClientClient
+	a.Retries += o.Retries
+	a.Timeouts += o.Timeouts
+	a.Fallbacks += o.Fallbacks
+	a.ServerAborts += o.ServerAborts
+	a.Crashes += o.Crashes
+	a.Restarts += o.Restarts
+	a.IodRegistrations += o.IodRegistrations
+	a.CacheHits += o.CacheHits
+	a.CacheMisses += o.CacheMisses
+	a.CacheReadAheads += o.CacheReadAheads
+	a.WriteBehindBytes += o.WriteBehindBytes
+	a.CoalescedFlushes += o.CoalescedFlushes
+	a.LeaseReqs += o.LeaseReqs
+	a.LeaseGrants += o.LeaseGrants
+	a.LeaseRecalls += o.LeaseRecalls
+}
+
 // Cluster is one simulated PVFS deployment: I/O servers (one doubling as
 // metadata manager), compute nodes running the client library, and the
 // InfiniBand fabric connecting them.
@@ -55,9 +80,6 @@ type Cluster struct {
 	Servers []*Server
 	Clients []*Client
 	Manager *Manager
-
-	// Acct holds the protocol counters.
-	Acct Acct
 
 	// Trace, when non-nil, records request lifecycles and sieve decisions
 	// (attach with EnableTracing).
@@ -73,11 +95,43 @@ type Cluster struct {
 	Faults *fault.Injector
 }
 
-// EnableTracing attaches an event recorder keeping the most recent
-// capacity events and returns it.
+// Acct sums the protocol counters across every entity — the manager, then
+// the servers, then the clients, in index order. Each entity tallies its
+// own counters (its group's shard touches only its own set), so the
+// cluster-wide view is a deterministic fold regardless of shard count.
+func (c *Cluster) Acct() Acct {
+	var a Acct
+	a.add(c.Manager.acct)
+	for _, s := range c.Servers {
+		a.add(s.acct)
+	}
+	for _, cl := range c.Clients {
+		a.add(cl.acct)
+	}
+	return a
+}
+
+// EnableTracing attaches an event recorder and returns it. The recorder
+// keeps one ring of the most recent capacity events per node, registered
+// up front so recording stays shard-local under a sharded engine and the
+// merged event order is byte-identical at any shard count.
 func (c *Cluster) EnableTracing(capacity int) *trace.Recorder {
 	c.Trace = trace.NewRecorder(capacity)
+	c.Trace.RegisterNodes(c.traceNames()...)
 	return c.Trace
+}
+
+// traceNames lists every name the layers stamp on events and spans: the
+// fabric nodes and the disks, in deterministic cluster order.
+func (c *Cluster) traceNames() []string {
+	var names []string
+	for _, s := range c.Servers {
+		names = append(names, s.node.Name, s.dsk.Name())
+	}
+	for _, cl := range c.Clients {
+		names = append(names, cl.node.Name)
+	}
+	return append(names, c.Manager.node.Name)
 }
 
 // EnableSpans attaches a span tracer to every layer of the cluster — the
@@ -88,6 +142,7 @@ func (c *Cluster) EnableTracing(capacity int) *trace.Recorder {
 // substrate, detachable with DisableSpans.
 func (c *Cluster) EnableSpans() *trace.Tracer {
 	tr := trace.NewTracer()
+	tr.RegisterNodes(c.traceNames()...)
 	c.attachTracer(tr)
 	return tr
 }
@@ -114,9 +169,16 @@ func (c *Cluster) attachTracer(tr *trace.Tracer) {
 // NewCluster builds a cluster with the given server and client counts. All
 // connections and pre-registered buffers are set up statically; setup costs
 // do not appear in virtual time.
+//
+// Every server and client gets its own engine group (the manager shares
+// server 0's), so with Cfg.Shards > 1 the engine spreads the nodes over
+// that many parallel shards — with byte-identical results at any count.
 func NewCluster(eng *sim.Engine, cfg Config, nServers, nClients int) *Cluster {
 	if nServers < 1 || nClients < 1 {
 		sim.Failf("pvfs: need at least one server and one client")
+	}
+	if cfg.Shards > 0 {
+		eng.SetShards(cfg.Shards)
 	}
 	c := &Cluster{
 		Eng: eng,
@@ -136,7 +198,8 @@ func NewCluster(eng *sim.Engine, cfg Config, nServers, nClients int) *Cluster {
 		mq.MarkControl()
 		s.mgrQP = sq
 		s.mgrMu = eng.NewResource(fmt.Sprintf("mgrconn[io%d]", s.idx), 1)
-		c.Eng.Go(fmt.Sprintf("mgr[<-io%d]", s.idx), func(p *sim.Proc) { c.Manager.serve(p, mq) })
+		c.Eng.GoOn(c.Manager.node.Group(), fmt.Sprintf("mgr[<-io%d]", s.idx),
+			func(p *sim.Proc) { c.Manager.serve(p, mq) })
 		// Daemons register at boot; boot happens statically here.
 		c.Manager.iods[s.idx] = 0
 	}
@@ -153,30 +216,31 @@ func NewCluster(eng *sim.Engine, cfg Config, nServers, nClients int) *Cluster {
 
 // Snapshot gathers the cluster-wide counters (Table 4 / Table 6 material).
 func (c *Cluster) Snapshot() stats.Snapshot {
+	a := c.Acct()
 	s := stats.Snapshot{
-		OpenReqs:          c.Acct.OpenReqs,
-		ReadReqs:          c.Acct.ReadReqs,
-		WriteReqs:         c.Acct.WriteReqs,
-		SyncReqs:          c.Acct.SyncReqs,
-		BytesClientServer: c.Acct.BytesClientServer,
-		BytesClientClient: c.Acct.BytesClientClient,
-		Retries:           c.Acct.Retries,
-		Timeouts:          c.Acct.Timeouts,
-		Fallbacks:         c.Acct.Fallbacks,
-		ServerAborts:      c.Acct.ServerAborts,
-		Crashes:           c.Acct.Crashes,
-		Restarts:          c.Acct.Restarts,
-		CacheHits:         c.Acct.CacheHits,
-		CacheMisses:       c.Acct.CacheMisses,
-		CacheReadAheads:   c.Acct.CacheReadAheads,
-		WriteBehindBytes:  c.Acct.WriteBehindBytes,
-		CoalescedFlushes:  c.Acct.CoalescedFlushes,
-		LeaseReqs:         c.Acct.LeaseReqs,
-		LeaseGrants:       c.Acct.LeaseGrants,
-		LeaseRecalls:      c.Acct.LeaseRecalls,
+		OpenReqs:          a.OpenReqs,
+		ReadReqs:          a.ReadReqs,
+		WriteReqs:         a.WriteReqs,
+		SyncReqs:          a.SyncReqs,
+		BytesClientServer: a.BytesClientServer,
+		BytesClientClient: a.BytesClientClient,
+		Retries:           a.Retries,
+		Timeouts:          a.Timeouts,
+		Fallbacks:         a.Fallbacks,
+		ServerAborts:      a.ServerAborts,
+		Crashes:           a.Crashes,
+		Restarts:          a.Restarts,
+		CacheHits:         a.CacheHits,
+		CacheMisses:       a.CacheMisses,
+		CacheReadAheads:   a.CacheReadAheads,
+		WriteBehindBytes:  a.WriteBehindBytes,
+		CoalescedFlushes:  a.CoalescedFlushes,
+		LeaseReqs:         a.LeaseReqs,
+		LeaseGrants:       a.LeaseGrants,
+		LeaseRecalls:      a.LeaseRecalls,
 	}
 	if c.Faults != nil {
-		fc := c.Faults.Counters
+		fc := c.Faults.Totals()
 		s.FaultWRErrors = fc.WRErrors
 		s.FaultDrops = fc.Drops
 		s.FaultDiskErrors = fc.DiskErrors + fc.DiskSlow

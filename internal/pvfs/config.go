@@ -133,6 +133,12 @@ type Config struct {
 	// OGR configures group registration.
 	OGR ogr.Config
 
+	// Shards, when > 1, partitions the engine into that many parallel
+	// shards before the cluster's node groups are created; results are
+	// byte-identical at any shard count. Zero leaves the engine's current
+	// shard layout (normally 1) untouched.
+	Shards int
+
 	// Faults, when non-nil, is compiled into an injector and attached to
 	// every substrate layer at cluster construction (see
 	// Cluster.AttachFaults). A nil plan costs nothing anywhere.

@@ -38,6 +38,19 @@ func (c *Cluster) AttachFaults(plan *fault.Plan) *fault.Injector {
 		}
 	}
 	inj := fault.NewInjector(*plan)
+	// Every node (and every disk) draws from its own seeded stream and
+	// tallies into its own counter set, so the fault schedule and counts
+	// are independent of cross-node event interleaving — byte-identical at
+	// any engine shard count — and every injector access is shard-local.
+	for _, s := range c.Servers {
+		inj.Register(s.node.Name)
+		inj.Register(s.dsk.Name())
+	}
+	for _, cl := range c.Clients {
+		inj.Register(cl.node.Name)
+	}
+	inj.Register(c.Manager.node.Name)
+	inj.RegisterLinks(c.Net.NumNodes())
 	c.Faults = inj
 	c.Net.SetFaults(inj)
 	for _, s := range c.Servers {
@@ -51,8 +64,15 @@ func (c *Cluster) AttachFaults(plan *fault.Plan) *fault.Injector {
 	for _, cr := range plan.Crashes {
 		cr := cr
 		srv := c.Servers[cr.Server]
-		c.Eng.Schedule(now.Add(cr.At), func() { srv.crash() })
-		c.Eng.GoAt(now.Add(cr.At+cr.Down), fmt.Sprintf("iod[restart-io%d]", cr.Server),
+		// Crash and restart land on the crashing daemon's own group: the
+		// handlers touch only that server's state, so a sharded engine can
+		// replay them without cross-shard traffic. The crash callback gets
+		// its scheduled time explicitly — an event callback must not read
+		// the engine-wide clock, which other shards may have run past.
+		at := now.Add(cr.At)
+		c.Eng.ScheduleOn(srv.node.Group(), at, func() { srv.crash(at) })
+		c.Eng.GoAtOn(srv.node.Group(), now.Add(cr.At+cr.Down),
+			fmt.Sprintf("iod[restart-io%d]", cr.Server),
 			func(p *sim.Proc) { srv.restart(p) })
 	}
 	return inj
@@ -73,12 +93,12 @@ func (c *Cluster) recovery() *Recovery {
 // table is lost. The local file system (kernel page cache included)
 // survives — this is a daemon restart, not a node power loss, so
 // acknowledged data is never lost.
-func (s *Server) crash() {
+func (s *Server) crash(at sim.Time) {
 	s.down = true
 	s.hca.SetDown(true)
 	s.files = make(map[int64]*localfs.File)
-	s.cluster.Acct.Crashes++
-	s.cluster.Trace.Recordf(s.cluster.Eng.Now(), s.node.Name, "iod-crash", 0,
+	s.acct.Crashes++
+	s.cluster.Trace.Recordf(at, s.node.Name, "iod-crash", 0,
 		"daemon down, open files dropped")
 }
 
@@ -88,7 +108,7 @@ func (s *Server) crash() {
 func (s *Server) restart(p *sim.Proc) {
 	s.down = false
 	s.hca.SetDown(false)
-	s.cluster.Acct.Restarts++
+	s.acct.Restarts++
 	s.registerWithManager(p)
 	s.cluster.Trace.Recordf(p.Now(), s.node.Name, "iod-restart", 0, "daemon up, re-registered")
 }
@@ -108,5 +128,5 @@ func (s *Server) registerWithManager(p *sim.Proc) {
 	if _, ok := resp.(*respIodRegister); !ok {
 		sim.Failf("pvfs: server %d: expected IodRegister reply, got %T", s.idx, resp)
 	}
-	s.cluster.Acct.IodRegistrations++
+	s.acct.IodRegistrations++
 }

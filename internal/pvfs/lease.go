@@ -70,7 +70,7 @@ func (m *Manager) handleLease(p *sim.Proc, qp *ib.QP, req *reqLease) {
 			ls.readers = append(ls.readers, req.Client)
 		}
 	}
-	m.cluster.Acct.LeaseGrants++
+	m.acct.LeaseGrants++
 	m.leaseMu.Release()
 	m.send(p, qp, &respLease{Seq: req.Seq})
 }
@@ -93,7 +93,7 @@ func (m *Manager) handleLeaseRelease(p *sim.Proc, qp *ib.QP, req *reqLeaseReleas
 // table afterwards. Runs on the requesting client's manager serve process,
 // so the recalled client's own serve process stays responsive throughout.
 func (m *Manager) recall(p *sim.Proc, client int, fileID int64) {
-	m.cluster.Acct.LeaseRecalls++
+	m.acct.LeaseRecalls++
 	rec := m.cluster.recovery()
 	qp := m.cbs[client]
 	for attempt := 0; ; attempt++ {
@@ -142,7 +142,7 @@ func (fh *FileHandle) AcquireLease(p *sim.Proc, write bool) error {
 	c := fh.client
 	c.mgr.mu.Acquire(p)
 	defer c.mgr.mu.Release()
-	c.cluster.Acct.LeaseReqs++
+	c.acct.LeaseReqs++
 	_, err := c.rpc(p, c.mgr, reqSize(0), func(seq int64) any {
 		return &reqLease{Seq: seq, FileID: fh.id, Client: c.idx, Write: write}
 	})

@@ -38,6 +38,9 @@ type Manager struct {
 	leaseMu   *sim.Resource
 	cbs       map[int]*ib.QP
 	recallSeq int64
+
+	// acct tallies the manager's counters (lease grants and recalls).
+	acct Acct
 }
 
 func newManager(c *Cluster) *Manager {
@@ -56,7 +59,7 @@ func newManager(c *Cluster) *Manager {
 		m.space = c.Servers[0].space
 		m.hca = c.Servers[0].hca
 	} else {
-		m.node = c.Net.AddNode("mgr")
+		m.node = c.Net.AddNodeIn(c.Eng.AddGroup("mgr"), "mgr")
 		m.space = mem.NewAddrSpace("mgr")
 		m.hca = ib.NewHCA(m.node, m.space, c.Cfg.IB)
 	}

@@ -251,7 +251,7 @@ func TestForcePackAndForceGather(t *testing.T) {
 		if n := cl.HCA().Counters.Registrations; n != 0 {
 			t.Errorf("ForcePack registered %d times", n)
 		}
-		if got := c.Acct.WriteReqs; got != 4 {
+		if got := c.Acct().WriteReqs; got != 4 {
 			t.Errorf("ForcePack of 256k sent %d requests, want 4 (64k chunks)", got)
 		}
 		// ForceGather registers even for tiny ops.
@@ -289,8 +289,8 @@ func TestChunkingCountsRequests(t *testing.T) {
 		if err := fh.WriteList(p, segs, accs, OpOptions{}); err != nil {
 			t.Fatal(err)
 		}
-		if c.Acct.WriteReqs != 3 {
-			t.Errorf("WriteReqs = %d, want 3", c.Acct.WriteReqs)
+		if c.Acct().WriteReqs != 3 {
+			t.Errorf("WriteReqs = %d, want 3", c.Acct().WriteReqs)
 		}
 	})
 }
@@ -319,8 +319,8 @@ func TestSyncFlushesToDisk(t *testing.T) {
 		if after == 0 {
 			t.Error("sync reached no disk")
 		}
-		if c.Acct.SyncReqs != 2 {
-			t.Errorf("SyncReqs = %d, want 2 (one per server)", c.Acct.SyncReqs)
+		if c.Acct().SyncReqs != 2 {
+			t.Errorf("SyncReqs = %d, want 2 (one per server)", c.Acct().SyncReqs)
 		}
 	})
 }
@@ -443,8 +443,8 @@ func TestOpenSameNameSharesFile(t *testing.T) {
 		if fh2.id == fh0.id {
 			t.Error("different names share a handle")
 		}
-		if c.Acct.OpenReqs != 3 {
-			t.Errorf("OpenReqs = %d", c.Acct.OpenReqs)
+		if c.Acct().OpenReqs != 3 {
+			t.Errorf("OpenReqs = %d", c.Acct().OpenReqs)
 		}
 	})
 }

@@ -39,7 +39,7 @@ func (c *Client) recvResp(p *sim.Proc, conn *clientConn, seq int64) (any, error)
 	for {
 		_, payload, ok := conn.qp.RecvTimeout(p, rec.Timeout)
 		if !ok {
-			c.cluster.Acct.Timeouts++
+			c.acct.Timeouts++
 			return nil, errTimeout
 		}
 		if s, ok := payload.(seqer); ok && s.seqNum() != seq {
@@ -88,7 +88,7 @@ func (c *Client) rpc(p *sim.Proc, conn *clientConn, size int, build func(seq int
 		if rec == nil || !recoverable(err) {
 			return nil, err
 		}
-		c.cluster.Acct.Retries++
+		c.acct.Retries++
 		c.resetConn(p, conn)
 		if attempt+1 >= rec.MaxRetries {
 			return nil, fmt.Errorf("pvfs: cn%d: rpc failed after %d attempts: %w", c.idx, attempt+1, err)

@@ -44,6 +44,10 @@ type Server struct {
 	// manager, used to (re)register after a restart.
 	mgrQP *ib.QP
 	mgrMu *sim.Resource
+
+	// acct tallies this daemon's protocol counters. Only the server's own
+	// group touches it; Cluster.Acct folds the per-entity sets together.
+	acct Acct
 }
 
 // Down reports whether the daemon is crashed (for tests).
@@ -62,7 +66,8 @@ func (s *Server) Disk() *disk.Disk { return s.dsk }
 func (s *Server) SieveParams() sieve.Params { return s.sieveParams }
 
 func newServer(c *Cluster, idx int) *Server {
-	node := c.Net.AddNode(fmt.Sprintf("io%d", idx))
+	name := fmt.Sprintf("io%d", idx)
+	node := c.Net.AddNodeIn(c.Eng.AddGroup(name), name)
 	space := mem.NewAddrSpace(node.Name)
 	s := &Server{
 		cluster: c,
@@ -196,7 +201,7 @@ func (sc *serverConn) send(p *sim.Proc, size int, resp any) bool {
 // client moved on); the client re-issues it.
 func (sc *serverConn) abort(p *sim.Proc, op string, seq int64, why string) {
 	s := sc.srv
-	s.cluster.Acct.ServerAborts++
+	s.acct.ServerAborts++
 	s.cluster.Trace.Recordf(p.Now(), s.node.Name, "iod-abort", 0, "%s seq=%d: %s", op, seq, why)
 }
 

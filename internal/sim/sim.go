@@ -1,11 +1,11 @@
 // Package sim implements a deterministic discrete-event simulation engine
 // with a virtual clock and goroutine-backed processes.
 //
-// The engine drives at most one process at a time, so simulation code needs
-// no locking and is fully deterministic: the interleaving of processes is a
-// function of the event timeline alone, never of the Go scheduler. Virtual
-// time advances only when the event heap says so; data manipulation within a
-// process is instantaneous in virtual time.
+// The engine drives at most one process per shard at a time, so simulation
+// code needs no locking and is fully deterministic: the interleaving of
+// processes is a function of the event timeline alone, never of the Go
+// scheduler. Virtual time advances only when the event heap says so; data
+// manipulation within a process is instantaneous in virtual time.
 //
 // A process is an ordinary function running on its own goroutine. It receives
 // a *Proc handle and uses it to interact with virtual time:
@@ -20,10 +20,30 @@
 // Synchronization primitives (Mailbox, Resource, WaitGroup, Cond) are built
 // on the park/wake mechanism and never consume virtual time by themselves.
 //
+// # Groups and shards
+//
+// Work can be partitioned into Groups — one per simulated node is the
+// intended granularity — and groups spread round-robin over shards
+// (SetShards). Each shard owns its own event heap, free list, and process
+// set and runs on its own OS thread; shards synchronize conservatively on
+// the engine's lookahead (SetLookahead): a window [T, T+lookahead) is safe
+// to execute in parallel because no cross-shard event scheduled inside the
+// window can land before its end. Cross-shard scheduling is only legal with
+// a delay of at least the lookahead (Proc.AfterCallOn); same-instant
+// interaction between groups on different shards is a model error.
+//
+// Event ordering is canonical and partition-independent: every event is
+// keyed (time, origin group, origin sequence), where the origin sequence is
+// a per-group counter stamped when the event is scheduled. The key does not
+// depend on how groups are spread over shards, so a grouped workload
+// produces byte-identical results at every shard count — including one —
+// and at every GOMAXPROCS. An engine with no declared groups runs
+// everything in the default group on one shard, which reduces to the
+// classic (time, sequence) FIFO order.
+//
 // The inner loop is allocation-free in steady state: event structs are
-// recycled through a free list, every process carries its own reusable wake
-// event (a parked process has at most one pending resume), and events due at
-// the current instant bypass the heap through a FIFO ready queue.
+// recycled through a per-shard free list and every process carries its own
+// reusable wake event (a parked process has at most one pending resume).
 package sim
 
 import (
@@ -31,6 +51,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,9 +78,13 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // event is a scheduled callback. Exactly one of fn, afn, or proc is set: fn
 // is a plain closure, afn+arg is the closure-free form (AfterCall), and proc
 // marks a process wake event living inside its Proc (never recycled here).
+// Events are ordered by the canonical key (t, gid, gseq): origin group and
+// per-group sequence, which is independent of the group-to-shard binding.
 type event struct {
 	t    Time
-	seq  uint64 // tie-break so equal-time events run FIFO
+	gid  int32  // origin group id (canonical key)
+	gseq uint64 // origin group sequence (canonical key)
+	eg   *Group // exec group: the group whose shard runs the event
 	fn   func()
 	afn  func(any)
 	arg  any
@@ -73,7 +99,10 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
-	return h[i].seq < h[j].seq
+	if h[i].gid != h[j].gid {
+		return h[i].gid < h[j].gid
+	}
+	return h[i].gseq < h[j].gseq
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
@@ -88,86 +117,186 @@ func (h *eventHeap) Pop() any {
 func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
 func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
 
-// Engine owns the virtual clock and the event queue.
-type Engine struct {
-	now    Time
-	events eventHeap
-	// ready holds events due at the current instant, in seq order. Any
-	// event created for t == now necessarily carries a larger seq than
-	// every pending event, so FIFO append preserves (t, seq) order while
-	// skipping the heap's log-n push/pop — the common case for wakes,
-	// zero-delay yields, and same-instant handoffs.
-	ready     []*event
-	readyHead int
-	seq       uint64
-	free      *event // recycled fn/afn events
-
-	yield   chan struct{} // a running proc signals here when it parks or exits
-	procs   []*Proc       // spawned and not yet finished
-	nParked int
-	live    int // processes spawned and not yet finished
-	stopped bool
-	killed  bool
-
-	panicked any // propagated from a crashed process
+// Group is one logical partition of the simulation — one simulated node's
+// worth of processes, timers, and synchronization state. Groups are the unit
+// of shard placement: all events of a group execute on the group's shard, so
+// state touched only by one group's events needs no locking at any shard
+// count. Every engine has a default group (id 0) that ungrouped work runs in.
+type Group struct {
+	eng  *Engine
+	sh   *shard
+	id   int32
+	seq  uint64 // per-group schedule counter, stamps canonical keys
+	name string
 }
 
-// NewEngine returns an engine with the clock at zero and no events.
+// Name returns the label given at AddGroup time.
+func (g *Group) Name() string { return g.name }
+
+// ShardIndex reports which shard the group's events execute on, in
+// [0, NumShards()). Layers that keep per-shard free lists (one pool per
+// worker thread, so pooling needs no locks) index them with this.
+func (g *Group) ShardIndex() int { return g.sh.idx }
+
+// Engine owns the virtual clock, the groups, and the shards.
+type Engine struct {
+	shards    []*shard
+	groups    []*Group // groups[0] is the default group
+	lookahead Duration
+	windowEnd Time // current window bound; read-only while shards run
+	now       Time // engine clock: authoritative when idle
+	running   bool
+	sharded   bool // len(shards) > 1
+	killed    bool
+	stopped   atomic.Bool
+}
+
+// NewEngine returns an engine with the clock at zero, one shard, and the
+// default group.
 func NewEngine() *Engine {
-	return &Engine{
-		yield: make(chan struct{}),
+	e := &Engine{}
+	e.shards = []*shard{newShard(e, 0)}
+	g0 := &Group{eng: e, sh: e.shards[0], id: 0, name: "default"}
+	e.groups = []*Group{g0}
+	return e
+}
+
+// SetShards grows the engine to n shards. It must be called before any
+// non-default group is added: groups are bound to shards round-robin at
+// AddGroup time. n below 1 is treated as 1; calling SetShards on a plain
+// ungrouped engine is harmless.
+func (e *Engine) SetShards(n int) {
+	if e.running {
+		Failf("sim: SetShards while running")
+	}
+	if len(e.groups) > 1 {
+		Failf("sim: SetShards must precede AddGroup")
+	}
+	if n < 1 {
+		n = 1
+	}
+	for len(e.shards) < n {
+		e.shards = append(e.shards, newShard(e, len(e.shards)))
+	}
+	e.sharded = len(e.shards) > 1
+}
+
+// NumShards reports the number of shards.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// SetLookahead declares an upper bound on the engine's conservative
+// synchronization window: no cross-shard interaction may take effect sooner
+// than d after it is scheduled. Layers that own a cross-group delay (the
+// fabric's link latency) declare theirs; the engine keeps the minimum.
+// Non-positive values are ignored.
+func (e *Engine) SetLookahead(d Duration) {
+	if d <= 0 {
+		return
+	}
+	if e.lookahead == 0 || d < e.lookahead {
+		e.lookahead = d
 	}
 }
 
-// Now returns the current virtual time.
+// Lookahead returns the declared synchronization window (zero if none).
+func (e *Engine) Lookahead() Duration { return e.lookahead }
+
+// AddGroup declares a new group, bound round-robin to one of the engine's
+// shards. Call SetShards first; adding groups while the engine runs is an
+// error.
+func (e *Engine) AddGroup(name string) *Group {
+	if e.running {
+		Failf("sim: AddGroup while running")
+	}
+	g := &Group{eng: e, id: int32(len(e.groups)), name: name}
+	g.sh = e.shards[(len(e.groups)-1)%len(e.shards)]
+	e.groups = append(e.groups, g)
+	return g
+}
+
+// DefaultGroup returns the engine's group 0, home of ungrouped work.
+func (e *Engine) DefaultGroup() *Group { return e.groups[0] }
+
+// Now returns the current virtual time. While a sharded engine is running,
+// each shard has its own clock — use Proc.Now from simulation code; Engine.Now
+// is for idle engines (between Run calls, or after Run returns).
 func (e *Engine) Now() Time { return e.now }
 
-// alloc returns a recycled event or a fresh one.
-func (e *Engine) alloc() *event {
-	if ev := e.free; ev != nil {
-		e.free = ev.next
-		ev.next = nil
-		return ev
+// scheduleEv stamps ev with origin's canonical key and routes it to exec's
+// shard. The caller must be executing on origin's shard (or the engine must
+// be idle). Cross-shard destinations get a conservative hand-off: the event
+// must land at or beyond the current window's end, which the lookahead
+// guarantees for any correctly modeled cross-group delay.
+func (e *Engine) scheduleEv(ev *event, t Time, origin, exec *Group) {
+	origin.seq++
+	ev.gid, ev.gseq, ev.eg = origin.id, origin.seq, exec
+	s := exec.sh
+	if e.running && s != origin.sh {
+		if t < e.windowEnd {
+			Failf("sim: cross-shard event for group %q at %v inside window ending %v (interaction faster than the declared lookahead)",
+				exec.name, t, e.windowEnd)
+		}
+		ev.t = t
+		s.inMu.Lock()
+		s.inbox = append(s.inbox, ev)
+		s.inMu.Unlock()
+		return
 	}
-	return &event{}
+	if t < s.now {
+		t = s.now
+	}
+	ev.t = t
+	s.events.pushEv(ev)
 }
 
-// scheduleEv stamps the event's time and sequence and enqueues it.
-func (e *Engine) scheduleEv(ev *event, t Time) {
-	if t < e.now {
-		t = e.now
+// groupless guards the engine-level scheduling APIs that carry no group
+// information: they run in the default group, which is only sound while the
+// engine is idle (setup, teardown) or running unsharded.
+func (e *Engine) groupless(what string) *Group {
+	if e.running && e.sharded {
+		Failf("sim: %s without a group on a sharded engine; use the Proc- or Group-targeted form", what)
 	}
-	e.seq++
-	ev.t, ev.seq = t, e.seq
-	if t == e.now {
-		e.ready = append(e.ready, ev)
-	} else {
-		e.events.pushEv(ev)
-	}
+	return e.groups[0]
 }
 
-// Schedule runs fn at time t (not before the current time).
+// Schedule runs fn at time t (not before the current time) in the default
+// group. On a sharded engine use ScheduleOn or Proc.After.
 func (e *Engine) Schedule(t Time, fn func()) {
-	ev := e.alloc()
+	g := e.groupless("Schedule")
+	ev := g.sh.alloc()
 	ev.fn = fn
-	e.scheduleEv(ev, t)
+	e.scheduleEv(ev, t, g, g)
 }
 
-// After runs fn d from now.
+// ScheduleOn runs fn at time t on g's shard. It is legal only while the
+// engine is idle (fault-plane setup, test orchestration): the scheduling
+// side carries no shard affinity to hand off from.
+func (e *Engine) ScheduleOn(g *Group, t Time, fn func()) {
+	if e.running {
+		Failf("sim: ScheduleOn while running; use Proc.After or Proc.AfterCallOn")
+	}
+	ev := g.sh.alloc()
+	ev.fn = fn
+	e.scheduleEv(ev, t, g, g)
+}
+
+// After runs fn d from now in the default group.
 func (e *Engine) After(d Duration, fn func()) { e.Schedule(e.now.Add(d), fn) }
 
-// AfterCall runs fn(arg) d from now. Passing a package-level function and an
-// already-live argument keeps hot paths free of per-call closure allocations;
-// it is otherwise identical to After.
+// AfterCall runs fn(arg) d from now in the default group. Passing a
+// package-level function and an already-live argument keeps hot paths free
+// of per-call closure allocations; it is otherwise identical to After.
 func (e *Engine) AfterCall(d Duration, fn func(any), arg any) {
-	ev := e.alloc()
+	g := e.groupless("AfterCall")
+	ev := g.sh.alloc()
 	ev.afn, ev.arg = fn, arg
-	e.scheduleEv(ev, e.now.Add(d))
+	e.scheduleEv(ev, e.now.Add(d), g, g)
 }
 
 // Proc is the handle a simulation process uses to interact with virtual time.
 type Proc struct {
 	eng    *Engine
+	g      *Group
 	name   string
 	resume chan struct{}
 	// wakeEv is the process's reusable wake slot: a blocked process has at
@@ -176,7 +305,7 @@ type Proc struct {
 	wakeEv   event
 	parked   bool
 	sleeping bool // parked with the wake slot already queued (Sleep)
-	idx      int  // position in eng.procs, for O(1) removal
+	idx      int  // position in its shard's proc list, for O(1) removal
 	// traceCtx is the packed trace context (request + span IDs) the
 	// process is currently working under. The engine never interprets it
 	// — it is an opaque word the trace layer threads through spawns and
@@ -194,73 +323,114 @@ func (p *Proc) SetTraceCtx(ctx uint64) { p.traceCtx = ctx }
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
+// Group returns the group this process belongs to.
+func (p *Proc) Group() *Group { return p.g }
+
 // Name returns the label given at spawn time.
 func (p *Proc) Name() string { return p.name }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the current virtual time on this process's shard.
+func (p *Proc) Now() Time { return p.g.sh.now }
 
-// Go spawns a new process that begins executing at the current virtual time.
-// The name is used in deadlock reports.
+// Go spawns a new process in the default group that begins executing at the
+// current virtual time. The name is used in deadlock reports. On a sharded
+// engine, runtime spawns must use Proc.Go (same group) or happen while the
+// engine is idle (GoOn).
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	return e.GoAt(e.now, name, fn)
+	g := e.groupless("Go")
+	return e.goAt(g, g, g.sh.now, name, fn)
 }
 
-// GoAt spawns a new process that begins executing at time t.
+// GoAt spawns a new process in the default group that begins executing at
+// time t.
 func (e *Engine) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	g := e.groupless("GoAt")
+	return e.goAt(g, g, t, name, fn)
+}
+
+// GoOn spawns a new process in group g. It is legal only while the engine is
+// idle: shard-local process lists cannot be mutated from another shard.
+// Processes spawn their own same-group children at runtime with Proc.Go.
+func (e *Engine) GoOn(g *Group, name string, fn func(p *Proc)) *Proc {
+	return e.GoAtOn(g, g.sh.now, name, fn)
+}
+
+// GoAtOn is GoOn starting at time t.
+func (e *Engine) GoAtOn(g *Group, t Time, name string, fn func(p *Proc)) *Proc {
+	if e.running {
+		Failf("sim: GoOn/GoAtOn while running; spawn same-group children with Proc.Go")
+	}
+	return e.goAt(g, g, t, name, fn)
+}
+
+// Go spawns a child process in the calling process's group, beginning at the
+// current virtual time.
+func (p *Proc) Go(name string, fn func(q *Proc)) *Proc {
+	return p.eng.goAt(p.g, p.g, p.g.sh.now, name, fn)
+}
+
+func (e *Engine) goAt(origin, g *Group, t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, g: g, name: name, resume: make(chan struct{})}
 	p.wakeEv.proc = p
-	p.idx = len(e.procs)
-	e.procs = append(e.procs, p)
-	e.live++
+	s := g.sh
+	p.idx = len(s.procs)
+	s.procs = append(s.procs, p)
+	s.live++
 	go func() {
-		<-p.resume // wait for the engine to hand us the run token
+		<-p.resume // wait for the shard to hand us the run token
 		defer func() {
 			if r := recover(); r != nil {
-				e.panicked = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				s.panicked = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
 			}
-			e.live--
-			e.unregister(p)
-			e.yield <- struct{}{}
+			s.live--
+			s.unregister(p)
+			s.yield <- struct{}{}
 		}()
 		fn(p)
 	}()
-	e.scheduleEv(&p.wakeEv, t)
+	e.scheduleEv(&p.wakeEv, t, origin, g)
 	return p
 }
 
-// unregister removes a finished process from the live list. It runs on the
-// process's goroutine while the engine is blocked on the yield handshake, so
-// the mutation is ordered before the engine resumes.
-func (e *Engine) unregister(p *Proc) {
-	last := len(e.procs) - 1
-	e.procs[p.idx] = e.procs[last]
-	e.procs[p.idx].idx = p.idx
-	e.procs[last] = nil
-	e.procs = e.procs[:last]
+// After runs fn d from now on the calling process's group — the timer lands
+// on the caller's shard, so it may consult and mutate the caller's state.
+func (p *Proc) After(d Duration, fn func()) {
+	s := p.g.sh
+	ev := s.alloc()
+	ev.fn = fn
+	p.eng.scheduleEv(ev, s.now.Add(d), p.g, p.g)
 }
 
-// transferTo hands the run token to p and waits for it to park or finish.
-func (e *Engine) transferTo(p *Proc) {
-	p.resume <- struct{}{}
-	<-e.yield
+// AfterCallOn runs fn(arg) d from now on g's shard, with the event's
+// canonical key stamped by the calling process's group. This is the
+// cross-shard hand-off primitive: when g lives on another shard, d must be
+// at least the engine's lookahead (the fabric's link latency guarantees
+// this for message delivery) and the event is passed through the target
+// shard's inbox at the next window barrier.
+func (p *Proc) AfterCallOn(g *Group, d Duration, fn func(any), arg any) {
+	s := p.g.sh
+	ev := s.alloc()
+	ev.afn, ev.arg = fn, arg
+	p.eng.scheduleEv(ev, s.now.Add(d), p.g, g)
 }
 
 // park suspends the calling process until something wakes it. It must only
 // be called from within the process's own goroutine.
 func (p *Proc) park() {
-	e := p.eng
+	s := p.g.sh
 	p.parked = true
-	e.nParked++
-	e.yield <- struct{}{}
+	s.nParked++
+	s.yield <- struct{}{}
 	<-p.resume
-	if e.killed {
-		runtime.Goexit() // deferred wrapper signals the engine
+	if p.eng.killed {
+		runtime.Goexit() // deferred wrapper signals the shard
 	}
 }
 
-// wake schedules p to resume at the current virtual time. It is an error to
-// wake a process that is not parked.
+// wake schedules p to resume at the current virtual time on its own shard.
+// It is an error to wake a process that is not parked, and a model error to
+// wake a process whose group lives on another shard — same-instant
+// cross-shard interaction violates the lookahead contract.
 func (e *Engine) wake(p *Proc) {
 	if !p.parked {
 		panic(fmt.Sprintf("sim: wake of non-parked process %q", p.name))
@@ -271,8 +441,9 @@ func (e *Engine) wake(p *Proc) {
 		panic(fmt.Sprintf("sim: wake of sleeping process %q", p.name))
 	}
 	p.parked = false
-	e.nParked--
-	e.scheduleEv(&p.wakeEv, e.now)
+	s := p.g.sh
+	s.nParked--
+	e.scheduleEv(&p.wakeEv, s.now, p.g, p.g)
 }
 
 // Sleep advances the process's virtual time by d. Negative durations are
@@ -281,20 +452,20 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	e := p.eng
+	s := p.g.sh
 	p.parked = true
 	p.sleeping = true
-	e.nParked++
-	e.scheduleEv(&p.wakeEv, e.now.Add(d))
-	e.yield <- struct{}{}
+	s.nParked++
+	p.eng.scheduleEv(&p.wakeEv, s.now.Add(d), p.g, p.g)
+	s.yield <- struct{}{}
 	<-p.resume
-	if e.killed {
+	if p.eng.killed {
 		runtime.Goexit()
 	}
 }
 
-// Yield lets any other event scheduled for the current instant run before the
-// process continues. Equivalent to Sleep(0).
+// Yield lets any other event scheduled for the current instant in this
+// process's group run before the process continues. Equivalent to Sleep(0).
 func (p *Proc) Yield() { p.Sleep(0) }
 
 // DeadlockError reports a simulation where parked processes remain but no
@@ -316,50 +487,6 @@ func (e *Engine) Run() error {
 	return e.RunUntil(Time(1<<62 - 1))
 }
 
-// next pops the earliest pending event across the ready queue and the heap.
-// The caller has checked that at least one event is pending.
-func (e *Engine) next() *event {
-	if e.readyHead < len(e.ready) {
-		r := e.ready[e.readyHead]
-		if len(e.events) > 0 {
-			if h := e.events[0]; h.t < r.t || (h.t == r.t && h.seq < r.seq) {
-				return e.events.popEv()
-			}
-		}
-		e.ready[e.readyHead] = nil
-		e.readyHead++
-		if e.readyHead == len(e.ready) {
-			e.ready = e.ready[:0]
-			e.readyHead = 0
-		}
-		return r
-	}
-	return e.events.popEv()
-}
-
-// exec runs one event. fn/afn events are recycled before their callback runs
-// so the callback's own scheduling can reuse the struct.
-func (e *Engine) exec(ev *event) {
-	if p := ev.proc; p != nil {
-		if p.parked { // a Sleep expiring (wake() already cleared the flag)
-			p.parked = false
-			p.sleeping = false
-			e.nParked--
-		}
-		e.transferTo(p)
-		return
-	}
-	fn, afn, arg := ev.fn, ev.afn, ev.arg
-	ev.fn, ev.afn, ev.arg = nil, nil, nil
-	ev.next = e.free
-	e.free = ev
-	if afn != nil {
-		afn(arg)
-		return
-	}
-	fn()
-}
-
 // RunUntil executes events with timestamps <= limit. It stops early on
 // deadlock or an empty queue.
 //
@@ -369,37 +496,134 @@ func (e *Engine) exec(ev *event) {
 //
 //pvfslint:hotpath
 func (e *Engine) RunUntil(limit Time) error {
-	for e.Pending() > 0 && !e.stopped {
-		// Ready events are always due at the current instant; only the
-		// heap can hold events beyond the limit.
-		if e.readyHead == len(e.ready) && e.events[0].t > limit {
+	e.running = true
+	defer func() { e.running = false }()
+	if !e.sharded {
+		return e.runSingle(limit)
+	}
+	return e.runSharded(limit)
+}
+
+// runSingle is the unsharded inner loop: pop the globally least event key,
+// execute, repeat. Its observable behavior is identical to the windowed
+// sharded loop because the canonical event key is partition-independent.
+func (e *Engine) runSingle(limit Time) error {
+	s := e.shards[0]
+	for len(s.events) > 0 && !e.stopped.Load() {
+		if s.events[0].t > limit {
+			s.now = limit
 			e.now = limit
 			return nil
 		}
-		ev := e.next()
+		ev := s.events.popEv()
+		s.now = ev.t
 		e.now = ev.t
-		e.exec(ev)
-		if e.panicked != nil {
-			panic(e.panicked)
+		s.exec(ev)
+		if s.panicked != nil {
+			panic(s.panicked)
 		}
 	}
-	if e.nParked > 0 {
-		names := make([]string, 0, e.nParked)
-		for _, p := range e.procs {
+	e.now = s.now
+	return e.checkDeadlock()
+}
+
+// runSharded is the conservative parallel loop: each iteration picks the
+// global minimum pending event time T, opens the window [T, T+lookahead),
+// and lets every shard drain its own sub-window events concurrently. Any
+// event a shard schedules onto another shard lands at or beyond the window
+// end (enforced in scheduleEv), so no shard can observe an effect it should
+// have seen earlier; hand-offs sit in per-shard inboxes until the barrier.
+func (e *Engine) runSharded(limit Time) error {
+	if e.lookahead <= 0 {
+		Failf("sim: sharded engine with no lookahead declared (SetLookahead)")
+	}
+	for _, s := range e.shards {
+		go s.workerLoop()
+	}
+	defer func() {
+		for _, s := range e.shards {
+			s.work <- stopWorker
+		}
+	}()
+	for {
+		pending := 0
+		tmin := Time(1<<63 - 1)
+		for _, s := range e.shards {
+			s.ingest()
+			pending += len(s.events)
+			if len(s.events) > 0 && s.events[0].t < tmin {
+				tmin = s.events[0].t
+			}
+		}
+		if pending == 0 || e.stopped.Load() {
+			break
+		}
+		if tmin > limit {
+			for _, s := range e.shards {
+				if s.now < limit {
+					s.now = limit
+				}
+			}
+			e.now = limit
+			return nil
+		}
+		we := tmin.Add(e.lookahead)
+		if we > limit+1 {
+			we = limit + 1 // events at exactly limit still run
+		}
+		e.windowEnd = we
+		for _, s := range e.shards {
+			s.work <- we
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+		for _, s := range e.shards {
+			if s.panicked != nil {
+				panic(s.panicked)
+			}
+		}
+	}
+	// Synchronize every shard's clock to the global maximum so follow-up
+	// phases (new processes spawned between Run calls) start at the same
+	// instant regardless of the shard count.
+	e.now = 0
+	for _, s := range e.shards {
+		if s.now > e.now {
+			e.now = s.now
+		}
+	}
+	for _, s := range e.shards {
+		s.now = e.now
+	}
+	return e.checkDeadlock()
+}
+
+func (e *Engine) checkDeadlock() error {
+	nParked := 0
+	for _, s := range e.shards {
+		nParked += s.nParked
+	}
+	if nParked == 0 {
+		return nil
+	}
+	names := make([]string, 0, nParked)
+	for _, s := range e.shards {
+		for _, p := range s.procs {
 			if p.parked {
 				names = append(names, p.name)
 			}
 		}
-		sort.Strings(names)
-		return &DeadlockError{Time: e.now, Parked: names}
 	}
-	return nil
+	sort.Strings(names)
+	return &DeadlockError{Time: e.now, Parked: names}
 }
 
-// Stop makes Run return after the current event completes. Parked processes
+// Stop makes Run return soon: after the current event on an unsharded
+// engine, at the current window barrier on a sharded one. Parked processes
 // are abandoned (their goroutines stay blocked until the test ends); Stop is
 // intended for benchmarks that only need the clock reading.
-func (e *Engine) Stop() { e.stopped = true }
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // Shutdown terminates every parked process so that the engine — and
 // everything its processes reference — becomes garbage-collectable.
@@ -409,24 +633,170 @@ func (e *Engine) Stop() { e.stopped = true }
 // must not be used afterwards.
 func (e *Engine) Shutdown() {
 	e.killed = true
-	procs := make([]*Proc, 0, e.nParked)
-	for _, p := range e.procs {
-		if p.parked {
-			procs = append(procs, p)
+	for _, s := range e.shards {
+		procs := make([]*Proc, 0, s.nParked)
+		for _, p := range s.procs {
+			if p.parked {
+				procs = append(procs, p)
+			}
 		}
+		for _, p := range procs {
+			p.parked = false
+			p.sleeping = false
+			s.nParked--
+			p.resume <- struct{}{} // park() sees killed and exits the goroutine
+			<-s.yield              // its deferred wrapper signals completion
+		}
+		s.events = nil
+		s.free = nil
+		s.inbox = nil
 	}
-	for _, p := range procs {
-		p.parked = false
-		p.sleeping = false
-		e.nParked--
-		p.resume <- struct{}{} // park() sees killed and exits the goroutine
-		<-e.yield              // its deferred wrapper signals completion
-	}
-	e.events = nil
-	e.ready = nil
-	e.readyHead = 0
-	e.free = nil
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) + len(e.ready) - e.readyHead }
+// Pending reports the number of queued events across all shards, including
+// undelivered cross-shard hand-offs.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += len(s.events)
+		s.inMu.Lock()
+		n += len(s.inbox)
+		s.inMu.Unlock()
+	}
+	return n
+}
+
+// shard owns one partition's event heap, free list, and processes. Exactly
+// one event of a shard executes at a time; different shards execute
+// concurrently inside a window.
+type shard struct {
+	eng      *Engine
+	idx      int
+	now      Time
+	events   eventHeap
+	free     *event        // recycled fn/afn events
+	yield    chan struct{} // a running proc signals here when it parks or exits
+	procs    []*Proc       // spawned and not yet finished
+	nParked  int
+	live     int // processes spawned and not yet finished
+	panicked any
+
+	// inbox receives cross-shard hand-off events; drained at barriers.
+	inMu  sync.Mutex
+	inbox []*event
+
+	work chan Time // window end, sent by the engine's barrier loop
+	done chan struct{}
+}
+
+func newShard(e *Engine, idx int) *shard {
+	return &shard{
+		eng:   e,
+		idx:   idx,
+		yield: make(chan struct{}),
+		work:  make(chan Time),
+		done:  make(chan struct{}),
+	}
+}
+
+// alloc returns a recycled event or a fresh one.
+func (s *shard) alloc() *event {
+	if ev := s.free; ev != nil {
+		s.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{}
+}
+
+// unregister removes a finished process from the live list. It runs on the
+// process's goroutine while the shard is blocked on the yield handshake, so
+// the mutation is ordered before the shard resumes.
+func (s *shard) unregister(p *Proc) {
+	last := len(s.procs) - 1
+	s.procs[p.idx] = s.procs[last]
+	s.procs[p.idx].idx = p.idx
+	s.procs[last] = nil
+	s.procs = s.procs[:last]
+}
+
+// exec runs one event. fn/afn events are recycled before their callback runs
+// so the callback's own scheduling can reuse the struct.
+func (s *shard) exec(ev *event) {
+	if p := ev.proc; p != nil {
+		if p.parked { // a Sleep expiring (wake() already cleared the flag)
+			p.parked = false
+			p.sleeping = false
+			s.nParked--
+		}
+		p.resume <- struct{}{}
+		<-s.yield
+		return
+	}
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	ev.fn, ev.afn, ev.arg, ev.eg = nil, nil, nil, nil
+	ev.next = s.free
+	s.free = ev
+	if afn != nil {
+		afn(arg)
+		return
+	}
+	fn()
+}
+
+// ingest moves handed-off events from the inbox into the heap. Called at
+// barriers while every shard is idle; the heap orders by the canonical key,
+// so inbox arrival order — the only scheduler-dependent order in the whole
+// engine — cannot influence execution order.
+func (s *shard) ingest() {
+	s.inMu.Lock()
+	evs := s.inbox
+	s.inbox = s.inbox[:0]
+	s.inMu.Unlock()
+	for _, ev := range evs {
+		s.events.pushEv(ev)
+	}
+	for i := range evs {
+		evs[i] = nil
+	}
+}
+
+// stopWorker on the work channel ends a shard worker's run. A stop is a
+// message, not a close, so the channel survives the run and the next
+// RunUntil on the same engine can respawn workers over it.
+const stopWorker = Time(-1)
+
+// workerLoop runs on the shard's own goroutine for the duration of one
+// sharded Run: each window it drains local events below the window end.
+func (s *shard) workerLoop() {
+	for we := range s.work {
+		if we == stopWorker {
+			return
+		}
+		s.drain(we)
+		s.done <- struct{}{}
+	}
+}
+
+// drain executes this shard's events with t < we, including events those
+// events schedule locally inside the window.
+//
+// This is the sharded twin of the engine's inner loop and a declared hot
+// path: effects reachable from here are audited in lint/hotpath.budget.json.
+//
+//pvfslint:hotpath
+func (s *shard) drain(we Time) {
+	defer func() {
+		if r := recover(); r != nil && s.panicked == nil {
+			s.panicked = r
+		}
+	}()
+	for len(s.events) > 0 && s.events[0].t < we {
+		ev := s.events.popEv()
+		s.now = ev.t
+		s.exec(ev)
+		if s.panicked != nil {
+			return
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -417,11 +418,16 @@ func TestShutdownTerminatesParkedProcs(t *testing.T) {
 	if !cleanupRan {
 		t.Error("daemon's deferred cleanup did not run on Shutdown")
 	}
-	if e.nParked != 0 {
-		t.Errorf("%d processes still parked after Shutdown", e.nParked)
+	nParked, live := 0, 0
+	for _, s := range e.shards {
+		nParked += s.nParked
+		live += s.live
 	}
-	if e.live != 0 {
-		t.Errorf("live = %d after Shutdown, want 0", e.live)
+	if nParked != 0 {
+		t.Errorf("%d processes still parked after Shutdown", nParked)
+	}
+	if live != 0 {
+		t.Errorf("live = %d after Shutdown, want 0", live)
 	}
 }
 
@@ -432,4 +438,46 @@ func TestShutdownOnIdleEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Shutdown() // nothing parked: must not hang or panic
+}
+
+// TestShardedEngineRerun: one engine, several Run phases with fresh
+// processes spawned between them. The shard workers must come back up
+// after every Run (a stop is a message on the work channel, not a close),
+// and the post-run clock sync must keep every phase byte-identical to the
+// single-shard engine.
+func TestShardedEngineRerun(t *testing.T) {
+	run := func(shards int) string {
+		e := NewEngine()
+		if shards > 1 {
+			e.SetShards(shards)
+			e.SetLookahead(6 * time.Microsecond)
+		}
+		gs := make([]*Group, 4)
+		for i := range gs {
+			gs[i] = e.AddGroup(fmt.Sprintf("g%d", i))
+		}
+		ends := make([]Time, len(gs))
+		out := ""
+		for phase := 0; phase < 3; phase++ {
+			for i, g := range gs {
+				i := i
+				d := time.Duration(i+1+phase) * 10 * time.Microsecond
+				e.GoOn(g, fmt.Sprintf("p%d-%d", phase, i), func(p *Proc) {
+					p.Sleep(d)
+					ends[i] = p.Now()
+				})
+			}
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			out += fmt.Sprintf("phase%d now=%d ends=%v\n", phase, int64(e.Now()), ends)
+		}
+		return out
+	}
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != want {
+			t.Fatalf("shards=%d diverges across reruns:\n--- got ---\n%s--- want ---\n%s", shards, got, want)
+		}
+	}
 }

@@ -109,7 +109,7 @@ func (m *Mailbox) RecvTimeout(p *Proc, d Duration) (v any, ok bool) {
 		armed := true
 		timedOut := false
 		waiter := p
-		m.eng.After(d, func() {
+		p.After(d, func() {
 			if !armed {
 				return
 			}

@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"time"
 
-	"pvfsib/internal/mem"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/trace"
 )
@@ -56,8 +55,13 @@ func (p Params) SerializationTime(size int) sim.Duration {
 type NodeID int
 
 // Message is one fabric transfer. Payload is opaque to the network.
-// Messages are pooled: the Inbox consumer hands a finished message back via
-// Network.Recycle instead of leaving it to the garbage collector.
+// Messages are pooled per shard: Send allocates from the sender's shard
+// pool and the Inbox consumer hands a finished message back via
+// Network.Recycle, which returns it to the receiver's shard pool. Each
+// pool is touched only by code running on its shard's worker thread, so
+// pooling needs no locks; at one shard there is a single pool and any
+// traffic pattern — including one-directional streams — recirculates the
+// same structs allocation-free, exactly as the pre-shard global pool did.
 type Message struct {
 	From, To NodeID
 	Size     int
@@ -77,10 +81,13 @@ type Node struct {
 	ID    NodeID
 	Name  string
 	net   *Network
+	group *sim.Group
 	tx    *sim.Resource
 	rx    *sim.Resource
 	stage *sim.Mailbox // in-flight messages, ordered by wire arrival
 	Inbox *sim.Mailbox // fully received messages, consumed by the host
+
+	shardIdx int // the group's shard; indexes the network's per-shard pools
 }
 
 // FaultPolicy is consulted once per message before transmission. It is the
@@ -97,44 +104,57 @@ type FaultPolicy interface {
 // ErrDropped is returned by Send when the fault policy partitions the link.
 var ErrDropped = errors.New("simnet: message dropped (link partitioned)")
 
+// shardPool is one shard's share of the fabric's pooled state. The aux slot
+// is opaque per-shard storage for higher layers (the ib adapter keeps its
+// wire-struct and scratch-buffer pools there) so every pool in the cell
+// follows the same discipline: owned by one worker thread, lock-free.
+type shardPool struct {
+	freeMsgs *Message
+	aux      any
+}
+
 // Network is the crossbar plus all attached nodes.
 type Network struct {
-	eng      *sim.Engine
-	params   Params
-	nodes    []*Node
-	faults   FaultPolicy
-	tracer   *trace.Tracer
-	freeMsgs *Message
-
-	// Scratch recycles staging buffers for the hosts on this fabric (the ib
-	// layer's RDMA gather and read-response copies). One pool per network
-	// keeps every buffer inside its cell, serialized by the cell's engine.
-	Scratch mem.ScratchPool
+	eng    *sim.Engine
+	params Params
+	nodes  []*Node
+	faults FaultPolicy
+	tracer *trace.Tracer
+	pools  []shardPool // indexed by shard; fixed at New
 
 	// BytesSent accumulates all payload bytes accepted for transmission,
-	// indexed by sender.
+	// indexed by sender (each slot is written only by its sender's group).
 	BytesSent []int64
 }
 
-// allocMsg returns a recycled message or a fresh one.
-func (n *Network) allocMsg() *Message {
-	if m := n.freeMsgs; m != nil {
-		n.freeMsgs = m.next
+// ShardAux returns the opaque per-shard storage slot for higher layers.
+// Callers must only touch the slot from code running on shard i.
+func (n *Network) ShardAux(i int) *any { return &n.pools[i].aux }
+
+// allocMsg returns a recycled message from the sending node's shard pool or
+// a fresh one. Send runs on the sender's shard, so the access is unlocked.
+func (node *Node) allocMsg() *Message {
+	pool := &node.net.pools[node.shardIdx]
+	if m := pool.freeMsgs; m != nil {
+		pool.freeMsgs = m.next
 		m.next = nil
 		return m
 	}
 	return &Message{}
 }
 
-// Recycle returns a delivered message to the fabric's free list. The Inbox
-// consumer calls it once the payload has been handed off; the message must
-// not be touched afterwards.
+// Recycle returns a delivered message to the receiving shard's free list.
+// The Inbox consumer calls it once the payload has been handed off; the
+// message must not be touched afterwards. The consumer runs on the
+// receiver's shard, so the pool access is unlocked; request/reply flows
+// recirculate the structs between the two shard pools.
 func (n *Network) Recycle(m *Message) {
+	pool := &n.pools[m.dst.shardIdx]
 	m.Payload = nil
 	m.dst = nil
 	m.Ctx = 0
-	m.next = n.freeMsgs
-	n.freeMsgs = m
+	m.next = pool.freeMsgs
+	pool.freeMsgs = m
 }
 
 // SetFaults attaches (or, with nil, detaches) the fault policy. With no
@@ -147,13 +167,22 @@ func (n *Network) SetFaults(f FaultPolicy) { n.faults = f }
 // nothing — the same zero-overhead contract the fault hook keeps.
 func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
 
-// New creates a fabric on the engine with the given parameters.
+// New creates a fabric on the engine with the given parameters. The path
+// latency is the minimum delay of any cross-node (and therefore any possible
+// cross-shard) interaction, so it is declared to the engine as conservative
+// lookahead for sharded execution.
 func New(eng *sim.Engine, params Params) *Network {
 	if params.Bandwidth <= 0 {
 		sim.Failf("simnet: bandwidth must be positive")
 	}
-	return &Network{eng: eng, params: params}
+	eng.SetLookahead(params.Latency)
+	return &Network{eng: eng, params: params, pools: make([]shardPool, eng.NumShards())}
 }
+
+// Lookahead returns the fabric's contribution to the engine's conservative
+// synchronization window: the one-way path latency, the soonest any message
+// can take effect on another node.
+func (n *Network) Lookahead() sim.Duration { return n.params.Latency }
 
 // Params returns the fabric parameters.
 func (n *Network) Params() Params { return n.params }
@@ -161,23 +190,40 @@ func (n *Network) Params() Params { return n.params }
 // Engine returns the simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
-// AddNode attaches a new node and starts its receive engine.
+// AddNode attaches a new node in the engine's default group and starts its
+// receive engine.
 func (n *Network) AddNode(name string) *Node {
-	id := NodeID(len(n.nodes))
+	return n.AddNodeIn(n.eng.DefaultGroup(), name)
+}
+
+// AddNodeIn attaches a new node whose receive engine — and, by the layering
+// contract, every process and timer of the host that owns the node — runs
+// in group g. Group-per-node placement is what lets a sharded engine run
+// nodes in parallel.
+func (n *Network) AddNodeIn(g *sim.Group, name string) *Node {
+	if g.ShardIndex() >= len(n.pools) {
+		sim.Failf("simnet: node %q on shard %d but the fabric was built for %d shards (call Engine.SetShards before simnet.New)",
+			name, g.ShardIndex(), len(n.pools))
+	}
 	node := &Node{
-		ID:    id,
-		Name:  name,
-		net:   n,
-		tx:    n.eng.NewResource(fmt.Sprintf("%s.tx", name), 1),
-		rx:    n.eng.NewResource(fmt.Sprintf("%s.rx", name), 1),
-		stage: n.eng.NewMailbox(fmt.Sprintf("%s.stage", name)),
-		Inbox: n.eng.NewMailbox(fmt.Sprintf("%s.inbox", name)),
+		ID:       NodeID(len(n.nodes)),
+		Name:     name,
+		net:      n,
+		group:    g,
+		shardIdx: g.ShardIndex(),
+		tx:       n.eng.NewResource(fmt.Sprintf("%s.tx", name), 1),
+		rx:       n.eng.NewResource(fmt.Sprintf("%s.rx", name), 1),
+		stage:    n.eng.NewMailbox(fmt.Sprintf("%s.stage", name)),
+		Inbox:    n.eng.NewMailbox(fmt.Sprintf("%s.inbox", name)),
 	}
 	n.nodes = append(n.nodes, node)
 	n.BytesSent = append(n.BytesSent, 0)
-	n.eng.Go(fmt.Sprintf("%s.rxengine", name), node.rxEngine)
+	n.eng.GoOn(g, fmt.Sprintf("%s.rxengine", name), node.rxEngine)
 	return node
 }
+
+// Group returns the group the node's host runs in.
+func (node *Node) Group() *sim.Group { return node.group }
 
 // Node returns the node with the given id.
 func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
@@ -245,7 +291,7 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 		}
 	}
 	n := node.net
-	m := n.allocMsg()
+	m := node.allocMsg()
 	m.From, m.To, m.Size, m.Payload = node.ID, dst, size, payload
 	m.ArriveAt = 0
 	m.Ctx = uint64(sp.Ctx())
@@ -259,7 +305,10 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	// The head of the message reaches the receiver one latency after
 	// transmission starts; receive-side serialization happens there.
 	// deliverStage is package-level so the hot path allocates no closure.
-	n.eng.AfterCall(n.params.Latency, deliverStage, m)
+	// The callback executes on the destination node's group — this is the
+	// engine's cross-shard hand-off point, and the latency charged here is
+	// exactly the lookahead that makes the hand-off conservative.
+	p.AfterCallOn(m.dst.group, n.params.Latency, deliverStage, m)
 	p.Sleep(n.params.SerializationTime(size))
 	node.tx.Release()
 	sp.End(p.Now())

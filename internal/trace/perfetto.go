@@ -20,10 +20,11 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
 	}
+	spans := t.Spans()
 	pids := map[string]int{}
 	var order []string
-	for i := range t.Spans() {
-		n := t.spans[i].Node
+	for i := range spans {
+		n := spans[i].Node
 		if _, ok := pids[n]; !ok {
 			pids[n] = len(order) + 1
 			order = append(order, n)
@@ -45,8 +46,8 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 			return err
 		}
 	}
-	for i := range t.Spans() {
-		s := &t.spans[i]
+	for i := range spans {
+		s := &spans[i]
 		dur := s.Dur()
 		if err := emit("{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"span\":%d,\"parent\":%d",
 			jsonString(s.Kind), jsonString(s.Stage.String()),

@@ -51,18 +51,25 @@ func (t *Tracer) Profile() *Profile {
 	if t == nil {
 		return p
 	}
-	spans := t.spans
+	spans := t.Spans()
 	p.Spans = int64(len(spans))
-	p.Requests = int64(t.nextReq)
+	p.Requests = int64(t.Requests())
 
 	// Self time: each span's duration minus the summed durations of its
 	// direct children, clamped at zero (children of a fan-out span may
-	// overlap each other and exceed the parent).
+	// overlap each other and exceed the parent). Parents are resolved by
+	// ID, not index: a registered tracer packs the node index into the ID.
+	byID := make(map[SpanID]int, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = i
+	}
 	childNs := make([]int64, len(spans))
 	for i := range spans {
 		s := &spans[i]
 		if s.Parent != 0 && s.Ended {
-			childNs[s.Parent-1] += s.Dur()
+			if pi, ok := byID[s.Parent]; ok {
+				childNs[pi] += s.Dur()
+			}
 		}
 	}
 	for i := range spans {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"pvfsib/internal/sim"
 )
@@ -108,17 +109,76 @@ func (s *SpanRec) Dur() int64 {
 	return int64(s.End - s.Start)
 }
 
-// Tracer owns the span table for one cluster. It is not safe for
-// concurrent use — the simulation engine runs one process at a time, so
-// append order (and therefore every derived artifact) is deterministic.
-// A nil *Tracer is valid and records nothing.
-type Tracer struct {
+// SpanID packing in registered mode: the top bits carry the node's
+// registration index, the low localBits the per-node sequence. Per-node
+// sequences are pure functions of that node's own workload, so packed IDs
+// are identical at any engine shard count.
+const (
+	localBits = 20
+	localMask = (1 << localBits) - 1
+	maxNodes  = 1 << (32 - localBits)
+)
+
+// nodeTable is one registered node's private span storage: appended to and
+// mutated only from that node's events, so a sharded engine needs no locks.
+type nodeTable struct {
+	idx     int
 	spans   []SpanRec
 	nextReq uint32
 }
 
-// NewTracer returns an empty tracer.
+// Tracer owns the span table for one cluster. A plain tracer (NewTracer)
+// keeps one table and sequential IDs — correct under a single-shard
+// engine, where the simulation runs one process at a time. RegisterNodes
+// switches it to per-node tables with packed IDs, making every operation
+// shard-local: each node's spans live in that node's table, touched only
+// by its shard, and every derived artifact (Spans order, IDs, profiles)
+// is a deterministic function of the workload alone — byte-identical at
+// any shard count. A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	spans   []SpanRec
+	nextReq uint32
+
+	tables map[string]*nodeTable // non-nil in registered mode
+	order  []*nodeTable          // registration order; index = idx
+}
+
+// NewTracer returns an empty tracer in plain (single-table) mode.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// RegisterNodes switches the tracer to per-node tables and registers the
+// given node (and device) names. Call before any span is recorded — on a
+// sharded engine every span must come from a registered name, and each
+// name's spans must be produced only by that node's own events.
+// Registering a name twice is a no-op.
+func (t *Tracer) RegisterNodes(names ...string) {
+	if len(t.spans) > 0 {
+		sim.Failf("trace: RegisterNodes after %d spans were recorded in plain mode", len(t.spans))
+	}
+	if t.tables == nil {
+		t.tables = make(map[string]*nodeTable)
+	}
+	for _, name := range names {
+		if _, ok := t.tables[name]; ok {
+			continue
+		}
+		if len(t.order) >= maxNodes {
+			sim.Failf("trace: more than %d registered nodes", maxNodes)
+		}
+		tab := &nodeTable{idx: len(t.order)}
+		t.tables[name] = tab
+		t.order = append(t.order, tab)
+	}
+}
+
+// rec resolves a span handle to its record.
+func (t *Tracer) rec(id SpanID) *SpanRec {
+	if t.tables == nil {
+		return &t.spans[id-1]
+	}
+	tab := t.order[id>>localBits]
+	return &tab.spans[(id&localMask)-1]
+}
 
 // Span is a by-value handle to one recorded span. The zero Span (and any
 // Span from a nil Tracer) is valid: every method no-ops and Ctx returns
@@ -130,14 +190,35 @@ type Span struct {
 }
 
 // NewRequest mints a fresh ReqID and opens its root span. Kind names the
-// access method or operation ("listio-write", "datasieving-read").
+// access method or operation ("listio-write", "datasieving-read"). In
+// registered mode the ReqID packs the minting node's index with its own
+// sequence, so request IDs too are independent of shard interleaving.
 func (t *Tracer) NewRequest(now sim.Time, node, kind string) Span {
 	if t == nil {
 		return Span{}
 	}
-	t.nextReq++
-	req := ReqID(t.nextReq)
+	var req ReqID
+	if t.tables != nil {
+		tab := t.lookup(node)
+		tab.nextReq++
+		if tab.nextReq > localMask {
+			sim.Failf("trace: node %q minted more than %d requests", node, localMask)
+		}
+		req = ReqID(uint32(tab.idx)<<localBits | tab.nextReq)
+	} else {
+		t.nextReq++
+		req = ReqID(t.nextReq)
+	}
 	return t.open(now, 0, req, node, kind, StageOther)
+}
+
+// lookup finds a registered node's table.
+func (t *Tracer) lookup(node string) *nodeTable {
+	tab := t.tables[node]
+	if tab == nil {
+		sim.Failf("trace: span from unregistered node %q (sharded tracer: register every node and device name up front)", node)
+	}
+	return tab
 }
 
 // Start opens a child span under ctx. When ctx is zero the span becomes
@@ -156,11 +237,25 @@ func (t *Tracer) Start(now sim.Time, ctx Ctx, node, kind string, stage Stage) Sp
 }
 
 func (t *Tracer) open(now sim.Time, parent SpanID, req ReqID, node, kind string, stage Stage) Span {
-	id := SpanID(len(t.spans) + 1)
-	t.spans = append(t.spans, SpanRec{
-		ID: id, Parent: parent, Req: req,
-		Node: node, Kind: kind, Stage: stage, Start: now,
-	})
+	var id SpanID
+	if t.tables != nil {
+		tab := t.lookup(node)
+		local := len(tab.spans) + 1
+		if local > localMask {
+			sim.Failf("trace: node %q recorded more than %d spans", node, localMask)
+		}
+		id = SpanID(uint32(tab.idx)<<localBits | uint32(local))
+		tab.spans = append(tab.spans, SpanRec{
+			ID: id, Parent: parent, Req: req,
+			Node: node, Kind: kind, Stage: stage, Start: now,
+		})
+	} else {
+		id = SpanID(len(t.spans) + 1)
+		t.spans = append(t.spans, SpanRec{
+			ID: id, Parent: parent, Req: req,
+			Node: node, Kind: kind, Stage: stage, Start: now,
+		})
+	}
 	return Span{t: t, id: id, req: req}
 }
 
@@ -173,7 +268,7 @@ func (s Span) End(now sim.Time) {
 	if s.t == nil {
 		return
 	}
-	r := &s.t.spans[s.id-1]
+	r := s.t.rec(s.id)
 	r.End = now
 	r.Ended = true
 }
@@ -186,7 +281,7 @@ func (s Span) EndErr(now sim.Time, err error) {
 	if s.t == nil {
 		return
 	}
-	r := &s.t.spans[s.id-1]
+	r := s.t.rec(s.id)
 	r.End = now
 	r.Ended = true
 	if err != nil {
@@ -201,7 +296,7 @@ func (s Span) SetBytes(n int64) {
 	if s.t == nil {
 		return
 	}
-	s.t.spans[s.id-1].Bytes = n
+	s.t.rec(s.id).Bytes = n
 }
 
 // Annotate appends a formatted "key=value" attribute to the span.
@@ -209,7 +304,7 @@ func (s Span) Annotate(format string, args ...any) {
 	if s.t == nil {
 		return
 	}
-	r := &s.t.spans[s.id-1]
+	r := s.t.rec(s.id)
 	if r.Attrs != "" {
 		r.Attrs += " "
 	}
@@ -233,13 +328,28 @@ func (s Span) Ctx() Ctx {
 // Req returns the span's request ID (zero for detached spans).
 func (s Span) Req() ReqID { return s.req }
 
-// Spans returns the recorded span table in creation order. The returned
-// slice is the tracer's own storage — callers must not mutate it.
+// Spans returns the recorded span table. In plain mode this is the
+// tracer's own storage in creation order — callers must not mutate it. In
+// registered mode it is a fresh merged copy in canonical order — sorted
+// by start time, ties broken by node registration index then per-node
+// sequence — which depends only on the workload, never on how a sharded
+// engine interleaved the nodes.
 func (t *Tracer) Spans() []SpanRec {
 	if t == nil {
 		return nil
 	}
-	return t.spans
+	if t.tables == nil {
+		return t.spans
+	}
+	out := make([]SpanRec, 0, t.Len())
+	for _, tab := range t.order {
+		out = append(out, tab.spans...)
+	}
+	// Each table is start-ordered already (a node's clock never runs
+	// backwards), and they are concatenated in registration order, so a
+	// stable sort on start time alone yields (start, node idx, sequence).
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 // Len reports the number of recorded spans.
@@ -247,7 +357,14 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.spans)
+	if t.tables == nil {
+		return len(t.spans)
+	}
+	n := 0
+	for _, tab := range t.order {
+		n += len(tab.spans)
+	}
+	return n
 }
 
 // Requests reports how many request IDs have been minted.
@@ -255,5 +372,12 @@ func (t *Tracer) Requests() int {
 	if t == nil {
 		return 0
 	}
-	return int(t.nextReq)
+	if t.tables == nil {
+		return int(t.nextReq)
+	}
+	n := 0
+	for _, tab := range t.order {
+		n += int(tab.nextReq)
+	}
+	return n
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"pvfsib/internal/sim"
 )
@@ -31,12 +32,52 @@ type Event struct {
 	Bytes int64 `json:"bytes,omitempty"`
 }
 
-// Recorder is a bounded ring buffer of events.
+// eventRing is one bounded ring of events. In a registered recorder each
+// node gets its own ring, appended to only from that node's events, so a
+// sharded engine needs no locks.
+type eventRing struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+func (g *eventRing) put(ev Event) {
+	if len(g.ring) < cap(g.ring) {
+		g.ring = append(g.ring, ev)
+		return
+	}
+	g.ring[g.next] = ev
+	g.next = (g.next + 1) % cap(g.ring)
+	g.wrapped = true
+	g.dropped++
+}
+
+// events returns the ring's retained events in recording order.
+func (g *eventRing) events() []Event {
+	if !g.wrapped {
+		return g.ring
+	}
+	out := make([]Event, 0, cap(g.ring))
+	out = append(out, g.ring[g.next:]...)
+	out = append(out, g.ring[:g.next]...)
+	return out
+}
+
+// Recorder is a bounded ring buffer of events. A plain recorder
+// (NewRecorder) keeps one ring — correct under a single-shard engine.
+// RegisterNodes switches it to one ring per node, each touched only by
+// that node's shard, with Events merged in canonical (time, node) order —
+// byte-identical at any engine shard count.
 type Recorder struct {
 	ring    []Event
 	next    int
 	wrapped bool
 	dropped int64
+
+	capacity int
+	rings    map[string]*eventRing // non-nil in registered mode
+	order    []string              // registration order, for the merge
 }
 
 // NewRecorder creates a recorder that keeps the most recent capacity events.
@@ -44,7 +85,28 @@ func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Recorder{ring: make([]Event, 0, capacity)}
+	return &Recorder{ring: make([]Event, 0, capacity), capacity: capacity}
+}
+
+// RegisterNodes switches the recorder to per-node rings (each keeping the
+// most recent capacity events for its node) and registers the given
+// names. Call before any event is recorded — on a sharded engine every
+// event must name a registered node, produced only by that node's own
+// events. Registering a name twice is a no-op.
+func (r *Recorder) RegisterNodes(names ...string) {
+	if len(r.ring) > 0 {
+		sim.Failf("trace: RegisterNodes after %d events were recorded in plain mode", len(r.ring))
+	}
+	if r.rings == nil {
+		r.rings = make(map[string]*eventRing)
+	}
+	for _, name := range names {
+		if _, ok := r.rings[name]; ok {
+			continue
+		}
+		r.rings[name] = &eventRing{ring: make([]Event, 0, r.capacity)}
+		r.order = append(r.order, name)
+	}
 }
 
 // Record appends an event; the oldest event is dropped once the buffer is
@@ -56,6 +118,14 @@ func (r *Recorder) Record(t sim.Time, node, kind, detail string, bytes int64) {
 		return
 	}
 	ev := Event{T: int64(t), Node: node, Kind: kind, Detail: detail, Bytes: bytes}
+	if r.rings != nil {
+		g := r.rings[node]
+		if g == nil {
+			sim.Failf("trace: event from unregistered node %q (sharded recorder: register every node name up front)", node)
+		}
+		g.put(ev)
+		return
+	}
 	if len(r.ring) < cap(r.ring) {
 		r.ring = append(r.ring, ev)
 		return
@@ -74,10 +144,24 @@ func (r *Recorder) Recordf(t sim.Time, node, kind string, bytes int64, format st
 	r.Record(t, node, kind, fmt.Sprintf(format, args...), bytes)
 }
 
-// Events returns the retained events in chronological order.
+// Events returns the retained events in chronological order. A registered
+// recorder merges its per-node rings canonically — time order, ties
+// broken by node registration order then recording order — which depends
+// only on the workload, never on shard interleaving.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
+	}
+	if r.rings != nil {
+		out := make([]Event, 0, r.Len())
+		for _, name := range r.order {
+			out = append(out, r.rings[name].events()...)
+		}
+		// Each ring is time-ordered (a node's clock never runs
+		// backwards), concatenated in registration order, so a stable
+		// sort on time alone yields (time, node, sequence).
+		sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+		return out
 	}
 	if !r.wrapped {
 		out := make([]Event, len(r.ring))
@@ -90,12 +174,17 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Dropped reports how many events fell off the ring.
+// Dropped reports how many events fell off the ring (summed across rings
+// for a registered recorder).
 func (r *Recorder) Dropped() int64 {
 	if r == nil {
 		return 0
 	}
-	return r.dropped
+	n := r.dropped
+	for _, name := range r.order {
+		n += r.rings[name].dropped
+	}
+	return n
 }
 
 // Len reports the number of retained events.
@@ -103,7 +192,11 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.ring)
+	n := len(r.ring)
+	for _, name := range r.order {
+		n += len(r.rings[name].ring)
+	}
+	return n
 }
 
 // WriteJSON emits the retained events as JSON Lines.

@@ -221,7 +221,7 @@ func NewCluster(opts Options) *Cluster {
 	for _, cl := range inner.Clients {
 		hcas = append(hcas, cl.HCA())
 	}
-	world := mpi.NewWorld(inner.Eng, hcas, func(n int64) { inner.Acct.BytesClientClient += n })
+	world := mpi.NewWorld(inner.Eng, hcas, func(rank int, n int64) { inner.Clients[rank].Acct().BytesClientClient += n })
 	return &Cluster{inner: inner, world: world}
 }
 
@@ -251,7 +251,7 @@ func (c *Cluster) FaultCounters() FaultCounters {
 	if c.inner.Faults == nil {
 		return FaultCounters{}
 	}
-	return c.inner.Faults.Counters
+	return c.inner.Faults.Totals()
 }
 
 // Ctx is the per-rank context handed to RunMPI bodies.
