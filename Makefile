@@ -2,7 +2,7 @@ GO ?= go
 
 BIN := bin/pvfslint
 
-.PHONY: all build test race lint lint-json lint-time lint-hotpath vet check bench-smoke bench-cache bench-scale bench-go trace-smoke fuzz clean
+.PHONY: all build test race lint lint-json lint-time lint-hotpath vet check bench-smoke bench-cache bench-scale bench-go trace-smoke metrics-smoke fuzz clean
 
 # LINT_BUDGET caps the whole analyzer suite's wall time in lint-time; the
 # interprocedural pass (callgraph + detcheck) must not silently blow up CI.
@@ -90,6 +90,15 @@ bench-cache:
 trace-smoke:
 	$(GO) run ./cmd/pvfsbench -short -trace TRACE_smoke.json
 	@echo "wrote TRACE_smoke.json and TRACE_smoke.json.breakdown.json"
+
+# metrics-smoke runs the checkpoint-burst timeline (metrics plane: sampled
+# utilization/queue series with saturation detection) on a 4-shard engine
+# and archives the table as BENCH_timeline.json. Deterministic: the series
+# are sampled on the virtual clock, so -shards changes wall clock, never a
+# byte of output.
+metrics-smoke:
+	$(GO) run ./cmd/pvfsbench -seed 1 -parallel 4 -shards 4 -format json -run timeline > BENCH_timeline.json
+	@echo "wrote BENCH_timeline.json"
 
 # bench-go runs the engine microbenchmarks (event turnover, mailbox
 # ping-pong, contended resource, one full Figure 3 cell) with allocation

@@ -63,6 +63,7 @@ var Registry = []Experiment{
 	{"scale", "Cell scaling: iods x clients x stripe with knee detection", ScalePlan},
 	{"breakdown", "Per-stage time decomposition by access method (span tracing)", BreakdownPlan},
 	{"cache", "Client page cache: write-behind and read-ahead ablation", CachePlan},
+	{"timeline", "Checkpoint-burst timeline: sampled utilization/queue series with saturation detection", TimelinePlan},
 }
 
 // Lookup finds an experiment by id.

@@ -63,18 +63,15 @@ func ScalePlan(o RunOpts) *Plan {
 		idx := 0
 		for _, st := range stripes {
 			for _, nc := range clients {
-				prev, knee := 0.0, 0
+				aggs := make([]float64, 0, len(iods))
 				for _, ns := range iods {
 					r := results[idx].(scaleResult)
 					idx++
 					t.Add(st>>10, nc, ns, r.wMBs, r.rMBs)
-					if knee == 0 && prev > 0 && r.agg() < prev*1.15 {
-						knee = ns
-					}
-					prev = r.agg()
+					aggs = append(aggs, r.agg())
 				}
-				if knee != 0 {
-					t.Note("knee s=%dk c=%d: under 15%% aggregate gain at %d iods", st>>10, nc, knee)
+				if k := kneeIndex(aggs, 1.15); k >= 0 {
+					t.Note("knee s=%dk c=%d: under 15%% aggregate gain at %d iods", st>>10, nc, iods[k])
 				} else {
 					t.Note("knee s=%dk c=%d: none up to %d iods", st>>10, nc, iods[len(iods)-1])
 				}

@@ -26,6 +26,15 @@
 //	trace export file=out.json     write a Perfetto (Chrome trace-event) file
 //	trace off                      detach the span tracer
 //
+// The metrics plane samples every layer on the virtual clock into
+// per-interval series (see internal/metrics):
+//
+//	metrics on interval=100 depth=1024   attach a registry (interval in us)
+//	metrics rate name=net.tx.bytes       print trailing per-interval values
+//	metrics dump format=prom             export (json|prom), file=PATH optional
+//	metrics top                          engine execution telemetry (shard-dependent)
+//	metrics off                          detach, restoring the no-op sinks
+//
 // The client-side page cache (write-behind, strided read-ahead, lease
 // coherence) wraps subsequent file commands once enabled:
 //
@@ -50,6 +59,7 @@ import (
 	"pvfsib/internal/fault"
 	"pvfsib/internal/ib"
 	"pvfsib/internal/mem"
+	"pvfsib/internal/metrics"
 	"pvfsib/internal/pcache"
 	"pvfsib/internal/pvfs"
 	"pvfsib/internal/sieve"
@@ -62,6 +72,7 @@ type Interp struct {
 	out     io.Writer
 	cluster *pvfs.Cluster
 	rec     *trace.Recorder
+	mx      *metrics.Registry // attached metrics plane (nil = off)
 	files   map[string]map[int]*pvfs.FileHandle // name -> client -> handle
 	bufs    map[string]mem.Addr                 // named buffers (reserved)
 	plan    *fault.Plan                         // active fault plan (nil = none)
@@ -210,6 +221,8 @@ func (in *Interp) exec(line string) error {
 		return in.cmdTrace(rest)
 	case "cache":
 		return in.cmdCache(rest)
+	case "metrics":
+		return in.cmdMetrics(rest)
 	case "echo":
 		fmt.Fprintln(in.out, strings.TrimSpace(strings.TrimPrefix(line, "echo")))
 		return nil
@@ -885,6 +898,144 @@ func (in *Interp) cmdTrace(a args) error {
 		return nil
 	default:
 		return fmt.Errorf("trace wants 'on', 'dump', 'spans', 'profile', 'export', or 'off'")
+	}
+}
+
+// cmdMetrics controls the virtual-time metrics plane: 'on' attaches a
+// registry sampling every layer on the engine clock, 'dump' exports the
+// sampled series (indented JSON or Prometheus text, to the session
+// output or a file), 'rate' prints the trailing per-interval values of
+// each series aggregated across nodes, 'top' prints the engine's
+// execution telemetry, and 'off' detaches the registry, restoring the
+// zero-cost no-op sinks. Everything except 'top' is deterministic;
+// 'top' describes the execution (per-shard event counts), which depends
+// on the shard count and must never feed a determinism-checked artifact.
+func (in *Interp) cmdMetrics(a args) error {
+	if in.cluster == nil {
+		return fmt.Errorf("no cluster")
+	}
+	switch a.name {
+	case "on":
+		us, err := a.num("interval", 50)
+		if err != nil {
+			return err
+		}
+		depth, err := a.num("depth", 2048)
+		if err != nil {
+			return err
+		}
+		if us <= 0 || depth <= 0 {
+			return fmt.Errorf("interval and depth must be positive")
+		}
+		in.mx = in.cluster.EnableMetrics(metrics.Config{
+			Interval: sim.Duration(us) * 1000,
+			Depth:    int(depth),
+		})
+		fmt.Fprintf(in.out, "metrics on: interval %dus, depth %d\n", us, depth)
+		return nil
+	case "dump":
+		if in.mx == nil {
+			return fmt.Errorf("metrics not enabled (run 'metrics on')")
+		}
+		now := in.cluster.Eng.Now()
+		write := func(w io.Writer) error {
+			switch f := a.str("format", "json"); f {
+			case "json":
+				return in.mx.WriteJSON(w, now)
+			case "prom":
+				return in.mx.WritePromText(w, now)
+			default:
+				return fmt.Errorf("unknown format %q (want json or prom)", f)
+			}
+		}
+		path := a.str("file", "")
+		if path == "" {
+			return write(in.out)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(in.out, "dumped %d series to %s\n", len(in.mx.Snapshot(now)), path)
+		return nil
+	case "rate":
+		if in.mx == nil {
+			return fmt.Errorf("metrics not enabled (run 'metrics on')")
+		}
+		last, err := a.num("last", 5)
+		if err != nil {
+			return err
+		}
+		filter := a.str("name", "")
+		// Aggregate each series name across nodes; the snapshot's windows
+		// all share the same First, so indexes align.
+		type agg struct {
+			kind  string
+			total int64
+			vals  []int64
+		}
+		byName := map[string]*agg{}
+		var names []string
+		for _, s := range in.mx.Snapshot(in.cluster.Eng.Now()) {
+			if filter != "" && s.Name != filter {
+				continue
+			}
+			g, ok := byName[s.Name]
+			if !ok {
+				g = &agg{kind: s.Kind}
+				byName[s.Name] = g
+				names = append(names, s.Name)
+			}
+			g.total += s.Total
+			for len(g.vals) < len(s.Vals) {
+				g.vals = append(g.vals, 0)
+			}
+			for i, v := range s.Vals {
+				g.vals[i] += v
+			}
+		}
+		if filter != "" && len(names) == 0 {
+			return fmt.Errorf("no series named %q", filter)
+		}
+		sort.Strings(names)
+		ivUS := int64(in.mx.Interval()) / 1000
+		for _, name := range names {
+			g := byName[name]
+			vals := g.vals
+			if int64(len(vals)) > last {
+				vals = vals[int64(len(vals))-last:]
+			}
+			fmt.Fprintf(in.out, "%-22s %-7s total=%-12d last %dx%dus: %v\n",
+				name, g.kind, g.total, len(vals), ivUS, vals)
+		}
+		return nil
+	case "top":
+		tel := in.cluster.Eng.Telemetry()
+		fmt.Fprintf(in.out, "engine: shards=%d windows=%d events=%d crossings=%d imbalance=%.2f\n",
+			len(tel.Shards), tel.Windows, tel.TotalEvents(), tel.Crossings(), tel.Imbalance())
+		for i, s := range tel.Shards {
+			fmt.Fprintf(in.out, "shard %d: events=%d ingested=%d maxwindow=%d\n",
+				i, s.Events, s.Ingested, s.MaxWindowEvents)
+		}
+		return nil
+	case "off":
+		if in.mx == nil {
+			fmt.Fprintln(in.out, "metrics already off")
+			return nil
+		}
+		in.cluster.DisableMetrics()
+		in.mx = nil
+		fmt.Fprintln(in.out, "metrics off")
+		return nil
+	default:
+		return fmt.Errorf("metrics wants 'on', 'dump', 'rate', 'top', or 'off'")
 	}
 }
 

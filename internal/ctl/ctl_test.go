@@ -2,6 +2,8 @@ package ctl
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -229,6 +231,75 @@ read data len=4096 verify=3
 `)
 	if !strings.Contains(out, "writethrough true") {
 		t.Errorf("output missing write-through banner:\n%s", out)
+	}
+}
+
+func TestScriptMetricsPlane(t *testing.T) {
+	out := run(t, `
+cluster servers=2 clients=1
+metrics on interval=100 depth=1024
+writelist data count=64 size=4096 fstride=8192 seed=5
+sync data
+metrics rate last=4
+metrics rate name=net.tx.bytes
+metrics dump format=prom
+metrics top
+metrics off
+metrics off
+`)
+	for _, want := range []string{
+		"metrics on: interval 100us, depth 1024",
+		"net.tx.bytes",
+		"disk.busy",
+		"pvfs_net_tx_bytes_total",
+		"pvfs_disk_queue{node=", // gauge exposition with node labels
+		"engine: shards=1",
+		"shard 0: events=",
+		"metrics off",
+		"metrics already off",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptMetricsDumpFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mx.json")
+	out := run(t, `
+cluster servers=2 clients=1
+metrics on
+writelist data count=16 size=512 fstride=2048
+metrics dump file=`+path+`
+`)
+	if !strings.Contains(out, "dumped ") || !strings.Contains(out, path) {
+		t.Errorf("dump-to-file banner missing:\n%s", out)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"interval_ns"`, `"series"`, `"net.tx.bytes"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("dump file missing %q:\n%s", want, b)
+		}
+	}
+}
+
+func TestScriptMetricsErrors(t *testing.T) {
+	for _, tc := range []struct{ script, want string }{
+		{"metrics on", "no cluster"},
+		{"cluster servers=2 clients=1\nmetrics dump", "not enabled"},
+		{"cluster servers=2 clients=1\nmetrics rate", "not enabled"},
+		{"cluster servers=2 clients=1\nmetrics on\nmetrics dump format=xml", "unknown format"},
+		{"cluster servers=2 clients=1\nmetrics on interval=0", "must be positive"},
+		{"cluster servers=2 clients=1\nmetrics on\nmetrics rate name=nope", "no series named"},
+		{"cluster servers=2 clients=1\nmetrics purge", "metrics wants"},
+	} {
+		err := runErr(t, tc.script)
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("script %q: err = %v, want %q", tc.script, err, tc.want)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ package disk
 import (
 	"time"
 
+	"pvfsib/internal/metrics"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
 	"pvfsib/internal/trace"
@@ -116,12 +117,29 @@ type Disk struct {
 	faults FaultInjector
 	tracer *trace.Tracer
 
+	mxBusy  metrics.Busy  // device occupancy (utilization per interval)
+	mxQueue metrics.Gauge // requests queued on (or holding) the device
+
 	// Counters accumulates this device's activity.
 	Counters Counters
 }
 
 // SetFaults attaches (or, with nil, detaches) the fault injector.
 func (d *Disk) SetFaults(f FaultInjector) { d.faults = f }
+
+// SetMetrics attaches (or, with nil, detaches) the metrics registry. The
+// disk samples under its own device name, which must already be
+// registered; the device belongs to one server's group, so its series
+// stay shard-local. Call while the engine is idle.
+func (d *Disk) SetMetrics(mx *metrics.Registry) {
+	if mx == nil {
+		d.mxBusy = metrics.Busy{}
+		d.mxQueue = metrics.Gauge{}
+		return
+	}
+	d.mxBusy = mx.Busy(d.name, "disk.busy")
+	d.mxQueue = mx.Gauge(d.name, "disk.queue")
+}
 
 // SetTracer attaches (or, with nil, detaches) the span tracer. Without
 // one, transfers record nothing and allocate nothing.
@@ -153,6 +171,7 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 		return
 	}
 	qsp := d.tracer.Start(p.Now(), trace.Ctx(p.TraceCtx()), d.name, "disk.queue", trace.StageQueue)
+	d.mxQueue.Add(p.Now(), 1)
 	d.res.Acquire(p)
 	qsp.End(p.Now())
 	kind := "disk.write"
@@ -180,8 +199,11 @@ func (d *Disk) xfer(p *sim.Proc, off, size int64, read bool) {
 		dur += d.faults.DiskFault(p.Now(), d.name, read, size)
 	}
 	d.Counters.BusyTime += dur
+	t0 := p.Now()
 	p.Sleep(dur)
 	d.head = off + size
 	d.res.Release()
+	d.mxQueue.Add(p.Now(), -1)
+	d.mxBusy.AddSpan(t0, p.Now())
 	sp.End(p.Now())
 }

@@ -61,11 +61,13 @@ func (c *RegCache) Get(p *sim.Proc, e mem.Extent) (*MR, error) {
 		ent := el.Value.(*cacheEntry)
 		if ent.mr.Covers(e) {
 			c.hca.Counters.RegCacheHits++
+			c.hca.mx.regHits.Add(p.Now(), 1)
 			c.ref(ent)
 			return ent.mr, nil
 		}
 	}
 	c.hca.Counters.RegCacheMisses++
+	c.hca.mx.regMiss.Add(p.Now(), 1)
 	// Evict until the new region fits.
 	need := e.Pages() * mem.PageSize
 	for c.bytes+need > c.maxBytes || len(c.entries) >= c.maxEntries {

@@ -89,6 +89,7 @@ func (h *HCA) Register(p *sim.Proc, e mem.Extent) (*MR, error) {
 	mr := &MR{Key: h.nextKey, Extent: e, hca: h, valid: true}
 	h.mrs[mr.Key] = mr
 	h.pinnedBytes += pages * mem.PageSize
+	h.mx.pinned.Set(p.Now(), h.pinnedBytes)
 	if sp.Recording() {
 		sp.Annotate("pages=%d", pages)
 	}
@@ -129,6 +130,7 @@ func (h *HCA) Deregister(p *sim.Proc, mr *MR) error {
 	mr.valid = false
 	delete(h.mrs, mr.Key)
 	h.pinnedBytes -= mr.Extent.Pages() * mem.PageSize
+	h.mx.pinned.Set(p.Now(), h.pinnedBytes)
 	h.Counters.Deregistrations++
 	h.Counters.DeregTime += cost
 	return nil

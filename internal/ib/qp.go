@@ -45,6 +45,7 @@ type HCA struct {
 
 	faults FaultInjector
 	tracer *trace.Tracer
+	mx     hcaMetrics
 	down   bool
 
 	// wp is this HCA's shard's pool bundle (wire structs + scratch
@@ -355,6 +356,9 @@ func (h *HCA) handleWire(p *sim.Proc, m *simnet.Message) {
 			sim.Failf("ib: %s: RDMA read response for unknown id %d", h.node.Name, w.id)
 		}
 		delete(h.reads, w.id)
+		// Dispatch runs on the initiator's own shard, so the gauge decrement
+		// stays node-local.
+		h.mx.outReads.Add(p.Now(), -1)
 		// The wire struct itself travels the last hop: a pointer crosses
 		// the mailbox without boxing, where the bare []byte would allocate
 		// an interface header per read. The initiator unwraps and recycles.
@@ -381,16 +385,19 @@ func (q *QP) Send(p *sim.Proc, size int, payload any) error {
 	sp.SetBytes(int64(size))
 	h.Counters.SendMsgs++
 	h.Counters.BytesOut += int64(size)
+	h.mx.sendQ.Add(p.Now(), 1)
 	w := h.allocWireSend()
 	w.dstQP, w.size, w.payload = q.remoteNum, size, payload
 	err := h.node.Send(p, q.remote, size+wireHeader, w)
 	if err != nil {
 		h.putWireSend(w) // dropped on the wire; never reached the peer
+		h.mx.sendQ.Add(p.Now(), -1)
 		err = q.wireFault("send", err)
 		sp.EndErr(p.Now(), err)
 		return err
 	}
 	p.Sleep(h.params.WROverhead)
+	h.mx.sendQ.Add(p.Now(), -1)
 	sp.End(p.Now())
 	return nil
 }
@@ -509,17 +516,20 @@ func (q *QP) RDMAWrite(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error 
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAWrites++
 		h.Counters.BytesOut += size
+		h.mx.sendQ.Add(p.Now(), 1)
 		w := h.allocWireWrite()
 		w.raddr, w.rkey, w.data = raddr+mem.Addr(offset), rkey, data
 		err := h.node.Send(p, q.remote, int(size)+wireHeader, w)
 		if err != nil {
 			h.scratch().Put(data) // dropped on the wire; never reached the peer
 			h.putWireWrite(w)
+			h.mx.sendQ.Add(p.Now(), -1)
 			err = q.wireFault("rdma-write", err)
 			sp.EndErr(p.Now(), err)
 			return err
 		}
 		p.Sleep(h.params.WROverhead)
+		h.mx.sendQ.Add(p.Now(), -1)
 		offset += size
 	}
 	sp.End(p.Now())
@@ -560,6 +570,7 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		id := h.nextReadID
 		mb := h.getReadMB()
 		h.reads[id] = mb
+		h.mx.outReads.Add(p.Now(), 1)
 		p.Sleep(h.sgeCost(wr))
 		h.Counters.RDMAReads++
 		req := h.allocWireReadReq()
@@ -568,6 +579,7 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 		err := h.node.Send(p, q.remote, wireHeader, req)
 		if err != nil {
 			delete(h.reads, id)
+			h.mx.outReads.Add(p.Now(), -1)
 			h.putWireReadReq(req)
 			err = q.wireFault("rdma-read", err)
 			sp.EndErr(p.Now(), err)
@@ -582,6 +594,7 @@ func (q *QP) RDMARead(p *sim.Proc, sges []SGE, raddr mem.Addr, rkey Key) error {
 				// The reads entry is gone, so a late response is discarded
 				// in dispatch and never lands in the recycled mailbox.
 				delete(h.reads, id)
+				h.mx.outReads.Add(p.Now(), -1)
 				h.putReadMB(mb)
 				q.state = QPError
 				h.Counters.WRErrors++

@@ -130,6 +130,14 @@ type File struct {
 	acct *pvfs.Acct // the owning client's counter set (shard-local)
 	cfg  Config
 
+	// mx points at the owning client's page-cache instrument handles
+	// (zero-value sinks with metrics off). The client's gauges aggregate
+	// across all its caches, so each File contributes occupancy deltas
+	// from its last sample (mxRes/mxDirty) rather than absolute values.
+	mx      *pvfs.CacheMetrics
+	mxRes   int64
+	mxDirty int64
+
 	mu        *sim.Resource
 	arena     mem.Extent
 	frames    []frame
@@ -165,6 +173,7 @@ func New(fh *pvfs.FileHandle, cfg Config) *File {
 		cl:     cl,
 		clu:    clu,
 		acct:   cl.Acct(),
+		mx:     cl.CacheMetrics(),
 		cfg:    cfg,
 		arena:  mem.Extent{Addr: cl.Space().Malloc(size), Len: size},
 		frames: make([]frame, cfg.Pages),
@@ -179,6 +188,22 @@ func New(fh *pvfs.FileHandle, cfg Config) *File {
 
 // Handle returns the underlying uncached file handle.
 func (f *File) Handle() *pvfs.FileHandle { return f.fh }
+
+// sampleMX re-samples the occupancy gauges from the table and dirty
+// count, emitting only the delta since the last sample. Call with the
+// mutex held, after any state change, before releasing it.
+//
+//pvfslint:hotpath alloc,syscall
+func (f *File) sampleMX(p *sim.Proc) {
+	if res := int64(len(f.table)); res != f.mxRes {
+		f.mx.Resident.Add(p.Now(), res-f.mxRes)
+		f.mxRes = res
+	}
+	if d := int64(f.nDirty); d != f.mxDirty {
+		f.mx.Dirty.Add(p.Now(), d-f.mxDirty)
+		f.mxDirty = d
+	}
+}
 
 // frameAddr returns the arena address of frame i.
 func (f *File) frameAddr(i int32) mem.Addr {
@@ -302,6 +327,7 @@ func (f *File) listOp(p *sim.Proc, segs []ib.SGE, accs []pvfs.OffLen, write bool
 		p.SetTraceCtx(uint64(sp.Ctx()))
 	}
 	err := f.runLocked(p, segs, accs, write, total)
+	f.sampleMX(p)
 	p.SetTraceCtx(prevCtx)
 	sp.EndErr(p.Now(), err)
 	f.mu.Release()
@@ -433,6 +459,8 @@ func (f *File) tryFast(p *sim.Proc, segs []ib.SGE, accs []pvfs.OffLen, write boo
 		}
 	}
 	f.acct.CacheHits++
+	f.mx.Hits.Add(p.Now(), 1)
+	f.sampleMX(p)
 	p.Sleep(f.ibp.MemcpyTime(total))
 	sp.End(p.Now())
 	f.mu.Release()
@@ -625,6 +653,8 @@ func (f *File) fetchLocked(p *sim.Proc, misses, ra int) error {
 	}
 	f.acct.CacheMisses += int64(misses)
 	f.acct.CacheReadAheads += int64(ra)
+	f.mx.Misses.Add(p.Now(), int64(misses))
+	f.mx.ReadAheads.Add(p.Now(), int64(ra))
 	return nil
 }
 
@@ -711,10 +741,12 @@ func (f *File) flushLocked(p *sim.Proc) error {
 		f.acct.CoalescedFlushes++
 	}
 	f.acct.WriteBehindBytes += nbytes
+	f.mx.WBBytes.Add(p.Now(), nbytes)
 	for _, i := range f.pnos {
 		f.frames[i].dirty = false
 	}
 	f.nDirty = 0
+	f.sampleMX(p)
 	return nil
 }
 
@@ -755,6 +787,7 @@ func (f *File) invalidateLocked() {
 func (f *File) onRecall(p *sim.Proc) {
 	f.mu.Acquire(p)
 	sp := f.startSpan(p, "cache.recall", trace.StageOther, 0)
+	f.mx.Recalls.Add(p.Now(), 1)
 	err := f.flushLocked(p)
 	sp.EndErr(p.Now(), err)
 	if err != nil {
@@ -765,6 +798,7 @@ func (f *File) onRecall(p *sim.Proc) {
 		sim.Failf("pcache: %s: recall flush failed: %v", f.fh.Name(), err)
 	}
 	f.invalidateLocked()
+	f.sampleMX(p)
 	f.mode = leaseNone
 	f.mu.Release()
 }
@@ -803,6 +837,7 @@ func (f *File) Invalidate(p *sim.Proc) error {
 	if err == nil {
 		f.invalidateLocked()
 	}
+	f.sampleMX(p)
 	f.mu.Release()
 	return err
 }
@@ -821,6 +856,7 @@ func (f *File) Close(p *sim.Proc) error {
 		f.invalidateLocked()
 		f.closed = true
 	}
+	f.sampleMX(p)
 	f.mu.Release()
 	if err != nil {
 		return err

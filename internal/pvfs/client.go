@@ -36,6 +36,11 @@ type Client struct {
 	// acct tallies this client's protocol counters. Only the client's own
 	// group touches it; Cluster.Acct folds the per-entity sets together.
 	acct Acct
+
+	// mx samples recovery pressure (retries, timeouts, backoff time);
+	// cacheMX holds the page cache's instrument handles (metrics.go).
+	mx      clientMetrics
+	cacheMX CacheMetrics
 }
 
 // Acct exposes the client's own protocol counters; higher layers that act
@@ -502,6 +507,7 @@ restart:
 				return err
 			}
 			c.acct.Retries++
+			c.mx.retries.Add(p.Now(), 1)
 			c.resetConn(p, conn)
 			c.cluster.Trace.Recordf(p.Now(), c.node.Name, "retry", ch.total,
 				"io%d attempt=%d: %v", part.srv, attempt+1, err)
@@ -519,7 +525,9 @@ restart:
 				return fmt.Errorf("pvfs: cn%d io%d: chunk failed after %d attempts: %w",
 					c.idx, part.srv, attempt+1, err)
 			}
+			t0 := p.Now()
 			p.Sleep(retryBackoff(rec, attempt))
+			c.mx.backoff.AddSpan(t0, p.Now())
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"pvfsib/internal/fault"
 	"pvfsib/internal/ib"
+	"pvfsib/internal/metrics"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/simnet"
 	"pvfsib/internal/stats"
@@ -93,6 +94,11 @@ type Cluster struct {
 	// Faults is the attached fault injector, nil for fault-free runs
 	// (attach with Cfg.Faults or AttachFaults).
 	Faults *fault.Injector
+
+	// Metrics, when non-nil, is the virtual-time metrics registry wired
+	// into every layer (attach with EnableMetrics). Nil keeps every
+	// sampling site a single-branch no-op.
+	Metrics *metrics.Registry
 }
 
 // Acct sums the protocol counters across every entity — the manager, then
@@ -278,6 +284,15 @@ func (c *Cluster) Snapshot() stats.Snapshot {
 		s.StageQueueNs = p.Stage[trace.StageQueue].Ns
 		s.StageSieveNs = p.Stage[trace.StageSieve].Ns
 		s.StageDiskNs = p.Stage[trace.StageDisk].Ns
+	}
+	if c.Metrics != nil {
+		now := c.Eng.Now()
+		s.MetricIntervals = c.Metrics.Intervals(now)
+		s.NetInflight = c.Metrics.Current("net.inflight")
+		s.DispatchQueue = c.Metrics.Current("srv.dispatch.queue")
+		s.IOQueue = c.Metrics.Current("srv.io.queue")
+		s.CachePages = c.Metrics.Current("pcache.resident")
+		s.CacheDirtyPages = c.Metrics.Current("pcache.dirty")
 	}
 	return s
 }

@@ -71,6 +71,7 @@ func (m *Manager) handleLease(p *sim.Proc, qp *ib.QP, req *reqLease) {
 		}
 	}
 	m.acct.LeaseGrants++
+	m.mx.leaseGrants.Add(p.Now(), 1)
 	m.leaseMu.Release()
 	m.send(p, qp, &respLease{Seq: req.Seq})
 }
@@ -94,6 +95,7 @@ func (m *Manager) handleLeaseRelease(p *sim.Proc, qp *ib.QP, req *reqLeaseReleas
 // so the recalled client's own serve process stays responsive throughout.
 func (m *Manager) recall(p *sim.Proc, client int, fileID int64) {
 	m.acct.LeaseRecalls++
+	m.mx.leaseRecalls.Add(p.Now(), 1)
 	rec := m.cluster.recovery()
 	qp := m.cbs[client]
 	for attempt := 0; ; attempt++ {

@@ -41,6 +41,9 @@ type Manager struct {
 
 	// acct tallies the manager's counters (lease grants and recalls).
 	acct Acct
+
+	// mx samples lease-coherence activity per interval (metrics.go).
+	mx managerMetrics
 }
 
 func newManager(c *Cluster) *Manager {

@@ -40,6 +40,7 @@ func (c *Client) recvResp(p *sim.Proc, conn *clientConn, seq int64) (any, error)
 		_, payload, ok := conn.qp.RecvTimeout(p, rec.Timeout)
 		if !ok {
 			c.acct.Timeouts++
+			c.mx.timeouts.Add(p.Now(), 1)
 			return nil, errTimeout
 		}
 		if s, ok := payload.(seqer); ok && s.seqNum() != seq {
@@ -89,10 +90,13 @@ func (c *Client) rpc(p *sim.Proc, conn *clientConn, size int, build func(seq int
 			return nil, err
 		}
 		c.acct.Retries++
+		c.mx.retries.Add(p.Now(), 1)
 		c.resetConn(p, conn)
 		if attempt+1 >= rec.MaxRetries {
 			return nil, fmt.Errorf("pvfs: cn%d: rpc failed after %d attempts: %w", c.idx, attempt+1, err)
 		}
+		t0 := p.Now()
 		p.Sleep(retryBackoff(rec, attempt))
+		c.mx.backoff.AddSpan(t0, p.Now())
 	}
 }

@@ -45,6 +45,13 @@ type Server struct {
 	mgrQP *ib.QP
 	mgrMu *sim.Resource
 
+	// mx samples dispatch and file-phase pressure (metrics.go); ioHeld
+	// stamps when the current holder acquired ioMu, so releaseIO can
+	// credit the held span as busy time. Safe as a single field because
+	// ioMu is held across it.
+	mx     serverMetrics
+	ioHeld sim.Time
+
 	// acct tallies this daemon's protocol counters. Only the server's own
 	// group touches it; Cluster.Acct folds the per-entity sets together.
 	acct Acct
@@ -132,16 +139,16 @@ func (sc *serverConn) serve(p *sim.Proc) {
 		case *reqWrite:
 			sp := s.startDispatch(p, req.Ctx, req.Total)
 			pending = sc.handleWrite(p, req)
-			sp.End(p.Now())
+			s.endDispatch(p, sp)
 		case *reqRead:
 			sp := s.startDispatch(p, req.Ctx, req.Total)
 			pending = sc.handleRead(p, req)
-			sp.End(p.Now())
+			s.endDispatch(p, sp)
 		case *reqSync:
 			p.SetTraceCtx(req.Ctx)
 			s.acquireIO(p)
 			s.file(p, req.FileID).Sync(p)
-			s.ioMu.Release()
+			s.releaseIO(p)
 			sc.send(p, smallReplyBytes, &respSync{Seq: req.Seq})
 		case *reqStat:
 			var size int64
@@ -155,7 +162,7 @@ func (sc *serverConn) serve(p *sim.Proc) {
 				delete(s.files, req.FileID)
 				s.fs.Remove(p, fmt.Sprintf("f%06d", req.FileID))
 			}
-			s.ioMu.Release()
+			s.releaseIO(p)
 			sc.send(p, smallReplyBytes, &respRemove{Seq: req.Seq})
 		default:
 			sim.Failf("pvfs: server %d: unexpected message %T", s.idx, payload)
@@ -172,15 +179,33 @@ func (s *Server) startDispatch(p *sim.Proc, ctx uint64, bytes int64) trace.Span 
 	sp := s.cluster.Spans.Start(p.Now(), trace.Ctx(ctx), s.node.Name, "srv.dispatch", trace.StageOther)
 	sp.SetBytes(bytes)
 	p.SetTraceCtx(uint64(sp.Ctx()))
+	s.mx.dispQ.Add(p.Now(), 1)
 	return sp
+}
+
+// endDispatch closes the dispatch span opened by startDispatch.
+func (s *Server) endDispatch(p *sim.Proc, sp trace.Span) {
+	s.mx.dispQ.Add(p.Now(), -1)
+	sp.End(p.Now())
 }
 
 // acquireIO takes the daemon's I/O mutex, accounting the wait as queue
 // time on the current request.
 func (s *Server) acquireIO(p *sim.Proc) {
 	sp := s.cluster.Spans.Start(p.Now(), trace.Ctx(p.TraceCtx()), s.node.Name, "srv.queue", trace.StageQueue)
+	s.mx.ioQ.Add(p.Now(), 1)
 	s.ioMu.Acquire(p)
+	s.ioHeld = p.Now()
 	sp.End(p.Now())
+}
+
+// releaseIO drops the daemon's I/O mutex, crediting the held time as
+// file-phase busy time.
+func (s *Server) releaseIO(p *sim.Proc) {
+	held := s.ioHeld
+	s.ioMu.Release()
+	s.mx.ioQ.Add(p.Now(), -1)
+	s.mx.ioBusy.AddSpan(held, p.Now())
 }
 
 // send replies to the client. A send can only fail under the fault plane
@@ -285,7 +310,7 @@ func (sc *serverConn) handleWrite(p *sim.Proc, req *reqWrite) (next any) {
 	}
 	s.acquireIO(p)
 	decs := sieve.Write(p, f, toSieveAccs(req.Accs), data, s.sieveParams, req.Sieve, &s.SieveStats)
-	s.ioMu.Release()
+	s.releaseIO(p)
 	s.traceDecisions(p, "write", decs)
 	if !sc.send(p, smallReplyBytes, &respWrite{Seq: req.Seq}) {
 		sc.abort(p, "write", req.Seq, "write reply lost")
@@ -298,7 +323,7 @@ func (sc *serverConn) handleRead(p *sim.Proc, req *reqRead) (next any) {
 	f := s.file(p, req.FileID)
 	s.acquireIO(p)
 	data, decs := sieve.Read(p, f, toSieveAccs(req.Accs), s.sieveParams, req.Sieve, &s.SieveStats)
-	s.ioMu.Release()
+	s.releaseIO(p)
 	s.traceDecisions(p, "read", decs)
 	if req.Stream {
 		// Stream sockets: payload rides in the reply (user-to-kernel copy).

@@ -149,6 +149,85 @@ type Engine struct {
 	sharded   bool // len(shards) > 1
 	killed    bool
 	stopped   atomic.Bool
+	windows   int64 // barrier rounds executed by runSharded
+}
+
+// ShardLoad is one shard's execution telemetry, accumulated across Run
+// calls.
+type ShardLoad struct {
+	// Events is the number of events this shard executed.
+	Events int64 `json:"events"`
+	// Ingested is the number of cross-shard hand-offs this shard received
+	// through its inbox.
+	Ingested int64 `json:"ingested"`
+	// MaxWindowEvents is the largest number of events this shard executed
+	// inside one synchronization window.
+	MaxWindowEvents int64 `json:"max_window_events"`
+}
+
+// Telemetry is the engine's execution-shape report: how much parallel
+// work each window carried and how evenly it spread over shards. It
+// describes the execution, not the simulation — totals are
+// partition-invariant but the per-shard split (and Windows) depends on
+// the shard count, so telemetry must never feed a determinism-checked
+// artifact.
+type Telemetry struct {
+	// Windows is the number of conservative synchronization rounds run by
+	// the sharded loop (zero on an unsharded engine).
+	Windows int64 `json:"windows"`
+	// Shards holds one entry per shard.
+	Shards []ShardLoad `json:"shards"`
+}
+
+// TotalEvents sums events executed across shards. Unlike the per-shard
+// split, the total is a property of the timeline alone and is identical
+// at every shard count.
+func (t Telemetry) TotalEvents() int64 {
+	var n int64
+	for _, s := range t.Shards {
+		n += s.Events
+	}
+	return n
+}
+
+// Crossings sums cross-shard inbox hand-offs (zero on one shard).
+func (t Telemetry) Crossings() int64 {
+	var n int64
+	for _, s := range t.Shards {
+		n += s.Ingested
+	}
+	return n
+}
+
+// Imbalance reports max-over-mean of per-shard executed events: 1.0 is a
+// perfect spread, k means the busiest shard carried k times its fair
+// share. Zero events reports 1.0.
+func (t Telemetry) Imbalance() float64 {
+	if len(t.Shards) == 0 {
+		return 1
+	}
+	total := t.TotalEvents()
+	if total == 0 {
+		return 1
+	}
+	var max int64
+	for _, s := range t.Shards {
+		if s.Events > max {
+			max = s.Events
+		}
+	}
+	mean := float64(total) / float64(len(t.Shards))
+	return float64(max) / mean
+}
+
+// Telemetry snapshots the engine's execution counters. Call it while the
+// engine is idle.
+func (e *Engine) Telemetry() Telemetry {
+	t := Telemetry{Windows: e.windows, Shards: make([]ShardLoad, len(e.shards))}
+	for i, s := range e.shards {
+		t.Shards[i] = ShardLoad{Events: s.nExec, Ingested: s.nIngest, MaxWindowEvents: s.maxWindow}
+	}
+	return t
 }
 
 // NewEngine returns an engine with the clock at zero, one shard, and the
@@ -518,6 +597,7 @@ func (e *Engine) runSingle(limit Time) error {
 		ev := s.events.popEv()
 		s.now = ev.t
 		e.now = ev.t
+		s.nExec++
 		s.exec(ev)
 		if s.panicked != nil {
 			panic(s.panicked)
@@ -571,6 +651,7 @@ func (e *Engine) runSharded(limit Time) error {
 		if we > limit+1 {
 			we = limit + 1 // events at exactly limit still run
 		}
+		e.windows++
 		e.windowEnd = we
 		for _, s := range e.shards {
 			s.work <- we
@@ -681,6 +762,11 @@ type shard struct {
 	live     int // processes spawned and not yet finished
 	panicked any
 
+	// Execution telemetry, surfaced by Engine.Telemetry.
+	nExec     int64 // events executed
+	nIngest   int64 // cross-shard hand-offs received
+	maxWindow int64 // most events executed in one window
+
 	// inbox receives cross-shard hand-off events; drained at barriers.
 	inMu  sync.Mutex
 	inbox []*event
@@ -753,6 +839,7 @@ func (s *shard) ingest() {
 	evs := s.inbox
 	s.inbox = s.inbox[:0]
 	s.inMu.Unlock()
+	s.nIngest += int64(len(evs))
 	for _, ev := range evs {
 		s.events.pushEv(ev)
 	}
@@ -791,12 +878,18 @@ func (s *shard) drain(we Time) {
 			s.panicked = r
 		}
 	}()
+	n := int64(0)
 	for len(s.events) > 0 && s.events[0].t < we {
 		ev := s.events.popEv()
 		s.now = ev.t
+		n++
 		s.exec(ev)
 		if s.panicked != nil {
-			return
+			break
 		}
+	}
+	s.nExec += n
+	if n > s.maxWindow {
+		s.maxWindow = n
 	}
 }

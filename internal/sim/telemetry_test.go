@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func nopAfn(any) {}
+
+// telemetryWorkload runs a fixed grouped workload (8 groups, each
+// sleeping and relaying cross-group events) and returns the engine's
+// telemetry.
+func telemetryWorkload(shards int) Telemetry {
+	eng := NewEngine()
+	eng.SetShards(shards)
+	la := 5 * time.Microsecond
+	eng.SetLookahead(la)
+	groups := make([]*Group, 8)
+	for i := range groups {
+		groups[i] = eng.AddGroup(fmt.Sprintf("g%d", i))
+	}
+	for i, g := range groups {
+		next := groups[(i+1)%len(groups)]
+		eng.GoOn(g, fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Sleep(10 * time.Microsecond)
+				p.AfterCallOn(next, la, nopAfn, nil)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return eng.Telemetry()
+}
+
+func TestTelemetryTotalsShardInvariant(t *testing.T) {
+	base := telemetryWorkload(1)
+	if base.TotalEvents() == 0 {
+		t.Fatal("no events executed")
+	}
+	if base.Windows != 0 {
+		t.Fatalf("unsharded engine reports %d windows, want 0", base.Windows)
+	}
+	if base.Crossings() != 0 {
+		t.Fatalf("unsharded engine reports %d crossings, want 0", base.Crossings())
+	}
+	if got := base.Imbalance(); got != 1 {
+		t.Fatalf("single-shard imbalance = %v, want 1", got)
+	}
+	for _, n := range []int{2, 4} {
+		tm := telemetryWorkload(n)
+		// The per-shard split depends on placement, but the total is a
+		// property of the timeline alone.
+		if tm.TotalEvents() != base.TotalEvents() {
+			t.Fatalf("shards=%d: total events %d != unsharded %d", n, tm.TotalEvents(), base.TotalEvents())
+		}
+		if tm.Windows == 0 {
+			t.Fatalf("shards=%d: no synchronization windows recorded", n)
+		}
+		if tm.Crossings() == 0 {
+			t.Fatalf("shards=%d: relay workload recorded no inbox crossings", n)
+		}
+		if len(tm.Shards) != n {
+			t.Fatalf("shards=%d: %d shard entries", n, len(tm.Shards))
+		}
+		if tm.Imbalance() < 1 {
+			t.Fatalf("shards=%d: imbalance %v < 1", n, tm.Imbalance())
+		}
+		var maxWin int64
+		for _, s := range tm.Shards {
+			if s.MaxWindowEvents > maxWin {
+				maxWin = s.MaxWindowEvents
+			}
+		}
+		if maxWin == 0 {
+			t.Fatalf("shards=%d: max window events is zero", n)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"pvfsib/internal/metrics"
 	"pvfsib/internal/sim"
 	"pvfsib/internal/trace"
 )
@@ -88,6 +89,36 @@ type Node struct {
 	Inbox *sim.Mailbox // fully received messages, consumed by the host
 
 	shardIdx int // the group's shard; indexes the network's per-shard pools
+
+	mx nodeMetrics // zero-value sinks unless SetMetrics attached a registry
+}
+
+// nodeMetrics is one port's instrument set. Every handle is a value whose
+// zero state is a no-op sink, so the fabric's hot paths sample
+// unconditionally. All series belong to the node's own name and are only
+// touched by the node's events: tx-side samples run on the sender's
+// shard, and the staged-message gauge is split so the increment
+// (deliverStage) and decrement (rxEngine) both execute on the receiver.
+type nodeMetrics struct {
+	txBytes metrics.Counter // payload bytes accepted for transmission
+	txBusy  metrics.Busy    // transmit engine occupancy
+	rxBusy  metrics.Busy    // receive engine occupancy
+	txQueue metrics.Gauge   // senders queued on (or holding) the transmit engine
+	staged  metrics.Gauge   // messages staged toward this receiver, not yet received
+}
+
+func (node *Node) attachMetrics(mx *metrics.Registry) {
+	if mx == nil {
+		node.mx = nodeMetrics{}
+		return
+	}
+	node.mx = nodeMetrics{
+		txBytes: mx.Counter(node.Name, "net.tx.bytes"),
+		txBusy:  mx.Busy(node.Name, "net.tx.busy"),
+		rxBusy:  mx.Busy(node.Name, "net.rx.busy"),
+		txQueue: mx.Gauge(node.Name, "net.tx.queue"),
+		staged:  mx.Gauge(node.Name, "net.inflight"),
+	}
 }
 
 // FaultPolicy is consulted once per message before transmission. It is the
@@ -120,6 +151,7 @@ type Network struct {
 	nodes  []*Node
 	faults FaultPolicy
 	tracer *trace.Tracer
+	mx     *metrics.Registry
 	pools  []shardPool // indexed by shard; fixed at New
 
 	// BytesSent accumulates all payload bytes accepted for transmission,
@@ -166,6 +198,18 @@ func (n *Network) SetFaults(f FaultPolicy) { n.faults = f }
 // tracer Send and the receive engines record nothing and allocate
 // nothing — the same zero-overhead contract the fault hook keeps.
 func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
+
+// SetMetrics attaches (or, with nil, detaches) the metrics registry:
+// every node gets per-port byte counters, tx/rx busy series, and
+// queue-depth gauges. Each node's name must already be registered. With
+// no registry the handles are zero-value sinks — sampling costs one nil
+// check. Call while the engine is idle.
+func (n *Network) SetMetrics(mx *metrics.Registry) {
+	n.mx = mx
+	for _, node := range n.nodes {
+		node.attachMetrics(mx)
+	}
+}
 
 // New creates a fabric on the engine with the given parameters. The path
 // latency is the minimum delay of any cross-node (and therefore any possible
@@ -218,6 +262,9 @@ func (n *Network) AddNodeIn(g *sim.Group, name string) *Node {
 	}
 	n.nodes = append(n.nodes, node)
 	n.BytesSent = append(n.BytesSent, 0)
+	if n.mx != nil {
+		node.attachMetrics(n.mx)
+	}
 	n.eng.GoOn(g, fmt.Sprintf("%s.rxengine", name), node.rxEngine)
 	return node
 }
@@ -245,12 +292,15 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 func (node *Node) rxEngine(p *sim.Proc) {
 	for {
 		m := node.stage.Recv(p).(*Message)
+		node.mx.staged.Add(p.Now(), -1)
 		sp := node.net.tracer.Start(p.Now(), trace.Ctx(m.Ctx), node.Name, "net.rx", trace.StageWire)
 		sp.SetBytes(int64(m.Size))
 		node.rx.Acquire(p)
+		rx0 := p.Now()
 		p.Sleep(node.net.params.SerializationTime(m.Size))
 		node.rx.Release()
 		m.ArriveAt = p.Now()
+		node.mx.rxBusy.AddSpan(rx0, m.ArriveAt)
 		sp.End(p.Now())
 		node.Inbox.Send(m)
 	}
@@ -283,9 +333,13 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 		if drop {
 			// The reliable connection burned its retries: the wire time was
 			// consumed but the message never arrived.
+			node.mx.txQueue.Add(p.Now(), 1)
 			node.tx.Acquire(p)
+			tx0 := p.Now()
 			p.Sleep(node.net.params.SerializationTime(size))
 			node.tx.Release()
+			node.mx.txQueue.Add(p.Now(), -1)
+			node.mx.txBusy.AddSpan(tx0, p.Now())
 			sp.EndErr(p.Now(), ErrDropped)
 			return ErrDropped
 		}
@@ -298,9 +352,11 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	if m.Ctx == 0 {
 		m.Ctx = p.TraceCtx()
 	}
+	node.mx.txQueue.Add(p.Now(), 1)
 	node.tx.Acquire(p)
 	m.SentAt = p.Now()
 	n.BytesSent[node.ID] += int64(size)
+	node.mx.txBytes.Add(m.SentAt, int64(size))
 	m.dst = n.nodes[dst]
 	// The head of the message reaches the receiver one latency after
 	// transmission starts; receive-side serialization happens there.
@@ -311,6 +367,8 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 	p.AfterCallOn(m.dst.group, n.params.Latency, deliverStage, m)
 	p.Sleep(n.params.SerializationTime(size))
 	node.tx.Release()
+	node.mx.txQueue.Add(p.Now(), -1)
+	node.mx.txBusy.AddSpan(m.SentAt, p.Now())
 	sp.End(p.Now())
 	return nil
 }
@@ -321,5 +379,9 @@ func (node *Node) Send(p *sim.Proc, dst NodeID, size int, payload any) error {
 //pvfslint:hotpath
 func deliverStage(v any) {
 	m := v.(*Message)
+	// This callback executes on the receiver's shard at SentAt + latency
+	// (the event's own timestamp), so the receiver-owned staged gauge may
+	// be sampled here; the matching decrement is in rxEngine.
+	m.dst.mx.staged.Add(m.SentAt.Add(m.dst.net.params.Latency), 1)
 	m.dst.stage.Send(m)
 }

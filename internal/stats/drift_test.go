@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fillAll returns a Snapshot with every int64 field set to v.
+func fillAll(v int64) Snapshot {
+	var s Snapshot
+	rv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetInt(v)
+	}
+	return s
+}
+
+// TestSnapshotFieldsAreInt64 pins the shape the reflection tests below
+// rely on: Snapshot is a flat struct of int64 counters and gauges.
+func TestSnapshotFieldsAreInt64(t *testing.T) {
+	rt := reflect.TypeOf(Snapshot{})
+	for i := 0; i < rt.NumField(); i++ {
+		if f := rt.Field(i); f.Type.Kind() != reflect.Int64 {
+			t.Errorf("field %s has kind %v, want int64", f.Name, f.Type.Kind())
+		}
+	}
+}
+
+// TestSnapshotSubCoversEveryField catches the classic drift bug: a new
+// counter added to Snapshot but forgotten in Sub, silently reporting zero
+// deltas forever. Every field of Sub(7s, 3s) must be nonzero — counters
+// subtract to 4, high-water marks and gauges keep the later reading, 7;
+// a dropped field stays 0.
+func TestSnapshotSubCoversEveryField(t *testing.T) {
+	d := fillAll(7).Sub(fillAll(3))
+	rv := reflect.ValueOf(d)
+	for i := 0; i < rv.NumField(); i++ {
+		if rv.Field(i).Int() == 0 {
+			t.Errorf("field %s does not participate in Sub (delta is 0)", rv.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestSnapshotStringCoversEveryField catches the other drift direction: a
+// field that no longer shows up anywhere in the human-readable rendering.
+// Setting any single field must change String's output relative to the
+// zero snapshot — whether the field prints directly or feeds a derived
+// figure (IOReqs, the MB totals, a section trigger).
+func TestSnapshotStringCoversEveryField(t *testing.T) {
+	zero := Snapshot{}.String()
+	rt := reflect.TypeOf(Snapshot{})
+	for i := 0; i < rt.NumField(); i++ {
+		var s Snapshot
+		// Large enough that byte counts round to a visible 0.1 MB.
+		reflect.ValueOf(&s).Elem().Field(i).SetInt(1 << 20)
+		if s.String() == zero {
+			t.Errorf("field %s does not affect String output", rt.Field(i).Name)
+		}
+	}
+}
+
+// TestSnapshotJSONCoversEveryField asserts the machine-readable form
+// carries every field under its own name (no json:"-" hiding, no
+// unexported drift).
+func TestSnapshotJSONCoversEveryField(t *testing.T) {
+	b, err := json.Marshal(fillAll(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := reflect.TypeOf(Snapshot{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if tag := rt.Field(i).Tag.Get("json"); tag != "" {
+			name = strings.Split(tag, ",")[0]
+		}
+		if !strings.Contains(string(b), `"`+name+`"`) {
+			t.Errorf("field %s missing from JSON output %s", rt.Field(i).Name, b)
+		}
+	}
+}

@@ -71,6 +71,16 @@ type Snapshot struct {
 	StageQueueNs int64 // contended-resource waits (I/O mutex, disk arm)
 	StageSieveNs int64 // sieve planning and RMW overhead
 	StageDiskNs  int64 // device transfers
+
+	// Metrics-plane readings (all zero unless a metrics registry was
+	// attached): the number of completed sampling intervals, and the
+	// last-sampled values of the cluster-wide occupancy gauges.
+	MetricIntervals int64 // completed sampling intervals on the virtual clock
+	NetInflight     int64 // messages in flight across the fabric
+	DispatchQueue   int64 // requests inside dispatch across all daemons
+	IOQueue         int64 // requests queued on (or holding) the daemons' file phase
+	CachePages      int64 // resident pages across all client caches
+	CacheDirtyPages int64 // dirty pages across all client caches
 }
 
 // IOReqs returns the total read+write+sync request count.
@@ -124,6 +134,15 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		StageQueueNs: s.StageQueueNs - t.StageQueueNs,
 		StageSieveNs: s.StageSieveNs - t.StageSieveNs,
 		StageDiskNs:  s.StageDiskNs - t.StageDiskNs,
+		// Interval count is cumulative; the occupancy gauges are
+		// instantaneous readings, so — like MaxInflight — deltas are
+		// meaningless and the later snapshot's values are kept.
+		MetricIntervals: s.MetricIntervals - t.MetricIntervals,
+		NetInflight:     s.NetInflight,
+		DispatchQueue:   s.DispatchQueue,
+		IOQueue:         s.IOQueue,
+		CachePages:      s.CachePages,
+		CacheDirtyPages: s.CacheDirtyPages,
 	}
 }
 
@@ -132,10 +151,14 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 // trace plane recorded stage time.
 func (s Snapshot) String() string {
 	out := fmt.Sprintf(
-		"req#=%d reg#=%d hit=%d read#=%d write#=%d c/s=%.1fMB c/c=%.1fMB",
-		s.IOReqs(), s.RegLookups, s.RegCacheHits,
-		s.FSReadCalls, s.FSWriteCalls,
+		"req#=%d open#=%d reg#=%d hit=%d pin#=%d/%d read#=%d write#=%d dev#=%dr/%dw c/s=%.1fMB c/c=%.1fMB",
+		s.IOReqs(), s.OpenReqs, s.RegLookups, s.RegCacheHits,
+		s.Registrations, s.Deregistrations,
+		s.FSReadCalls, s.FSWriteCalls, s.DeviceReads, s.DeviceWrites,
 		float64(s.BytesClientServer)/(1<<20), float64(s.BytesClientClient)/(1<<20))
+	if s.SieveWindows+s.SieveWins > 0 {
+		out += fmt.Sprintf(" sieve=%d/%d", s.SieveWins, s.SieveWindows)
+	}
 	if s.Retries+s.Timeouts+s.Fallbacks+s.ServerAborts+s.Crashes+s.Restarts+s.QPResets+
 		s.FaultWRErrors+s.FaultDrops+s.FaultDiskErrors+s.FaultRegFailures > 0 {
 		out += fmt.Sprintf(" retry#=%d timeout#=%d fallback#=%d abort#=%d crash#=%d restart#=%d qpreset#=%d",
@@ -150,11 +173,16 @@ func (s Snapshot) String() string {
 			float64(s.WriteBehindBytes)/(1<<20), s.CoalescedFlushes,
 			s.LeaseReqs, s.LeaseGrants, s.LeaseRecalls)
 	}
-	if stage := s.StageRegNs + s.StagePackNs + s.StageWireNs + s.StageQueueNs + s.StageSieveNs + s.StageDiskNs; stage > 0 {
+	if stage := s.StageRegNs + s.StagePackNs + s.StageWireNs + s.StageQueueNs + s.StageSieveNs + s.StageDiskNs; stage+s.MaxInflight > 0 {
 		out += fmt.Sprintf(" inflight=%d stage(reg=%.2fms pack=%.2fms wire=%.2fms queue=%.2fms sieve=%.2fms disk=%.2fms)",
 			s.MaxInflight,
 			float64(s.StageRegNs)/1e6, float64(s.StagePackNs)/1e6, float64(s.StageWireNs)/1e6,
 			float64(s.StageQueueNs)/1e6, float64(s.StageSieveNs)/1e6, float64(s.StageDiskNs)/1e6)
+	}
+	if s.MetricIntervals+s.NetInflight+s.DispatchQueue+s.IOQueue+s.CachePages+s.CacheDirtyPages > 0 {
+		out += fmt.Sprintf(" mx(intervals=%d inflight=%d dispq=%d ioq=%d pages=%d dirty=%d)",
+			s.MetricIntervals, s.NetInflight, s.DispatchQueue, s.IOQueue,
+			s.CachePages, s.CacheDirtyPages)
 	}
 	return out
 }
